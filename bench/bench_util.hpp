@@ -1,0 +1,76 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench prints (a) the reproduced table in the paper's layout and
+// (b) a short "paper vs. measured" comparison of the qualitative claims it
+// carries.  Absolute numbers differ -- the substrate is this repo's
+// simulator and a generic process, not the authors' testbed -- the *shape*
+// (who fails, what improves, by how much) is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+
+namespace mayo::bench {
+
+/// Prints an optimization trace in the layout of paper Tables 1/3/4/6:
+/// one column per performance, blocks of rows per iteration.
+inline void print_trace(const core::YieldOptimizationResult& result,
+                        const std::vector<std::string>& names,
+                        const std::vector<core::Specification>& specs) {
+  std::vector<std::string> header = {"", ""};
+  for (const auto& name : names) header.push_back(name);
+  core::TextTable table(header);
+
+  std::vector<std::string> spec_row = {"", "Specification"};
+  for (const auto& spec : specs)
+    spec_row.push_back(
+        (spec.kind == core::SpecKind::kLowerBound ? "> " : "< ") +
+        core::fmt(spec.bound, 2) + " " + spec.unit);
+  table.add_row(spec_row);
+
+  for (const auto& record : result.trace) {
+    const char* suffix = "th";
+    if (record.iteration == 1) suffix = "st";
+    if (record.iteration == 2) suffix = "nd";
+    if (record.iteration == 3) suffix = "rd";
+    const std::string label =
+        record.iteration == 0
+            ? "Initial"
+            : std::to_string(record.iteration) + suffix + " Iter";
+    std::vector<std::string> margin_row = {label, "f - f_b"};
+    std::vector<std::string> bad_row = {"", "bad samples [permille]"};
+    std::vector<std::string> beta_row = {"", "beta_wc"};
+    for (const auto& snap : record.specs) {
+      margin_row.push_back(core::fmt(snap.nominal_margin, 2));
+      bad_row.push_back(core::fmt(snap.bad_permille, 1));
+      beta_row.push_back(core::fmt(snap.beta, 2));
+    }
+    table.add_row(margin_row);
+    table.add_row(bad_row);
+    table.add_row(beta_row);
+    std::vector<std::string> yield_row = {"", "Y~ (verified MC)"};
+    for (std::size_t i = 0; i < record.specs.size(); ++i)
+      yield_row.push_back(i == 0 && record.verified_yield >= 0.0
+                              ? core::fmt_percent(record.verified_yield, 1)
+                              : "");
+    table.add_row(yield_row);
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+/// One "claim" line of the paper-vs-measured comparison.
+inline void claim(const char* description, const std::string& paper,
+                  const std::string& measured, bool holds) {
+  std::printf("  %-58s paper: %-18s measured: %-18s [%s]\n", description,
+              paper.c_str(), measured.c_str(), holds ? "OK" : "DEVIATES");
+}
+
+inline void section(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace mayo::bench

@@ -1,0 +1,63 @@
+// Paper Figure 1: CMRR of the folded-cascode opamp over two locally
+// varying threshold voltages of a matched pair.  The surface is flat along
+// the neutral line (equal shifts) and collapses along the mismatch line
+// (opposite shifts).  The paper plots the input pair; in this testbench
+// the measurement loop nulls the input-pair offset, so the load-mirror
+// pair (the dominant pair of our Table 5) is swept instead.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/folded_cascode.hpp"
+
+using namespace mayo;
+using Stats = circuits::FoldedCascodeStats;
+
+int main() {
+  bench::section("Figure 1: CMRR over the mirror pair's local Vth shifts");
+
+  auto problem = circuits::FoldedCascode::make_problem();
+  auto* model = dynamic_cast<circuits::FoldedCascode*>(problem.model.get());
+  const linalg::Vector d = circuits::FoldedCascode::initial_design();
+  const linalg::Vector theta = problem.operating.nominal;
+
+  const int grid = 9;
+  const double span = 5e-3;  // +-5 mV
+  std::printf("CMRR [dB]; rows: dVth(M9), cols: dVth(M10), step %.1f mV\n\n",
+              2.0 * span / (grid - 1) * 1e3);
+  std::printf("%8s", "");
+  for (int j = 0; j < grid; ++j)
+    std::printf("%8.1f", (-span + 2.0 * span * j / (grid - 1)) * 1e3);
+  std::printf("\n");
+
+  double nominal_cmrr = 0.0;
+  double ml_min = 1e9;     // worst CMRR along the mismatch diagonal
+  double nl_min = 1e9;     // worst CMRR along the neutral diagonal
+  for (int i = 0; i < grid; ++i) {
+    const double dv9 = -span + 2.0 * span * i / (grid - 1);
+    std::printf("%7.1f ", dv9 * 1e3);
+    for (int j = 0; j < grid; ++j) {
+      const double dv10 = -span + 2.0 * span * j / (grid - 1);
+      linalg::Vector s(Stats::kCount);
+      s[Stats::kLocalFirst + 8] = dv9;
+      s[Stats::kLocalFirst + 9] = dv10;
+      const auto m = model->measure(d, s, theta);
+      std::printf("%8.1f", m.cmrr_db);
+      if (i == grid / 2 && j == grid / 2) nominal_cmrr = m.cmrr_db;
+      if (i + j == grid - 1) ml_min = std::min(ml_min, m.cmrr_db);
+      if (i == j) nl_min = std::min(nl_min, m.cmrr_db);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPaper-vs-measured claims:\n");
+  bench::claim("neutral line nearly flat", "~no influence",
+               core::fmt(nominal_cmrr - nl_min, 1) + " dB total droop",
+               nominal_cmrr - nl_min < 5.0);
+  bench::claim("mismatch line collapses the performance", "maximum decrease",
+               core::fmt(nominal_cmrr - ml_min, 1) + " dB drop",
+               nominal_cmrr - ml_min > 30.0);
+  bench::claim("surface peaks at the matched point", "ridge along NL",
+               core::fmt(nominal_cmrr, 1) + " dB at center",
+               nominal_cmrr >= nl_min && nominal_cmrr > ml_min);
+  return 0;
+}

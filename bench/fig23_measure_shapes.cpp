@@ -1,0 +1,53 @@
+// Paper Figures 2 and 3: the shape of the angle-window function Phi (full
+// weight around the mismatch-line angle -pi/4, linear decay to zero) and
+// of the robustness weight eta(beta) (1/2 at beta = 0, -> 1 for violated,
+// -> 0 for robust specifications, continuously differentiable).
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "bench_util.hpp"
+#include "core/mismatch.hpp"
+
+using namespace mayo;
+
+int main() {
+  bench::section("Figure 2: angle window Phi(phi)");
+  std::printf("%12s %12s\n", "phi [deg]", "Phi");
+  for (int deg = -90; deg <= 90; deg += 10) {
+    const double phi = deg * std::numbers::pi / 180.0;
+    std::printf("%12d %12.3f\n", deg, core::mismatch_angle_window(phi));
+  }
+
+  bench::section("Figure 3: robustness weight eta(beta)");
+  std::printf("%12s %12s\n", "beta", "eta");
+  for (double beta = -6.0; beta <= 6.0 + 1e-9; beta += 1.0)
+    std::printf("%12.1f %12.4f\n", beta, core::mismatch_robustness_weight(beta));
+
+  // Quantitative checks of the documented properties.
+  const double kMl = -std::numbers::pi / 4.0;
+  std::printf("\nPaper-vs-measured claims:\n");
+  bench::claim("Phi = 1 on the mismatch line", "1",
+               core::fmt(core::mismatch_angle_window(kMl), 3),
+               core::mismatch_angle_window(kMl) == 1.0);
+  bench::claim("Phi = 0 on the neutral line", "0",
+               core::fmt(core::mismatch_angle_window(-kMl), 3),
+               core::mismatch_angle_window(-kMl) == 0.0);
+  bench::claim("eta(0) = 1/2", "0.5",
+               core::fmt(core::mismatch_robustness_weight(0.0), 3),
+               core::mismatch_robustness_weight(0.0) == 0.5);
+  const double h = 1e-7;
+  const double dleft = (core::mismatch_robustness_weight(0.0) -
+                        core::mismatch_robustness_weight(-h)) / h;
+  const double dright = (core::mismatch_robustness_weight(h) -
+                         core::mismatch_robustness_weight(0.0)) / h;
+  bench::claim("eta continuously differentiable at 0", "slopes match",
+               core::fmt(dleft, 4) + " / " + core::fmt(dright, 4),
+               std::abs(dleft - dright) < 1e-4);
+  bench::claim("eta spans (0, 1) across beta", "-> 1 / -> 0",
+               core::fmt(core::mismatch_robustness_weight(-6.0), 3) + " / " +
+                   core::fmt(core::mismatch_robustness_weight(6.0), 3),
+               core::mismatch_robustness_weight(-6.0) > 0.9 &&
+                   core::mismatch_robustness_weight(6.0) < 0.1);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Domain scenario 6: a first-order bandgap reference, demonstrating the
+// diode device and the simulator's temperature handling.
+//
+// Two diode branches at equal current but different junction "area"
+// (IS ratio 8): the junction-voltage difference is PTAT
+// (dV = n*Vt*ln(8)), the junction voltage itself is CTAT at fixed IS.
+// A VCVS combines them:  Vref = V_D1 + K * (V_D1 - V_D2).
+// The example sweeps K, measures the temperature coefficient of Vref over
+// -40..125 C, picks the flattest K and prints the resulting Vref(T) curve.
+//
+// (With a temperature-independent IS, the "CTAT" slope comes from the
+// explicit Vt = kT/q scaling only, so the compensated Vref lands near the
+// extrapolated junction voltage rather than silicon's 1.2 V bandgap --
+// the mechanics, not the material constants, are the point here.)
+//
+// Build & run:  ./build/examples/bandgap_tempco
+#include <cstdio>
+
+#include "circuit/netlist.hpp"
+#include "sim/dc.hpp"
+
+using namespace mayo;
+
+namespace {
+
+struct BandgapCircuit {
+  explicit BandgapCircuit(double k) {
+    using namespace circuit;
+    d1 = nl.add_node("d1");
+    d2 = nl.add_node("d2");
+    vref = nl.add_node("vref");
+    nl.add<CurrentSource>("I1", kGround, d1, 100e-6);
+    nl.add<CurrentSource>("I2", kGround, d2, 100e-6);
+    nl.add<Diode>("D1", d1, kGround, 1e-14);
+    nl.add<Diode>("D2", d2, kGround, 8e-14);  // 8x junction area
+    // Vref = V(d1) + K (V(d1) - V(d2)).
+    gain = &nl.add<Vcvs>("E1", vref, d1, d1, d2, k);
+    nl.add<Resistor>("Rload", vref, kGround, 1e6);
+  }
+
+  double vref_at(double temperature_k) {
+    const auto result = sim::solve_dc(nl, circuit::Conditions{temperature_k});
+    if (!result.converged) return 0.0;
+    return result.solution[vref - 1];
+  }
+
+  circuit::Netlist nl;
+  circuit::NodeId d1{};
+  circuit::NodeId d2{};
+  circuit::NodeId vref{};
+  circuit::Vcvs* gain = nullptr;
+};
+
+}  // namespace
+
+int main() {
+  // Sweep the PTAT gain K and measure the tempco around room temperature.
+  std::printf("%8s %14s %16s\n", "K", "Vref(27C) [V]", "tempco [uV/K]");
+  double best_k = 0.0;
+  double best_tempco = 1e9;
+  for (double k = 0.0; k <= 20.0 + 1e-9; k += 1.0) {
+    BandgapCircuit circuit(k);
+    const double v_cold = circuit.vref_at(300.15 - 10.0);
+    const double v_hot = circuit.vref_at(300.15 + 10.0);
+    const double v_room = circuit.vref_at(300.15);
+    const double tempco = (v_hot - v_cold) / 20.0;
+    std::printf("%8.1f %14.4f %16.1f\n", k, v_room, 1e6 * tempco);
+    if (std::abs(tempco) < std::abs(best_tempco)) {
+      best_tempco = tempco;
+      best_k = k;
+    }
+  }
+
+  std::printf("\nflattest gain: K = %.1f (%.1f uV/K at 27 C)\n", best_k,
+              1e6 * best_tempco);
+  std::printf("\nVref over the full range at K = %.1f:\n", best_k);
+  std::printf("%8s %12s\n", "T [C]", "Vref [V]");
+  BandgapCircuit circuit(best_k);
+  double v_min = 1e9;
+  double v_max = -1e9;
+  for (double t_c = -40.0; t_c <= 125.0 + 1e-9; t_c += 15.0) {
+    const double v = circuit.vref_at(t_c + 273.15);
+    v_min = std::min(v_min, v);
+    v_max = std::max(v_max, v);
+    std::printf("%8.0f %12.4f\n", t_c, v);
+  }
+  std::printf("\ntotal spread over -40..125 C: %.2f mV (%.0f ppm)\n",
+              1e3 * (v_max - v_min),
+              1e6 * (v_max - v_min) / circuit.vref_at(300.15));
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "circuit/netlist.hpp"
+
+namespace mayo::circuit {
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_ids_.emplace("0", kGround);
+  node_ids_.emplace("gnd", kGround);
+}
+
+NodeId Netlist::add_node(const std::string& name) {
+  if (node_ids_.contains(name))
+    throw std::invalid_argument("Netlist: duplicate node name '" + name + "'");
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_.emplace(name, id);
+  return id;
+}
+
+NodeId Netlist::node(const std::string& name) const {
+  const auto it = node_ids_.find(name);
+  if (it == node_ids_.end())
+    throw std::out_of_range("Netlist: no node named '" + name + "'");
+  return it->second;
+}
+
+bool Netlist::has_node(const std::string& name) const {
+  return node_ids_.contains(name);
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  return node_names_.at(static_cast<std::size_t>(id));
+}
+
+void Netlist::register_device(std::unique_ptr<Device> device) {
+  if (device_ids_.contains(device->name()))
+    throw std::invalid_argument("Netlist: duplicate device name '" +
+                                device->name() + "'");
+  device->set_first_branch(static_cast<int>(num_branches_));
+  num_branches_ += static_cast<std::size_t>(device->branch_count());
+  device_ids_.emplace(device->name(), devices_.size());
+  devices_.push_back(std::move(device));
+}
+
+Device& Netlist::device(const std::string& name) {
+  const auto it = device_ids_.find(name);
+  if (it == device_ids_.end())
+    throw std::out_of_range("Netlist: no device named '" + name + "'");
+  return *devices_[it->second];
+}
+
+const Device& Netlist::device(const std::string& name) const {
+  const auto it = device_ids_.find(name);
+  if (it == device_ids_.end())
+    throw std::out_of_range("Netlist: no device named '" + name + "'");
+  return *devices_[it->second];
+}
+
+std::vector<Mosfet*> Netlist::mosfets() {
+  std::vector<Mosfet*> out;
+  for (auto& device : devices_)
+    if (auto* mos = dynamic_cast<Mosfet*>(device.get())) out.push_back(mos);
+  return out;
+}
+
+std::vector<const Mosfet*> Netlist::mosfets() const {
+  std::vector<const Mosfet*> out;
+  for (const auto& device : devices_)
+    if (const auto* mos = dynamic_cast<const Mosfet*>(device.get()))
+      out.push_back(mos);
+  return out;
+}
+
+}  // namespace mayo::circuit

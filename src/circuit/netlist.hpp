@@ -1,0 +1,80 @@
+// mayo/circuit -- netlist container.
+//
+// Owns nodes and devices and assigns MNA branch variables.  Devices are
+// created in place via `add<T>(...)` which returns a typed reference the
+// testbench keeps for parameter re-binding (widths, source values, ...).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/devices.hpp"
+
+namespace mayo::circuit {
+
+/// A circuit: named nodes plus a list of devices.
+class Netlist {
+ public:
+  Netlist();
+
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
+  Netlist(Netlist&&) = default;
+  Netlist& operator=(Netlist&&) = default;
+
+  /// Creates a node; names must be unique.  Returns its id.
+  NodeId add_node(const std::string& name);
+  /// Looks up a node id by name; throws std::out_of_range if absent.
+  NodeId node(const std::string& name) const;
+  /// True if a node with this name exists.
+  bool has_node(const std::string& name) const;
+  /// Name of a node id.
+  const std::string& node_name(NodeId id) const;
+  /// Number of nodes including ground.
+  std::size_t num_nodes() const { return node_names_.size(); }
+
+  /// Constructs a device in place and registers it.  The reference stays
+  /// valid for the lifetime of the netlist.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto device = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *device;
+    register_device(std::move(device));
+    return ref;
+  }
+
+  std::size_t num_devices() const { return devices_.size(); }
+  /// Total number of extra MNA branch variables.
+  std::size_t num_branches() const { return num_branches_; }
+  /// Size of the MNA unknown vector: (num_nodes - 1) + num_branches.
+  std::size_t system_size() const { return num_nodes() - 1 + num_branches_; }
+
+  const Device& device(std::size_t i) const { return *devices_[i]; }
+  Device& device(std::size_t i) { return *devices_[i]; }
+  /// Device lookup by instance name; throws std::out_of_range if absent.
+  Device& device(const std::string& name);
+  const Device& device(const std::string& name) const;
+
+  /// Iteration over all devices.
+  auto begin() const { return devices_.begin(); }
+  auto end() const { return devices_.end(); }
+
+  /// All MOSFETs in the netlist (for operating-point reports and
+  /// functional-constraint extraction).
+  std::vector<Mosfet*> mosfets();
+  std::vector<const Mosfet*> mosfets() const;
+
+ private:
+  void register_device(std::unique_ptr<Device> device);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, std::size_t> device_ids_;
+  std::size_t num_branches_ = 0;
+};
+
+}  // namespace mayo::circuit

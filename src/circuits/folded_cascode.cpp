@@ -1,0 +1,480 @@
+#include "circuits/folded_cascode.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+#include "sim/measure.hpp"
+#include "sim/transient.hpp"
+
+namespace mayo::circuits {
+
+using circuit::Capacitor;
+using circuit::Conditions;
+using circuit::CurrentSource;
+using circuit::MosGeometry;
+using circuit::Mosfet;
+using circuit::MosType;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::VoltageSource;
+using linalg::Vector;
+
+using Design = FoldedCascodeDesign;
+using Stats = FoldedCascodeStats;
+
+// --------------------------------------------------------------- topology --
+
+struct FoldedCascode::Bench {
+  Netlist netlist;
+  bool unity = false;
+
+  // Signal transistors M0..M10 in constraint order.
+  std::array<Mosfet*, 11> signal{};
+  Mosfet* mb1 = nullptr;
+  Mosfet* mb2 = nullptr;
+  Mosfet* mb3 = nullptr;
+
+  VoltageSource* vdd = nullptr;
+  VoltageSource* vinp = nullptr;
+  VoltageSource* vinn = nullptr;  // null in the unity-gain bench
+  VoltageSource* vbp2 = nullptr;
+  VoltageSource* vbn2 = nullptr;
+  CurrentSource* iref = nullptr;
+  Capacitor* cl = nullptr;
+  NodeId out = circuit::kGround;
+
+  Vector last_op;  ///< warm start for repeated DC solves
+};
+
+std::unique_ptr<FoldedCascode::Bench> FoldedCascode::build_bench(
+    const FoldedCascode::Options& opt, bool unity) {
+  auto bench = std::make_unique<FoldedCascode::Bench>();
+  bench->unity = unity;
+  Netlist& nl = bench->netlist;
+
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId inp = nl.add_node("inp");
+  const NodeId out = nl.add_node("out");
+  // In the unity-gain bench the inverting input IS the output node.
+  const NodeId inn = unity ? out : nl.add_node("inn");
+  const NodeId tail = nl.add_node("tail");
+  const NodeId n1 = nl.add_node("n1");
+  const NodeId n2 = nl.add_node("n2");
+  const NodeId cg = nl.add_node("cg");    // mirror gate / left cascode drain
+  const NodeId s7 = nl.add_node("s7");
+  const NodeId s8 = nl.add_node("s8");
+  const NodeId bn1 = nl.add_node("bn1");
+  const NodeId bp1 = nl.add_node("bp1");
+  const NodeId bp2 = nl.add_node("bp2");
+  const NodeId bn2 = nl.add_node("bn2");
+  bench->out = out;
+
+  const auto& proc_n = opt.process.nmos;
+  const auto& proc_p = opt.process.pmos;
+  const MosGeometry bias_geom{opt.bias_width, opt.length};
+  const MosGeometry default_geom{20e-6, opt.length};
+
+  // Supplies and inputs.
+  bench->vdd = &nl.add<VoltageSource>("Vdd", vdd, circuit::kGround, 5.0);
+  bench->vinp = &nl.add<VoltageSource>("Vinp", inp, circuit::kGround, 2.5);
+  if (!unity) {
+    // DC feedback that is transparent at AC: Vinn (AC excitation handle)
+    // sits between the inverting input and the R/C loop filter.
+    const NodeId fb = nl.add_node("fb");
+    bench->vinn = &nl.add<VoltageSource>("Vinn", inn, fb, 0.0);
+    nl.add<Resistor>("Rfb", out, fb, 1e9);
+    nl.add<Capacitor>("Cfb", fb, circuit::kGround, 1.0);
+  }
+
+  // Bias generation: Iref -> NMOS diode MB1 (bn1); MB3 mirrors Iref and
+  // pulls through the PMOS diode MB2 (bp1); cascode gates are
+  // supply-referenced voltage sources.
+  bench->iref = &nl.add<CurrentSource>("Iref", vdd, bn1, 50e-6);
+  bench->mb1 = &nl.add<Mosfet>("MB1", MosType::kNmos, bn1, bn1,
+                               circuit::kGround, circuit::kGround, proc_n,
+                               bias_geom);
+  bench->mb2 =
+      &nl.add<Mosfet>("MB2", MosType::kPmos, bp1, bp1, vdd, vdd, proc_p,
+                      bias_geom);
+  bench->mb3 = &nl.add<Mosfet>("MB3", MosType::kNmos, bp1, bn1,
+                               circuit::kGround, circuit::kGround, proc_n,
+                               bias_geom);
+  bench->vbp2 = &nl.add<VoltageSource>("Vbp2", vdd, bp2, opt.vcasc_p);
+  bench->vbn2 = &nl.add<VoltageSource>("Vbn2", bn2, circuit::kGround,
+                                       opt.vcasc_n);
+
+  // Signal path.
+  bench->signal[0] = &nl.add<Mosfet>("M0", MosType::kNmos, tail, bn1,
+                                     circuit::kGround, circuit::kGround,
+                                     proc_n, default_geom);
+  bench->signal[1] = &nl.add<Mosfet>("M1", MosType::kNmos, n1, inp, tail,
+                                     circuit::kGround, proc_n, default_geom);
+  bench->signal[2] = &nl.add<Mosfet>("M2", MosType::kNmos, n2, inn, tail,
+                                     circuit::kGround, proc_n, default_geom);
+  bench->signal[3] = &nl.add<Mosfet>("M3", MosType::kPmos, n1, bp1, vdd, vdd,
+                                     proc_p, default_geom);
+  bench->signal[4] = &nl.add<Mosfet>("M4", MosType::kPmos, n2, bp1, vdd, vdd,
+                                     proc_p, default_geom);
+  bench->signal[5] = &nl.add<Mosfet>("M5", MosType::kPmos, cg, bp2, n1, vdd,
+                                     proc_p, default_geom);
+  bench->signal[6] = &nl.add<Mosfet>("M6", MosType::kPmos, out, bp2, n2, vdd,
+                                     proc_p, default_geom);
+  bench->signal[7] = &nl.add<Mosfet>("M7", MosType::kNmos, cg, bn2, s7,
+                                     circuit::kGround, proc_n, default_geom);
+  bench->signal[8] = &nl.add<Mosfet>("M8", MosType::kNmos, out, bn2, s8,
+                                     circuit::kGround, proc_n, default_geom);
+  bench->signal[9] = &nl.add<Mosfet>("M9", MosType::kNmos, s7, cg,
+                                     circuit::kGround, circuit::kGround,
+                                     proc_n, default_geom);
+  bench->signal[10] = &nl.add<Mosfet>("M10", MosType::kNmos, s8, cg,
+                                      circuit::kGround, circuit::kGround,
+                                      proc_n, default_geom);
+
+  bench->cl = &nl.add<Capacitor>("CL", out, circuit::kGround, opt.load_cap);
+  return bench;
+}
+
+namespace {
+
+/// 10%-90% rise-time slew measurement on a step response.
+double slew_from_step(const std::vector<double>& time,
+                      const std::vector<double>& v) {
+  if (v.size() < 3) return 0.0;
+  const double v_start = v.front();
+  const double v_end = v.back();
+  const double delta = v_end - v_start;
+  if (std::abs(delta) < 1e-6) return 0.0;
+  const double v10 = v_start + 0.1 * delta;
+  const double v90 = v_start + 0.9 * delta;
+  const auto crossing = [&](double level) {
+    for (std::size_t k = 1; k < v.size(); ++k) {
+      const bool crossed = delta > 0.0 ? (v[k - 1] < level && v[k] >= level)
+                                       : (v[k - 1] > level && v[k] <= level);
+      if (crossed) {
+        const double f = (level - v[k - 1]) / (v[k] - v[k - 1]);
+        return time[k - 1] + f * (time[k] - time[k - 1]);
+      }
+    }
+    return -1.0;
+  };
+  const double t10 = crossing(v10);
+  const double t90 = crossing(v90);
+  if (t10 < 0.0 || t90 < 0.0 || t90 <= t10) return 0.0;
+  return 0.8 * std::abs(delta) / (t90 - t10);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ construction --
+
+FoldedCascode::FoldedCascode() : FoldedCascode(Options()) {}
+
+FoldedCascode::FoldedCascode(Options options)
+    : options_(std::move(options)),
+      ac_bench_(build_bench(options_, /*unity=*/false)),
+      sr_bench_(build_bench(options_, /*unity=*/true)) {}
+
+// --------------------------------------------------------------- binding --
+
+void FoldedCascode::apply(Bench& bench, const Vector& d, const Vector& s,
+                          const Vector& theta) const {
+  if (d.size() != Design::kCount)
+    throw std::invalid_argument("FoldedCascode: design vector size mismatch");
+  if (s.size() != Stats::kCount)
+    throw std::invalid_argument("FoldedCascode: statistical vector size mismatch");
+  if (theta.size() != 2)
+    throw std::invalid_argument("FoldedCascode: operating vector size mismatch");
+
+  const double l = options_.length;
+  const std::array<double, 11> widths = {
+      d[Design::kWTail], d[Design::kWIn],   d[Design::kWIn],
+      d[Design::kWSrc],  d[Design::kWSrc],  d[Design::kWPcas],
+      d[Design::kWPcas], d[Design::kWNcas], d[Design::kWNcas],
+      d[Design::kWMir],  d[Design::kWMir]};
+
+  const double dvthn = s[Stats::kDvthnGlobal];
+  const double dvthp = s[Stats::kDvthpGlobal];
+  const double kpn = 1.0 + s[Stats::kDkpnGlobal];
+  const double kpp = 1.0 + s[Stats::kDkppGlobal];
+
+  for (std::size_t i = 0; i < 11; ++i) {
+    Mosfet* mos = bench.signal[i];
+    mos->set_geometry({widths[i], l});
+    circuit::MosVariation var;
+    const bool is_pmos = mos->type() == MosType::kPmos;
+    var.dvth = is_pmos ? dvthp : dvthn;
+    var.kp_scale = is_pmos ? kpp : kpn;
+    // Local mismatch of M1..M10 (index i-1 into the local block).
+    if (i >= 1) var.dvth += s[Stats::kLocalFirst + (i - 1)];
+    mos->set_variation(var);
+  }
+  for (Mosfet* mos : {bench.mb1, bench.mb3}) {
+    circuit::MosVariation var;
+    var.dvth = dvthn;
+    var.kp_scale = kpn;
+    mos->set_variation(var);
+  }
+  {
+    circuit::MosVariation var;
+    var.dvth = dvthp;
+    var.kp_scale = kpp;
+    bench.mb2->set_variation(var);
+  }
+
+  const double vdd = theta[1];
+  bench.vdd->set_dc_value(vdd);
+  bench.vinp->set_dc_value(0.5 * vdd);
+  bench.iref->set_dc_value(d[Design::kIref]);
+}
+
+// ----------------------------------------------------------- measurements --
+
+FoldedCascode::Measurements FoldedCascode::measure(const Vector& d,
+                                                   const Vector& s,
+                                                   const Vector& theta) {
+  Measurements out;
+  Conditions conditions{theta[0]};
+
+  // --- open-loop AC bench: A0, ft, CMRR, power -------------------------
+  Bench& ac = *ac_bench_;
+  apply(ac, d, s, theta);
+  sim::DcResult op = sim::solve_dc(
+      ac.netlist, conditions, {},
+      ac.last_op.size() == ac.netlist.system_size() ? &ac.last_op : nullptr);
+  if (!op.converged) return out;  // valid stays false
+  ac.last_op = op.solution;
+
+  out.power_mw =
+      1e3 * sim::measure_supply_power(ac.netlist, op.solution, {ac.vdd});
+
+  // Differential excitation.
+  ac.vinp->set_ac_value({0.5, 0.0});
+  ac.vinn->set_ac_value({-0.5, 0.0});
+  const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
+      ac.netlist, op.solution, conditions, ac.out, 1.0, 10e9);
+  out.a0_db = gb.a0_db;
+  out.ft_mhz = gb.ft_found ? gb.ft_hz / 1e6 : 0.0;
+
+  // Common-mode excitation for CMRR.
+  ac.vinp->set_ac_value({1.0, 0.0});
+  ac.vinn->set_ac_value({1.0, 0.0});
+  const double acm_db = sim::to_db(
+      sim::ac_node_voltage(ac.netlist, op.solution, conditions, 1.0, ac.out));
+  out.cmrr_db = out.a0_db - acm_db;
+
+  // --- unity-gain transient bench: positive slew rate -------------------
+  Bench& sr = *sr_bench_;
+  apply(sr, d, s, theta);
+  const double vcm = 0.5 * theta[1];
+  sr.vinp->set_dc_value(vcm);
+  sim::DcResult sr_op = sim::solve_dc(
+      sr.netlist, conditions, {},
+      sr.last_op.size() == sr.netlist.system_size() ? &sr.last_op : nullptr);
+  if (!sr_op.converged) return out;
+  sr.last_op = sr_op.solution;
+
+  const double step = options_.sr_step;
+  sr.vinp->set_waveform([vcm, step](double t) {
+    return t <= 0.0 ? vcm : vcm + step;
+  });
+  sim::TranOptions tran;
+  tran.t_stop = options_.sr_t_stop;
+  tran.dt = options_.sr_dt;
+  const sim::TranResult tr =
+      sim::solve_transient(sr.netlist, sr_op.solution, conditions, tran);
+  sr.vinp->clear_waveform();
+  if (!tr.converged) return out;
+  out.sr_v_per_us = 1e-6 * slew_from_step(tr.time, tr.node_voltage(sr.out));
+
+  out.valid = true;
+  return out;
+}
+
+Vector FoldedCascode::evaluate(const Vector& d, const Vector& s,
+                               const Vector& theta) {
+  const Measurements m = measure(d, s, theta);
+  Vector out(5);
+  if (!m.valid) {
+    // Penalty values: fail every specification decisively but finitely.
+    out[0] = -20.0;  // A0 [dB]
+    out[1] = 0.0;    // ft [MHz]
+    out[2] = 0.0;    // CMRR [dB]
+    out[3] = 0.0;    // SR [V/us]
+    out[4] = 10.0;   // Power [mW]
+    return out;
+  }
+  out[0] = m.a0_db;
+  out[1] = m.ft_mhz;
+  out[2] = m.cmrr_db;
+  out[3] = m.sr_v_per_us;
+  out[4] = m.power_mw;
+  return out;
+}
+
+Vector FoldedCascode::saturation_margins(const Vector& d) {
+  Vector s(Stats::kCount);
+  Vector theta{options_.process.envelope.temp_nom_k,
+               options_.process.envelope.vdd_nom};
+  Bench& ac = *ac_bench_;
+  apply(ac, d, s, theta);
+  Conditions conditions{theta[0]};
+  sim::DcResult op = sim::solve_dc(
+      ac.netlist, conditions, {},
+      ac.last_op.size() == ac.netlist.system_size() ? &ac.last_op : nullptr);
+  Vector margins(11);
+  if (!op.converged) {
+    margins.fill(-1.0);
+    return margins;
+  }
+  ac.last_op = op.solution;
+  for (std::size_t i = 0; i < 11; ++i) {
+    const Mosfet* mos = ac.signal[i];
+    const auto voltage = [&](NodeId n) {
+      return n == circuit::kGround ? 0.0 : op.solution[n - 1];
+    };
+    const circuit::MosEval eval = mos->evaluate_at(
+        voltage(mos->drain()), voltage(mos->gate()), voltage(mos->source()),
+        voltage(mos->bulk()), conditions.temperature_k);
+    const double p = mos->type() == MosType::kNmos ? 1.0 : -1.0;
+    const double vds = p * (voltage(mos->drain()) - voltage(mos->source()));
+    margins[i] = vds - eval.vdsat - options_.sat_margin;
+  }
+  return margins;
+}
+
+Vector FoldedCascode::constraints(const Vector& d) {
+  return saturation_margins(d);
+}
+
+std::unique_ptr<core::PerformanceModel> FoldedCascode::clone() const {
+  return std::make_unique<FoldedCascode>(options_);
+}
+
+std::vector<std::string> FoldedCascode::constraint_names() const {
+  return {"sat(M0)", "sat(M1)", "sat(M2)", "sat(M3)",  "sat(M4)", "sat(M5)",
+          "sat(M6)", "sat(M7)", "sat(M8)", "sat(M9)", "sat(M10)"};
+}
+
+// ------------------------------------------------------------ problem glue --
+
+std::vector<std::string> FoldedCascode::performance_names() {
+  return {"A0", "ft", "CMRR", "SRp", "Power"};
+}
+
+std::vector<std::string> FoldedCascode::statistical_names() {
+  std::vector<std::string> names = {"dvthn_g", "dvthp_g", "dkpn_g", "dkpp_g"};
+  for (int i = 1; i <= 10; ++i)
+    names.push_back("dvth_M" + std::to_string(i));
+  return names;
+}
+
+std::string FoldedCascode::pair_label(std::size_t stat_k, std::size_t stat_l) {
+  const std::size_t lo = std::min(stat_k, stat_l);
+  const std::size_t hi = std::max(stat_k, stat_l);
+  if (lo < Stats::kLocalFirst) return {};
+  const std::size_t a = lo - Stats::kLocalFirst;  // 0 = M1
+  const std::size_t b = hi - Stats::kLocalFirst;
+  if (a == 0 && b == 1) return "M1/M2 (input pair)";
+  if (a == 2 && b == 3) return "M3/M4 (PMOS current sources)";
+  if (a == 4 && b == 5) return "M5/M6 (PMOS cascodes)";
+  if (a == 6 && b == 7) return "M7/M8 (NMOS cascodes)";
+  if (a == 8 && b == 9) return "M9/M10 (mirror pair)";
+  return {};
+}
+
+linalg::Vector FoldedCascode::initial_design() {
+  Vector d(Design::kCount);
+  d[Design::kWIn] = 28e-6;
+  d[Design::kWTail] = 24e-6;
+  d[Design::kWSrc] = 32e-6;
+  d[Design::kWPcas] = 40e-6;
+  d[Design::kWNcas] = 40e-6;
+  d[Design::kWMir] = 40e-6;
+  d[Design::kIref] = 50e-6;
+  return d;
+}
+
+core::YieldProblem FoldedCascode::make_problem() {
+  return make_problem(Options());
+}
+
+core::YieldProblem FoldedCascode::make_problem(Options options) {
+  core::YieldProblem problem;
+  const Process& process = options.process;
+  const double length = options.length;
+  problem.model = std::make_shared<FoldedCascode>(options);
+
+  // Specifications: paper-style set (Table 1) with bounds calibrated to
+  // this process so that the initial design reproduces the paper's
+  // pass/fail signature (ft and CMRR fail, SR marginal, A0/power pass).
+  problem.specs = {
+      {"A0", core::SpecKind::kLowerBound, 66.0, "dB", 1.0},
+      {"ft", core::SpecKind::kLowerBound, 40.0, "MHz", 1.0},
+      {"CMRR", core::SpecKind::kLowerBound, 80.0, "dB", 1.0},
+      {"SRp", core::SpecKind::kLowerBound, 29.8, "V/us", 0.5},
+      {"Power", core::SpecKind::kUpperBound, 2.0, "mW", 0.05},
+  };
+
+  problem.design.names = {"w_in", "w_tail", "w_src", "w_pcas",
+                          "w_ncas", "w_mir", "iref"};
+  // The input pair and the current budget are capped (input capacitance /
+  // power-frame arguments), so the optimizer has to combine several levers:
+  // gain via w_in, speed via bias current, CMRR variance via mirror/source
+  // area (the Pelgrom C(d) mechanism).
+  problem.design.lower = Vector{8e-6, 8e-6, 8e-6, 8e-6, 8e-6, 8e-6, 20e-6};
+  problem.design.upper =
+      Vector{80e-6, 120e-6, 300e-6, 300e-6, 300e-6, 300e-6, 100e-6};
+  problem.design.nominal = initial_design();
+
+  problem.operating.names = {"temp", "vdd"};
+  problem.operating.lower = Vector{273.15, process.envelope.vdd_min};
+  problem.operating.upper = Vector{358.15, process.envelope.vdd_max};
+  problem.operating.nominal =
+      Vector{process.envelope.temp_nom_k, process.envelope.vdd_nom};
+
+  // Statistical model: 4 globals (correlated gain factors) + 10 Pelgrom
+  // locals whose sigma depends on the *current* width -- the C(d)
+  // dependence of paper Sec. 4.
+  auto& cov = problem.statistical;
+  cov.add(stats::StatParam::global("dvthn_g", 0.0,
+                                   process.statistics.sigma_vth_global));
+  cov.add(stats::StatParam::global("dvthp_g", 0.0,
+                                   process.statistics.sigma_vth_global));
+  const std::size_t kpn_index = cov.add(stats::StatParam::global(
+      "dkpn_g", 0.0, process.statistics.sigma_kp_global));
+  const std::size_t kpp_index = cov.add(stats::StatParam::global(
+      "dkpp_g", 0.0, process.statistics.sigma_kp_global));
+  cov.set_correlation(kpn_index, kpp_index, process.statistics.rho_kp);
+
+  struct LocalSpec {
+    const char* name;
+    std::size_t width_index;
+    bool pmos;
+  };
+  const LocalSpec locals[] = {
+      {"dvth_M1", Design::kWIn, false},   {"dvth_M2", Design::kWIn, false},
+      {"dvth_M3", Design::kWSrc, true},   {"dvth_M4", Design::kWSrc, true},
+      {"dvth_M5", Design::kWPcas, true},  {"dvth_M6", Design::kWPcas, true},
+      {"dvth_M7", Design::kWNcas, false}, {"dvth_M8", Design::kWNcas, false},
+      {"dvth_M9", Design::kWMir, false},  {"dvth_M10", Design::kWMir, false},
+  };
+  for (const LocalSpec& local : locals) {
+    const double avt = local.pmos ? process.statistics.avt_p
+                                  : process.statistics.avt_n;
+    stats::StatParam param;
+    param.name = local.name;
+    param.nominal = 0.0;
+    param.sigma = [avt, length, index = local.width_index](const Vector& d) {
+      return avt / std::sqrt(2.0 * d[index] * length);
+    };
+    cov.add(std::move(param));
+  }
+
+  problem.validate();
+  return problem;
+}
+
+}  // namespace mayo::circuits

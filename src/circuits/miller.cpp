@@ -1,0 +1,346 @@
+#include "circuits/miller.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+#include "sim/measure.hpp"
+#include "sim/transient.hpp"
+
+namespace mayo::circuits {
+
+using circuit::Capacitor;
+using circuit::Conditions;
+using circuit::CurrentSource;
+using circuit::MosGeometry;
+using circuit::Mosfet;
+using circuit::MosType;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::VoltageSource;
+using linalg::Vector;
+
+using Design = MillerDesign;
+using Stats = MillerStats;
+
+struct Miller::Bench {
+  Netlist netlist;
+  bool unity = false;
+
+  // Signal transistors M1..M7 in constraint order.
+  std::array<Mosfet*, 7> signal{};
+  Mosfet* mb = nullptr;
+
+  VoltageSource* vdd = nullptr;
+  VoltageSource* vinp = nullptr;
+  VoltageSource* vinn = nullptr;  // null in the unity-gain bench
+  CurrentSource* iref = nullptr;
+  Capacitor* cc = nullptr;
+  NodeId out = circuit::kGround;
+
+  Vector last_op;
+};
+
+std::unique_ptr<Miller::Bench> Miller::build_bench(const Options& opt,
+                                                   bool unity) {
+  auto bench = std::make_unique<Miller::Bench>();
+  bench->unity = unity;
+  Netlist& nl = bench->netlist;
+
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId inp = nl.add_node("inp");
+  const NodeId out = nl.add_node("out");
+  const NodeId inn = unity ? out : nl.add_node("inn");
+  const NodeId tail = nl.add_node("tail");
+  const NodeId x1 = nl.add_node("x1");   // mirror diode side
+  const NodeId x2 = nl.add_node("x2");   // first-stage output
+  const NodeId xc = nl.add_node("xc");   // Rz/Cc joint
+  const NodeId bn1 = nl.add_node("bn1");
+  bench->out = out;
+
+  const auto& proc_n = opt.process.nmos;
+  const auto& proc_p = opt.process.pmos;
+  const MosGeometry bias_geom{opt.bias_width, opt.length};
+  const MosGeometry default_geom{20e-6, opt.length};
+
+  bench->vdd = &nl.add<VoltageSource>("Vdd", vdd, circuit::kGround, 5.0);
+  bench->vinp = &nl.add<VoltageSource>("Vinp", inp, circuit::kGround, 2.5);
+  if (!unity) {
+    const NodeId fb = nl.add_node("fb");
+    bench->vinn = &nl.add<VoltageSource>("Vinn", inn, fb, 0.0);
+    nl.add<Resistor>("Rfb", out, fb, 1e9);
+    nl.add<Capacitor>("Cfb", fb, circuit::kGround, 1.0);
+  }
+
+  bench->iref = &nl.add<CurrentSource>("Iref", vdd, bn1, 20e-6);
+  bench->mb = &nl.add<Mosfet>("MB", MosType::kNmos, bn1, bn1, circuit::kGround,
+                              circuit::kGround, proc_n, bias_geom);
+
+  // First stage: M1 (inn) diode side, M2 (inp) output side, PMOS mirror.
+  bench->signal[0] = &nl.add<Mosfet>("M1", MosType::kNmos, x1, inn, tail,
+                                     circuit::kGround, proc_n, default_geom);
+  bench->signal[1] = &nl.add<Mosfet>("M2", MosType::kNmos, x2, inp, tail,
+                                     circuit::kGround, proc_n, default_geom);
+  bench->signal[2] = &nl.add<Mosfet>("M3", MosType::kPmos, x1, x1, vdd, vdd,
+                                     proc_p, default_geom);
+  bench->signal[3] = &nl.add<Mosfet>("M4", MosType::kPmos, x2, x1, vdd, vdd,
+                                     proc_p, default_geom);
+  bench->signal[4] = &nl.add<Mosfet>("M5", MosType::kNmos, tail, bn1,
+                                     circuit::kGround, circuit::kGround,
+                                     proc_n, default_geom);
+  // Second stage.
+  bench->signal[5] = &nl.add<Mosfet>("M6", MosType::kPmos, out, x2, vdd, vdd,
+                                     proc_p, default_geom);
+  bench->signal[6] = &nl.add<Mosfet>("M7", MosType::kNmos, out, bn1,
+                                     circuit::kGround, circuit::kGround,
+                                     proc_n, default_geom);
+
+  // Compensation and load.
+  nl.add<Resistor>("Rz", x2, xc, opt.rz);
+  bench->cc = &nl.add<Capacitor>("Cc", xc, out, 20e-12);
+  nl.add<Capacitor>("CL", out, circuit::kGround, opt.load_cap);
+  return bench;
+}
+
+Miller::Miller() : Miller(Options()) {}
+
+Miller::Miller(Options options)
+    : options_(std::move(options)),
+      ac_bench_(build_bench(options_, /*unity=*/false)),
+      sr_bench_(build_bench(options_, /*unity=*/true)) {}
+
+void Miller::apply(Bench& bench, const Vector& d, const Vector& s,
+                   const Vector& theta) const {
+  if (d.size() != Design::kCount)
+    throw std::invalid_argument("Miller: design vector size mismatch");
+  if (s.size() != Stats::kCount)
+    throw std::invalid_argument("Miller: statistical vector size mismatch");
+  if (theta.size() != 2)
+    throw std::invalid_argument("Miller: operating vector size mismatch");
+
+  const double l = options_.length;
+  const std::array<double, 7> widths = {
+      d[Design::kWIn],  d[Design::kWIn],   d[Design::kWLoad],
+      d[Design::kWLoad], d[Design::kWTail], d[Design::kWP2],
+      d[Design::kWN2]};
+
+  circuit::MosVariation var_n{s[Stats::kDvthnGlobal],
+                              1.0 + s[Stats::kDkpnGlobal]};
+  circuit::MosVariation var_p{s[Stats::kDvthpGlobal],
+                              1.0 + s[Stats::kDkppGlobal]};
+
+  for (std::size_t i = 0; i < 7; ++i) {
+    Mosfet* mos = bench.signal[i];
+    mos->set_geometry({widths[i], l});
+    mos->set_variation(mos->type() == MosType::kPmos ? var_p : var_n);
+  }
+  bench.mb->set_variation(var_n);
+
+  const double vdd = theta[1];
+  bench.vdd->set_dc_value(vdd);
+  bench.vinp->set_dc_value(0.5 * vdd);
+  bench.iref->set_dc_value(d[Design::kIref]);
+  bench.cc->set_capacitance(d[Design::kCc]);
+}
+
+Miller::Measurements Miller::measure(const Vector& d, const Vector& s,
+                                     const Vector& theta) {
+  Measurements out;
+  Conditions conditions{theta[0]};
+
+  Bench& ac = *ac_bench_;
+  apply(ac, d, s, theta);
+  sim::DcResult op = sim::solve_dc(
+      ac.netlist, conditions, {},
+      ac.last_op.size() == ac.netlist.system_size() ? &ac.last_op : nullptr);
+  if (!op.converged) return out;
+  ac.last_op = op.solution;
+
+  out.power_mw =
+      1e3 * sim::measure_supply_power(ac.netlist, op.solution, {ac.vdd});
+
+  ac.vinp->set_ac_value({0.5, 0.0});
+  ac.vinn->set_ac_value({-0.5, 0.0});
+  const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
+      ac.netlist, op.solution, conditions, ac.out, 1.0, 1e9);
+  out.a0_db = gb.a0_db;
+  out.ft_mhz = gb.ft_found ? gb.ft_hz / 1e6 : 0.0;
+  out.pm_deg = gb.ft_found ? gb.phase_margin_deg : 0.0;
+
+  Bench& sr = *sr_bench_;
+  apply(sr, d, s, theta);
+  const double vcm = 0.5 * theta[1];
+  sr.vinp->set_dc_value(vcm);
+  sim::DcResult sr_op = sim::solve_dc(
+      sr.netlist, conditions, {},
+      sr.last_op.size() == sr.netlist.system_size() ? &sr.last_op : nullptr);
+  if (!sr_op.converged) return out;
+  sr.last_op = sr_op.solution;
+
+  const double step = options_.sr_step;
+  sr.vinp->set_waveform([vcm, step](double t) {
+    return t <= 0.0 ? vcm : vcm + step;
+  });
+  sim::TranOptions tran;
+  tran.t_stop = options_.sr_t_stop;
+  tran.dt = options_.sr_dt;
+  const sim::TranResult tr =
+      sim::solve_transient(sr.netlist, sr_op.solution, conditions, tran);
+  sr.vinp->clear_waveform();
+  if (!tr.converged) return out;
+
+  // 10%-90% rise-time based slew estimate.
+  const std::vector<double> v = tr.node_voltage(sr.out);
+  const double delta = v.back() - v.front();
+  double slew = 0.0;
+  if (std::abs(delta) > 1e-6) {
+    const double v10 = v.front() + 0.1 * delta;
+    const double v90 = v.front() + 0.9 * delta;
+    double t10 = -1.0;
+    double t90 = -1.0;
+    for (std::size_t k = 1; k < v.size(); ++k) {
+      if (t10 < 0.0 && v[k - 1] < v10 && v[k] >= v10) {
+        const double f = (v10 - v[k - 1]) / (v[k] - v[k - 1]);
+        t10 = tr.time[k - 1] + f * (tr.time[k] - tr.time[k - 1]);
+      }
+      if (t90 < 0.0 && v[k - 1] < v90 && v[k] >= v90) {
+        const double f = (v90 - v[k - 1]) / (v[k] - v[k - 1]);
+        t90 = tr.time[k - 1] + f * (tr.time[k] - tr.time[k - 1]);
+      }
+    }
+    if (t10 >= 0.0 && t90 > t10) slew = 0.8 * std::abs(delta) / (t90 - t10);
+  }
+  out.sr_v_per_us = 1e-6 * slew;
+
+  out.valid = true;
+  return out;
+}
+
+Vector Miller::evaluate(const Vector& d, const Vector& s, const Vector& theta) {
+  const Measurements m = measure(d, s, theta);
+  Vector out(5);
+  if (!m.valid) {
+    out[0] = -20.0;
+    out[1] = 0.0;
+    out[2] = 0.0;
+    out[3] = 0.0;
+    out[4] = 10.0;
+    return out;
+  }
+  out[0] = m.a0_db;
+  out[1] = m.ft_mhz;
+  out[2] = m.pm_deg;
+  out[3] = m.sr_v_per_us;
+  out[4] = m.power_mw;
+  return out;
+}
+
+Vector Miller::constraints(const Vector& d) {
+  Vector s(Stats::kCount);
+  Vector theta{options_.process.envelope.temp_nom_k,
+               options_.process.envelope.vdd_nom};
+  Bench& ac = *ac_bench_;
+  apply(ac, d, s, theta);
+  Conditions conditions{theta[0]};
+  sim::DcResult op = sim::solve_dc(
+      ac.netlist, conditions, {},
+      ac.last_op.size() == ac.netlist.system_size() ? &ac.last_op : nullptr);
+  Vector margins(7);
+  if (!op.converged) {
+    margins.fill(-1.0);
+    return margins;
+  }
+  ac.last_op = op.solution;
+  for (std::size_t i = 0; i < 7; ++i) {
+    const Mosfet* mos = ac.signal[i];
+    const auto voltage = [&](NodeId n) {
+      return n == circuit::kGround ? 0.0 : op.solution[n - 1];
+    };
+    const circuit::MosEval eval = mos->evaluate_at(
+        voltage(mos->drain()), voltage(mos->gate()), voltage(mos->source()),
+        voltage(mos->bulk()), conditions.temperature_k);
+    const double p = mos->type() == MosType::kNmos ? 1.0 : -1.0;
+    const double vds = p * (voltage(mos->drain()) - voltage(mos->source()));
+    margins[i] = vds - eval.vdsat - options_.sat_margin;
+  }
+  return margins;
+}
+
+std::unique_ptr<core::PerformanceModel> Miller::clone() const {
+  return std::make_unique<Miller>(options_);
+}
+
+std::vector<std::string> Miller::constraint_names() const {
+  return {"sat(M1)", "sat(M2)", "sat(M3)", "sat(M4)",
+          "sat(M5)", "sat(M6)", "sat(M7)"};
+}
+
+std::vector<std::string> Miller::performance_names() {
+  return {"A0", "ft", "PM", "SRp", "Power"};
+}
+
+std::vector<std::string> Miller::statistical_names() {
+  return {"dvthn_g", "dvthp_g", "dkpn_g", "dkpp_g"};
+}
+
+Vector Miller::initial_design() {
+  Vector d(Design::kCount);
+  d[Design::kWIn] = 50e-6;
+  d[Design::kWLoad] = 40e-6;
+  d[Design::kWTail] = 58e-6;
+  d[Design::kWP2] = 400e-6;
+  d[Design::kWN2] = 100e-6;
+  d[Design::kIref] = 20e-6;
+  d[Design::kCc] = 20e-12;
+  return d;
+}
+
+core::YieldProblem Miller::make_problem() { return make_problem(Options()); }
+
+core::YieldProblem Miller::make_problem(Options options) {
+  core::YieldProblem problem;
+  const Process& process = options.process;
+  problem.model = std::make_shared<Miller>(options);
+
+  // Bounds calibrated so the initial design starts at a moderate yield with
+  // PM and SR marginal (paper Table 6 signature: 33.7% initial yield).
+  problem.specs = {
+      {"A0", core::SpecKind::kLowerBound, 92.4, "dB", 0.5},
+      {"ft", core::SpecKind::kLowerBound, 1.3, "MHz", 0.1},
+      {"PM", core::SpecKind::kLowerBound, 67.3, "deg", 0.5},
+      {"SRp", core::SpecKind::kLowerBound, 2.505, "V/us", 0.05},
+      {"Power", core::SpecKind::kUpperBound, 1.45, "mW", 0.02},
+  };
+
+  problem.design.names = {"w_in", "w_load", "w_tail", "w_p2",
+                          "w_n2", "iref", "cc"};
+  problem.design.lower =
+      Vector{10e-6, 10e-6, 10e-6, 50e-6, 20e-6, 5e-6, 5e-12};
+  problem.design.upper =
+      Vector{200e-6, 200e-6, 200e-6, 800e-6, 300e-6, 60e-6, 60e-12};
+  problem.design.nominal = initial_design();
+
+  problem.operating.names = {"temp", "vdd"};
+  problem.operating.lower = Vector{273.15, process.envelope.vdd_min};
+  problem.operating.upper = Vector{358.15, process.envelope.vdd_max};
+  problem.operating.nominal =
+      Vector{process.envelope.temp_nom_k, process.envelope.vdd_nom};
+
+  auto& cov = problem.statistical;
+  cov.add(stats::StatParam::global("dvthn_g", 0.0,
+                                   process.statistics.sigma_vth_global));
+  cov.add(stats::StatParam::global("dvthp_g", 0.0,
+                                   process.statistics.sigma_vth_global));
+  const std::size_t kpn_index = cov.add(stats::StatParam::global(
+      "dkpn_g", 0.0, process.statistics.sigma_kp_global));
+  const std::size_t kpp_index = cov.add(stats::StatParam::global(
+      "dkpp_g", 0.0, process.statistics.sigma_kp_global));
+  cov.set_correlation(kpn_index, kpp_index, process.statistics.rho_kp);
+
+  problem.validate();
+  return problem;
+}
+
+}  // namespace mayo::circuits

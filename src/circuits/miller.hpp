@@ -1,0 +1,110 @@
+// mayo/circuits -- two-stage Miller-compensated opamp (paper Fig. 8).
+//
+// NMOS input pair with PMOS mirror load, PMOS common-source second stage
+// with NMOS current sink, RC (Miller + nulling resistor) compensation.
+// Same testbench pattern as the folded cascode: an open-loop AC bench
+// (DC-feedback biased) for A0, f_t, phase margin and power, and a
+// unity-gain transient bench for the slew rate.
+//
+// Performances (spec order): A0 [dB], f_t [MHz], PM [deg], SR+ [V/us],
+// Power [mW].
+//
+// Following the paper's second experiment, only GLOBAL process variations
+// are modeled (4 statistical parameters, constant covariance): the
+// constant-C code path of the optimizer.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuits/process.hpp"
+#include "core/problem.hpp"
+
+namespace mayo::circuits {
+
+/// Indices into the design vector.
+struct MillerDesign {
+  enum Index : std::size_t {
+    kWIn = 0,   ///< input pair M1/M2 width
+    kWLoad,     ///< PMOS mirror load M3/M4 width
+    kWTail,     ///< tail source M5 width
+    kWP2,       ///< second-stage PMOS M6 width
+    kWN2,       ///< second-stage sink M7 width
+    kIref,      ///< reference current [A]
+    kCc,        ///< compensation capacitor [F]
+    kCount
+  };
+};
+
+/// Indices into the statistical vector (globals only).
+struct MillerStats {
+  enum Index : std::size_t {
+    kDvthnGlobal = 0,
+    kDvthpGlobal,
+    kDkpnGlobal,
+    kDkppGlobal,
+    kCount
+  };
+};
+
+class Miller final : public core::PerformanceModel {
+ public:
+  struct Options {
+    Process process = default_process();
+    double length = 2e-6;       ///< channel length of all devices [m]
+    double bias_width = 20e-6;  ///< width of the bias diode [m]
+    double load_cap = 20e-12;   ///< output load [F]
+    double rz = 800.0;          ///< compensation nulling resistor [Ohm]
+    double sat_margin = 0.05;   ///< required saturation margin [V]
+    double sr_step = 0.5;       ///< input step of the slew bench [V]
+    double sr_t_stop = 1.2e-6;  ///< transient duration [s]
+    double sr_dt = 4e-9;        ///< transient step [s]
+  };
+
+  Miller();  ///< default options
+  explicit Miller(Options options);
+
+  std::size_t num_performances() const override { return 5; }
+  std::size_t num_constraints() const override { return 7; }
+  std::vector<std::string> constraint_names() const override;
+  std::unique_ptr<core::PerformanceModel> clone() const override;
+  linalg::Vector evaluate(const linalg::Vector& d, const linalg::Vector& s,
+                          const linalg::Vector& theta) override;
+  linalg::Vector constraints(const linalg::Vector& d) override;
+
+  struct Measurements {
+    double a0_db = 0.0;
+    double ft_mhz = 0.0;
+    double pm_deg = 0.0;
+    double sr_v_per_us = 0.0;
+    double power_mw = 0.0;
+    bool valid = false;
+  };
+  Measurements measure(const linalg::Vector& d, const linalg::Vector& s,
+                       const linalg::Vector& theta);
+
+  static std::vector<std::string> performance_names();
+  static std::vector<std::string> statistical_names();
+  static linalg::Vector initial_design();
+
+  static core::YieldProblem make_problem();  ///< default options
+  static core::YieldProblem make_problem(Options options);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Bench;
+
+  static std::unique_ptr<Bench> build_bench(const Options& options, bool unity);
+  void apply(Bench& bench, const linalg::Vector& d, const linalg::Vector& s,
+             const linalg::Vector& theta) const;
+
+  Options options_;
+  std::unique_ptr<Bench> ac_bench_;
+  std::unique_ptr<Bench> sr_bench_;
+};
+
+}  // namespace mayo::circuits

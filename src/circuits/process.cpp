@@ -1,0 +1,31 @@
+#include "circuits/process.hpp"
+
+namespace mayo::circuits {
+
+Process default_process() {
+  Process p;
+
+  p.nmos.vth0 = 0.70;
+  p.nmos.kp = 100e-6;
+  p.nmos.lambda_l = 0.05e-6;
+  p.nmos.gamma = 0.45;
+  p.nmos.phi = 0.70;
+  p.nmos.tox = 15e-9;
+  p.nmos.cgso = 250e-12;
+  p.nmos.cgdo = 250e-12;
+  p.nmos.cj = 0.40e-3;
+  p.nmos.ldiff = 1.5e-6;
+  p.nmos.vth_tc = 2.0e-3;
+  p.nmos.mu_exp = 1.5;
+  p.nmos.tnom = 300.15;
+
+  p.pmos = p.nmos;
+  p.pmos.vth0 = 0.80;        // polarity-normalized magnitude
+  p.pmos.kp = 35e-6;
+  p.pmos.lambda_l = 0.06e-6;
+  p.pmos.gamma = 0.40;
+
+  return p;
+}
+
+}  // namespace mayo::circuits

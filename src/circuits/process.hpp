@@ -1,0 +1,47 @@
+// mayo/circuits -- generic CMOS process used by the example circuits.
+//
+// Stand-in for the paper's industrial fabrication process: a 0.8 um-class
+// 5 V CMOS with
+//   * level-1 device parameters per flavour,
+//   * global statistical parameters: threshold shifts and gain-factor
+//     scalings per flavour (the gain factors of the two flavours are
+//     correlated -- both depend on the shared oxide),
+//   * Pelgrom coefficients for local (mismatch) variation,
+//   * the operating envelope (temperature, supply).
+#pragma once
+
+#include "circuit/mos_model.hpp"
+
+namespace mayo::circuits {
+
+/// Statistical description of the process.
+struct ProcessStatistics {
+  double sigma_vth_global = 0.030;  ///< global Vth shift sigma [V], both flavours
+  double sigma_kp_global = 0.04;    ///< global gain-factor scale sigma (relative)
+  double rho_kp = 0.5;              ///< correlation of NMOS/PMOS gain factors
+  double avt_n = 20e-9;             ///< Pelgrom A_VT for NMOS [V*m] (20 mV*um)
+  double avt_p = 20e-9;             ///< Pelgrom A_VT for PMOS [V*m]
+};
+
+/// Operating envelope.
+struct OperatingEnvelope {
+  double temp_min_k = 233.15;   ///< -40 C
+  double temp_max_k = 398.15;   ///< 125 C
+  double temp_nom_k = 300.15;   ///< 27 C
+  double vdd_min = 4.5;
+  double vdd_max = 5.5;
+  double vdd_nom = 5.0;
+};
+
+/// Full process handed to the testbenches.
+struct Process {
+  circuit::MosProcess nmos;
+  circuit::MosProcess pmos;
+  ProcessStatistics statistics;
+  OperatingEnvelope envelope;
+};
+
+/// The default 0.8 um-class process of all examples and benches.
+Process default_process();
+
+}  // namespace mayo::circuits

@@ -1,0 +1,40 @@
+#include "core/corners.hpp"
+
+namespace mayo::core {
+
+using linalg::Vector;
+
+std::vector<WorstCaseCorner> extract_worst_case_corners(
+    Evaluator& evaluator, const LinearizedModels& linearized, const Vector& d,
+    const CornerOptions& options) {
+  std::vector<WorstCaseCorner> corners;
+  const auto& statistical = evaluator.problem().statistical;
+
+  for (const WorstCasePoint& wc : linearized.worst_cases) {
+    if (options.converged_only && !wc.converged) continue;
+    const double norm = wc.s_wc.norm();
+    if (norm <= 0.0) continue;  // spec insensitive to statistics
+
+    const auto emit = [&](const Vector& direction, bool mirrored) {
+      WorstCaseCorner corner;
+      corner.spec = wc.spec;
+      corner.mirrored = mirrored;
+      corner.beta_target = options.beta_target;
+      corner.s_hat = direction * (options.beta_target / norm);
+      corner.s_physical = statistical.to_physical(corner.s_hat, d);
+      if (options.evaluate_margins) {
+        corner.margin =
+            evaluator.margin(wc.spec, d, corner.s_hat,
+                             linearized.operating.theta_wc[wc.spec]);
+        corner.margin_evaluated = true;
+      }
+      corners.push_back(std::move(corner));
+    };
+
+    emit(wc.s_wc, false);
+    if (wc.mirrored) emit(-wc.s_wc, true);
+  }
+  return corners;
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,50 @@
+// mayo/core -- per-performance worst-case corner extraction.
+//
+// Industrial flows built on the paper's framework (WiCkeD, ref. [12])
+// export "realistic worst-case corners": for every specification, the
+// statistical parameter set at a prescribed distance beta_target along the
+// worst-case direction.  Unlike traditional fixed slow/fast corners these
+// are performance-specific and carry an exact probability interpretation
+// (a linearized spec at its beta=3 corner sits at the 99.87% point).
+//
+// The corner of spec i is
+//
+//     s_hat_corner = s_hat_wc * (beta_target / ||s_hat_wc||),
+//
+// converted to physical parameters with the design-dependent transform
+// s = G(d) s_hat + s0.  Mirrored (quadratic) specs get both signs.
+#pragma once
+
+#include <vector>
+
+#include "core/linearization.hpp"
+
+namespace mayo::core {
+
+struct WorstCaseCorner {
+  std::size_t spec = 0;
+  bool mirrored = false;       ///< the -s_wc corner of a quadratic spec
+  double beta_target = 3.0;
+  linalg::Vector s_hat;        ///< corner in standard-normal coordinates
+  linalg::Vector s_physical;   ///< corner in physical parameter units
+  /// True margin at the corner (at theta_wc); only filled when the
+  /// extraction is asked to spend the evaluations.
+  double margin = 0.0;
+  bool margin_evaluated = false;
+};
+
+struct CornerOptions {
+  double beta_target = 3.0;
+  /// Evaluate the true margin at every corner (one model evaluation each).
+  bool evaluate_margins = false;
+  /// Skip specs whose worst-case search did not converge.
+  bool converged_only = true;
+};
+
+/// Extracts the corners of every specification from a linearization built
+/// at design d.
+std::vector<WorstCaseCorner> extract_worst_case_corners(
+    Evaluator& evaluator, const LinearizedModels& linearized,
+    const linalg::Vector& d, const CornerOptions& options = {});
+
+}  // namespace mayo::core

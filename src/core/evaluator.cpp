@@ -1,0 +1,184 @@
+#include "core/evaluator.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mayo::core {
+
+using linalg::Matrixd;
+using linalg::Vector;
+
+namespace {
+/// FNV-1a over the raw bytes of a double sequence.
+std::uint64_t hash_doubles(std::uint64_t h, const Vector& v) {
+  for (double x : v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h;
+}
+
+std::vector<double> concat_key(const Vector& a, const Vector& b, const Vector& c) {
+  std::vector<double> key;
+  key.reserve(a.size() + b.size() + c.size());
+  key.insert(key.end(), a.begin(), a.end());
+  key.insert(key.end(), b.begin(), b.end());
+  key.insert(key.end(), c.begin(), c.end());
+  return key;
+}
+}  // namespace
+
+Evaluator::Evaluator(YieldProblem& problem) : problem_(problem) {
+  problem.validate();
+}
+
+void Evaluator::clear_cache() {
+  cache_.clear();
+  constraint_cache_.clear();
+}
+
+Vector Evaluator::evaluate_physical(const Vector& d, const Vector& s_hat,
+                                    const Vector& theta, Budget budget) {
+  if (d.size() != num_design())
+    throw std::invalid_argument("Evaluator: design vector size mismatch");
+  if (s_hat.size() != num_statistical())
+    throw std::invalid_argument("Evaluator: statistical vector size mismatch");
+  if (theta.size() != num_operating())
+    throw std::invalid_argument("Evaluator: operating vector size mismatch");
+
+  std::vector<double> key = concat_key(d, s_hat, theta);
+  const std::uint64_t h =
+      hash_doubles(hash_doubles(hash_doubles(0xcbf29ce484222325ull, d), s_hat),
+                   theta);
+  auto& bucket = cache_[h];
+  for (const auto& [stored_key, value] : bucket)
+    if (stored_key == key) {
+      ++counts_.cache_hits;
+      return value;
+    }
+
+  // Variable-covariance transform: s = G(d) s_hat + s0 (eq. 11).
+  const Vector s = problem_.statistical.to_physical(s_hat, d);
+  Vector values = problem_.model->evaluate(d, s, theta);
+  if (values.size() != num_specs())
+    throw std::runtime_error("Evaluator: model returned wrong performance count");
+  if (budget == Budget::kOptimization)
+    ++counts_.optimization;
+  else
+    ++counts_.verification;
+  bucket.emplace_back(std::move(key), values);
+  return values;
+}
+
+Vector Evaluator::performances(const Vector& d, const Vector& s_hat,
+                               const Vector& theta, Budget budget) {
+  return evaluate_physical(d, s_hat, theta, budget);
+}
+
+Vector Evaluator::margins(const Vector& d, const Vector& s_hat,
+                          const Vector& theta, Budget budget) {
+  const Vector values = evaluate_physical(d, s_hat, theta, budget);
+  Vector m(num_specs());
+  for (std::size_t i = 0; i < num_specs(); ++i)
+    m[i] = problem_.specs[i].margin(values[i]);
+  return m;
+}
+
+double Evaluator::margin(std::size_t spec, const Vector& d, const Vector& s_hat,
+                         const Vector& theta, Budget budget) {
+  if (spec >= num_specs())
+    throw std::out_of_range("Evaluator::margin: spec index out of range");
+  const Vector values = evaluate_physical(d, s_hat, theta, budget);
+  return problem_.specs[spec].margin(values[spec]);
+}
+
+Vector Evaluator::constraints(const Vector& d) {
+  if (d.size() != num_design())
+    throw std::invalid_argument("Evaluator::constraints: size mismatch");
+  std::vector<double> key(d.begin(), d.end());
+  const std::uint64_t h = hash_doubles(0xcbf29ce484222325ull, d);
+  auto& bucket = constraint_cache_[h];
+  for (const auto& [stored_key, value] : bucket)
+    if (stored_key == key) {
+      ++counts_.cache_hits;
+      return value;
+    }
+  Vector c = problem_.model->constraints(d);
+  if (c.size() != problem_.model->num_constraints())
+    throw std::runtime_error("Evaluator: model returned wrong constraint count");
+  ++counts_.constraint;
+  bucket.emplace_back(std::move(key), c);
+  return c;
+}
+
+Vector Evaluator::margin_gradient_s(std::size_t spec, const Vector& d,
+                                    const Vector& s_hat, const Vector& theta,
+                                    double step) {
+  const double base = margin(spec, d, s_hat, theta);
+  Vector grad(num_statistical());
+  Vector probe = s_hat;
+  for (std::size_t i = 0; i < num_statistical(); ++i) {
+    probe[i] = s_hat[i] + step;
+    grad[i] = (margin(spec, d, probe, theta) - base) / step;
+    probe[i] = s_hat[i];
+  }
+  return grad;
+}
+
+Matrixd Evaluator::margin_gradients_s(const Vector& d, const Vector& s_hat,
+                                      const Vector& theta, double step) {
+  const Vector base = margins(d, s_hat, theta);
+  Matrixd grads(num_specs(), num_statistical());
+  Vector probe = s_hat;
+  for (std::size_t i = 0; i < num_statistical(); ++i) {
+    probe[i] = s_hat[i] + step;
+    const Vector shifted = margins(d, probe, theta);
+    probe[i] = s_hat[i];
+    for (std::size_t k = 0; k < num_specs(); ++k)
+      grads(k, i) = (shifted[k] - base[k]) / step;
+  }
+  return grads;
+}
+
+Vector Evaluator::margin_gradient_d(std::size_t spec, const Vector& d,
+                                    const Vector& s_hat, const Vector& theta,
+                                    double step_fraction) {
+  const double base = margin(spec, d, s_hat, theta);
+  const auto& space = problem_.design;
+  Vector grad(num_design());
+  Vector probe = d;
+  for (std::size_t i = 0; i < num_design(); ++i) {
+    const double range = space.upper[i] - space.lower[i];
+    double h = step_fraction * (range > 0.0 ? range : std::abs(d[i]) + 1.0);
+    // Step inward if the nominal sits at the upper bound.
+    if (d[i] + h > space.upper[i]) h = -h;
+    probe[i] = d[i] + h;
+    grad[i] = (margin(spec, probe, s_hat, theta) - base) / h;
+    probe[i] = d[i];
+  }
+  return grad;
+}
+
+Matrixd Evaluator::constraint_jacobian(const Vector& d, double step_fraction) {
+  const Vector base = constraints(d);
+  const auto& space = problem_.design;
+  Matrixd jac(base.size(), num_design());
+  Vector probe = d;
+  for (std::size_t i = 0; i < num_design(); ++i) {
+    const double range = space.upper[i] - space.lower[i];
+    double h = step_fraction * (range > 0.0 ? range : std::abs(d[i]) + 1.0);
+    if (d[i] + h > space.upper[i]) h = -h;
+    probe[i] = d[i] + h;
+    const Vector shifted = constraints(probe);
+    probe[i] = d[i];
+    for (std::size_t k = 0; k < base.size(); ++k)
+      jac(k, i) = (shifted[k] - base[k]) / h;
+  }
+  return jac;
+}
+
+}  // namespace mayo::core

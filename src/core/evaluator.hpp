@@ -1,0 +1,126 @@
+// mayo/core -- counting, caching evaluator with the s_hat transform.
+//
+// All algorithm layers access the performance model exclusively through
+// this class.  It
+//   * applies the variable-covariance transform s = G(d) s_hat + s0 of
+//     paper eq. (11), so callers work in standard-normal s_hat coordinates
+//     and the design-dependence of C(d) is folded into the performance
+//     function f_hat (eq. 12-14),
+//   * converts performance values to specification margins,
+//   * memoizes evaluations (bitwise-identical arguments), so repeated
+//     probes of the same point -- nominal margins, worst-case starts,
+//     mismatch analysis reusing worst-case points -- cost nothing, and
+//   * counts true model evaluations, split into optimization and
+//     verification budgets (paper Table 7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::core {
+
+/// Simulation counters (one count per PerformanceModel::evaluate call).
+struct EvaluationCounts {
+  std::size_t optimization = 0;  ///< evaluations charged to the optimizer
+  std::size_t verification = 0;  ///< evaluations charged to MC verification
+  std::size_t constraint = 0;    ///< constraint evaluations c(d)
+  std::size_t cache_hits = 0;
+  std::size_t total() const { return optimization + verification + constraint; }
+};
+
+/// Budget a model evaluation is charged to.
+enum class Budget { kOptimization, kVerification };
+
+class Evaluator {
+ public:
+  /// The problem must outlive the evaluator.  Throws via validate().
+  explicit Evaluator(YieldProblem& problem);
+
+  const YieldProblem& problem() const { return problem_; }
+  std::size_t num_specs() const { return problem_.specs.size(); }
+  std::size_t num_statistical() const { return problem_.statistical.dimension(); }
+  std::size_t num_design() const { return problem_.design.dimension(); }
+  std::size_t num_operating() const { return problem_.operating.dimension(); }
+
+  /// Raw performance values f_hat(d, s_hat, theta) (eq. 14).
+  linalg::Vector performances(const linalg::Vector& d,
+                              const linalg::Vector& s_hat,
+                              const linalg::Vector& theta,
+                              Budget budget = Budget::kOptimization);
+
+  /// All specification margins at (d, s_hat, theta).
+  linalg::Vector margins(const linalg::Vector& d, const linalg::Vector& s_hat,
+                         const linalg::Vector& theta,
+                         Budget budget = Budget::kOptimization);
+
+  /// Margin of one specification.
+  double margin(std::size_t spec, const linalg::Vector& d,
+                const linalg::Vector& s_hat, const linalg::Vector& theta,
+                Budget budget = Budget::kOptimization);
+
+  /// Functional constraint values c(d) (cached like performances).
+  linalg::Vector constraints(const linalg::Vector& d);
+
+  /// Gradient of one spec's margin w.r.t. s_hat (forward differences,
+  /// reusing the base evaluation; n_s extra evaluations).
+  linalg::Vector margin_gradient_s(std::size_t spec, const linalg::Vector& d,
+                                   const linalg::Vector& s_hat,
+                                   const linalg::Vector& theta,
+                                   double step = 5e-2);
+
+  /// Gradients of ALL specs' margins w.r.t. s_hat in one pass (shares the
+  /// finite-difference evaluations across specs).  Row i = spec i.
+  linalg::Matrixd margin_gradients_s(const linalg::Vector& d,
+                                     const linalg::Vector& s_hat,
+                                     const linalg::Vector& theta,
+                                     double step = 5e-2);
+
+  /// Gradient of one spec's margin w.r.t. d.  Steps are relative to the
+  /// design-space ranges (step_fraction * (upper - lower)).
+  linalg::Vector margin_gradient_d(std::size_t spec, const linalg::Vector& d,
+                                   const linalg::Vector& s_hat,
+                                   const linalg::Vector& theta,
+                                   double step_fraction = 1e-3);
+
+  /// Jacobian of the constraints w.r.t. d (forward differences).
+  linalg::Matrixd constraint_jacobian(const linalg::Vector& d,
+                                      double step_fraction = 1e-3);
+
+  /// Zero vector in s_hat space (the nominal statistical point).
+  linalg::Vector nominal_s_hat() const {
+    return linalg::Vector(num_statistical());
+  }
+  /// Nominal operating point.
+  const linalg::Vector& nominal_theta() const {
+    return problem_.operating.nominal;
+  }
+
+  const EvaluationCounts& counts() const { return counts_; }
+  void reset_counts() { counts_ = {}; }
+  /// Adds externally performed evaluations (e.g. parallel workers) to the
+  /// verification counter so budget reports stay complete.
+  void charge_verification(std::size_t evaluations) {
+    counts_.verification += evaluations;
+  }
+  /// Drops all memoized results (use between experiments).
+  void clear_cache();
+
+ private:
+  linalg::Vector evaluate_physical(const linalg::Vector& d,
+                                   const linalg::Vector& s_hat,
+                                   const linalg::Vector& theta, Budget budget);
+
+  YieldProblem& problem_;
+  EvaluationCounts counts_;
+  std::unordered_map<std::uint64_t, std::vector<std::pair<std::vector<double>, linalg::Vector>>>
+      cache_;
+  std::unordered_map<std::uint64_t, std::vector<std::pair<std::vector<double>, linalg::Vector>>>
+      constraint_cache_;
+};
+
+}  // namespace mayo::core

@@ -1,0 +1,52 @@
+#include "core/line_search.hpp"
+
+#include <algorithm>
+
+namespace mayo::core {
+
+using linalg::Vector;
+
+namespace {
+bool all_nonnegative(const Vector& c, double tol) {
+  for (double ci : c)
+    if (ci < -tol) return false;
+  return true;
+}
+}  // namespace
+
+LineSearchResult feasibility_line_search(Evaluator& evaluator, const Vector& d_f,
+                                         const Vector& d_star,
+                                         const LineSearchOptions& options) {
+  LineSearchResult result;
+  const Vector direction = d_star - d_f;
+
+  const auto feasible_at = [&](double gamma) {
+    ++result.evaluations;
+    const Vector d = d_f + direction * gamma;
+    return all_nonnegative(evaluator.constraints(d), options.tolerance);
+  };
+
+  // Try the full step first (eq. 23 wants the largest gamma).
+  if (feasible_at(1.0)) {
+    result.gamma = 1.0;
+    result.full_step = true;
+    result.d_new = d_star;
+    return result;
+  }
+
+  // Bisection between the last known feasible and infeasible gamma.
+  double lo = 0.0;   // d_f is feasible by contract
+  double hi = 1.0;
+  while (result.evaluations < options.max_evaluations) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible_at(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  result.gamma = lo;
+  result.d_new = d_f + direction * lo;
+  return result;
+}
+
+}  // namespace mayo::core

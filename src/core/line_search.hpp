@@ -1,0 +1,34 @@
+// mayo/core -- simulation-based feasibility line search (paper eq. 23).
+//
+// The coordinate search trusts *linearized* constraints; before the result
+// becomes the next iterate, the largest gamma in [0, 1] with
+// c(d_f + gamma * (d* - d_f)) >= 0 on the TRUE constraints is determined
+// with a small number of constraint evaluations (the paper quotes ~10).
+#pragma once
+
+#include "core/evaluator.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::core {
+
+struct LineSearchOptions {
+  int max_evaluations = 10;  ///< constraint-evaluation budget
+  double tolerance = 0.0;    ///< accepted constraint violation
+};
+
+struct LineSearchResult {
+  double gamma = 0.0;        ///< accepted step fraction
+  linalg::Vector d_new;      ///< d_f + gamma * (d_star - d_f)
+  int evaluations = 0;       ///< constraint evaluations spent
+  bool full_step = false;    ///< gamma == 1 accepted immediately
+};
+
+/// Finds the largest feasible gamma by bisection.  `d_f` must be feasible;
+/// if even gamma = 0 violates the constraints the result has gamma = 0 and
+/// d_new = d_f.
+LineSearchResult feasibility_line_search(Evaluator& evaluator,
+                                         const linalg::Vector& d_f,
+                                         const linalg::Vector& d_star,
+                                         const LineSearchOptions& options = {});
+
+}  // namespace mayo::core

@@ -1,0 +1,63 @@
+#include "core/linearization.hpp"
+
+namespace mayo::core {
+
+using linalg::Vector;
+
+double SpecLinearization::value(const Vector& d, const Vector& s_hat) const {
+  return margin_wc + linalg::dot(grad_s, s_hat - s_wc) +
+         linalg::dot(grad_d, d - d_f);
+}
+
+LinearizedModels build_linearizations(Evaluator& evaluator, const Vector& d_f,
+                                      const LinearizationOptions& options) {
+  LinearizedModels out;
+  out.operating = find_worst_case_operating(evaluator, d_f, options.operating);
+
+  const std::size_t num_specs = evaluator.num_specs();
+  for (std::size_t i = 0; i < num_specs; ++i) {
+    const Vector& theta_wc = out.operating.theta_wc[i];
+
+    WorstCasePoint wc;
+    if (options.linearize_at_nominal) {
+      // Ablation: pretend the worst case sits at the nominal point.
+      wc.spec = i;
+      wc.s_wc = evaluator.nominal_s_hat();
+      wc.margin_nominal = evaluator.margin(i, d_f, wc.s_wc, theta_wc);
+      wc.margin_at_wc = wc.margin_nominal;
+      wc.gradient = evaluator.margin_gradient_s(i, d_f, wc.s_wc, theta_wc,
+                                                options.wc.gradient_step);
+      wc.beta = 0.0;
+      wc.converged = true;
+    } else {
+      wc = find_worst_case_point(evaluator, i, d_f, theta_wc, options.wc);
+    }
+
+    SpecLinearization model;
+    model.spec = i;
+    model.theta_wc = theta_wc;
+    model.s_wc = wc.s_wc;
+    model.d_f = d_f;
+    model.margin_wc = wc.margin_at_wc;
+    model.grad_s = wc.gradient;
+    model.grad_d = evaluator.margin_gradient_d(i, d_f, wc.s_wc, theta_wc,
+                                               options.design_step_fraction);
+    model.beta = wc.beta;
+    out.models.push_back(model);
+
+    if (options.enable_mirror && !options.linearize_at_nominal && wc.mirrored) {
+      // Mirrored model (eq. 21-22): expansion at -s_wc with negated
+      // statistical gradient; margin there was measured during detection.
+      SpecLinearization mirror = model;
+      mirror.is_mirror = true;
+      mirror.s_wc = -wc.s_wc;
+      mirror.margin_wc = wc.margin_at_mirror;
+      mirror.grad_s = -wc.gradient;
+      out.models.push_back(std::move(mirror));
+    }
+    out.worst_cases.push_back(std::move(wc));
+  }
+  return out;
+}
+
+}  // namespace mayo::core

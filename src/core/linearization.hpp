@@ -1,0 +1,67 @@
+// mayo/core -- spec-wise linearized performance models (paper eq. 16).
+//
+// For every specification the margin is linearized at its worst-case
+// statistical point and the current feasible design d_f:
+//
+//   m_bar_i(d, s) = m_wc_i + grad_s_i^T (s - s_wc_i) + grad_d_i^T (d - d_f)
+//
+// (the paper states the model in performance form with f_b on the left;
+// margins make both bound directions uniform, and m_wc ~ 0 when the
+// worst-case search converged).  Quadratic mismatch performances get a
+// second, mirrored model at s_wc' = -s_wc with negated statistical
+// gradient (eq. 21-22) at the cost of a single extra evaluation.
+//
+// The Table-4 ablation linearizes at the nominal point s = s0 instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/wc_distance.hpp"
+#include "core/wc_operating.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::core {
+
+/// One linear margin model (one spec, possibly a mirrored copy).
+struct SpecLinearization {
+  std::size_t spec = 0;        ///< specification index
+  bool is_mirror = false;      ///< mirrored model of a quadratic performance
+  linalg::Vector theta_wc;     ///< worst-case operating point of the spec
+  linalg::Vector s_wc;         ///< expansion point in s_hat space
+  linalg::Vector d_f;          ///< design expansion point
+  double margin_wc = 0.0;      ///< margin at (d_f, s_wc, theta_wc)
+  linalg::Vector grad_s;       ///< margin gradient w.r.t. s_hat
+  linalg::Vector grad_d;       ///< margin gradient w.r.t. d
+  double beta = 0.0;           ///< worst-case distance of the underlying point
+
+  /// Model evaluation m_bar(d, s_hat).
+  double value(const linalg::Vector& d, const linalg::Vector& s_hat) const;
+};
+
+/// Controls for building the full set of linearizations at one iterate.
+struct LinearizationOptions {
+  WcDistanceOptions wc;
+  WcOperatingOptions operating;
+  /// Table-4 ablation: expand every spec at s_hat = 0 instead of its
+  /// worst-case point (the gradient misses quadratic mismatch behaviour).
+  bool linearize_at_nominal = false;
+  /// Add mirrored models for detected quadratic performances (eq. 21-22).
+  bool enable_mirror = true;
+  double design_step_fraction = 1e-3;  ///< finite-difference step over d
+};
+
+/// Everything the yield-improvement step needs at one iterate.
+struct LinearizedModels {
+  std::vector<SpecLinearization> models;   ///< >= num_specs entries
+  std::vector<WorstCasePoint> worst_cases; ///< per spec (not per model)
+  WcOperatingResult operating;             ///< theta_wc per spec
+};
+
+/// Builds theta_wc, the worst-case points and the linear models at d_f.
+LinearizedModels build_linearizations(Evaluator& evaluator,
+                                      const linalg::Vector& d_f,
+                                      const LinearizationOptions& options = {});
+
+}  // namespace mayo::core

@@ -1,0 +1,55 @@
+#include "core/mismatch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mayo::core {
+
+double mismatch_angle_window(double angle, const MismatchOptions& options) {
+  const double deviation = std::abs(angle + std::numbers::pi / 4.0);
+  if (deviation <= options.delta1) return 1.0;
+  if (deviation >= options.delta2) return 0.0;
+  return (options.delta2 - deviation) / (options.delta2 - options.delta1);
+}
+
+double mismatch_robustness_weight(double beta) {
+  if (beta < 0.0) return 1.0 - 1.0 / (2.0 * (-beta + 1.0));
+  return 1.0 / (2.0 * (beta + 1.0));
+}
+
+double mismatch_measure(const linalg::Vector& s_wc, double beta, std::size_t k,
+                        std::size_t l, const MismatchOptions& options) {
+  const double sk = s_wc.at(k);
+  const double sl = s_wc.at(l);
+  if (sk == 0.0 || sl == 0.0) return 0.0;
+  const double s_max = s_wc.max_abs();
+  if (s_max == 0.0) return 0.0;
+  // Angle of the pair; same-sign pairs land near +pi/4 where the window is
+  // zero, mismatch-line pairs near -pi/4.
+  const double angle = std::atan(sk / sl);
+  const double window = mismatch_angle_window(angle, options);
+  if (window == 0.0) return 0.0;
+  const double magnitude = std::max(std::abs(sk), std::abs(sl)) / s_max;
+  return mismatch_robustness_weight(beta) * magnitude * window;
+}
+
+std::vector<PairMeasure> rank_mismatch_pairs(const WorstCasePoint& wc,
+                                             double threshold,
+                                             const MismatchOptions& options) {
+  std::vector<PairMeasure> out;
+  const std::size_t n = wc.s_wc.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = k + 1; l < n; ++l) {
+      const double m = mismatch_measure(wc.s_wc, wc.beta, k, l, options);
+      if (m >= threshold) out.push_back({wc.spec, k, l, m});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PairMeasure& a, const PairMeasure& b) {
+              return a.measure > b.measure;
+            });
+  return out;
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,66 @@
+// mayo/core -- mismatch analysis (paper Sec. 3).
+//
+// A matching transistor pair shows up in a worst-case point s_wc as two
+// components of (near-)equal magnitude and opposite sign: the pair sits on
+// the *mismatch line* Delta s_k = -Delta s_l.  The mismatch measure of
+// eq. (9),
+//
+//   m_kl = eta(beta_wc) * max(|s_k|,|s_l|) / s_max * Phi(arctan(s_k/s_l)),
+//
+// combines
+//   * Phi  -- an angle window selecting pairs near the mismatch-line angle
+//             -pi/4 (1 inside +-Delta1, linear decay to 0 at +-Delta2),
+//   * the magnitude term -- pairs with larger worst-case deviation matter
+//             more (normalized by the largest component, so <= 1),
+//   * eta  -- a robustness weight in (0,1): beta -> +inf gives 0 (robust
+//             specs barely care about mismatch), beta -> -inf gives 1,
+//             eta(0) = 1/2, continuously differentiable.
+//
+// Since the worst-case points are computed during yield optimization
+// anyway, the analysis costs no extra simulations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/wc_distance.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::core {
+
+/// Angle-window parameters of the Phi function (radians).
+struct MismatchOptions {
+  double delta1 = 10.0 * 3.14159265358979323846 / 180.0;  ///< full-weight half-width
+  double delta2 = 30.0 * 3.14159265358979323846 / 180.0;  ///< zero-weight half-width
+};
+
+/// Phi(angle): window around the mismatch-line angle -pi/4.
+/// 1 for |angle + pi/4| <= delta1, linear decay to 0 at delta2, 0 beyond.
+double mismatch_angle_window(double angle, const MismatchOptions& options = {});
+
+/// eta(beta): robustness weight of eq. (9).
+double mismatch_robustness_weight(double beta);
+
+/// Mismatch measure of one statistical-parameter pair (k, l) for a
+/// worst-case point s_wc with signed distance beta.  Returns 0 when either
+/// component is exactly zero.
+double mismatch_measure(const linalg::Vector& s_wc, double beta,
+                        std::size_t k, std::size_t l,
+                        const MismatchOptions& options = {});
+
+/// Measure of one pair for one specification.
+struct PairMeasure {
+  std::size_t spec = 0;  ///< specification index
+  std::size_t k = 0;     ///< first statistical parameter
+  std::size_t l = 0;     ///< second statistical parameter
+  double measure = 0.0;
+};
+
+/// All pair measures of one worst-case point, sorted descending; pairs with
+/// measure < threshold are dropped.
+std::vector<PairMeasure> rank_mismatch_pairs(const WorstCasePoint& wc,
+                                             double threshold = 1e-3,
+                                             const MismatchOptions& options = {});
+
+}  // namespace mayo::core

@@ -1,0 +1,85 @@
+// mayo/core -- the complete yield-optimization loop (paper Fig. 6).
+//
+//   1. find a feasible starting point d_f (Sec. 5.5),
+//   2. linearize the constraints at d_f (eq. 15) and the performances
+//      spec-wise at their worst-case points (eq. 16, 21-22),
+//   3. maximize the Monte-Carlo yield estimate over d by coordinate search
+//      under the linearized constraints (eq. 17-20),
+//   4. line-search on the true constraints towards the maximizer (eq. 23),
+//   5. repeat from 2 until the yield estimate stops improving.
+//
+// The ablations of the paper's Tables 3 and 4 are option switches:
+// `use_constraints = false` removes the feasibility guidance, and
+// `linearization.linearize_at_nominal = true` expands at s0 instead of the
+// worst-case points.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coordinate_search.hpp"
+#include "core/evaluator.hpp"
+#include "core/feasibility.hpp"
+#include "core/line_search.hpp"
+#include "core/linearization.hpp"
+#include "core/verification.hpp"
+#include "core/yield_model.hpp"
+
+namespace mayo::core {
+
+struct YieldOptimizerOptions {
+  int max_iterations = 3;
+  std::size_t linear_samples = 10000;  ///< N of eq. (17)
+  std::uint64_t sample_seed = 42;
+  /// Functional-constraint guidance (Table-3 ablation turns this off).
+  bool use_constraints = true;
+  /// Reject an iterate whose re-linearized yield estimate is worse than
+  /// the previous one and retry with a smaller trust region.  On by
+  /// default; the paper-ablation benches disable it to expose the raw
+  /// behaviour of a misled linear model (Tables 3/4).
+  bool monotone_safeguard = true;
+  LinearizationOptions linearization;
+  CoordinateSearchOptions search;
+  LineSearchOptions line_search;
+  FeasibleStartOptions feasible_start;
+  /// Simulation-based MC verification between iterations (paper's Y~ rows).
+  bool run_verification = true;
+  VerificationOptions verification;
+};
+
+/// Per-spec state recorded in every trace row (one paper-table column).
+struct SpecSnapshot {
+  double nominal_margin = 0.0;  ///< margin at (d, s0, theta_wc) -- the f-f_b rows
+  double bad_permille = 0.0;    ///< bad samples in the linear model [per mille]
+  double beta = 0.0;            ///< worst-case distance at this iterate
+};
+
+/// One row of the optimization trace (paper Tables 1/3/4/6).
+struct IterationRecord {
+  int iteration = 0;  ///< 0 = initial design
+  linalg::Vector d;
+  std::vector<SpecSnapshot> specs;
+  double linear_yield = 0.0;    ///< Y_bar on the linear models at d
+  double verified_yield = -1.0; ///< simulation MC (-1 if not run)
+  VerificationResult verification;  ///< full verification data (if run)
+  double gamma = 0.0;           ///< line-search step that produced this iterate
+  std::size_t moves = 0;        ///< coordinate moves accepted this iteration
+};
+
+struct YieldOptimizationResult {
+  std::vector<IterationRecord> trace;  ///< [0] = initial, then per iteration
+  linalg::Vector final_d;
+  bool feasible_start_found = false;
+  /// Linearizations (worst-case points included) built at each trace point;
+  /// index matches `trace`.  Mismatch analysis reuses these at no extra
+  /// simulation cost (paper Sec. 3.2).
+  std::vector<LinearizedModels> linearizations;
+  EvaluationCounts counts;   ///< evaluation counters at the end of the run
+  double wall_seconds = 0.0;
+};
+
+/// Runs the optimization starting at the problem's nominal design.
+YieldOptimizationResult optimize_yield(Evaluator& evaluator,
+                                       const YieldOptimizerOptions& options = {});
+
+}  // namespace mayo::core

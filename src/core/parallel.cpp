@@ -1,0 +1,114 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "stats/sampler.hpp"
+#include "stats/summary.hpp"
+
+namespace mayo::core {
+
+using linalg::Vector;
+
+namespace {
+
+/// Per-worker accumulation; merged deterministically afterwards.
+struct WorkerResult {
+  std::size_t passing = 0;
+  std::vector<std::size_t> fails_per_spec;
+  std::vector<stats::RunningStats> perf_stats;
+  std::size_t evaluations = 0;
+};
+
+}  // namespace
+
+VerificationResult parallel_monte_carlo_verify(
+    Evaluator& evaluator, const Vector& d,
+    const std::vector<Vector>& theta_wc,
+    const ParallelVerificationOptions& options) {
+  const YieldProblem& problem = evaluator.problem();
+  const std::size_t num_specs = problem.specs.size();
+  if (theta_wc.size() != num_specs)
+    throw std::invalid_argument(
+        "parallel_monte_carlo_verify: theta_wc size mismatch");
+
+  unsigned threads = options.threads;
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(std::min<std::size_t>(
+      threads, options.verification.num_samples));
+
+  // Serial fallback: single worker requested or model not clonable.
+  if (threads <= 1 || problem.model->clone() == nullptr)
+    return monte_carlo_verify(evaluator, d, theta_wc, options.verification);
+
+  const CornerGrouping grouping = group_corners(theta_wc);
+  const stats::SampleSet samples(options.verification.num_samples,
+                                 problem.statistical.dimension(),
+                                 options.verification.seed);
+
+  std::vector<WorkerResult> worker_results(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      // Thread-local copy of the problem with a cloned model.
+      YieldProblem local = problem;
+      local.model = std::shared_ptr<PerformanceModel>(problem.model->clone());
+      Evaluator local_evaluator(local);
+
+      WorkerResult& out = worker_results[t];
+      out.fails_per_spec.assign(num_specs, 0);
+      out.perf_stats.resize(num_specs);
+
+      for (std::size_t j = t; j < samples.count(); j += threads) {
+        const Vector s_hat = samples.sample_vector(j);
+        std::vector<Vector> values(grouping.distinct.size());
+        for (std::size_t g = 0; g < grouping.distinct.size(); ++g)
+          values[g] = local_evaluator.performances(
+              d, s_hat, grouping.distinct[g], Budget::kVerification);
+        bool pass = true;
+        for (std::size_t i = 0; i < num_specs; ++i) {
+          const double value = values[grouping.group_of_spec[i]][i];
+          out.perf_stats[i].add(value);
+          if (local.specs[i].margin(value) < 0.0) {
+            ++out.fails_per_spec[i];
+            pass = false;
+          }
+        }
+        out.passing += pass ? 1 : 0;
+      }
+      out.evaluations = local_evaluator.counts().verification;
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Deterministic merge (worker order is fixed).
+  VerificationResult result;
+  result.fails_per_spec.assign(num_specs, 0);
+  std::vector<stats::RunningStats> merged(num_specs);
+  std::size_t passing = 0;
+  for (const WorkerResult& wr : worker_results) {
+    passing += wr.passing;
+    result.evaluations += wr.evaluations;
+    for (std::size_t i = 0; i < num_specs; ++i) {
+      result.fails_per_spec[i] += wr.fails_per_spec[i];
+      merged[i].merge(wr.perf_stats[i]);
+    }
+  }
+  evaluator.charge_verification(result.evaluations);
+
+  result.yield = static_cast<double>(passing) / samples.count();
+  result.confidence = stats::yield_confidence(passing, samples.count());
+  result.performance_mean.resize(num_specs);
+  result.performance_stddev.resize(num_specs);
+  for (std::size_t i = 0; i < num_specs; ++i) {
+    result.performance_mean[i] = merged[i].mean();
+    result.performance_stddev[i] = merged[i].stddev();
+  }
+  return result;
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,35 @@
+// mayo/core -- parallel Monte-Carlo verification.
+//
+// The paper ran its experiments "on a network (100 Mbit/sec) of 5
+// computers in parallel" (Table 7).  The verification Monte Carlo is
+// embarrassingly parallel over samples; this module fans it out over
+// threads, each with its own deep copy of the performance model (the
+// models are stateful: netlists, Newton warm starts) and its own
+// evaluator.
+//
+// Determinism: the sample set, the per-sample pass/fail decisions and the
+// pass count are identical to the serial monte_carlo_verify (same seed,
+// same per-sample work); only floating-point accumulation order of the
+// reported moments differs.
+#pragma once
+
+#include "core/verification.hpp"
+
+namespace mayo::core {
+
+struct ParallelVerificationOptions {
+  VerificationOptions verification;
+  /// Worker count; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+/// Parallel version of monte_carlo_verify.  Requires the problem's model
+/// to support clone(); falls back to the serial path (using `evaluator`)
+/// when it does not.  Evaluation counts from the workers are added to
+/// `evaluator`'s verification counter so budget reporting stays correct.
+VerificationResult parallel_monte_carlo_verify(
+    Evaluator& evaluator, const linalg::Vector& d,
+    const std::vector<linalg::Vector>& theta_wc,
+    const ParallelVerificationOptions& options = {});
+
+}  // namespace mayo::core

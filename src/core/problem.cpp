@@ -1,0 +1,67 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mayo::core {
+
+void ParameterSpace::validate() const {
+  const std::size_t n = names.size();
+  if (lower.size() != n || upper.size() != n || nominal.size() != n)
+    throw std::invalid_argument("ParameterSpace: inconsistent sizes");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(lower[i] <= upper[i]))
+      throw std::invalid_argument("ParameterSpace: inverted bounds for '" +
+                                  names[i] + "'");
+    if (nominal[i] < lower[i] || nominal[i] > upper[i])
+      throw std::invalid_argument("ParameterSpace: nominal outside bounds for '" +
+                                  names[i] + "'");
+  }
+}
+
+linalg::Vector ParameterSpace::clamp(linalg::Vector x) const {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  return x;
+}
+
+bool ParameterSpace::contains(const linalg::Vector& x, double tol) const {
+  if (x.size() != dimension()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double slack = tol * (upper[i] - lower[i]);
+    if (x[i] < lower[i] - slack || x[i] > upper[i] + slack) return false;
+  }
+  return true;
+}
+
+std::size_t ParameterSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return i;
+  throw std::out_of_range("ParameterSpace: no parameter named '" + name + "'");
+}
+
+std::vector<std::string> PerformanceModel::constraint_names() const {
+  std::vector<std::string> names;
+  names.reserve(num_constraints());
+  for (std::size_t i = 0; i < num_constraints(); ++i)
+    names.push_back("c" + std::to_string(i));
+  return names;
+}
+
+void YieldProblem::validate() const {
+  if (!model) throw std::invalid_argument("YieldProblem: model not set");
+  if (specs.empty()) throw std::invalid_argument("YieldProblem: no specifications");
+  if (model->num_performances() != specs.size())
+    throw std::invalid_argument(
+        "YieldProblem: model performance count does not match specs");
+  design.validate();
+  operating.validate();
+  if (statistical.dimension() == 0)
+    throw std::invalid_argument("YieldProblem: no statistical parameters");
+  for (const auto& spec : specs)
+    if (!(spec.scale > 0.0))
+      throw std::invalid_argument("YieldProblem: spec '" + spec.name +
+                                  "' needs a positive scale");
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,122 @@
+// mayo/core -- yield-problem definition (paper Sec. 2).
+//
+// A yield-optimization problem bundles:
+//   * a performance model f(d, s, theta) -- in this library usually a
+//     circuit testbench wrapping the simulator, but any black box works
+//     (the tests use analytic models),
+//   * specifications f_i >= f_b_i or f_i <= f_b_i,
+//   * the design space (box bounds + initial sizing),
+//   * the operating space Theta (paper eq. 1),
+//   * the statistical parameter model s ~ N(s0, C(d)) including
+//     design-dependent local variations (paper Sec. 4),
+//   * functional constraints c(d) >= 0 defining the feasibility region F
+//     (paper Sec. 5.1).
+//
+// Sign convention used throughout the optimizer: every specification is
+// reduced to a *margin* m_i = +/-(f_i - f_b_i) that must be >= 0.  All
+// linearizations, worst-case distances and yield estimates operate on
+// margins, which makes lower and upper bounds uniform.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "stats/covariance.hpp"
+
+namespace mayo::core {
+
+/// Direction of a specification bound.
+enum class SpecKind {
+  kLowerBound,  ///< f >= bound (e.g. phase margin >= 60 deg)
+  kUpperBound,  ///< f <= bound (e.g. power <= 3.5 mW)
+};
+
+/// One performance specification f_i >= / <= f_b_i.
+struct Specification {
+  std::string name;   ///< performance name, e.g. "CMRR"
+  SpecKind kind = SpecKind::kLowerBound;
+  double bound = 0.0; ///< f_b_i in the unit of the performance
+  std::string unit;   ///< for reports, e.g. "dB"
+  /// Scale used to judge convergence of worst-case searches (typical
+  /// magnitude of meaningful performance differences).
+  double scale = 1.0;
+
+  /// Margin m(f): positive iff the specification is satisfied.
+  double margin(double value) const {
+    return kind == SpecKind::kLowerBound ? value - bound : bound - value;
+  }
+  /// Maps a margin back to the performance value.
+  double value_from_margin(double margin_value) const {
+    return kind == SpecKind::kLowerBound ? bound + margin_value
+                                         : bound - margin_value;
+  }
+};
+
+/// Box-bounded parameter space with names.
+struct ParameterSpace {
+  std::vector<std::string> names;
+  linalg::Vector lower;
+  linalg::Vector upper;
+  linalg::Vector nominal;  ///< initial design / nominal operating point
+
+  std::size_t dimension() const { return names.size(); }
+  /// Throws std::invalid_argument if sizes disagree or bounds are inverted.
+  void validate() const;
+  /// Clamps a point into the box.
+  linalg::Vector clamp(linalg::Vector x) const;
+  /// True if x lies inside the box (within tol * range per coordinate).
+  bool contains(const linalg::Vector& x, double tol = 0.0) const;
+  /// Index of a named parameter; throws std::out_of_range if absent.
+  std::size_t index_of(const std::string& name) const;
+};
+
+/// Black-box performance model: all performances from one evaluation.
+///
+/// `evaluate` receives *physical* statistical parameters s (the core layer
+/// performs the s = G(d) s_hat + s0 transform) and returns the vector of
+/// performance values in specification order.  One call is counted as one
+/// "simulation" (performances sharing an analysis come for free, as in the
+/// paper's N* discussion).
+class PerformanceModel {
+ public:
+  virtual ~PerformanceModel() = default;
+
+  /// Number of performances returned by evaluate().
+  virtual std::size_t num_performances() const = 0;
+  /// Number of functional constraints returned by constraints().
+  virtual std::size_t num_constraints() const = 0;
+  /// Names of the functional constraints (for reports).
+  virtual std::vector<std::string> constraint_names() const;
+
+  /// Evaluates all performances at design d, physical statistical
+  /// parameters s and operating point theta.
+  virtual linalg::Vector evaluate(const linalg::Vector& d,
+                                  const linalg::Vector& s,
+                                  const linalg::Vector& theta) = 0;
+
+  /// Evaluates the functional constraints c(d) >= 0 at nominal statistics
+  /// and nominal operating conditions (technology sizing rules, Sec. 5.1).
+  virtual linalg::Vector constraints(const linalg::Vector& d) = 0;
+
+  /// Deep copy for thread isolation (models are stateful: netlists, warm
+  /// starts).  Returning nullptr (the default) opts out of parallel
+  /// execution; such models are evaluated serially.
+  virtual std::unique_ptr<PerformanceModel> clone() const { return nullptr; }
+};
+
+/// The complete problem instance handed to the optimizer.
+struct YieldProblem {
+  std::shared_ptr<PerformanceModel> model;
+  std::vector<Specification> specs;
+  ParameterSpace design;
+  ParameterSpace operating;
+  stats::CovarianceModel statistical;
+
+  std::size_t num_specs() const { return specs.size(); }
+  /// Throws std::invalid_argument if the pieces are inconsistent.
+  void validate() const;
+};
+
+}  // namespace mayo::core

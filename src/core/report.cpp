@@ -1,0 +1,65 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mayo::core {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  if (header.empty()) throw std::invalid_argument("TextTable: empty header");
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != rows_.front().size())
+    throw std::invalid_argument("TextTable: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  const std::size_t cols = rows_.front().size();
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < cols; ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c > 0) os << "  ";
+      os << rows_[r][c];
+      os << std::string(widths[c] - rows_[r][c].size(), ' ');
+    }
+    os << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < cols; ++c) total += widths[c] + (c > 0 ? 2 : 0);
+      os << std::string(total, '-') << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt(100.0 * fraction, precision) + "%";
+}
+
+std::string fmt_permille(double permille, int precision) {
+  return fmt(permille, precision);
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,38 @@
+// mayo/core -- plain-text table formatting for the benchmark harness.
+//
+// The bench binaries print paper-style tables (specification rows,
+// optimization traces, paper-vs-measured comparisons); this keeps the
+// column bookkeeping in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mayo::core {
+
+/// Fixed-width text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column-width alignment and a separator under the header.
+  std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] = header
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt(double value, int precision = 2);
+/// Formats a yield as a percentage string, e.g. "99.9%".
+std::string fmt_percent(double fraction, int precision = 1);
+/// Formats a per-mille value, e.g. "980.4".
+std::string fmt_permille(double permille, int precision = 1);
+
+}  // namespace mayo::core

@@ -1,0 +1,62 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mayo::core {
+
+using linalg::Matrixd;
+using linalg::Vector;
+
+namespace {
+std::vector<std::size_t> top_indices(const Matrixd& matrix, std::size_t row,
+                                     std::size_t count) {
+  std::vector<std::size_t> indices(matrix.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(matrix(row, a)) > std::abs(matrix(row, b));
+  });
+  indices.resize(std::min(count, indices.size()));
+  return indices;
+}
+}  // namespace
+
+std::vector<std::size_t> SensitivityReport::top_design_parameters(
+    std::size_t spec, std::size_t count) const {
+  return top_indices(design, spec, count);
+}
+
+std::vector<std::size_t> SensitivityReport::top_statistical_parameters(
+    std::size_t spec, std::size_t count) const {
+  return top_indices(statistical, spec, count);
+}
+
+SensitivityReport analyze_sensitivities(Evaluator& evaluator,
+                                        const Vector& d) {
+  const auto& problem = evaluator.problem();
+  const std::size_t num_specs = evaluator.num_specs();
+  const std::size_t num_design = evaluator.num_design();
+  const std::size_t num_stat = evaluator.num_statistical();
+
+  SensitivityReport report;
+  report.operating = find_worst_case_operating(evaluator, d);
+  report.design = Matrixd(num_specs, num_design);
+  report.statistical = Matrixd(num_specs, num_stat);
+
+  const Vector s0 = evaluator.nominal_s_hat();
+  for (std::size_t i = 0; i < num_specs; ++i) {
+    const Vector& theta = report.operating.theta_wc[i];
+    const double scale = problem.specs[i].scale;
+    const Vector grad_d = evaluator.margin_gradient_d(i, d, s0, theta);
+    for (std::size_t j = 0; j < num_design; ++j) {
+      const double range = problem.design.upper[j] - problem.design.lower[j];
+      report.design(i, j) = grad_d[j] * range / scale;
+    }
+    const Vector grad_s = evaluator.margin_gradient_s(i, d, s0, theta);
+    for (std::size_t j = 0; j < num_stat; ++j)
+      report.statistical(i, j) = grad_s[j] / scale;
+  }
+  return report;
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,43 @@
+// mayo/core -- normalized sensitivity analysis.
+//
+// The designer-facing companion of the worst-case machinery: how much does
+// each specification margin move per design parameter (over its box range)
+// and per statistical parameter (per sigma)?  Everything is normalized by
+// the specification scale so rows are comparable:
+//
+//     S_d[i][j] = dm_i/dd_j * (d_upper_j - d_lower_j) / scale_i
+//     S_s[i][j] = dm_i/ds_hat_j / scale_i          (s_hat is per-sigma)
+//
+// Evaluated at the nominal statistical point and each spec's worst-case
+// operating corner, so the numbers describe the margins that actually bind.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/wc_operating.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mayo::core {
+
+struct SensitivityReport {
+  linalg::Matrixd design;       ///< specs x design parameters (normalized)
+  linalg::Matrixd statistical;  ///< specs x statistical parameters (per sigma)
+  WcOperatingResult operating;  ///< the corners the rows were evaluated at
+
+  /// Indices of the `count` largest |entries| of one spec's design row,
+  /// descending.
+  std::vector<std::size_t> top_design_parameters(std::size_t spec,
+                                                 std::size_t count = 3) const;
+  /// Same for the statistical row.
+  std::vector<std::size_t> top_statistical_parameters(
+      std::size_t spec, std::size_t count = 3) const;
+};
+
+/// Builds the report at design d (finite differences; ~(n_d + n_s + 1) *
+/// n_corners evaluations).
+SensitivityReport analyze_sensitivities(Evaluator& evaluator,
+                                        const linalg::Vector& d);
+
+}  // namespace mayo::core

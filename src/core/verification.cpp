@@ -1,0 +1,82 @@
+#include "core/verification.hpp"
+
+#include <stdexcept>
+
+#include "stats/sampler.hpp"
+
+namespace mayo::core {
+
+using linalg::Vector;
+
+CornerGrouping group_corners(const std::vector<Vector>& theta_wc) {
+  CornerGrouping grouping;
+  grouping.group_of_spec.resize(theta_wc.size());
+  for (std::size_t i = 0; i < theta_wc.size(); ++i) {
+    bool found = false;
+    for (std::size_t g = 0; g < grouping.distinct.size(); ++g) {
+      if (grouping.distinct[g] == theta_wc[i]) {
+        grouping.group_of_spec[i] = g;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      grouping.group_of_spec[i] = grouping.distinct.size();
+      grouping.distinct.push_back(theta_wc[i]);
+    }
+  }
+  return grouping;
+}
+
+VerificationResult monte_carlo_verify(Evaluator& evaluator, const Vector& d,
+                                      const std::vector<Vector>& theta_wc,
+                                      const VerificationOptions& options) {
+  const std::size_t num_specs = evaluator.num_specs();
+  if (theta_wc.size() != num_specs)
+    throw std::invalid_argument("monte_carlo_verify: theta_wc size mismatch");
+
+  const CornerGrouping grouping = group_corners(theta_wc);
+  const std::vector<Vector>& distinct_theta = grouping.distinct;
+  const std::vector<std::size_t>& group_of_spec = grouping.group_of_spec;
+
+  const stats::SampleSet samples(options.num_samples,
+                                 evaluator.num_statistical(), options.seed);
+
+  VerificationResult result;
+  result.fails_per_spec.assign(num_specs, 0);
+  std::vector<stats::RunningStats> perf_stats(num_specs);
+  const std::size_t evals_before = evaluator.counts().verification;
+
+  std::size_t passing = 0;
+  for (std::size_t j = 0; j < samples.count(); ++j) {
+    const Vector s_hat = samples.sample_vector(j);
+    // One evaluation per distinct operating corner (eq. 6-7).
+    std::vector<Vector> values(distinct_theta.size());
+    for (std::size_t g = 0; g < distinct_theta.size(); ++g)
+      values[g] = evaluator.performances(d, s_hat, distinct_theta[g],
+                                         Budget::kVerification);
+    bool pass = true;
+    for (std::size_t i = 0; i < num_specs; ++i) {
+      const double value = values[group_of_spec[i]][i];
+      perf_stats[i].add(value);
+      if (evaluator.problem().specs[i].margin(value) < 0.0) {
+        ++result.fails_per_spec[i];
+        pass = false;
+      }
+    }
+    passing += pass ? 1 : 0;
+  }
+
+  result.yield = static_cast<double>(passing) / samples.count();
+  result.confidence = stats::yield_confidence(passing, samples.count());
+  result.performance_mean.resize(num_specs);
+  result.performance_stddev.resize(num_specs);
+  for (std::size_t i = 0; i < num_specs; ++i) {
+    result.performance_mean[i] = perf_stats[i].mean();
+    result.performance_stddev[i] = perf_stats[i].stddev();
+  }
+  result.evaluations = evaluator.counts().verification - evals_before;
+  return result;
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,50 @@
+// mayo/core -- simulation-based Monte-Carlo yield verification
+// (paper eq. 6-7).
+//
+// The true parametric operational yield estimate: N standard-normal
+// samples, each evaluated with real model evaluations at the respective
+// worst-case operating point of every specification.  Evaluations are
+// shared between specifications with the same theta_wc, which implements
+// the paper's N* <= N * min(n_spec, 2^dim(Theta)) bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "stats/summary.hpp"
+
+namespace mayo::core {
+
+struct VerificationOptions {
+  std::size_t num_samples = 300;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+struct VerificationResult {
+  double yield = 0.0;                     ///< fraction of passing samples
+  stats::YieldInterval confidence{};      ///< Wilson 95% interval
+  std::vector<std::size_t> fails_per_spec;///< samples failing each spec
+  /// Per-spec sample mean of the performance value (at theta_wc of the spec).
+  std::vector<double> performance_mean;
+  /// Per-spec sample standard deviation of the performance value.
+  std::vector<double> performance_stddev;
+  std::size_t evaluations = 0;            ///< model evaluations spent
+};
+
+/// Groups specifications by identical worst-case operating point so one
+/// evaluation serves all specs of a group (the paper's N* discussion).
+struct CornerGrouping {
+  std::vector<linalg::Vector> distinct;     ///< unique operating points
+  std::vector<std::size_t> group_of_spec;   ///< spec -> index into distinct
+};
+CornerGrouping group_corners(const std::vector<linalg::Vector>& theta_wc);
+
+/// Runs the verification at design d with the given per-spec worst-case
+/// operating points (index = spec).
+VerificationResult monte_carlo_verify(
+    Evaluator& evaluator, const linalg::Vector& d,
+    const std::vector<linalg::Vector>& theta_wc,
+    const VerificationOptions& options = {});
+
+}  // namespace mayo::core

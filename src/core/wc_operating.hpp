@@ -1,0 +1,40 @@
+// mayo/core -- worst-case operating points (paper eq. 2).
+//
+// For each specification, the operating point theta_wc in the box Theta
+// that minimizes the margin is determined.  Circuit performances are
+// monotonic in temperature and supply to very good approximation, so the
+// minimizer sits at a vertex of Theta; we enumerate the 2^dim vertices
+// (plus the nominal point) and optionally refine coordinate-wise for the
+// rare non-monotonic case.  The evaluations are shared across all
+// specifications: one corner = one simulation for every performance.
+#pragma once
+
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::core {
+
+/// Controls for the corner search.
+struct WcOperatingOptions {
+  /// Also scan, for each corner winner, a 3-point coordinate refinement
+  /// (lower/mid/upper per operating parameter).  Off by default; corner
+  /// enumeration is exact for monotonic behaviour.
+  bool coordinate_refinement = false;
+};
+
+/// Result for all specifications.
+struct WcOperatingResult {
+  /// theta_wc per specification (index = spec index).
+  std::vector<linalg::Vector> theta_wc;
+  /// Margin of each spec at its worst-case operating point (at s_hat = 0).
+  std::vector<double> worst_margin;
+};
+
+/// Finds theta_wc for every specification at design d, nominal statistics.
+WcOperatingResult find_worst_case_operating(
+    Evaluator& evaluator, const linalg::Vector& d,
+    const WcOperatingOptions& options = {});
+
+}  // namespace mayo::core

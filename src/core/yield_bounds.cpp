@@ -1,0 +1,33 @@
+#include "core/yield_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/baseline.hpp"
+#include "stats/normal.hpp"
+
+namespace mayo::core {
+
+YieldBounds analytic_yield_bounds(const std::vector<SpecLinearization>& models,
+                                  const linalg::Vector& d) {
+  YieldBounds bounds;
+  double miss_sum = 0.0;
+  double product = 1.0;
+  double weakest = 1.0;
+  for (const SpecLinearization& model : models) {
+    const double beta = linearized_beta(model, d);
+    const double y = std::isinf(beta)
+                         ? (beta > 0.0 ? 1.0 : 0.0)
+                         : stats::yield_from_beta(beta);
+    bounds.per_spec.push_back(y);
+    miss_sum += 1.0 - y;
+    product *= y;
+    weakest = std::min(weakest, y);
+  }
+  bounds.lower = std::max(0.0, 1.0 - miss_sum);
+  bounds.independent = product;
+  bounds.upper = weakest;
+  return bounds;
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,34 @@
+// mayo/core -- analytic yield bounds from worst-case distances.
+//
+// For linearized specifications the per-spec yield is Phi(beta_i); the
+// joint yield then admits cheap analytic bounds that bracket the sampled
+// Monte-Carlo estimate:
+//
+//   Bonferroni lower bound:  Y >= 1 - sum_i (1 - Phi(beta_i))
+//   independence estimate:   Y ~  prod_i Phi(beta_i)
+//   weakest-link upper bound: Y <= min_i Phi(beta_i)
+//
+// These are the classic companions of worst-case-distance analysis
+// (paper ref. [10]) and make good sanity checks on the sampled estimator:
+// lower bound <= Y_bar <= upper bound must hold up to sampling noise.
+#pragma once
+
+#include <vector>
+
+#include "core/linearization.hpp"
+
+namespace mayo::core {
+
+struct YieldBounds {
+  double lower = 0.0;         ///< Bonferroni (clamped at 0)
+  double independent = 0.0;   ///< product of per-spec yields
+  double upper = 1.0;         ///< weakest link
+  std::vector<double> per_spec;  ///< Phi(beta_l) per linear model
+};
+
+/// Bounds from the linearized models at design d (uses the linearized
+/// beta of core/baseline.hpp for every model, mirrors included).
+YieldBounds analytic_yield_bounds(const std::vector<SpecLinearization>& models,
+                                  const linalg::Vector& d);
+
+}  // namespace mayo::core

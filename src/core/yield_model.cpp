@@ -1,0 +1,191 @@
+#include "core/yield_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mayo::core {
+
+using linalg::Vector;
+
+LinearYieldModel::LinearYieldModel(std::vector<SpecLinearization> models,
+                                   const stats::SampleSet& samples)
+    : models_(std::move(models)),
+      samples_(samples),
+      base_(models_.size(), samples.count()),
+      offsets_(models_.size()) {
+  if (models_.empty())
+    throw std::invalid_argument("LinearYieldModel: no models");
+  for (const auto& model : models_) {
+    if (model.grad_s.size() != samples.dim())
+      throw std::invalid_argument(
+          "LinearYieldModel: statistical dimension mismatch");
+    if (model.d_f != models_.front().d_f)
+      throw std::invalid_argument(
+          "LinearYieldModel: models must share the expansion point d_f");
+  }
+  // base[l][j] = m_wc + grad_s^T (s_j - s_wc)
+  for (std::size_t l = 0; l < models_.size(); ++l) {
+    const auto& model = models_[l];
+    const double shift = model.margin_wc - linalg::dot(model.grad_s, model.s_wc);
+    for (std::size_t j = 0; j < samples.count(); ++j)
+      base_(l, j) = shift + samples.dot(j, model.grad_s);
+  }
+  set_design(models_.front().d_f);
+}
+
+void LinearYieldModel::set_design(const Vector& d) {
+  d_ = d;
+  for (std::size_t l = 0; l < models_.size(); ++l)
+    offsets_[l] = linalg::dot(models_[l].grad_d, d - models_[l].d_f);
+}
+
+void LinearYieldModel::apply_coordinate(std::size_t k, double alpha) {
+  d_[k] += alpha;
+  // eq. (20): only one component of the inner product changes.
+  for (std::size_t l = 0; l < models_.size(); ++l)
+    offsets_[l] += models_[l].grad_d[k] * alpha;
+}
+
+std::size_t LinearYieldModel::passing() const {
+  std::size_t count = 0;
+  const std::size_t n = num_samples();
+  for (std::size_t j = 0; j < n; ++j) {
+    bool pass = true;
+    for (std::size_t l = 0; l < models_.size(); ++l) {
+      if (base_(l, j) + offsets_[l] < 0.0) {
+        pass = false;
+        break;
+      }
+    }
+    count += pass ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<std::size_t> LinearYieldModel::bad_samples_per_spec(
+    std::size_t num_specs) const {
+  std::vector<std::size_t> bad(num_specs, 0);
+  const std::size_t n = num_samples();
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t spec = 0; spec < num_specs; ++spec) {
+      for (std::size_t l = 0; l < models_.size(); ++l) {
+        if (models_[l].spec != spec) continue;
+        if (base_(l, j) + offsets_[l] < 0.0) {
+          ++bad[spec];
+          break;
+        }
+      }
+    }
+  }
+  return bad;
+}
+
+LinearYieldModel::AlphaScan LinearYieldModel::best_alpha(std::size_t k,
+                                                         double alpha_lo,
+                                                         double alpha_hi) const {
+  if (!(alpha_lo <= alpha_hi))
+    throw std::invalid_argument("best_alpha: empty alpha interval");
+  const std::size_t n = num_samples();
+
+  // Interval endpoints: +1 when a sample's feasible interval opens, -1 when
+  // it closes.  Intervals are closed; starts sort before ends at ties.
+  struct Event {
+    double alpha;
+    int delta;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    double lo = alpha_lo;
+    double hi = alpha_hi;
+    bool empty = false;
+    for (std::size_t l = 0; l < models_.size(); ++l) {
+      const double margin = base_(l, j) + offsets_[l];
+      const double slope = models_[l].grad_d[k];
+      if (std::abs(slope) < 1e-30) {
+        if (margin < 0.0) {
+          empty = true;
+          break;
+        }
+        continue;
+      }
+      const double boundary = -margin / slope;
+      if (slope > 0.0)
+        lo = std::max(lo, boundary);
+      else
+        hi = std::min(hi, boundary);
+      if (lo > hi) {
+        empty = true;
+        break;
+      }
+    }
+    if (!empty) {
+      events.push_back({lo, +1});
+      events.push_back({hi, -1});
+    }
+  }
+
+  AlphaScan best;
+  best.alpha = 0.0;
+  best.passing = 0;
+  best.plateau_lo = best.plateau_hi = 0.0;
+  if (events.empty()) return best;
+
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.alpha != b.alpha) return a.alpha < b.alpha;
+    return a.delta > b.delta;  // open before close at the same alpha
+  });
+
+  // Pass 1: maximum coverage.
+  long current = 0;
+  long best_count = 0;
+  for (const Event& event : events) {
+    current += event.delta;
+    best_count = std::max(best_count, current);
+  }
+  if (best_count <= 0) return best;
+  best.passing = static_cast<std::size_t>(best_count);
+
+  // Pass 2: among all plateaus achieving the maximum, keep the one closest
+  // to alpha = 0 -- the linearization is only trusted near the expansion
+  // point, so equal-yield moves should be as small as possible.
+  current = 0;
+  double chosen_lo = 0.0;
+  double chosen_hi = 0.0;
+  double chosen_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    current += events[i].delta;
+    if (current != best_count) continue;
+    const double lo = events[i].alpha;
+    const double hi = (i + 1 < events.size()) ? events[i + 1].alpha : lo;
+    double distance = 0.0;
+    if (lo > 0.0)
+      distance = lo;
+    else if (hi < 0.0)
+      distance = -hi;
+    if (distance < chosen_distance) {
+      chosen_distance = distance;
+      chosen_lo = lo;
+      chosen_hi = std::max(lo, hi);
+    }
+  }
+  best.plateau_lo = chosen_lo;
+  best.plateau_hi = chosen_hi;
+  // Enter the plateau from the zero-nearest edge with a 10% inset so the
+  // chosen alpha does not sit exactly on a sample's pass/fail boundary.
+  const double width = chosen_hi - chosen_lo;
+  double alpha;
+  if (chosen_lo <= 0.0 && chosen_hi >= 0.0)
+    alpha = 0.0;
+  else if (chosen_lo > 0.0)
+    alpha = chosen_lo + 0.1 * width;
+  else
+    alpha = chosen_hi - 0.1 * width;
+  best.alpha = std::clamp(alpha, alpha_lo, alpha_hi);
+  return best;
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,88 @@
+#include "linalg/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace mayo::linalg {
+
+Qr::Qr(Matrixd a) : qr_(std::move(a)), betas_(qr_.cols()), rdiag_(qr_.cols()) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (m < n) throw std::invalid_argument("Qr: requires rows >= cols");
+  // Rank-deficiency threshold relative to the largest column norm.
+  double scale = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    double norm2 = 0.0;
+    for (std::size_t r = 0; r < m; ++r) norm2 += qr_(r, c) * qr_(r, c);
+    scale = std::max(scale, std::sqrt(norm2));
+  }
+  const double tol = 1e-12 * scale;
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm2 += qr_(i, k) * qr_(i, k);
+    const double norm = std::sqrt(norm2);
+    if (norm <= tol) throw SingularMatrixError(k);
+    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+    qr_(k, k) -= alpha;  // v head; tail already in place below the diagonal.
+    rdiag_[k] = alpha;
+    double vtv = 0.0;
+    for (std::size_t i = k; i < m; ++i) vtv += qr_(i, k) * qr_(i, k);
+    betas_[k] = vtv > 0.0 ? 2.0 / vtv : 0.0;
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += qr_(i, k) * qr_(i, c);
+      const double s = betas_[k] * dot;
+      for (std::size_t i = k; i < m; ++i) qr_(i, c) -= s * qr_(i, k);
+    }
+  }
+}
+
+Vector Qr::apply_qt(Vector b) const {
+  const std::size_t m = rows();
+  const std::size_t n = cols();
+  if (b.size() != m) throw std::invalid_argument("Qr::apply_qt: size mismatch");
+  for (std::size_t k = 0; k < n; ++k) {
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += qr_(i, k) * b[i];
+    const double s = betas_[k] * dot;
+    for (std::size_t i = k; i < m; ++i) b[i] -= s * qr_(i, k);
+  }
+  return b;
+}
+
+Vector Qr::solve(const Vector& b) const {
+  const std::size_t n = cols();
+  Vector y = apply_qt(b);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= qr_(ii, j) * x[j];
+    const double d = rdiag_[ii];
+    if (d == 0.0) throw SingularMatrixError(ii);
+    x[ii] = acc / d;
+  }
+  return x;
+}
+
+Matrixd Qr::r() const {
+  const std::size_t n = cols();
+  Matrixd out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out(i, i) = rdiag_[i];
+    for (std::size_t j = i + 1; j < n; ++j) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+Vector min_norm_on_hyperplane(const Vector& g, double rhs) {
+  const double g2 = g.norm2();
+  if (g2 == 0.0)
+    throw std::domain_error("min_norm_on_hyperplane: zero gradient");
+  return g * (rhs / g2);
+}
+
+Vector lstsq(const Matrixd& a, const Vector& b) { return Qr(a).solve(b); }
+
+}  // namespace mayo::linalg

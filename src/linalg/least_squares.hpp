@@ -1,0 +1,47 @@
+// mayo/linalg -- Householder QR and least-squares solves.
+//
+// Used by the core library for the minimum-norm updates of the worst-case
+// distance iteration and for fitting linearized performance models from
+// finite-difference samples.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::linalg {
+
+/// Householder QR factorization of an m x n matrix with m >= n.
+class Qr {
+ public:
+  /// Factorizes `a` (m >= n required). Throws std::invalid_argument on
+  /// shape violations and SingularMatrixError on rank deficiency.
+  explicit Qr(Matrixd a);
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Least-squares solution of min ||A x - b||_2.
+  Vector solve(const Vector& b) const;
+
+  /// Applies Q^T to a vector of length m.
+  Vector apply_qt(Vector b) const;
+
+  /// Upper-triangular factor R (n x n).
+  Matrixd r() const;
+
+ private:
+  Matrixd qr_;      // Householder vectors at/below the diagonal, R above.
+  Vector betas_;    // Householder scaling coefficients (2 / v^T v).
+  Vector rdiag_;    // Diagonal of R (the slot in qr_ holds the vector head).
+};
+
+/// min ||x||_2 subject to a single linear equation g^T x = rhs.
+/// Returns g * rhs / (g^T g). Throws std::domain_error if g == 0.
+Vector min_norm_on_hyperplane(const Vector& g, double rhs);
+
+/// Least-squares solve of A x = b via QR (convenience wrapper).
+Vector lstsq(const Matrixd& a, const Vector& b);
+
+}  // namespace mayo::linalg

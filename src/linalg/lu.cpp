@@ -1,0 +1,30 @@
+#include "linalg/lu.hpp"
+
+namespace mayo::linalg {
+
+Vector solve(const Matrixd& a, const Vector& b) {
+  Lud lu(a);
+  std::vector<double> rhs(b.begin(), b.end());
+  return Vector(lu.solve(rhs));
+}
+
+VectorC solve(const Matrixc& a, const VectorC& b) {
+  Luc lu(a);
+  return lu.solve(b);
+}
+
+Matrixd inverse(const Matrixd& a) {
+  const std::size_t n = a.rows();
+  Lud lu(a);
+  Matrixd inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    const std::vector<double> col = lu.solve(e);
+    e[c] = 0.0;
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace mayo::linalg

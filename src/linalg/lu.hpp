@@ -1,0 +1,120 @@
+// mayo/linalg -- LU decomposition with partial pivoting.
+//
+// Used by the circuit simulator for the (real) DC Newton systems and the
+// (complex) AC small-signal systems.  The factorization is stored in-place;
+// `solve` reuses it for multiple right-hand sides, which the AC sweep and
+// finite-difference code paths exploit.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::linalg {
+
+/// Thrown when a factorization encounters a (numerically) singular matrix.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(std::size_t pivot_index)
+      : std::runtime_error("singular matrix: zero pivot at index " +
+                           std::to_string(pivot_index)),
+        pivot_index_(pivot_index) {}
+  std::size_t pivot_index() const { return pivot_index_; }
+
+ private:
+  std::size_t pivot_index_;
+};
+
+/// LU factorization with partial (row) pivoting of a square matrix.
+template <typename T>
+class Lu {
+ public:
+  /// Factorizes `a`; throws SingularMatrixError if a pivot is exactly zero
+  /// or below `pivot_tolerance` relative to the largest entry.
+  explicit Lu(Matrix<T> a, double pivot_tolerance = 0.0)
+      : lu_(std::move(a)), perm_(lu_.rows()) {
+    if (lu_.rows() != lu_.cols())
+      throw std::invalid_argument("Lu: matrix must be square");
+    const std::size_t n = lu_.rows();
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+    const double scale = lu_.max_abs();
+    const double tol = pivot_tolerance * scale;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Find pivot row.
+      std::size_t piv = k;
+      double best = std::abs(lu_(k, k));
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const double mag = std::abs(lu_(r, k));
+        if (mag > best) {
+          best = mag;
+          piv = r;
+        }
+      }
+      if (best == 0.0 || best <= tol) throw SingularMatrixError(k);
+      if (piv != k) {
+        for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
+        std::swap(perm_[k], perm_[piv]);
+        sign_ = -sign_;
+      }
+      const T pivot = lu_(k, k);
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const T factor = lu_(r, k) / pivot;
+        lu_(r, k) = factor;
+        if (factor == T{}) continue;
+        for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b for one right-hand side.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const std::size_t n = size();
+    if (b.size() != n) throw std::invalid_argument("Lu::solve: rhs size mismatch");
+    std::vector<T> x(n);
+    // Apply permutation and forward-substitute L (unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm_[i]];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+      x[i] = acc;
+    }
+    // Back-substitute U.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = x[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+      x[ii] = acc / lu_(ii, ii);
+    }
+    return x;
+  }
+
+  /// Determinant of the factorized matrix.
+  T determinant() const {
+    T det = static_cast<T>(sign_);
+    for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+    return det;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+using Lud = Lu<double>;
+using Luc = Lu<std::complex<double>>;
+
+/// Convenience: solve A x = b (real) with a fresh factorization.
+Vector solve(const Matrixd& a, const Vector& b);
+/// Convenience: solve A x = b (complex) with a fresh factorization.
+VectorC solve(const Matrixc& a, const VectorC& b);
+/// Inverse via LU (small matrices only; prefer solve()).
+Matrixd inverse(const Matrixd& a);
+
+}  // namespace mayo::linalg

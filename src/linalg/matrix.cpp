@@ -1,0 +1,65 @@
+#include "linalg/matrix.hpp"
+
+#include <ostream>
+
+namespace mayo::linalg {
+
+Vector operator*(const Matrixd& m, const Vector& v) {
+  if (m.cols() != v.size())
+    throw std::invalid_argument("Matrix-vector product dimension mismatch");
+  Vector out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector mul_transposed(const Matrixd& m, const Vector& v) {
+  if (m.rows() != v.size())
+    throw std::invalid_argument("mul_transposed dimension mismatch");
+  Vector out(m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += row[c] * vr;
+  }
+  return out;
+}
+
+VectorC operator*(const Matrixc& m, const VectorC& v) {
+  if (m.cols() != v.size())
+    throw std::invalid_argument("Matrix-vector product dimension mismatch");
+  VectorC out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    std::complex<double> acc{};
+    const std::complex<double>* row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrixd outer(const Vector& a, const Vector& b) {
+  Matrixd out(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r)
+    for (std::size_t c = 0; c < b.size(); ++c) out(r, c) = a[r] * b[c];
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrixd& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) os << ", ";
+      os << m(r, c);
+    }
+    os << (r + 1 == m.rows() ? "]]" : "]\n");
+  }
+  return os;
+}
+
+}  // namespace mayo::linalg

@@ -1,0 +1,153 @@
+// mayo/linalg -- dense matrix type, templated on the scalar.
+//
+// Row-major dense matrix used for Jacobians, covariance matrices and the
+// MNA system matrices of the circuit simulator (real for DC, complex for
+// AC analysis).  Value semantics throughout.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <iosfwd>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace mayo::linalg {
+
+/// Dense row-major matrix over scalar type `T` (double or complex<double>).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  /// `rows` x `cols` zero matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+  /// `rows` x `cols` matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, T value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  T operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  T& at(std::size_t r, std::size_t c) {
+    check_index(r, c);
+    return data_[r * cols_ + c];
+  }
+  T at(std::size_t r, std::size_t c) const {
+    check_index(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  /// Pointer to the first element of row `r`.
+  T* row(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+  /// Resets every entry to zero while keeping the shape.
+  void set_zero() { fill(T{}); }
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+  /// Square matrix with `diag` on the diagonal.
+  static Matrix diagonal(const std::vector<T>& diag) {
+    Matrix m(diag.size(), diag.size());
+    for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+    return m;
+  }
+
+  Matrix& operator+=(const Matrix& rhs) {
+    check_same_shape(rhs, "operator+=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& rhs) {
+    check_same_shape(rhs, "operator-=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+    return *this;
+  }
+  Matrix& operator*=(T scale) {
+    for (T& x : data_) x *= scale;
+    return *this;
+  }
+
+  /// Matrix transpose (copy).
+  Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    return out;
+  }
+
+  /// Maximum absolute entry (for complex: max modulus).
+  double max_abs() const {
+    double acc = 0.0;
+    for (const T& x : data_) acc = std::max(acc, std::abs(x));
+    return acc;
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  void check_index(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at: index out of range");
+  }
+  void check_same_shape(const Matrix& rhs, const char* op) const {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+      throw std::invalid_argument(std::string("Matrix shape mismatch in ") + op);
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrixd = Matrix<double>;
+using Matrixc = Matrix<std::complex<double>>;
+using VectorC = std::vector<std::complex<double>>;
+
+template <typename T>
+Matrix<T> operator+(Matrix<T> lhs, const Matrix<T>& rhs) { return lhs += rhs; }
+template <typename T>
+Matrix<T> operator-(Matrix<T> lhs, const Matrix<T>& rhs) { return lhs -= rhs; }
+template <typename T>
+Matrix<T> operator*(Matrix<T> lhs, T scale) { return lhs *= scale; }
+
+/// Dense matrix-matrix product.
+template <typename T>
+Matrix<T> operator*(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("Matrix product dimension mismatch");
+  Matrix<T> out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T aik = a(r, k);
+      if (aik == T{}) continue;
+      for (std::size_t c = 0; c < b.cols(); ++c) out(r, c) += aik * b(k, c);
+    }
+  }
+  return out;
+}
+
+/// Matrix-vector product (real).
+Vector operator*(const Matrixd& m, const Vector& v);
+/// `m^T * v` without forming the transpose (real).
+Vector mul_transposed(const Matrixd& m, const Vector& v);
+/// Complex matrix times complex vector.
+VectorC operator*(const Matrixc& m, const VectorC& v);
+/// Outer product a * b^T.
+Matrixd outer(const Vector& a, const Vector& b);
+
+std::ostream& operator<<(std::ostream& os, const Matrixd& m);
+
+}  // namespace mayo::linalg

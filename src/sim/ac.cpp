@@ -1,0 +1,69 @@
+#include "sim/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mayo::sim {
+
+using circuit::AcStamp;
+using circuit::Conditions;
+using circuit::Netlist;
+using circuit::NodeId;
+using linalg::Matrixc;
+using linalg::Vector;
+using linalg::VectorC;
+
+VectorC solve_ac(const Netlist& netlist, const Vector& operating_point,
+                 const Conditions& conditions, double frequency_hz) {
+  if (operating_point.size() != netlist.system_size())
+    throw std::invalid_argument("solve_ac: operating point size mismatch");
+  const std::size_t n = netlist.system_size();
+  const double omega = 2.0 * std::numbers::pi * frequency_hz;
+  Matrixc system(n, n);
+  VectorC rhs(n);
+  AcStamp stamp(operating_point, system, rhs, netlist.num_nodes(), omega,
+                conditions);
+  for (const auto& device : netlist) device->stamp_ac(stamp);
+  // Tiny shunt keeps floating small-signal nodes well-posed.
+  for (std::size_t k = 0; k + 1 < netlist.num_nodes(); ++k)
+    system(k, k) += 1e-12;
+  linalg::Luc lu(std::move(system));
+  return lu.solve(rhs);
+}
+
+std::complex<double> ac_node_voltage(const Netlist& netlist,
+                                     const Vector& operating_point,
+                                     const Conditions& conditions,
+                                     double frequency_hz, NodeId node) {
+  if (node == circuit::kGround) return {0.0, 0.0};
+  const VectorC solution =
+      solve_ac(netlist, operating_point, conditions, frequency_hz);
+  return solution[static_cast<std::size_t>(node - 1)];
+}
+
+FrequencyResponse sweep_ac(const Netlist& netlist, const Vector& operating_point,
+                           const Conditions& conditions, NodeId node,
+                           double f_start, double f_stop,
+                           int points_per_decade) {
+  if (!(f_start > 0.0) || !(f_stop > f_start))
+    throw std::invalid_argument("sweep_ac: need 0 < f_start < f_stop");
+  if (points_per_decade < 1)
+    throw std::invalid_argument("sweep_ac: points_per_decade must be >= 1");
+  FrequencyResponse out;
+  const double decades = std::log10(f_stop / f_start);
+  const int total = std::max(2, static_cast<int>(std::ceil(decades * points_per_decade)) + 1);
+  for (int i = 0; i < total; ++i) {
+    const double frac = static_cast<double>(i) / (total - 1);
+    const double f = f_start * std::pow(10.0, frac * decades);
+    out.frequency_hz.push_back(f);
+    out.response.push_back(
+        ac_node_voltage(netlist, operating_point, conditions, f, node));
+  }
+  return out;
+}
+
+}  // namespace mayo::sim

@@ -1,0 +1,46 @@
+// mayo/sim -- small-signal AC analysis.
+//
+// Builds the complex system (G + j omega C) x = b at a previously computed
+// DC operating point, where G is the device linearization and b carries the
+// AC excitations of the independent sources.  One complex LU solve per
+// frequency point.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::sim {
+
+/// Solves the AC system at a single frequency [Hz].  Returns the full
+/// complex solution vector (node phasors + branch currents).
+/// Throws linalg::SingularMatrixError if the small-signal system is
+/// singular at this operating point.
+linalg::VectorC solve_ac(const circuit::Netlist& netlist,
+                         const linalg::Vector& operating_point,
+                         const circuit::Conditions& conditions,
+                         double frequency_hz);
+
+/// Phasor of a node at a single frequency (convenience).
+std::complex<double> ac_node_voltage(const circuit::Netlist& netlist,
+                                     const linalg::Vector& operating_point,
+                                     const circuit::Conditions& conditions,
+                                     double frequency_hz,
+                                     circuit::NodeId node);
+
+/// Frequency response H(f) of one node over a log-spaced grid.
+struct FrequencyResponse {
+  std::vector<double> frequency_hz;
+  std::vector<std::complex<double>> response;
+};
+
+/// Sweeps `points_per_decade` log-spaced points from f_start to f_stop.
+FrequencyResponse sweep_ac(const circuit::Netlist& netlist,
+                           const linalg::Vector& operating_point,
+                           const circuit::Conditions& conditions,
+                           circuit::NodeId node, double f_start, double f_stop,
+                           int points_per_decade = 10);
+
+}  // namespace mayo::sim

@@ -1,0 +1,160 @@
+#include "sim/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mayo::sim {
+
+using circuit::Conditions;
+using circuit::DcStamp;
+using circuit::Netlist;
+using linalg::Matrixd;
+using linalg::Vector;
+
+namespace {
+
+/// One damped Newton solve with a fixed extra shunt gmin.  Returns true on
+/// convergence; `x` holds the final iterate either way.
+bool newton(Netlist& netlist, const Conditions& conditions,
+            const DcOptions& options, double gmin, Vector& x,
+            int& iteration_counter) {
+  const std::size_t n = netlist.system_size();
+  const std::size_t num_nodes = netlist.num_nodes();
+  Matrixd jacobian(n, n);
+  Vector residual(n);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++iteration_counter;
+    jacobian.set_zero();
+    residual.fill(0.0);
+    DcStamp stamp(x, jacobian, residual, num_nodes, conditions);
+    for (const auto& device : netlist) device->stamp_dc(stamp);
+    // Shunt gmin from every node to ground keeps the system nonsingular
+    // even when channels are cut off.
+    for (std::size_t k = 0; k + 1 < num_nodes; ++k) {
+      jacobian(k, k) += gmin;
+      residual[k] += gmin * x[k];
+    }
+
+    Vector step;
+    try {
+      linalg::Lud lu(jacobian);
+      std::vector<double> rhs(residual.begin(), residual.end());
+      step = Vector(lu.solve(rhs));
+    } catch (const linalg::SingularMatrixError&) {
+      return false;
+    }
+
+    // Damping: clamp the node-voltage part of the update.
+    double scale = 1.0;
+    for (std::size_t k = 0; k + 1 < num_nodes; ++k) {
+      const double mag = std::abs(step[k]);
+      if (mag > options.max_step_v) scale = std::min(scale, options.max_step_v / mag);
+    }
+    double max_dv = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double delta = -scale * step[k];
+      x[k] += delta;
+      if (k + 1 < num_nodes) max_dv = std::max(max_dv, std::abs(delta));
+    }
+
+    const double max_res = residual.max_abs();
+    if (max_dv < options.vntol && max_res < options.abstol && scale == 1.0)
+      return true;
+  }
+  return false;
+}
+
+/// RAII scaling of all independent sources for source stepping.
+class SourceScaler {
+ public:
+  explicit SourceScaler(Netlist& netlist) {
+    for (std::size_t i = 0; i < netlist.num_devices(); ++i) {
+      if (auto* vs = dynamic_cast<circuit::VoltageSource*>(&netlist.device(i)))
+        vsources_.push_back({vs, vs->dc_value()});
+      else if (auto* is = dynamic_cast<circuit::CurrentSource*>(&netlist.device(i)))
+        isources_.push_back({is, is->dc_value()});
+    }
+  }
+  ~SourceScaler() { apply(1.0); }
+
+  SourceScaler(const SourceScaler&) = delete;
+  SourceScaler& operator=(const SourceScaler&) = delete;
+
+  void apply(double factor) {
+    for (auto& [vs, value] : vsources_) vs->set_dc_value(factor * value);
+    for (auto& [is, value] : isources_) is->set_dc_value(factor * value);
+  }
+
+ private:
+  std::vector<std::pair<circuit::VoltageSource*, double>> vsources_;
+  std::vector<std::pair<circuit::CurrentSource*, double>> isources_;
+};
+
+}  // namespace
+
+DcResult solve_dc(Netlist& netlist, const Conditions& conditions,
+                  const DcOptions& options, const Vector* initial) {
+  DcResult result;
+  result.solution = (initial != nullptr && initial->size() == netlist.system_size())
+                        ? *initial
+                        : Vector(netlist.system_size());
+
+  // Attempt 1: plain Newton from the seed.
+  if (newton(netlist, conditions, options, options.gmin_floor, result.solution,
+             result.newton_iterations)) {
+    result.converged = true;
+    return result;
+  }
+
+  // Attempt 2: gmin stepping from a fresh start.
+  if (options.allow_gmin_stepping) {
+    Vector x(netlist.system_size());
+    bool ok = true;
+    for (double gmin = 1e-2; gmin >= options.gmin_floor / 2.0; gmin *= 0.01) {
+      ++result.continuation_steps;
+      if (!newton(netlist, conditions, options, std::max(gmin, options.gmin_floor),
+                  x, result.newton_iterations)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && newton(netlist, conditions, options, options.gmin_floor, x,
+                     result.newton_iterations)) {
+      result.solution = x;
+      result.converged = true;
+      return result;
+    }
+  }
+
+  // Attempt 3: source stepping.
+  if (options.allow_source_stepping) {
+    SourceScaler scaler(netlist);
+    Vector x(netlist.system_size());
+    bool ok = true;
+    for (double factor : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      ++result.continuation_steps;
+      scaler.apply(factor);
+      if (!newton(netlist, conditions, options, options.gmin_floor, x,
+                  result.newton_iterations)) {
+        ok = false;
+        break;
+      }
+    }
+    scaler.apply(1.0);
+    if (ok) {
+      result.solution = x;
+      result.converged = true;
+      return result;
+    }
+  }
+
+  result.converged = false;
+  return result;
+}
+
+}  // namespace mayo::sim

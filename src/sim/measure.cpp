@@ -1,0 +1,116 @@
+#include "sim/measure.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mayo::sim {
+
+using circuit::Conditions;
+using circuit::Netlist;
+using circuit::NodeId;
+using linalg::Vector;
+
+double to_db(std::complex<double> h) { return 20.0 * std::log10(std::abs(h)); }
+
+double phase_deg(std::complex<double> h) {
+  return std::arg(h) * 180.0 / std::numbers::pi;
+}
+
+GainBandwidth measure_gain_bandwidth(const Netlist& netlist,
+                                     const Vector& operating_point,
+                                     const Conditions& conditions, NodeId out,
+                                     double f_low, double f_high) {
+  GainBandwidth result;
+  const auto h_at = [&](double f) {
+    return ac_node_voltage(netlist, operating_point, conditions, f, out);
+  };
+  result.a0_db = to_db(h_at(f_low));
+
+  // Bracket |H| = 1 on a log grid (8 points per decade is plenty for the
+  // -20 dB/dec slope of a compensated opamp).
+  const int per_decade = 8;
+  const double decades = std::log10(f_high / f_low);
+  const int total = static_cast<int>(std::ceil(decades * per_decade)) + 1;
+  double f_prev = f_low;
+  double mag_prev = std::abs(h_at(f_low));
+  if (mag_prev <= 1.0) {
+    // Already below unity at f_low: no meaningful crossing.
+    return result;
+  }
+  double f_lo_bracket = 0.0;
+  double f_hi_bracket = 0.0;
+  for (int i = 1; i < total; ++i) {
+    const double f =
+        f_low * std::pow(10.0, decades * static_cast<double>(i) / (total - 1));
+    const double mag = std::abs(h_at(f));
+    if (mag <= 1.0) {
+      f_lo_bracket = f_prev;
+      f_hi_bracket = f;
+      break;
+    }
+    f_prev = f;
+    mag_prev = mag;
+  }
+  if (f_hi_bracket == 0.0) return result;  // never dropped below unity
+
+  // Bisection on log f.
+  for (int iter = 0; iter < 40; ++iter) {
+    const double f_mid = std::sqrt(f_lo_bracket * f_hi_bracket);
+    if (std::abs(h_at(f_mid)) > 1.0)
+      f_lo_bracket = f_mid;
+    else
+      f_hi_bracket = f_mid;
+    if (f_hi_bracket / f_lo_bracket < 1.0005) break;
+  }
+  result.ft_hz = std::sqrt(f_lo_bracket * f_hi_bracket);
+  result.ft_found = true;
+  result.phase_margin_deg = 180.0 + phase_deg(h_at(result.ft_hz));
+  // Wrap into a sane range: phases slightly past -180 deg should map to a
+  // small negative margin, not +360.
+  if (result.phase_margin_deg > 360.0) result.phase_margin_deg -= 360.0;
+  return result;
+}
+
+double measure_supply_power(
+    const Netlist& netlist, const Vector& operating_point,
+    const std::vector<const circuit::VoltageSource*>& supplies) {
+  double power = 0.0;
+  const std::size_t node_vars = netlist.num_nodes() - 1;
+  for (const auto* supply : supplies) {
+    if (supply == nullptr) continue;
+    const double current =
+        operating_point[node_vars + static_cast<std::size_t>(supply->branch())];
+    power += std::abs(current * supply->dc_value());
+  }
+  return power;
+}
+
+std::vector<MosOperatingPoint> mos_operating_points(
+    const Netlist& netlist, const Vector& operating_point,
+    const Conditions& conditions) {
+  std::vector<MosOperatingPoint> out;
+  const auto voltage = [&](NodeId n) {
+    return n == circuit::kGround ? 0.0
+                                 : operating_point[static_cast<std::size_t>(n - 1)];
+  };
+  for (const auto* mos : netlist.mosfets()) {
+    const circuit::MosEval eval = mos->evaluate_at(
+        voltage(mos->drain()), voltage(mos->gate()), voltage(mos->source()),
+        voltage(mos->bulk()), conditions.temperature_k);
+    MosOperatingPoint op;
+    op.name = mos->name();
+    op.id = std::abs(eval.id);
+    op.vov = eval.vov;
+    op.vdsat = eval.vdsat;
+    op.region = eval.region;
+    // Polarity-frame vds (positive in normal operation).
+    const double p = mos->type() == circuit::MosType::kNmos ? 1.0 : -1.0;
+    op.vds = p * (voltage(mos->drain()) - voltage(mos->source()));
+    op.sat_margin = op.vds - op.vdsat;
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+}  // namespace mayo::sim

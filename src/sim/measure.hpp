@@ -1,0 +1,63 @@
+// mayo/sim -- performance measurements on top of DC/AC/transient runs.
+//
+// The opamp performances of the paper's experiments: DC gain A0, unity-gain
+// (transit) frequency f_t, phase margin Phi_m, CMRR, power, and saturation
+// margins for the functional constraints of Sec. 5.1.
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/ac.hpp"
+
+namespace mayo::sim {
+
+/// Open-loop AC characteristics extracted from a frequency sweep.
+struct GainBandwidth {
+  double a0_db = 0.0;            ///< low-frequency gain [dB]
+  double ft_hz = 0.0;            ///< unity-gain frequency [Hz] (0 if not found)
+  double phase_margin_deg = 0.0; ///< 180 + phase(H(ft)) [deg] (only if ft found)
+  bool ft_found = false;
+};
+
+/// Magnitude in dB of a complex transfer value.
+double to_db(std::complex<double> h);
+/// Phase in degrees in (-180, 180].
+double phase_deg(std::complex<double> h);
+
+/// Measures A0, ft and phase margin of the transfer function seen at
+/// `out` with the currently configured AC excitation.  The unity-gain
+/// crossing is bracketed on a log grid between f_low and f_high and
+/// refined by bisection to ~0.1% accuracy.
+GainBandwidth measure_gain_bandwidth(const circuit::Netlist& netlist,
+                                     const linalg::Vector& operating_point,
+                                     const circuit::Conditions& conditions,
+                                     circuit::NodeId out, double f_low = 1.0,
+                                     double f_high = 10e9);
+
+/// DC power drawn from a supply: |branch current| * |V|, summed over the
+/// given voltage sources.
+double measure_supply_power(const circuit::Netlist& netlist,
+                            const linalg::Vector& operating_point,
+                            const std::vector<const circuit::VoltageSource*>& supplies);
+
+/// Per-transistor DC operating info used for functional constraints.
+struct MosOperatingPoint {
+  std::string name;
+  double id = 0.0;          ///< drain current magnitude [A]
+  double vov = 0.0;         ///< overdrive vgs - vth (polarity frame) [V]
+  double vds = 0.0;         ///< polarity-frame drain-source voltage [V]
+  double vdsat = 0.0;       ///< saturation voltage [V]
+  double sat_margin = 0.0;  ///< vds - vdsat (positive = saturated) [V]
+  circuit::MosRegion region = circuit::MosRegion::kCutoff;
+};
+
+/// Extracts the operating info of every MOSFET at the given DC solution.
+std::vector<MosOperatingPoint> mos_operating_points(
+    const circuit::Netlist& netlist, const linalg::Vector& operating_point,
+    const circuit::Conditions& conditions);
+
+}  // namespace mayo::sim

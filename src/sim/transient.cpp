@@ -1,0 +1,159 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mayo::sim {
+
+using circuit::Conditions;
+using circuit::Netlist;
+using circuit::TranStamp;
+using linalg::Matrixd;
+using linalg::Vector;
+
+std::vector<double> TranResult::node_voltage(circuit::NodeId node) const {
+  std::vector<double> out;
+  out.reserve(solutions.size());
+  for (const Vector& x : solutions)
+    out.push_back(node == circuit::kGround ? 0.0 : x[node - 1]);
+  return out;
+}
+
+namespace {
+/// Newton solve of one implicit step (BE, or BDF2 when `x_prev2` is given).
+/// `x` is seeded with the previous time point and holds the converged
+/// solution on success.
+bool newton_step(Netlist& netlist, const Conditions& conditions,
+                 const DcOptions& options, const Vector& x_prev, double h,
+                 double t, Vector& x, int& iteration_counter,
+                 const Vector* x_prev2 = nullptr) {
+  const std::size_t n = netlist.system_size();
+  const std::size_t num_nodes = netlist.num_nodes();
+  Matrixd jacobian(n, n);
+  Vector residual(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++iteration_counter;
+    jacobian.set_zero();
+    residual.fill(0.0);
+    TranStamp stamp(x, jacobian, residual, num_nodes, conditions, x_prev, h, t,
+                    x_prev2);
+    for (const auto& device : netlist) device->stamp_tran(stamp);
+    for (std::size_t k = 0; k + 1 < num_nodes; ++k) {
+      jacobian(k, k) += options.gmin_floor;
+      residual[k] += options.gmin_floor * x[k];
+    }
+
+    Vector step;
+    try {
+      linalg::Lud lu(jacobian);
+      std::vector<double> rhs(residual.begin(), residual.end());
+      step = Vector(lu.solve(rhs));
+    } catch (const linalg::SingularMatrixError&) {
+      return false;
+    }
+
+    double scale = 1.0;
+    for (std::size_t k = 0; k + 1 < num_nodes; ++k) {
+      const double mag = std::abs(step[k]);
+      if (mag > options.max_step_v) scale = std::min(scale, options.max_step_v / mag);
+    }
+    double max_dv = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double delta = -scale * step[k];
+      x[k] += delta;
+      if (k + 1 < num_nodes) max_dv = std::max(max_dv, std::abs(delta));
+    }
+    if (max_dv < options.vntol * 10.0 && residual.max_abs() < options.abstol * 10.0)
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+TranResult solve_transient(Netlist& netlist, const Vector& initial,
+                           const Conditions& conditions,
+                           const TranOptions& options) {
+  if (initial.size() != netlist.system_size())
+    throw std::invalid_argument("solve_transient: initial state size mismatch");
+  if (!(options.dt > 0.0) || !(options.t_stop > 0.0))
+    throw std::invalid_argument("solve_transient: dt and t_stop must be positive");
+
+  TranResult result;
+  result.time.push_back(0.0);
+  result.solutions.push_back(initial);
+
+  Vector x_prev = initial;
+  Vector x_prev2;  // two steps back; empty until two equal steps accepted
+  const int steps = static_cast<int>(std::ceil(options.t_stop / options.dt));
+  for (int k = 1; k <= steps; ++k) {
+    const double t = std::min(static_cast<double>(k) * options.dt, options.t_stop);
+    const double h = t - result.time.back();
+    if (h <= 0.0) break;
+    // BDF2 requires two equally spaced history points (full dt steps).
+    const bool use_bdf2 = options.method == TranMethod::kBdf2 &&
+                          !x_prev2.empty() &&
+                          std::abs(h - options.dt) < 1e-15;
+    Vector x = x_prev;
+    if (!newton_step(netlist, conditions, options.newton, x_prev, h, t, x,
+                     result.newton_iterations,
+                     use_bdf2 ? &x_prev2 : nullptr)) {
+      // Retry once with half steps to get through sharp source edges.
+      Vector x_half = x_prev;
+      const double t_mid = result.time.back() + 0.5 * h;
+      const bool first_half = newton_step(netlist, conditions, options.newton,
+                                          x_prev, 0.5 * h, t_mid, x_half,
+                                          result.newton_iterations);
+      x = x_half;
+      const bool second_half =
+          first_half && newton_step(netlist, conditions, options.newton, x_half,
+                                    0.5 * h, t, x, result.newton_iterations);
+      if (!second_half) {
+        result.converged = false;
+        return result;
+      }
+    }
+    result.time.push_back(t);
+    result.solutions.push_back(x);
+    // Accepted samples are spaced by h regardless of internal retries;
+    // only a full-dt spacing qualifies as BDF2 history.
+    if (std::abs(h - options.dt) < 1e-15)
+      x_prev2 = x_prev;
+    else
+      x_prev2 = Vector();
+    x_prev = std::move(x);
+  }
+  result.converged = true;
+  return result;
+}
+
+double max_slope(const std::vector<double>& time,
+                 const std::vector<double>& values) {
+  if (time.size() != values.size())
+    throw std::invalid_argument("max_slope: size mismatch");
+  double best = 0.0;
+  for (std::size_t k = 1; k < time.size(); ++k) {
+    const double h = time[k] - time[k - 1];
+    if (h <= 0.0) continue;
+    best = std::max(best, (values[k] - values[k - 1]) / h);
+  }
+  return best;
+}
+
+double max_negative_slope(const std::vector<double>& time,
+                          const std::vector<double>& values) {
+  if (time.size() != values.size())
+    throw std::invalid_argument("max_negative_slope: size mismatch");
+  double best = 0.0;
+  for (std::size_t k = 1; k < time.size(); ++k) {
+    const double h = time[k] - time[k - 1];
+    if (h <= 0.0) continue;
+    best = std::max(best, -(values[k] - values[k - 1]) / h);
+  }
+  return best;
+}
+
+}  // namespace mayo::sim

@@ -1,0 +1,62 @@
+// mayo/sim -- transient analysis (backward Euler).
+//
+// Fixed-step backward-Euler integration; each step is a damped Newton solve
+// of the companion-model system.  BE is L-stable, which matters here: the
+// slew-rate testbenches are stiff (nanosecond device poles under
+// microsecond ramps).  Used for the slew-rate performance of the opamp
+// testbenches.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/vector.hpp"
+#include "sim/dc.hpp"
+
+namespace mayo::sim {
+
+/// Time-integration formula.
+enum class TranMethod {
+  kBackwardEuler,  ///< 1st order, L-stable (default)
+  kBdf2,           ///< 2nd order, L-stable; falls back to BE on the first
+                   ///< step and on irregular (retry/final partial) steps
+};
+
+/// Transient run controls.
+struct TranOptions {
+  double t_stop = 1e-6;    ///< end time [s]
+  double dt = 1e-9;        ///< fixed step size [s]
+  TranMethod method = TranMethod::kBackwardEuler;
+  DcOptions newton;        ///< per-step Newton controls
+};
+
+/// Result of a transient run: the solution vector at every accepted time
+/// point (including t = 0, which is the provided initial operating point).
+struct TranResult {
+  std::vector<double> time;
+  std::vector<linalg::Vector> solutions;
+  bool converged = false;
+  int newton_iterations = 0;
+
+  /// Voltage waveform of one node.
+  std::vector<double> node_voltage(circuit::NodeId node) const;
+};
+
+/// Integrates from the DC state `initial` (computed with the sources at
+/// their t=0 values).  Sources with waveforms are evaluated at the end of
+/// each step.
+TranResult solve_transient(circuit::Netlist& netlist,
+                           const linalg::Vector& initial,
+                           const circuit::Conditions& conditions,
+                           const TranOptions& options);
+
+/// Maximum signed slope max_t dV/dt of a waveform [unit/s]; takes the
+/// maximum of (v[k+1]-v[k])/dt.  Returns 0 for fewer than two points.
+double max_slope(const std::vector<double>& time,
+                 const std::vector<double>& values);
+
+/// Maximum negative slope magnitude (for falling edges).
+double max_negative_slope(const std::vector<double>& time,
+                          const std::vector<double>& values);
+
+}  // namespace mayo::sim

@@ -1,0 +1,148 @@
+#include "spice/export.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace mayo::spice {
+
+using circuit::Capacitor;
+using circuit::CurrentSource;
+using circuit::Diode;
+using circuit::Inductor;
+using circuit::MosProcess;
+using circuit::Mosfet;
+using circuit::MosType;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::Vcvs;
+using circuit::VoltageSource;
+
+namespace {
+
+bool same_process(const MosProcess& a, const MosProcess& b) {
+  return std::memcmp(&a, &b, sizeof(MosProcess)) == 0;
+}
+
+std::string node_name(const Netlist& netlist, NodeId id) {
+  return id == circuit::kGround ? "0" : netlist.node_name(id);
+}
+
+/// Full-precision numeric formatting so round trips are exact.
+std::string num(double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string export_netlist(const Netlist& netlist) {
+  std::ostringstream os;
+  os << "* exported by mayo::spice::export_netlist\n";
+
+  // Deduplicate MOSFET processes into .model cards.
+  struct ModelCard {
+    MosProcess process;
+    MosType type;
+    std::string name;
+  };
+  std::vector<ModelCard> models;
+  const auto model_for = [&](const Mosfet& mos) -> const std::string& {
+    for (const ModelCard& card : models)
+      if (card.type == mos.type() && same_process(card.process, mos.process()))
+        return card.name;
+    ModelCard card{mos.process(), mos.type(),
+                   (mos.type() == MosType::kNmos ? "nmod" : "pmod") +
+                       std::to_string(models.size())};
+    models.push_back(std::move(card));
+    return models.back().name;
+  };
+  // First pass registers the models so the cards precede their uses.
+  for (std::size_t i = 0; i < netlist.num_devices(); ++i)
+    if (const auto* mos = dynamic_cast<const Mosfet*>(&netlist.device(i)))
+      model_for(*mos);
+  for (const ModelCard& card : models) {
+    const MosProcess& p = card.process;
+    os << ".model " << card.name << ' '
+       << (card.type == MosType::kNmos ? "nmos" : "pmos") << " vth0="
+       << num(p.vth0) << " kp=" << num(p.kp) << " lambda_l=" << num(p.lambda_l)
+       << " gamma=" << num(p.gamma) << " phi=" << num(p.phi)
+       << " tox=" << num(p.tox) << " cgso=" << num(p.cgso)
+       << " cgdo=" << num(p.cgdo) << " cj=" << num(p.cj)
+       << " ldiff=" << num(p.ldiff) << " vth_tc=" << num(p.vth_tc)
+       << " mu_exp=" << num(p.mu_exp) << " tnom=" << num(p.tnom) << '\n';
+  }
+
+  for (std::size_t i = 0; i < netlist.num_devices(); ++i) {
+    const circuit::Device& device = netlist.device(i);
+    if (const auto* mos = dynamic_cast<const Mosfet*>(&device)) {
+      os << device.name() << ' ' << node_name(netlist, mos->drain()) << ' '
+         << node_name(netlist, mos->gate()) << ' '
+         << node_name(netlist, mos->source()) << ' '
+         << node_name(netlist, mos->bulk()) << ' ' << model_for(*mos)
+         << " w=" << num(mos->geometry().w) << " l=" << num(mos->geometry().l)
+         << '\n';
+      continue;
+    }
+    if (const auto* r = dynamic_cast<const Resistor*>(&device)) {
+      os << device.name() << ' ' << node_name(netlist, r->node_a()) << ' '
+         << node_name(netlist, r->node_b()) << ' ' << num(r->resistance())
+         << '\n';
+      continue;
+    }
+    if (const auto* c = dynamic_cast<const Capacitor*>(&device)) {
+      os << device.name() << ' ' << node_name(netlist, c->node_a()) << ' '
+         << node_name(netlist, c->node_b()) << ' ' << num(c->capacitance())
+         << '\n';
+      continue;
+    }
+    if (const auto* l = dynamic_cast<const Inductor*>(&device)) {
+      os << device.name() << ' ' << node_name(netlist, l->node_a()) << ' '
+         << node_name(netlist, l->node_b()) << ' ' << num(l->inductance())
+         << '\n';
+      continue;
+    }
+    if (const auto* v = dynamic_cast<const VoltageSource*>(&device)) {
+      os << device.name() << ' ' << node_name(netlist, v->node_p()) << ' '
+         << node_name(netlist, v->node_n()) << ' ' << num(v->dc_value());
+      if (v->ac_value() != std::complex<double>(0.0, 0.0))
+        os << " ac=" << num(v->ac_value().real());
+      os << '\n';
+      continue;
+    }
+    if (const auto* s = dynamic_cast<const CurrentSource*>(&device)) {
+      os << device.name() << ' ' << node_name(netlist, s->node_p()) << ' '
+         << node_name(netlist, s->node_n()) << ' ' << num(s->dc_value());
+      if (s->ac_value() != std::complex<double>(0.0, 0.0))
+        os << " ac=" << num(s->ac_value().real());
+      os << '\n';
+      continue;
+    }
+    if (const auto* e = dynamic_cast<const Vcvs*>(&device)) {
+      os << device.name() << ' ' << node_name(netlist, e->node_p()) << ' '
+         << node_name(netlist, e->node_n()) << ' '
+         << node_name(netlist, e->control_p()) << ' '
+         << node_name(netlist, e->control_n()) << ' ' << num(e->gain())
+         << '\n';
+      continue;
+    }
+    if (const auto* d = dynamic_cast<const Diode*>(&device)) {
+      os << device.name() << ' ' << node_name(netlist, d->anode()) << ' '
+         << node_name(netlist, d->cathode())
+         << " is=" << num(d->saturation_current())
+         << " n=" << num(d->emission_coefficient())
+         << " eg=" << num(d->bandgap_energy()) << " xti=" << num(d->xti())
+         << '\n';
+      continue;
+    }
+    throw std::invalid_argument("export_netlist: unsupported device '" +
+                                device.name() + "'");
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace mayo::spice

@@ -1,0 +1,19 @@
+// mayo/spice -- netlist export back to deck text.
+//
+// The inverse of the parser: serializes a circuit::Netlist into a SPICE-
+// style deck (including deduplicated .model cards for the MOSFETs) that
+// parse_netlist accepts again.  Used for debugging testbenches, archiving
+// optimized sizings, and the parser round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace mayo::spice {
+
+/// Serializes the netlist.  Throws std::invalid_argument for device types
+/// the deck format cannot express (currently none of the built-ins).
+std::string export_netlist(const circuit::Netlist& netlist);
+
+}  // namespace mayo::spice

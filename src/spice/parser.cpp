@@ -1,0 +1,301 @@
+#include "spice/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace mayo::spice {
+
+using circuit::MosProcess;
+using circuit::MosType;
+using circuit::Netlist;
+using circuit::NodeId;
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+/// Splits a logical line into whitespace-separated tokens.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream is{std::string(line)};
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Joins physical lines: '+' continuations, strips comments.
+std::vector<std::pair<std::size_t, std::string>> logical_lines(
+    std::string_view text) {
+  std::vector<std::pair<std::size_t, std::string>> lines;
+  std::size_t line_number = 0;
+  std::istringstream is{std::string(text)};
+  std::string raw;
+  while (std::getline(is, raw)) {
+    ++line_number;
+    // Strip trailing comments introduced by ';'.
+    if (const auto pos = raw.find(';'); pos != std::string::npos)
+      raw.erase(pos);
+    // Trim.
+    const auto first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = raw.find_last_not_of(" \t\r");
+    std::string content = raw.substr(first, last - first + 1);
+    if (content.empty() || content[0] == '*') continue;
+    if (content[0] == '+') {
+      if (lines.empty())
+        throw ParseError(line_number, "continuation line without a predecessor");
+      lines.back().second += " " + content.substr(1);
+    } else {
+      lines.emplace_back(line_number, std::move(content));
+    }
+  }
+  return lines;
+}
+
+std::optional<double> suffix_multiplier(std::string_view suffix) {
+  const std::string s = to_lower(suffix);
+  if (s.empty()) return 1.0;
+  if (s == "t") return 1e12;
+  if (s == "g") return 1e9;
+  if (s == "meg") return 1e6;
+  if (s == "k") return 1e3;
+  if (s == "m") return 1e-3;
+  if (s == "u") return 1e-6;
+  if (s == "n") return 1e-9;
+  if (s == "p") return 1e-12;
+  if (s == "f") return 1e-15;
+  return std::nullopt;
+}
+
+}  // namespace
+
+double parse_value(std::string_view token) {
+  if (token.empty()) throw std::invalid_argument("empty numeric literal");
+  const char* begin = token.data();
+  const char* end = token.data() + token.size();
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr == begin)
+    throw std::invalid_argument("malformed numeric literal '" +
+                                std::string(token) + "'");
+  const auto mult = suffix_multiplier(std::string_view(ptr, end - ptr));
+  if (!mult)
+    throw std::invalid_argument("unknown suffix on numeric literal '" +
+                                std::string(token) + "'");
+  return value * *mult;
+}
+
+namespace {
+
+/// key=value parameter list parser (tokens after the positional fields).
+std::map<std::string, double> parse_params(
+    const std::vector<std::string>& tokens, std::size_t first,
+    std::size_t line) {
+  std::map<std::string, double> params;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const auto pos = tokens[i].find('=');
+    if (pos == std::string::npos || pos == 0 || pos + 1 >= tokens[i].size())
+      throw ParseError(line, "expected key=value, got '" + tokens[i] + "'");
+    const std::string key = to_lower(tokens[i].substr(0, pos));
+    double value = 0.0;
+    try {
+      value = parse_value(tokens[i].substr(pos + 1));
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(line, e.what());
+    }
+    params[key] = value;
+  }
+  return params;
+}
+
+class DeckBuilder {
+ public:
+  ParsedCircuit build(std::string_view text) {
+    result_.netlist = std::make_unique<Netlist>();
+    const auto lines = logical_lines(text);
+    // Pass 1: model cards (they may appear after their use sites).
+    for (const auto& [line, content] : lines) {
+      const auto tokens = tokenize(content);
+      if (!tokens.empty() && to_lower(tokens[0]) == ".model")
+        parse_model(tokens, line);
+    }
+    // Pass 2: everything else.
+    for (const auto& [line, content] : lines) {
+      const auto tokens = tokenize(content);
+      if (tokens.empty()) continue;
+      const std::string head = to_lower(tokens[0]);
+      if (head == ".model") continue;
+      if (head == ".end") break;
+      if (head[0] == '.')
+        throw ParseError(line, "unsupported directive '" + tokens[0] + "'");
+      parse_device(tokens, line);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  NodeId node(const std::string& name) {
+    const std::string lowered = to_lower(name);
+    if (lowered == "0" || lowered == "gnd") return circuit::kGround;
+    if (!result_.netlist->has_node(lowered))
+      return result_.netlist->add_node(lowered);
+    return result_.netlist->node(lowered);
+  }
+
+  double value_or_throw(const std::string& token, std::size_t line) {
+    try {
+      return parse_value(token);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(line, e.what());
+    }
+  }
+
+  void parse_model(const std::vector<std::string>& tokens, std::size_t line) {
+    if (tokens.size() < 3)
+      throw ParseError(line, ".model requires a name and a type");
+    const std::string name = to_lower(tokens[1]);
+    const std::string type = to_lower(tokens[2]);
+    if (type != "nmos" && type != "pmos")
+      throw ParseError(line, "unsupported model type '" + tokens[2] + "'");
+    MosProcess process;
+    const auto params = parse_params(tokens, 3, line);
+    for (const auto& [key, value] : params) {
+      if (key == "vth0") process.vth0 = value;
+      else if (key == "kp") process.kp = value;
+      else if (key == "lambda_l") process.lambda_l = value;
+      else if (key == "gamma") process.gamma = value;
+      else if (key == "phi") process.phi = value;
+      else if (key == "tox") process.tox = value;
+      else if (key == "cgso") process.cgso = value;
+      else if (key == "cgdo") process.cgdo = value;
+      else if (key == "cj") process.cj = value;
+      else if (key == "ldiff") process.ldiff = value;
+      else if (key == "vth_tc") process.vth_tc = value;
+      else if (key == "mu_exp") process.mu_exp = value;
+      else if (key == "tnom") process.tnom = value;
+      else
+        throw ParseError(line, "unknown model parameter '" + key + "'");
+    }
+    result_.models[name] = process;
+    result_.model_types[name] =
+        type == "nmos" ? MosType::kNmos : MosType::kPmos;
+  }
+
+  void parse_device(const std::vector<std::string>& tokens, std::size_t line) {
+    const std::string name = tokens[0];
+    switch (std::tolower(static_cast<unsigned char>(name[0]))) {
+      case 'r': {
+        require(tokens, 4, line, "R<name> n+ n- value");
+        result_.netlist->add<circuit::Resistor>(
+            name, node(tokens[1]), node(tokens[2]),
+            value_or_throw(tokens[3], line));
+        return;
+      }
+      case 'c': {
+        require(tokens, 4, line, "C<name> n+ n- value");
+        result_.netlist->add<circuit::Capacitor>(
+            name, node(tokens[1]), node(tokens[2]),
+            value_or_throw(tokens[3], line));
+        return;
+      }
+      case 'l': {
+        require(tokens, 4, line, "L<name> n+ n- value");
+        result_.netlist->add<circuit::Inductor>(
+            name, node(tokens[1]), node(tokens[2]),
+            value_or_throw(tokens[3], line));
+        return;
+      }
+      case 'v': {
+        require(tokens, 4, line, "V<name> n+ n- value [ac=mag]");
+        auto& source = result_.netlist->add<circuit::VoltageSource>(
+            name, node(tokens[1]), node(tokens[2]),
+            value_or_throw(tokens[3], line));
+        const auto params = parse_params(tokens, 4, line);
+        if (const auto it = params.find("ac"); it != params.end())
+          source.set_ac_value({it->second, 0.0});
+        return;
+      }
+      case 'i': {
+        require(tokens, 4, line, "I<name> n+ n- value [ac=mag]");
+        auto& source = result_.netlist->add<circuit::CurrentSource>(
+            name, node(tokens[1]), node(tokens[2]),
+            value_or_throw(tokens[3], line));
+        const auto params = parse_params(tokens, 4, line);
+        if (const auto it = params.find("ac"); it != params.end())
+          source.set_ac_value({it->second, 0.0});
+        return;
+      }
+      case 'd': {
+        require(tokens, 3, line, "D<name> anode cathode [is=...] [n=...]");
+        const auto params = parse_params(tokens, 3, line);
+        double is = 1e-14;
+        double n = 1.0;
+        double eg = 1.11;
+        double xti = 3.0;
+        if (const auto it = params.find("is"); it != params.end())
+          is = it->second;
+        if (const auto it = params.find("n"); it != params.end())
+          n = it->second;
+        if (const auto it = params.find("eg"); it != params.end())
+          eg = it->second;
+        if (const auto it = params.find("xti"); it != params.end())
+          xti = it->second;
+        result_.netlist->add<circuit::Diode>(name, node(tokens[1]),
+                                             node(tokens[2]), is, n, eg, xti);
+        return;
+      }
+      case 'e': {
+        require(tokens, 6, line, "E<name> n+ n- nc+ nc- gain");
+        result_.netlist->add<circuit::Vcvs>(
+            name, node(tokens[1]), node(tokens[2]), node(tokens[3]),
+            node(tokens[4]), value_or_throw(tokens[5], line));
+        return;
+      }
+      case 'm': {
+        require(tokens, 6, line, "M<name> d g s b model w=... l=...");
+        const std::string model_name = to_lower(tokens[5]);
+        const auto model = result_.models.find(model_name);
+        if (model == result_.models.end())
+          throw ParseError(line, "unknown model '" + tokens[5] + "'");
+        const auto params = parse_params(tokens, 6, line);
+        const auto w = params.find("w");
+        const auto l = params.find("l");
+        if (w == params.end() || l == params.end())
+          throw ParseError(line, "MOSFET requires w= and l=");
+        result_.netlist->add<circuit::Mosfet>(
+            name, result_.model_types.at(model_name), node(tokens[1]),
+            node(tokens[2]), node(tokens[3]), node(tokens[4]), model->second,
+            circuit::MosGeometry{w->second, l->second});
+        return;
+      }
+      default:
+        throw ParseError(line, "unsupported element '" + name + "'");
+    }
+  }
+
+  static void require(const std::vector<std::string>& tokens,
+                      std::size_t count, std::size_t line,
+                      const char* usage) {
+    if (tokens.size() < count)
+      throw ParseError(line, std::string("expected: ") + usage);
+  }
+
+  ParsedCircuit result_;
+};
+
+}  // namespace
+
+ParsedCircuit parse_netlist(std::string_view text) {
+  return DeckBuilder().build(text);
+}
+
+}  // namespace mayo::spice

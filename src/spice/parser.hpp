@@ -1,0 +1,66 @@
+// mayo/spice -- a SPICE-style netlist parser.
+//
+// Builds a circuit::Netlist from the familiar text format, so testbenches
+// can be written as .sp decks instead of C++:
+//
+//     * folded cascode input stage
+//     .model nch nmos vth0=0.7 kp=100u lambda_l=0.05u
+//     .model pch pmos vth0=0.8 kp=35u
+//     Vdd  vdd 0  5.0
+//     Iref vdd bn1 50u
+//     M1   n1 inp tail 0 nch w=28u l=1u
+//     R1   out fb  1G
+//     C1   fb  0   1
+//     E1   out 0 in 0 2.0
+//     .end
+//
+// Supported:
+//   * devices: R, C, V, I, E (VCVS), M (4-terminal MOSFET with a .model)
+//   * .model <name> nmos|pmos <param>=<value> ...  (level-1 parameters)
+//   * engineering suffixes: T G MEG k m u n p f (case-insensitive)
+//   * comments (* or ; full line, trailing ';'), '+' continuation lines,
+//     case-insensitive element names, node "0"/"gnd" = ground
+//   * device parameters: M requires w= and l=; V/I accept ac=<mag>
+//
+// Errors throw spice::ParseError carrying the 1-based line number.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "circuit/netlist.hpp"
+
+namespace mayo::spice {
+
+/// Parse failure with source location.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Result of parsing a deck.
+struct ParsedCircuit {
+  std::unique_ptr<circuit::Netlist> netlist;
+  /// The .model cards by (lower-cased) name.
+  std::map<std::string, circuit::MosProcess> models;
+  std::map<std::string, circuit::MosType> model_types;
+};
+
+/// Parses a numeric literal with an optional engineering suffix
+/// ("2.5u" -> 2.5e-6, "1MEG" -> 1e6, "100" -> 100).  Throws
+/// std::invalid_argument on malformed input.
+double parse_value(std::string_view token);
+
+/// Parses a complete deck.
+ParsedCircuit parse_netlist(std::string_view text);
+
+}  // namespace mayo::spice

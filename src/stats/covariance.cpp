@@ -1,0 +1,133 @@
+#include "stats/covariance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mayo::stats {
+
+using linalg::Cholesky;
+using linalg::Matrixd;
+using linalg::Vector;
+
+StatParam StatParam::global(std::string name, double nominal, double sigma) {
+  if (sigma <= 0.0)
+    throw std::invalid_argument("StatParam::global: sigma must be positive");
+  StatParam p;
+  p.name = std::move(name);
+  p.nominal = nominal;
+  p.sigma = [sigma](const Vector&) { return sigma; };
+  return p;
+}
+
+std::size_t CovarianceModel::add(StatParam param) {
+  if (!param.sigma)
+    throw std::invalid_argument("CovarianceModel::add: sigma function not set");
+  params_.push_back(std::move(param));
+  corr_factor_.reset();
+  return params_.size() - 1;
+}
+
+void CovarianceModel::set_correlation(std::size_t i, std::size_t j, double rho) {
+  if (i >= dimension() || j >= dimension() || i == j)
+    throw std::invalid_argument("CovarianceModel::set_correlation: bad indices");
+  if (!(std::abs(rho) < 1.0))
+    throw std::invalid_argument("CovarianceModel::set_correlation: |rho| must be < 1");
+  correlations_.push_back({i, j, rho});
+  corr_factor_.reset();
+}
+
+std::size_t CovarianceModel::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    if (params_[i].name == name) return i;
+  throw std::out_of_range("CovarianceModel: no parameter named '" + name + "'");
+}
+
+Vector CovarianceModel::nominal() const {
+  Vector s0(dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) s0[i] = params_[i].nominal;
+  return s0;
+}
+
+Vector CovarianceModel::sigmas(const Vector& d) const {
+  Vector sig(dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    sig[i] = params_[i].sigma(d);
+    if (!(sig[i] > 0.0))
+      throw std::domain_error("CovarianceModel: non-positive sigma for '" +
+                              params_[i].name + "'");
+  }
+  return sig;
+}
+
+const Cholesky& CovarianceModel::correlation_factor() const {
+  if (!corr_factor_) {
+    Matrixd r = Matrixd::identity(dimension());
+    for (const auto& e : correlations_) {
+      r(e.i, e.j) = e.rho;
+      r(e.j, e.i) = e.rho;
+    }
+    corr_factor_.emplace(r);  // throws if R is not positive definite
+  }
+  return *corr_factor_;
+}
+
+Matrixd CovarianceModel::covariance(const Vector& d) const {
+  const Vector sig = sigmas(d);
+  Matrixd r = Matrixd::identity(dimension());
+  for (const auto& e : correlations_) {
+    r(e.i, e.j) = e.rho;
+    r(e.j, e.i) = e.rho;
+  }
+  Matrixd c(dimension(), dimension());
+  for (std::size_t i = 0; i < dimension(); ++i)
+    for (std::size_t j = 0; j < dimension(); ++j)
+      c(i, j) = sig[i] * r(i, j) * sig[j];
+  return c;
+}
+
+Matrixd CovarianceModel::factor(const Vector& d) const {
+  const Vector sig = sigmas(d);
+  if (correlations_.empty()) {
+    Matrixd g(dimension(), dimension());
+    for (std::size_t i = 0; i < dimension(); ++i) g(i, i) = sig[i];
+    return g;
+  }
+  const Matrixd& lr = correlation_factor().factor();
+  Matrixd g(dimension(), dimension());
+  for (std::size_t i = 0; i < dimension(); ++i)
+    for (std::size_t j = 0; j <= i; ++j) g(i, j) = sig[i] * lr(i, j);
+  return g;
+}
+
+Vector CovarianceModel::to_physical(const Vector& s_hat, const Vector& d) const {
+  if (s_hat.size() != dimension())
+    throw std::invalid_argument("CovarianceModel::to_physical: size mismatch");
+  const Vector sig = sigmas(d);
+  Vector s(dimension());
+  if (correlations_.empty()) {
+    for (std::size_t i = 0; i < dimension(); ++i)
+      s[i] = params_[i].nominal + sig[i] * s_hat[i];
+    return s;
+  }
+  const Matrixd& lr = correlation_factor().factor();
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) acc += lr(i, j) * s_hat[j];
+    s[i] = params_[i].nominal + sig[i] * acc;
+  }
+  return s;
+}
+
+Vector CovarianceModel::to_standard(const Vector& s, const Vector& d) const {
+  if (s.size() != dimension())
+    throw std::invalid_argument("CovarianceModel::to_standard: size mismatch");
+  const Vector sig = sigmas(d);
+  Vector centered(dimension());
+  for (std::size_t i = 0; i < dimension(); ++i)
+    centered[i] = (s[i] - params_[i].nominal) / sig[i];
+  if (correlations_.empty()) return centered;
+  // Solve L_R y = centered (forward substitution on the correlation factor).
+  return correlation_factor().apply_factor_inverse(centered);
+}
+
+}  // namespace mayo::stats

@@ -1,0 +1,94 @@
+// mayo/stats -- design-dependent covariance model C(d) and its factor G(d).
+//
+// Implements the variable-covariance machinery of paper Sec. 4.  The
+// statistical parameter vector s ~ N(s0, C(d)) is described entry-by-entry:
+// global parameters have constant sigma, local (mismatch) parameters have a
+// design-dependent sigma (Pelgrom).  An optional constant correlation
+// matrix R couples parameters (typically only globals); then
+//
+//     C(d) = D(d) R D(d),   G(d) = D(d) L_R,   L_R L_R^T = R,
+//
+// with D(d) = diag(sigma_i(d)).  The transform of eq. (11),
+//
+//     s = G(d) s_hat + s0,
+//
+// maps standard-normal s_hat to physical parameters; the optimizer only
+// ever works in s_hat space where the distribution is N(0, I) regardless
+// of d.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::stats {
+
+/// Description of one statistical parameter (one entry of s).
+struct StatParam {
+  std::string name;
+  /// Mean value (entry of s0); deltas are usually centered at 0.
+  double nominal = 0.0;
+  /// Standard deviation as a function of the design vector d.  Must return
+  /// a strictly positive value.
+  std::function<double(const linalg::Vector&)> sigma;
+
+  /// Convenience factory for a constant-sigma (global) parameter.
+  static StatParam global(std::string name, double nominal, double sigma);
+};
+
+/// Covariance model C(d) with optional constant correlation structure.
+class CovarianceModel {
+ public:
+  CovarianceModel() = default;
+
+  /// Appends a parameter; returns its index in s.
+  std::size_t add(StatParam param);
+
+  /// Sets the constant correlation between parameters i and j (|rho| < 1).
+  /// The correlation matrix must remain positive definite; this is verified
+  /// lazily when a factor is requested.
+  void set_correlation(std::size_t i, std::size_t j, double rho);
+
+  std::size_t dimension() const { return params_.size(); }
+  const StatParam& param(std::size_t i) const { return params_.at(i); }
+  /// Index of the parameter with the given name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Vector of nominal values s0.
+  linalg::Vector nominal() const;
+  /// Vector of standard deviations at design d.
+  linalg::Vector sigmas(const linalg::Vector& d) const;
+  /// Full covariance matrix C(d).
+  linalg::Matrixd covariance(const linalg::Vector& d) const;
+  /// Factor G(d) with G G^T = C(d) (lower triangular).
+  linalg::Matrixd factor(const linalg::Vector& d) const;
+
+  /// s = G(d) * s_hat + s0 (paper eq. 11, forward direction).
+  linalg::Vector to_physical(const linalg::Vector& s_hat,
+                             const linalg::Vector& d) const;
+  /// s_hat = G(d)^-1 (s - s0) (paper eq. 11, inverse direction).
+  linalg::Vector to_standard(const linalg::Vector& s,
+                             const linalg::Vector& d) const;
+
+  /// True if any correlation entry has been set.
+  bool has_correlation() const { return !correlations_.empty(); }
+
+ private:
+  const linalg::Cholesky& correlation_factor() const;
+
+  std::vector<StatParam> params_;
+  struct CorrelationEntry {
+    std::size_t i;
+    std::size_t j;
+    double rho;
+  };
+  std::vector<CorrelationEntry> correlations_;
+  mutable std::optional<linalg::Cholesky> corr_factor_;  // cache; invalidated on edits
+};
+
+}  // namespace mayo::stats

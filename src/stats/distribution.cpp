@@ -1,0 +1,134 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/normal.hpp"
+
+namespace mayo::stats {
+
+double Distribution::to_standard_normal(double x) const {
+  // Clamp away from {0,1} so the composition stays finite for values in the
+  // extreme tails (relevant for uniform marginals at their support edges).
+  const double p = std::clamp(cdf(x), 1e-16, 1.0 - 1e-16);
+  return normal_quantile(p);
+}
+
+double Distribution::from_standard_normal(double u) const {
+  const double p = std::clamp(normal_cdf(u), 1e-16, 1.0 - 1e-16);
+  return quantile(p);
+}
+
+// ---------------------------------------------------------------- Normal --
+
+NormalDistribution::NormalDistribution(double mean, double sigma)
+    : mean_(mean), sigma_(sigma) {
+  if (sigma <= 0.0)
+    throw std::invalid_argument("NormalDistribution: sigma must be positive");
+}
+
+double NormalDistribution::pdf(double x) const {
+  return normal_pdf((x - mean_) / sigma_) / sigma_;
+}
+
+double NormalDistribution::cdf(double x) const {
+  return normal_cdf((x - mean_) / sigma_);
+}
+
+double NormalDistribution::quantile(double p) const {
+  return mean_ + sigma_ * normal_quantile(p);
+}
+
+std::string NormalDistribution::describe() const {
+  std::ostringstream os;
+  os << "Normal(mean=" << mean_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> NormalDistribution::clone() const {
+  return std::make_unique<NormalDistribution>(*this);
+}
+
+// ------------------------------------------------------------- LogNormal --
+
+LogNormalDistribution::LogNormalDistribution(double mu_log, double sigma_log)
+    : mu_(mu_log), sigma_(sigma_log) {
+  if (sigma_log <= 0.0)
+    throw std::invalid_argument("LogNormalDistribution: sigma must be positive");
+}
+
+double LogNormalDistribution::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_pdf((std::log(x) - mu_) / sigma_) / (sigma_ * x);
+}
+
+double LogNormalDistribution::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormalDistribution::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormalDistribution::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDistribution::stddev() const {
+  const double v = (std::exp(sigma_ * sigma_) - 1.0) *
+                   std::exp(2.0 * mu_ + sigma_ * sigma_);
+  return std::sqrt(v);
+}
+
+std::string LogNormalDistribution::describe() const {
+  std::ostringstream os;
+  os << "LogNormal(mu_log=" << mu_ << ", sigma_log=" << sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> LogNormalDistribution::clone() const {
+  return std::make_unique<LogNormalDistribution>(*this);
+}
+
+// --------------------------------------------------------------- Uniform --
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  if (!(hi > lo))
+    throw std::invalid_argument("UniformDistribution: requires hi > lo");
+}
+
+double UniformDistribution::pdf(double x) const {
+  return (x >= lo_ && x <= hi_) ? 1.0 / (hi_ - lo_) : 0.0;
+}
+
+double UniformDistribution::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDistribution::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::domain_error("UniformDistribution::quantile: p outside [0,1]");
+  return lo_ + p * (hi_ - lo_);
+}
+
+double UniformDistribution::stddev() const {
+  return (hi_ - lo_) / std::sqrt(12.0);
+}
+
+std::string UniformDistribution::describe() const {
+  std::ostringstream os;
+  os << "Uniform(lo=" << lo_ << ", hi=" << hi_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Distribution> UniformDistribution::clone() const {
+  return std::make_unique<UniformDistribution>(*this);
+}
+
+}  // namespace mayo::stats

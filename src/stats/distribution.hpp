@@ -1,0 +1,97 @@
+// mayo/stats -- univariate distributions and their reduction to the
+// standard normal.
+//
+// The paper (Sec. 2, refs [14,15]) notes that normal, log-normal and
+// uniform statistical parameters can all be transformed into standard
+// normal variables; the whole yield machinery then only ever deals with
+// N(0, I).  `Distribution` models one marginal with the pair of maps
+//
+//     to_standard_normal   : parameter value -> u with u ~ N(0,1)
+//     from_standard_normal : u -> parameter value
+//
+// implemented via the probability-integral transform u = Phi^-1(F(x)).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace mayo::stats {
+
+/// Interface for a univariate continuous distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density at `x`.
+  virtual double pdf(double x) const = 0;
+  /// Cumulative distribution function at `x`.
+  virtual double cdf(double x) const = 0;
+  /// Inverse cdf; p must lie in (0, 1).
+  virtual double quantile(double p) const = 0;
+  /// Distribution mean.
+  virtual double mean() const = 0;
+  /// Distribution standard deviation.
+  virtual double stddev() const = 0;
+  /// Human-readable description for reports.
+  virtual std::string describe() const = 0;
+
+  /// Maps a parameter value to its standard-normal image (u = Phi^-1(F(x))).
+  double to_standard_normal(double x) const;
+  /// Maps a standard-normal value back to the parameter space (x = F^-1(Phi(u))).
+  double from_standard_normal(double u) const;
+
+  virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+/// Gaussian N(mean, sigma^2).
+class NormalDistribution final : public Distribution {
+ public:
+  NormalDistribution(double mean, double sigma);
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return mean_; }
+  double stddev() const override { return sigma_; }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mean_;
+  double sigma_;
+};
+
+/// Log-normal: log(x) ~ N(mu, sigma^2), support x > 0.
+class LogNormalDistribution final : public Distribution {
+ public:
+  LogNormalDistribution(double mu_log, double sigma_log);
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double stddev() const override;
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Uniform on [lo, hi].
+class UniformDistribution final : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi);
+  double pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double stddev() const override;
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace mayo::stats

@@ -1,0 +1,49 @@
+// mayo/stats -- Pelgrom model of MOS transistor local variation.
+//
+// Pelgrom/Duinmaijer/Welbers (paper ref. [1]): the standard deviation of a
+// locally varying device parameter is inversely proportional to the square
+// root of the gate area,
+//
+//     sigma(dP) = A_P / sqrt(W * L)        (pair difference)
+//
+// and the distance term can be neglected, so local parameters of different
+// devices are uncorrelated (paper Sec. 3).  We model a *per-device* delta
+// with sigma = A_P / sqrt(2 * W * L) so that the difference of a matched
+// pair has exactly the Pelgrom sigma above.
+//
+// This dependence of the covariance on W and L is what makes C = C(d) in
+// the yield optimization (paper Sec. 4): enlarging a device shrinks its
+// local variation.
+#pragma once
+
+#include <stdexcept>
+
+namespace mayo::stats {
+
+/// Pelgrom area-law coefficient set for one device parameter.
+struct PelgromCoefficient {
+  /// Matching coefficient, in (parameter unit) * meter.  E.g. a threshold
+  /// voltage coefficient A_VT = 10 mV*um is 1e-8 V*m.
+  double a = 0.0;
+
+  /// Standard deviation of the *pair difference* for gate area W*L (m^2).
+  double pair_sigma(double width, double length) const {
+    check(width, length);
+    return a / std::sqrt(width * length);
+  }
+
+  /// Standard deviation of a single device's delta (so that the difference
+  /// of two independent devices reproduces pair_sigma).
+  double device_sigma(double width, double length) const {
+    check(width, length);
+    return a / std::sqrt(2.0 * width * length);
+  }
+
+ private:
+  static void check(double width, double length) {
+    if (!(width > 0.0) || !(length > 0.0))
+      throw std::invalid_argument("Pelgrom: W and L must be positive");
+  }
+};
+
+}  // namespace mayo::stats

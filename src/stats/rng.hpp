@@ -1,0 +1,45 @@
+// mayo/stats -- deterministic pseudo-random number generation.
+//
+// xoshiro256++ generator with splitmix64 seeding.  Deterministic across
+// platforms, which keeps Monte-Carlo yield estimates reproducible: the
+// optimizer relies on a *fixed* sample set (common random numbers) so that
+// yield differences between candidate designs are not drowned in sampling
+// noise (paper Sec. 5.3).
+#pragma once
+
+#include <cstdint>
+
+namespace mayo::stats {
+
+/// xoshiro256++ PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next 64 random bits.
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Standard normal variate (Box-Muller with caching).
+  double normal();
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Uniform integer in [0, n) (n > 0).
+  std::uint64_t below(std::uint64_t n);
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mayo::stats

@@ -1,0 +1,35 @@
+#include "stats/sampler.hpp"
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace mayo::stats {
+
+SampleSet::SampleSet(std::size_t count, std::size_t dim, std::uint64_t seed)
+    : samples_(count, dim) {
+  if (count == 0 || dim == 0)
+    throw std::invalid_argument("SampleSet: count and dim must be positive");
+  Rng rng(seed);
+  for (std::size_t j = 0; j < count; ++j) {
+    double* row = samples_.row(j);
+    for (std::size_t i = 0; i < dim; ++i) row[i] = rng.normal();
+  }
+}
+
+linalg::Vector SampleSet::sample_vector(std::size_t j) const {
+  linalg::Vector v(dim());
+  const double* row = sample(j);
+  for (std::size_t i = 0; i < dim(); ++i) v[i] = row[i];
+  return v;
+}
+
+double SampleSet::dot(std::size_t j, const linalg::Vector& g) const {
+  if (g.size() != dim()) throw std::invalid_argument("SampleSet::dot: size mismatch");
+  const double* row = sample(j);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) acc += row[i] * g[i];
+  return acc;
+}
+
+}  // namespace mayo::stats

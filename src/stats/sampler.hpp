@@ -1,0 +1,40 @@
+// mayo/stats -- fixed Monte-Carlo sample sets (common random numbers).
+//
+// The yield-improvement loop (paper Sec. 5.3) evaluates a *predefined*
+// number N of Monte-Carlo samples on the linearized performance models and
+// keeps those samples fixed while the design d moves.  This makes the yield
+// estimate a deterministic function of d (differences between designs are
+// not polluted by resampling noise) and enables the O(1) incremental
+// update per coordinate move (eq. 20).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::stats {
+
+/// An immutable block of N standard-normal sample vectors of dimension n.
+class SampleSet {
+ public:
+  /// Draws `count` samples of dimension `dim` from N(0, I) with the given seed.
+  SampleSet(std::size_t count, std::size_t dim, std::uint64_t seed);
+
+  std::size_t count() const { return samples_.rows(); }
+  std::size_t dim() const { return samples_.cols(); }
+
+  /// Row pointer for sample j (length dim()).
+  const double* sample(std::size_t j) const { return samples_.row(j); }
+  /// Copy of sample j as a Vector.
+  linalg::Vector sample_vector(std::size_t j) const;
+
+  /// Inner product of sample j with `g` (g.size() == dim()).
+  double dot(std::size_t j, const linalg::Vector& g) const;
+
+ private:
+  linalg::Matrixd samples_;
+};
+
+}  // namespace mayo::stats

@@ -1,0 +1,56 @@
+// mayo/stats -- summary statistics and yield confidence intervals.
+//
+// Used by the benchmark harness to report per-performance means/sigmas
+// (paper Table 2) and by the Monte-Carlo verification step to attach a
+// confidence interval to the estimated yield (paper eq. 6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mayo::stats {
+
+/// Running mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Combines another accumulator into this one (Chan's parallel update);
+  /// used to merge per-thread statistics.
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  /// Sample mean; 0 if empty.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample mean of a range.
+double mean(std::span<const double> xs);
+/// Unbiased sample standard deviation of a range.
+double stddev(std::span<const double> xs);
+
+/// Two-sided Wilson score confidence interval for a binomial proportion.
+struct YieldInterval {
+  double estimate;  ///< point estimate successes / trials
+  double lower;     ///< lower bound of the interval
+  double upper;     ///< upper bound of the interval
+};
+
+/// Wilson interval for `successes` out of `trials` at confidence z (default
+/// z = 1.96 ~ 95%).  trials must be positive.
+YieldInterval yield_confidence(std::size_t successes, std::size_t trials,
+                               double z = 1.96);
+
+}  // namespace mayo::stats

@@ -1,0 +1,94 @@
+// Shared analytic test fixture: a YieldProblem whose performances have
+// closed-form worst-case points, distances and yields, so every core
+// algorithm can be checked against hand-computed values.
+//
+// Performance model over d (2), s (3), theta (1):
+//
+//   f0 (linear, lower bound 0):
+//       f0 = d0 + d1 + g0^T s - theta          with g0 = (-1, -2, 0)
+//       margin m0 = f0; worst-case theta = theta_upper;
+//       beta0 = m0(d, 0) / ||g0||, s_wc = g0 * (-m0) / ||g0||^2.
+//
+//   f1 (quadratic mismatch pair (s1, s2), lower bound 0):
+//       f1 = a1 - q * (s1 - s2)^2      (a1 = d0 + 4, q = 1)
+//       worst-case points: s1 = -s2 = +-u/2 with u = sqrt(a1/q),
+//       beta1 = u / sqrt(2); mirrored behaviour by construction.
+//
+//   Constraints: c0 = d0 - d1 (>= 0), c1 = 6 - d0 - d1 (>= 0).
+//
+// Statistical parameters are standard normal (sigma 1, no correlation), so
+// s_hat == s and the covariance transform is the identity; design bounds
+// are [-5, 5]^2, theta in [-1, 1] with nominal 0.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "core/problem.hpp"
+
+namespace mayo::testing {
+
+class SyntheticModel final : public core::PerformanceModel {
+ public:
+  std::size_t num_performances() const override { return 2; }
+  std::size_t num_constraints() const override { return 2; }
+
+  linalg::Vector evaluate(const linalg::Vector& d, const linalg::Vector& s,
+                          const linalg::Vector& theta) override {
+    ++evaluations;
+    linalg::Vector f(2);
+    f[0] = d[0] + d[1] - s[0] - 2.0 * s[1] - theta[0];
+    const double u = s[1] - s[2];
+    f[1] = d[0] + 4.0 - u * u;
+    return f;
+  }
+
+  linalg::Vector constraints(const linalg::Vector& d) override {
+    ++constraint_evaluations;
+    linalg::Vector c(2);
+    c[0] = d[0] - d[1];
+    c[1] = 6.0 - d[0] - d[1];
+    return c;
+  }
+
+  std::unique_ptr<core::PerformanceModel> clone() const override {
+    return std::make_unique<SyntheticModel>();
+  }
+
+  int evaluations = 0;
+  int constraint_evaluations = 0;
+};
+
+inline core::YieldProblem make_synthetic_problem(double d0 = 2.0,
+                                                 double d1 = 1.0) {
+  core::YieldProblem problem;
+  problem.model = std::make_shared<SyntheticModel>();
+  problem.specs = {
+      {"lin", core::SpecKind::kLowerBound, 0.0, "u", 1.0},
+      {"quad", core::SpecKind::kLowerBound, 0.0, "u", 1.0},
+  };
+  problem.design.names = {"d0", "d1"};
+  problem.design.lower = linalg::Vector{-5.0, -5.0};
+  problem.design.upper = linalg::Vector{5.0, 5.0};
+  problem.design.nominal = linalg::Vector{d0, d1};
+  problem.operating.names = {"theta"};
+  problem.operating.lower = linalg::Vector{-1.0};
+  problem.operating.upper = linalg::Vector{1.0};
+  problem.operating.nominal = linalg::Vector{0.0};
+  for (const char* name : {"s0", "s1", "s2"})
+    problem.statistical.add(stats::StatParam::global(name, 0.0, 1.0));
+  problem.validate();
+  return problem;
+}
+
+/// Closed-form worst-case distance of the linear spec at (d, theta_wc = 1):
+/// beta = (d0 + d1 - 1) / sqrt(5).
+inline double linear_beta(double d0, double d1) {
+  return (d0 + d1 - 1.0) / std::sqrt(5.0);
+}
+
+/// Closed-form worst-case distance of the quadratic spec:
+/// beta = sqrt(d0 + 4) / sqrt(2).
+inline double quad_beta(double d0) { return std::sqrt((d0 + 4.0) / 2.0); }
+
+}  // namespace mayo::testing

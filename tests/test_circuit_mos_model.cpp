@@ -1,0 +1,198 @@
+#include "circuit/mos_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mayo::circuit {
+namespace {
+
+MosProcess test_process() {
+  MosProcess p;
+  p.vth0 = 0.7;
+  p.kp = 100e-6;
+  p.lambda_l = 0.05e-6;
+  p.gamma = 0.45;
+  p.phi = 0.7;
+  p.vth_tc = 2e-3;
+  p.mu_exp = 1.5;
+  p.tnom = 300.15;
+  return p;
+}
+
+constexpr double kT = 300.15;
+
+TEST(MosModel, CutoffCurrentNegligible) {
+  const MosEval e = mos_eval(test_process(), {10e-6, 1e-6}, {},
+                             {0.3, 2.0, 0.0}, kT);
+  EXPECT_EQ(e.region, MosRegion::kCutoff);
+  EXPECT_LT(std::abs(e.id), 1e-8);  // smoothing + gmin leakage only
+}
+
+TEST(MosModel, SaturationSquareLaw) {
+  // vgs = 1.2, vth = 0.7, vov = 0.5, W/L = 10, lambda = 0.05.
+  const MosProcess p = test_process();
+  const MosEval e = mos_eval(p, {10e-6, 1e-6}, {}, {1.2, 2.0, 0.0}, kT);
+  EXPECT_EQ(e.region, MosRegion::kSaturation);
+  const double beta = 100e-6 * 10.0;
+  const double expected = 0.5 * beta * 0.25 * (1.0 + 0.05 * 2.0);
+  EXPECT_NEAR(e.id, expected, expected * 0.01);  // 1% (overdrive smoothing)
+  EXPECT_NEAR(e.vth, 0.7, 1e-12);
+  EXPECT_NEAR(e.vov, 0.5, 1e-12);
+}
+
+TEST(MosModel, TriodeCurrent) {
+  const MosProcess p = test_process();
+  const MosEval e = mos_eval(p, {10e-6, 1e-6}, {}, {1.7, 0.2, 0.0}, kT);
+  EXPECT_EQ(e.region, MosRegion::kTriode);
+  const double beta = 1e-3;
+  const double expected = beta * (1.0 - 0.1) * 0.2 * (1.0 + 0.05 * 0.2);
+  EXPECT_NEAR(e.id, expected, expected * 0.01);
+}
+
+TEST(MosModel, ContinuousAtTriodeSaturationBoundary) {
+  const MosProcess p = test_process();
+  const MosGeometry g{10e-6, 1e-6};
+  const double vov = 0.5;
+  const MosEval below = mos_eval(p, g, {}, {1.2, vov - 1e-6, 0.0}, kT);
+  const MosEval above = mos_eval(p, g, {}, {1.2, vov + 1e-6, 0.0}, kT);
+  EXPECT_NEAR(below.id, above.id, 1e-9);
+  EXPECT_NEAR(below.gds, above.gds, 1e-6);
+}
+
+TEST(MosModel, GmMatchesFiniteDifference) {
+  const MosProcess p = test_process();
+  const MosGeometry g{20e-6, 2e-6};
+  const double h = 1e-6;
+  for (double vgs : {0.9, 1.2, 1.6}) {
+    for (double vds : {0.1, 0.5, 2.0}) {
+      const MosEval e = mos_eval(p, g, {}, {vgs, vds, 0.0}, kT);
+      const MosEval ep = mos_eval(p, g, {}, {vgs + h, vds, 0.0}, kT);
+      const MosEval em = mos_eval(p, g, {}, {vgs - h, vds, 0.0}, kT);
+      const double fd = (ep.id - em.id) / (2.0 * h);
+      EXPECT_NEAR(e.gm, fd, std::max(1e-9, std::abs(fd) * 1e-4))
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST(MosModel, GdsMatchesFiniteDifference) {
+  const MosProcess p = test_process();
+  const MosGeometry g{20e-6, 2e-6};
+  const double h = 1e-6;
+  for (double vds : {0.1, 0.45, 1.5}) {
+    const MosEval e = mos_eval(p, g, {}, {1.2, vds, 0.0}, kT);
+    const MosEval ep = mos_eval(p, g, {}, {1.2, vds + h, 0.0}, kT);
+    const MosEval em = mos_eval(p, g, {}, {1.2, vds - h, 0.0}, kT);
+    const double fd = (ep.id - em.id) / (2.0 * h);
+    EXPECT_NEAR(e.gds, fd, std::max(1e-9, std::abs(fd) * 1e-3)) << vds;
+  }
+}
+
+TEST(MosModel, GmbMatchesFiniteDifference) {
+  const MosProcess p = test_process();
+  const MosGeometry g{20e-6, 2e-6};
+  const double h = 1e-6;
+  const MosEval e = mos_eval(p, g, {}, {1.2, 1.0, -0.5}, kT);
+  const MosEval ep = mos_eval(p, g, {}, {1.2, 1.0, -0.5 + h}, kT);
+  const MosEval em = mos_eval(p, g, {}, {1.2, 1.0, -0.5 - h}, kT);
+  const double fd = (ep.id - em.id) / (2.0 * h);
+  EXPECT_NEAR(e.gmb, fd, std::abs(fd) * 1e-3);
+  EXPECT_GT(e.gmb, 0.0);
+  EXPECT_LT(e.gmb, e.gm);
+}
+
+TEST(MosModel, BodyEffectRaisesThreshold) {
+  const MosProcess p = test_process();
+  const double vth0 = mos_vth(p, {}, 0.0, kT);
+  const double vth_body = mos_vth(p, {}, -1.0, kT);
+  EXPECT_NEAR(vth0, 0.7, 1e-12);
+  EXPECT_GT(vth_body, vth0);
+  // gamma * (sqrt(phi + 1) - sqrt(phi))
+  EXPECT_NEAR(vth_body - vth0,
+              0.45 * (std::sqrt(1.7) - std::sqrt(0.7)), 1e-12);
+}
+
+TEST(MosModel, ThresholdTemperatureCoefficient) {
+  const MosProcess p = test_process();
+  EXPECT_NEAR(mos_vth(p, {}, 0.0, kT + 100.0), 0.7 - 0.2, 1e-12);
+}
+
+TEST(MosModel, MobilityTemperatureScaling) {
+  const MosProcess p = test_process();
+  const MosGeometry g{10e-6, 1e-6};
+  const double beta_cold = mos_beta(p, g, {}, kT);
+  const double beta_hot = mos_beta(p, g, {}, kT * 1.2);
+  EXPECT_NEAR(beta_hot / beta_cold, std::pow(1.2, -1.5), 1e-12);
+}
+
+TEST(MosModel, VariationShiftsThresholdAndGain) {
+  const MosProcess p = test_process();
+  const MosGeometry g{10e-6, 1e-6};
+  MosVariation var;
+  var.dvth = 0.05;
+  var.kp_scale = 1.1;
+  EXPECT_NEAR(mos_vth(p, var, 0.0, kT), 0.75, 1e-12);
+  EXPECT_NEAR(mos_beta(p, g, var, kT), 1.1 * 1e-3, 1e-12);
+  const MosEval nom = mos_eval(p, g, {}, {1.2, 2.0, 0.0}, kT);
+  const MosEval shifted = mos_eval(p, g, var, {1.2, 2.0, 0.0}, kT);
+  EXPECT_LT(shifted.id / nom.id, 1.1 * 0.9 * 0.9 / 0.25 + 1.0);
+  EXPECT_NE(shifted.id, nom.id);
+}
+
+TEST(MosModel, SourceDrainSwapSymmetry) {
+  // id(vgs, vds) must equal -id evaluated with terminals exchanged.
+  const MosProcess p = test_process();
+  const MosGeometry g{10e-6, 1e-6};
+  const MosEval fwd = mos_eval(p, g, {}, {1.2, 0.3, 0.0}, kT);
+  // Exchange: gate-source becomes gate-drain etc.
+  const MosEval swapped = mos_eval(p, g, {}, {1.2 - 0.3, -0.3, -0.3}, kT);
+  EXPECT_TRUE(swapped.swapped);
+  EXPECT_NEAR(swapped.id, -fwd.id, std::abs(fwd.id) * 1e-9);
+}
+
+TEST(MosModel, SwappedDerivativesMatchFiniteDifference) {
+  const MosProcess p = test_process();
+  const MosGeometry g{10e-6, 1e-6};
+  const double h = 1e-6;
+  const MosBias bias{0.9, -0.4, -0.1};
+  const MosEval e = mos_eval(p, g, {}, bias, kT);
+  ASSERT_TRUE(e.swapped);
+  const MosEval egp = mos_eval(p, g, {}, {bias.vgs + h, bias.vds, bias.vbs}, kT);
+  const MosEval egm = mos_eval(p, g, {}, {bias.vgs - h, bias.vds, bias.vbs}, kT);
+  EXPECT_NEAR(e.gm, (egp.id - egm.id) / (2 * h), 1e-3 * std::abs(e.gm) + 1e-12);
+  const MosEval edp = mos_eval(p, g, {}, {bias.vgs, bias.vds + h, bias.vbs}, kT);
+  const MosEval edm = mos_eval(p, g, {}, {bias.vgs, bias.vds - h, bias.vbs}, kT);
+  EXPECT_NEAR(e.gds, (edp.id - edm.id) / (2 * h), 1e-3 * std::abs(e.gds) + 1e-12);
+  const MosEval ebp = mos_eval(p, g, {}, {bias.vgs, bias.vds, bias.vbs + h}, kT);
+  const MosEval ebm = mos_eval(p, g, {}, {bias.vgs, bias.vds, bias.vbs - h}, kT);
+  EXPECT_NEAR(e.gmb, (ebp.id - ebm.id) / (2 * h), 1e-3 * std::abs(e.gmb) + 1e-12);
+}
+
+TEST(MosModel, CapsScaleWithGeometry) {
+  const MosProcess p = test_process();
+  const MosCaps small = mos_caps(p, {10e-6, 1e-6});
+  const MosCaps big = mos_caps(p, {20e-6, 1e-6});
+  EXPECT_GT(small.cgs, 0.0);
+  EXPECT_NEAR(big.cgd, 2.0 * small.cgd, 1e-20);
+  EXPECT_NEAR(big.cdb, 2.0 * small.cdb, 1e-20);
+  EXPECT_GT(big.cgs, small.cgs);
+}
+
+TEST(MosModel, CoxFromTox) {
+  MosProcess p = test_process();
+  p.tox = 15e-9;
+  EXPECT_NEAR(mos_cox(p), 3.9 * 8.854e-12 / 15e-9, 1e-9);
+}
+
+TEST(MosModel, GmPositiveAcrossCutoffBoundary) {
+  // The smoothed overdrive keeps Newton alive: gm must never be exactly 0
+  // just below threshold.
+  const MosProcess p = test_process();
+  const MosGeometry g{10e-6, 1e-6};
+  const MosEval e = mos_eval(p, g, {}, {0.69, 1.0, 0.0}, kT);
+  EXPECT_GT(e.gm, 0.0);
+}
+
+}  // namespace
+}  // namespace mayo::circuit

@@ -1,0 +1,97 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mayo::circuit {
+namespace {
+
+TEST(Netlist, GroundPreRegistered) {
+  Netlist nl;
+  EXPECT_EQ(nl.num_nodes(), 1u);
+  EXPECT_EQ(nl.node("0"), kGround);
+  EXPECT_EQ(nl.node("gnd"), kGround);
+}
+
+TEST(Netlist, AddAndLookupNodes) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(nl.node("a"), a);
+  EXPECT_EQ(nl.node_name(b), "b");
+  EXPECT_TRUE(nl.has_node("a"));
+  EXPECT_FALSE(nl.has_node("zz"));
+  EXPECT_THROW(nl.node("zz"), std::out_of_range);
+}
+
+TEST(Netlist, DuplicateNodeNameThrows) {
+  Netlist nl;
+  nl.add_node("x");
+  EXPECT_THROW(nl.add_node("x"), std::invalid_argument);
+  EXPECT_THROW(nl.add_node("gnd"), std::invalid_argument);
+}
+
+TEST(Netlist, DeviceRegistrationAndLookup) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  Resistor& r = nl.add<Resistor>("R1", a, kGround, 1e3);
+  EXPECT_EQ(nl.num_devices(), 1u);
+  EXPECT_EQ(&nl.device("R1"), &r);
+  EXPECT_EQ(&nl.device(0), &r);
+  EXPECT_THROW(nl.device("R2"), std::out_of_range);
+}
+
+TEST(Netlist, DuplicateDeviceNameThrows) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add<Resistor>("R1", a, kGround, 1e3);
+  EXPECT_THROW(nl.add<Resistor>("R1", a, kGround, 2e3), std::invalid_argument);
+}
+
+TEST(Netlist, BranchAssignment) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  VoltageSource& v1 = nl.add<VoltageSource>("V1", a, kGround, 1.0);
+  nl.add<Resistor>("R1", a, b, 1e3);
+  VoltageSource& v2 = nl.add<VoltageSource>("V2", b, kGround, 2.0);
+  EXPECT_EQ(nl.num_branches(), 2u);
+  EXPECT_EQ(v1.first_branch(), 0);
+  EXPECT_EQ(v2.first_branch(), 1);
+  // system: 2 node voltages + 2 branch currents.
+  EXPECT_EQ(nl.system_size(), 4u);
+}
+
+TEST(Netlist, MosfetEnumeration) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  MosProcess proc;
+  nl.add<Resistor>("R1", a, kGround, 1e3);
+  nl.add<Mosfet>("M1", MosType::kNmos, a, a, kGround, kGround, proc,
+                 MosGeometry{1e-6, 1e-6});
+  nl.add<Mosfet>("M2", MosType::kPmos, a, a, kGround, kGround, proc,
+                 MosGeometry{1e-6, 1e-6});
+  const auto mosfets = nl.mosfets();
+  ASSERT_EQ(mosfets.size(), 2u);
+  EXPECT_EQ(mosfets[0]->name(), "M1");
+  EXPECT_EQ(mosfets[1]->name(), "M2");
+  const Netlist& cnl = nl;
+  EXPECT_EQ(cnl.mosfets().size(), 2u);
+}
+
+TEST(Netlist, IterationVisitsAllDevices) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add<Resistor>("R1", a, kGround, 1.0);
+  nl.add<Capacitor>("C1", a, kGround, 1e-12);
+  int count = 0;
+  for (const auto& device : nl) {
+    (void)device;
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace mayo::circuit

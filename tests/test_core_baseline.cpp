@@ -1,0 +1,166 @@
+#include "core/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+#include "stats/normal.hpp"
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+TEST(DirectMc, ImprovesSyntheticYield) {
+  auto problem = testing::make_synthetic_problem(0.2, 0.1);
+  Evaluator ev(problem);
+  DirectMcOptions options;
+  options.samples = 300;
+  options.max_sweeps = 4;
+  const DirectMcResult result = optimize_yield_direct_mc(ev, options);
+  EXPECT_GT(result.yield, 0.8);
+  EXPECT_FALSE(result.budget_exhausted);
+  // The final point respects the constraints.
+  const Vector c = ev.constraints(result.d);
+  for (double ci : c) EXPECT_GE(ci, 0.0);
+}
+
+TEST(DirectMc, ConsumesFarMoreEvaluationsThanProposed) {
+  // The paper's core claim: direct MC inside the loop is wasteful.
+  auto problem_mc = testing::make_synthetic_problem(0.2, 0.1);
+  Evaluator ev_mc(problem_mc);
+  DirectMcOptions mc_options;
+  mc_options.samples = 300;
+  mc_options.max_sweeps = 3;
+  const DirectMcResult mc = optimize_yield_direct_mc(ev_mc, mc_options);
+
+  auto problem_prop = testing::make_synthetic_problem(0.2, 0.1);
+  Evaluator ev_prop(problem_prop);
+  YieldOptimizerOptions prop_options;
+  prop_options.max_iterations = 6;
+  prop_options.linear_samples = 3000;
+  prop_options.run_verification = false;
+  const YieldOptimizationResult proposed =
+      optimize_yield(ev_prop, prop_options);
+
+  EXPECT_GT(mc.evaluations, 3 * proposed.counts.optimization);
+  // ...for a comparable (or worse) final yield.
+  EXPECT_GE(proposed.trace.back().linear_yield + 0.1, mc.yield);
+}
+
+TEST(DirectMc, RespectsEvaluationBudget) {
+  auto problem = testing::make_synthetic_problem(0.2, 0.1);
+  Evaluator ev(problem);
+  DirectMcOptions options;
+  options.samples = 500;
+  options.max_sweeps = 10;
+  options.max_evaluations = 2000;
+  const DirectMcResult result = optimize_yield_direct_mc(ev, options);
+  EXPECT_LE(result.evaluations, 2000u + 600u);  // + corner/constraint slack
+  EXPECT_TRUE(result.budget_exhausted);
+}
+
+TEST(LinearizedBeta, MatchesAnalyticForLinearSpec) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const auto lm = build_linearizations(ev, problem.design.nominal);
+  // Linear spec: beta = (d0 + d1 - 1)/sqrt(5) at theta_wc = 1.
+  const double beta =
+      linearized_beta(lm.models[0], problem.design.nominal);
+  EXPECT_NEAR(beta, testing::linear_beta(2.0, 1.0), 1e-4);
+  // Moving d shifts beta linearly: +1 on d0 adds 1/sqrt(5).
+  Vector d = problem.design.nominal;
+  d[0] += 1.0;
+  EXPECT_NEAR(linearized_beta(lm.models[0], d),
+              testing::linear_beta(3.0, 1.0), 1e-4);
+}
+
+TEST(Maximin, CentersBetweenOpposingSpecs) {
+  // Two handmade linear models pulling d[0] in opposite directions:
+  // beta_0 = 1 + d0, beta_1 = 1 - d0 (unit sigma).  Maximin optimum d0 = 0.
+  SpecLinearization a;
+  a.spec = 0;
+  a.s_wc = Vector(1);
+  a.margin_wc = 1.0;
+  a.grad_s = Vector{1.0};
+  a.grad_d = Vector{1.0};
+  a.d_f = Vector{0.5};
+  a.theta_wc = Vector{0.0};
+  SpecLinearization b = a;
+  b.spec = 1;
+  b.margin_wc = 0.0;
+  b.grad_d = Vector{-1.0};
+  // beta_a(d) = 1 + (d - 0.5);  beta_b(d) = 0 - (d - 0.5).
+  // Maximin: 1 + x = -x -> x = -0.5 -> d* = 0.
+  ParameterSpace space;
+  space.names = {"d"};
+  space.lower = Vector{-4.0};
+  space.upper = Vector{4.0};
+  space.nominal = Vector{0.5};
+
+  const MaximinResult result =
+      maximize_min_beta({a, b}, space, nullptr, Vector{0.5});
+  EXPECT_NEAR(result.d[0], 0.0, 0.1);
+  EXPECT_NEAR(result.min_beta, 0.5, 0.1);
+  ASSERT_EQ(result.betas.size(), 2u);
+  EXPECT_NEAR(result.betas[0], result.betas[1], 0.2);
+}
+
+TEST(Maximin, RespectsLinearConstraints) {
+  // One model wanting d as large as possible, a constraint capping d <= 1.
+  SpecLinearization m;
+  m.spec = 0;
+  m.s_wc = Vector(1);
+  m.margin_wc = 0.0;
+  m.grad_s = Vector{1.0};
+  m.grad_d = Vector{1.0};
+  m.d_f = Vector{0.0};
+  m.theta_wc = Vector{0.0};
+  ParameterSpace space;
+  space.names = {"d"};
+  space.lower = Vector{-5.0};
+  space.upper = Vector{5.0};
+  space.nominal = Vector{0.0};
+  FeasibilityModel feasibility;
+  feasibility.d_f = Vector{0.0};
+  feasibility.c0 = Vector{1.0};  // c = 1 - d
+  feasibility.jacobian = linalg::Matrixd(1, 1);
+  feasibility.jacobian(0, 0) = -1.0;
+
+  const MaximinResult result =
+      maximize_min_beta({m}, space, &feasibility, Vector{0.0});
+  EXPECT_LE(result.d[0], 1.0 + 1e-9);
+  EXPECT_NEAR(result.d[0], 1.0, 0.05);
+}
+
+TEST(Maximin, ImprovesSyntheticProblem) {
+  auto problem = testing::make_synthetic_problem(0.2, 0.1);
+  Evaluator ev(problem);
+  const auto lm = build_linearizations(ev, problem.design.nominal);
+  const auto feasibility = linearize_feasibility(ev, problem.design.nominal);
+  const MaximinResult result = maximize_min_beta(
+      lm.models, problem.design, &feasibility, problem.design.nominal);
+  double start_min = 1e9;
+  for (const auto& model : lm.models)
+    start_min =
+        std::min(start_min, linearized_beta(model, problem.design.nominal));
+  EXPECT_GT(result.min_beta, start_min + 0.5);
+}
+
+TEST(Maximin, InfiniteBetaForZeroGradient) {
+  SpecLinearization m;
+  m.s_wc = Vector(1);
+  m.margin_wc = 1.0;
+  m.grad_s = Vector{0.0};
+  m.grad_d = Vector{0.0};
+  m.d_f = Vector{0.0};
+  EXPECT_TRUE(std::isinf(linearized_beta(m, Vector{0.0})));
+  m.margin_wc = -1.0;
+  EXPECT_TRUE(std::isinf(linearized_beta(m, Vector{0.0})));
+  EXPECT_LT(linearized_beta(m, Vector{0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace mayo::core

@@ -1,0 +1,147 @@
+#include "core/coordinate_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/normal.hpp"
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+SpecLinearization make_model(std::size_t spec, double m0, Vector g_s,
+                             Vector g_d, Vector d_f) {
+  SpecLinearization lin;
+  lin.spec = spec;
+  lin.s_wc = Vector(g_s.size());
+  lin.margin_wc = m0;
+  lin.grad_s = std::move(g_s);
+  lin.grad_d = std::move(g_d);
+  lin.d_f = std::move(d_f);
+  lin.theta_wc = Vector{0.0};
+  return lin;
+}
+
+ParameterSpace box2(double lo, double hi) {
+  ParameterSpace space;
+  space.names = {"d0", "d1"};
+  space.lower = Vector{lo, lo};
+  space.upper = Vector{hi, hi};
+  space.nominal = Vector{0.0, 0.0};
+  return space;
+}
+
+TEST(CoordinateSearch, CentersTwoOpposingSpecs) {
+  // margin_0 = 1 - s0 + d0 (wants d0 large),
+  // margin_1 = 1 + s1 - d0 (wants d0 small): optimum ~ d0 = 0 by symmetry.
+  // Start away from the optimum and check the search recovers it.
+  const stats::SampleSet samples(20000, 2, 13);
+  std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0, 0.0}, Vector{1.0, 0.0}, Vector{2.0, 0.0}),
+      make_model(1, 1.0, Vector{0.0, 1.0}, Vector{-1.0, 0.0}, Vector{2.0, 0.0})};
+  // Recenter margins at d_f = (2, 0): margin_0(d_f) = 1, margin_1(d_f) = 1.
+  LinearYieldModel model(models, samples);
+  ParameterSpace space = box2(-10.0, 10.0);
+  CoordinateSearchOptions options;
+  options.trust_fraction = 1e9;  // no trust limit in this synthetic test
+  options.trust_floor_fraction = 1e9;
+  const CoordinateSearchResult result =
+      maximize_linear_yield(model, nullptr, space, options);
+  // Optimal d0 is where both betas equal: beta = 1 +- (d0 - 2) ->
+  // d0* = 2 gives (1, 1)... moving d0 cannot improve the product?  With
+  // margins 1 -+ delta the pass set is s0 <= 1+delta AND s1 >= -(1-delta);
+  // the count is maximized near delta = 0 (start), so few or no moves.
+  EXPECT_NEAR(result.d_star[0], 2.0, 0.3);
+  EXPECT_GT(result.yield, 0.70);
+}
+
+TEST(CoordinateSearch, MovesToRescueFailingSpec) {
+  // margin = -2 - s0 + d0, expansion at d_f = 0: all samples fail until
+  // d0 > ~2.  The exact optimizer must push d0 up.
+  const stats::SampleSet samples(5000, 1, 17);
+  std::vector<SpecLinearization> models = {
+      make_model(0, -2.0, Vector{-1.0}, Vector{1.0, 0.0}, Vector{0.0, 0.0})};
+  LinearYieldModel model(models, samples);
+  ParameterSpace space = box2(-10.0, 10.0);
+  CoordinateSearchOptions options;
+  options.trust_fraction = 1e9;
+  options.trust_floor_fraction = 1e9;
+  const CoordinateSearchResult result =
+      maximize_linear_yield(model, nullptr, space, options);
+  EXPECT_GT(result.d_star[0], 5.0);  // pushes beta high
+  EXPECT_GT(result.yield, 0.999);
+  EXPECT_GE(result.moves, 1);
+}
+
+TEST(CoordinateSearch, RespectsLinearConstraints) {
+  // Same rescue scenario, but a constraint caps d0 at 1.5.
+  const stats::SampleSet samples(5000, 1, 17);
+  std::vector<SpecLinearization> models = {
+      make_model(0, -2.0, Vector{-1.0}, Vector{1.0, 0.0}, Vector{0.0, 0.0})};
+  LinearYieldModel model(models, samples);
+  ParameterSpace space = box2(-10.0, 10.0);
+
+  FeasibilityModel feasibility;
+  feasibility.d_f = Vector{0.0, 0.0};
+  feasibility.c0 = Vector{1.5};  // c = 1.5 - d0
+  feasibility.jacobian = linalg::Matrixd(1, 2);
+  feasibility.jacobian(0, 0) = -1.0;
+  CoordinateSearchOptions options;
+  options.trust_fraction = 1e9;
+  options.trust_floor_fraction = 1e9;
+  const CoordinateSearchResult result =
+      maximize_linear_yield(model, &feasibility, space, options);
+  EXPECT_LE(result.d_star[0], 1.5 + 1e-9);
+  // beta at the cap: 1.5 - 2 = -0.5 -> ~31% yield.
+  EXPECT_NEAR(result.yield, stats::yield_from_beta(-0.5), 0.03);
+}
+
+TEST(CoordinateSearch, TrustRegionLimitsMoves) {
+  const stats::SampleSet samples(2000, 1, 19);
+  std::vector<SpecLinearization> models = {
+      make_model(0, -2.0, Vector{-1.0}, Vector{1.0, 0.0}, Vector{1.0, 0.0})};
+  LinearYieldModel model(models, samples);
+  ParameterSpace space = box2(-10.0, 10.0);
+  CoordinateSearchOptions options;
+  options.trust_fraction = 0.5;        // |move| <= 0.5 * |start| = 0.5
+  options.trust_floor_fraction = 0.0;
+  const CoordinateSearchResult result =
+      maximize_linear_yield(model, nullptr, space, options);
+  EXPECT_LE(result.d_star[0], 1.5 + 1e-9);
+}
+
+TEST(CoordinateSearch, NoMovesWhenAlreadyOptimal) {
+  const stats::SampleSet samples(1000, 1, 23);
+  // All samples already pass and no move can add more.
+  std::vector<SpecLinearization> models = {
+      make_model(0, 50.0, Vector{-1.0}, Vector{1.0, 0.0}, Vector{0.0, 0.0})};
+  LinearYieldModel model(models, samples);
+  ParameterSpace space = box2(-1.0, 1.0);
+  const CoordinateSearchResult result =
+      maximize_linear_yield(model, nullptr, space, {});
+  EXPECT_EQ(result.moves, 0);
+  EXPECT_EQ(result.passing, 1000u);
+}
+
+TEST(CoordinateSearch, ObserverSeesMoves) {
+  const stats::SampleSet samples(2000, 1, 29);
+  std::vector<SpecLinearization> models = {
+      make_model(0, -2.0, Vector{-1.0}, Vector{1.0, 0.0}, Vector{0.0, 0.0})};
+  LinearYieldModel model(models, samples);
+  ParameterSpace space = box2(-10.0, 10.0);
+  CoordinateSearchOptions options;
+  options.trust_fraction = 1e9;
+  options.trust_floor_fraction = 1e9;
+  int observed = 0;
+  options.on_move = [&](std::size_t k, double, std::size_t) {
+    EXPECT_EQ(k, 0u);
+    ++observed;
+  };
+  const CoordinateSearchResult result =
+      maximize_linear_yield(model, nullptr, space, options);
+  EXPECT_EQ(observed, result.moves);
+}
+
+}  // namespace
+}  // namespace mayo::core

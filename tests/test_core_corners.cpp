@@ -1,0 +1,124 @@
+#include "core/corners.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+class CornerTest : public ::testing::Test {
+ protected:
+  CornerTest()
+      : problem(testing::make_synthetic_problem(2.0, 1.0)), ev(problem) {
+    linearized = build_linearizations(ev, problem.design.nominal);
+  }
+  YieldProblem problem;
+  Evaluator ev;
+  LinearizedModels linearized;
+};
+
+TEST_F(CornerTest, CornersHaveTargetNorm) {
+  const auto corners =
+      extract_worst_case_corners(ev, linearized, problem.design.nominal);
+  ASSERT_FALSE(corners.empty());
+  for (const auto& corner : corners)
+    EXPECT_NEAR(corner.s_hat.norm(), 3.0, 1e-9);
+}
+
+TEST_F(CornerTest, DirectionMatchesWorstCasePoint) {
+  const auto corners =
+      extract_worst_case_corners(ev, linearized, problem.design.nominal);
+  // Corner of the linear spec is parallel to its worst-case point.
+  const auto& wc = linearized.worst_cases[0];
+  const auto& corner = corners.front();
+  ASSERT_EQ(corner.spec, 0u);
+  const double cosine = linalg::dot(corner.s_hat, wc.s_wc) /
+                        (corner.s_hat.norm() * wc.s_wc.norm());
+  EXPECT_NEAR(cosine, 1.0, 1e-9);
+}
+
+TEST_F(CornerTest, MirroredSpecGetsBothSigns) {
+  const auto corners =
+      extract_worst_case_corners(ev, linearized, problem.design.nominal);
+  int quad_corners = 0;
+  Vector first;
+  for (const auto& corner : corners) {
+    if (corner.spec != 1) continue;
+    ++quad_corners;
+    if (quad_corners == 1)
+      first = corner.s_hat;
+    else
+      for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_NEAR(corner.s_hat[i], -first[i], 1e-9);
+  }
+  EXPECT_EQ(quad_corners, 2);
+}
+
+TEST_F(CornerTest, PhysicalConversionUsesSigmas) {
+  // Scale one parameter's sigma and check the physical corner scales.
+  auto scaled = testing::make_synthetic_problem(2.0, 1.0);
+  stats::CovarianceModel cov;
+  cov.add(stats::StatParam::global("s0", 0.0, 2.0));
+  cov.add(stats::StatParam::global("s1", 0.0, 1.0));
+  cov.add(stats::StatParam::global("s2", 0.0, 1.0));
+  scaled.statistical = std::move(cov);
+  Evaluator ev2(scaled);
+  const auto lm2 = build_linearizations(ev2, scaled.design.nominal);
+  const auto corners =
+      extract_worst_case_corners(ev2, lm2, scaled.design.nominal);
+  ASSERT_FALSE(corners.empty());
+  const auto& corner = corners.front();
+  EXPECT_NEAR(corner.s_physical[0], 2.0 * corner.s_hat[0], 1e-9);
+  EXPECT_NEAR(corner.s_physical[1], corner.s_hat[1], 1e-9);
+}
+
+TEST_F(CornerTest, MarginEvaluationCostsOneSimEach) {
+  const std::size_t before = ev.counts().optimization;
+  ev.clear_cache();
+  CornerOptions options;
+  options.evaluate_margins = true;
+  const auto corners = extract_worst_case_corners(
+      ev, linearized, problem.design.nominal, options);
+  EXPECT_EQ(ev.counts().optimization - before, corners.size());
+  for (const auto& corner : corners) {
+    EXPECT_TRUE(corner.margin_evaluated);
+    // A beta=3 corner of a satisfied spec lies beyond the boundary: the
+    // margin there is negative (the corner is a pessimistic set).
+    if (corner.spec == 0) EXPECT_LT(corner.margin, 0.0);
+  }
+}
+
+TEST_F(CornerTest, LinearSpecCornerMarginMatchesModel) {
+  CornerOptions options;
+  options.evaluate_margins = true;
+  options.beta_target = testing::linear_beta(2.0, 1.0);  // exactly on the boundary
+  const auto corners = extract_worst_case_corners(
+      ev, linearized, problem.design.nominal, options);
+  ASSERT_FALSE(corners.empty());
+  EXPECT_NEAR(corners.front().margin, 0.0, 1e-4);
+}
+
+TEST_F(CornerTest, ConvergedOnlyFilter) {
+  // Force a non-converged worst case and check it is skipped by default
+  // but kept when requested.
+  LinearizedModels tweaked = linearized;
+  tweaked.worst_cases[0].converged = false;
+  const auto strict = extract_worst_case_corners(
+      ev, tweaked, problem.design.nominal);
+  for (const auto& corner : strict) EXPECT_NE(corner.spec, 0u);
+  CornerOptions keep;
+  keep.converged_only = false;
+  const auto lenient = extract_worst_case_corners(
+      ev, tweaked, problem.design.nominal, keep);
+  bool has_spec0 = false;
+  for (const auto& corner : lenient) has_spec0 |= corner.spec == 0;
+  EXPECT_TRUE(has_spec0);
+}
+
+}  // namespace
+}  // namespace mayo::core

@@ -1,0 +1,181 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+using testing::SyntheticModel;
+
+TEST(Evaluator, MarginsMatchModel) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const Vector m = ev.margins(problem.design.nominal, ev.nominal_s_hat(),
+                              Vector{0.0});
+  EXPECT_NEAR(m[0], 3.0, 1e-12);          // d0 + d1 at s=0, theta=0
+  EXPECT_NEAR(m[1], 6.0, 1e-12);          // d0 + 4
+  EXPECT_NEAR(ev.margin(1, problem.design.nominal, ev.nominal_s_hat(),
+                        Vector{0.0}),
+              6.0, 1e-12);
+}
+
+TEST(Evaluator, CountsAndCaches) {
+  auto problem = testing::make_synthetic_problem();
+  auto* model = dynamic_cast<SyntheticModel*>(problem.model.get());
+  Evaluator ev(problem);
+  const Vector d = problem.design.nominal;
+  const Vector s = ev.nominal_s_hat();
+  const Vector theta{0.0};
+
+  ev.performances(d, s, theta);
+  EXPECT_EQ(ev.counts().optimization, 1u);
+  EXPECT_EQ(model->evaluations, 1);
+
+  // Identical call: served from cache.
+  ev.performances(d, s, theta);
+  ev.margins(d, s, theta);
+  EXPECT_EQ(ev.counts().optimization, 1u);
+  EXPECT_EQ(ev.counts().cache_hits, 2u);
+  EXPECT_EQ(model->evaluations, 1);
+
+  // Different budget attribution.
+  Vector theta2{0.5};
+  ev.performances(d, s, theta2, Budget::kVerification);
+  EXPECT_EQ(ev.counts().verification, 1u);
+  EXPECT_EQ(ev.counts().total(), 2u);
+
+  ev.clear_cache();
+  ev.performances(d, s, theta);
+  EXPECT_EQ(model->evaluations, 3);
+}
+
+TEST(Evaluator, ConstraintCaching) {
+  auto problem = testing::make_synthetic_problem();
+  auto* model = dynamic_cast<SyntheticModel*>(problem.model.get());
+  Evaluator ev(problem);
+  const Vector c = ev.constraints(problem.design.nominal);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);  // d0 - d1 = 1
+  EXPECT_NEAR(c[1], 3.0, 1e-12);  // 6 - 3
+  ev.constraints(problem.design.nominal);
+  EXPECT_EQ(model->constraint_evaluations, 1);
+  EXPECT_EQ(ev.counts().constraint, 1u);
+}
+
+TEST(Evaluator, SizeValidation) {
+  auto problem = testing::make_synthetic_problem();
+  Evaluator ev(problem);
+  EXPECT_THROW(ev.performances(Vector{1.0}, ev.nominal_s_hat(), Vector{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ev.performances(problem.design.nominal, Vector{1.0},
+                               Vector{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ev.performances(problem.design.nominal, ev.nominal_s_hat(),
+                               Vector{}),
+               std::invalid_argument);
+  EXPECT_THROW(ev.margin(5, problem.design.nominal, ev.nominal_s_hat(),
+                         Vector{0.0}),
+               std::out_of_range);
+}
+
+TEST(Evaluator, GradientSMatchesAnalytic) {
+  auto problem = testing::make_synthetic_problem();
+  Evaluator ev(problem);
+  const Vector d = problem.design.nominal;
+  const Vector theta{0.0};
+  // Linear spec: grad_s = (-1, -2, 0) exactly (forward differences exact
+  // for linear functions).
+  const Vector g = ev.margin_gradient_s(0, d, ev.nominal_s_hat(), theta);
+  EXPECT_NEAR(g[0], -1.0, 1e-9);
+  EXPECT_NEAR(g[1], -2.0, 1e-9);
+  EXPECT_NEAR(g[2], 0.0, 1e-9);
+}
+
+TEST(Evaluator, GradientsSharedAcrossSpecs) {
+  auto problem = testing::make_synthetic_problem();
+  auto* model = dynamic_cast<SyntheticModel*>(problem.model.get());
+  Evaluator ev(problem);
+  const Vector d = problem.design.nominal;
+  const Vector theta{0.0};
+  model->evaluations = 0;
+  ev.clear_cache();
+  const linalg::Matrixd grads =
+      ev.margin_gradients_s(d, ev.nominal_s_hat(), theta);
+  // base + 3 shifted points = 4 evaluations for BOTH specs.
+  EXPECT_EQ(model->evaluations, 4);
+  EXPECT_NEAR(grads(0, 1), -2.0, 1e-9);
+  // Quadratic spec at s=0 has zero gradient up to the FD offset
+  // (margin = 4+d0 - (s1-s2)^2; forward diff gives -h).
+  EXPECT_NEAR(grads(1, 0), 0.0, 1e-9);
+  EXPECT_LT(std::abs(grads(1, 1)), 0.1);
+}
+
+TEST(Evaluator, GradientDMatchesAnalytic) {
+  auto problem = testing::make_synthetic_problem();
+  Evaluator ev(problem);
+  const Vector d = problem.design.nominal;
+  const Vector theta{0.0};
+  const Vector g = ev.margin_gradient_d(0, d, ev.nominal_s_hat(), theta);
+  EXPECT_NEAR(g[0], 1.0, 1e-6);
+  EXPECT_NEAR(g[1], 1.0, 1e-6);
+  const Vector g1 = ev.margin_gradient_d(1, d, ev.nominal_s_hat(), theta);
+  EXPECT_NEAR(g1[0], 1.0, 1e-6);
+  EXPECT_NEAR(g1[1], 0.0, 1e-6);
+}
+
+TEST(Evaluator, ConstraintJacobian) {
+  auto problem = testing::make_synthetic_problem();
+  Evaluator ev(problem);
+  const linalg::Matrixd jac =
+      ev.constraint_jacobian(problem.design.nominal);
+  EXPECT_NEAR(jac(0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(jac(0, 1), -1.0, 1e-6);
+  EXPECT_NEAR(jac(1, 0), -1.0, 1e-6);
+  EXPECT_NEAR(jac(1, 1), -1.0, 1e-6);
+}
+
+TEST(Evaluator, AppliesCovarianceTransform) {
+  // Scale one statistical parameter: the evaluator must hand the model
+  // physical values sigma * s_hat.
+  auto problem = testing::make_synthetic_problem();
+  stats::CovarianceModel cov;
+  cov.add(stats::StatParam::global("s0", 0.0, 2.0));  // sigma = 2
+  cov.add(stats::StatParam::global("s1", 0.0, 1.0));
+  cov.add(stats::StatParam::global("s2", 0.0, 1.0));
+  problem.statistical = std::move(cov);
+  Evaluator ev(problem);
+  Vector s_hat(3);
+  s_hat[0] = 1.0;  // physical s0 = 2
+  const double m = ev.margin(0, problem.design.nominal, s_hat, Vector{0.0});
+  // margin = d0 + d1 - s0_phys = 3 - 2 = 1.
+  EXPECT_NEAR(m, 1.0, 1e-12);
+}
+
+TEST(Evaluator, DesignDependentSigmaEntersGradientD) {
+  // With sigma(d) = d0 for s0, f = d0+d1 - d0*s_hat0 - ...; at s_hat0 = 1
+  // the d0-gradient becomes 1 - 1 = 0: the variance effect is visible to
+  // the design gradient (paper Sec. 4).
+  auto problem = testing::make_synthetic_problem();
+  stats::CovarianceModel cov;
+  stats::StatParam p0;
+  p0.name = "s0";
+  p0.sigma = [](const Vector& d) { return d[0]; };
+  cov.add(std::move(p0));
+  cov.add(stats::StatParam::global("s1", 0.0, 1.0));
+  cov.add(stats::StatParam::global("s2", 0.0, 1.0));
+  problem.statistical = std::move(cov);
+  Evaluator ev(problem);
+  Vector s_hat(3);
+  s_hat[0] = 1.0;
+  const Vector g =
+      ev.margin_gradient_d(0, problem.design.nominal, s_hat, Vector{0.0});
+  EXPECT_NEAR(g[0], 0.0, 1e-6);
+  EXPECT_NEAR(g[1], 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mayo::core

@@ -1,0 +1,75 @@
+#include "core/line_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+TEST(LineSearch, FullStepWhenTargetFeasible) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const LineSearchResult result = feasibility_line_search(
+      ev, Vector{2.0, 1.0}, Vector{3.0, 1.0});  // both feasible
+  EXPECT_TRUE(result.full_step);
+  EXPECT_EQ(result.gamma, 1.0);
+  EXPECT_EQ(result.d_new, (Vector{3.0, 1.0}));
+  EXPECT_EQ(result.evaluations, 1);
+}
+
+TEST(LineSearch, BisectsToBoundary) {
+  // From (2, 1) toward (6, 6): constraint c1 = 6 - d0 - d1 crosses zero at
+  // gamma where (2+4g) + (1+5g) = 6 -> g = 1/3.
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  LineSearchOptions options;
+  options.max_evaluations = 20;
+  const LineSearchResult result =
+      feasibility_line_search(ev, Vector{2.0, 1.0}, Vector{6.0, 6.0}, options);
+  EXPECT_FALSE(result.full_step);
+  EXPECT_NEAR(result.gamma, 1.0 / 3.0, 1e-4);
+  // Returned point is feasible.
+  const Vector c = ev.constraints(result.d_new);
+  EXPECT_GE(c[0], -1e-9);
+  EXPECT_GE(c[1], -1e-9);
+}
+
+TEST(LineSearch, RespectsEvaluationBudget) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  auto* model = dynamic_cast<testing::SyntheticModel*>(problem.model.get());
+  Evaluator ev(problem);
+  LineSearchOptions options;
+  options.max_evaluations = 10;  // the paper's ~10 simulations
+  model->constraint_evaluations = 0;
+  feasibility_line_search(ev, Vector{2.0, 1.0}, Vector{6.0, 6.0}, options);
+  EXPECT_LE(model->constraint_evaluations, 10);
+}
+
+TEST(LineSearch, GammaZeroWhenNoMovePossible) {
+  // Direction that is infeasible arbitrarily close to d_f: from a point ON
+  // the boundary (c0 = 0) moving further out.
+  auto problem = testing::make_synthetic_problem(1.0, 1.0);
+  Evaluator ev(problem);
+  LineSearchOptions options;
+  options.max_evaluations = 12;
+  const LineSearchResult result =
+      feasibility_line_search(ev, Vector{1.0, 1.0}, Vector{1.0, 3.0}, options);
+  EXPECT_LT(result.gamma, 1e-2);
+  EXPECT_NEAR(result.d_new[1], 1.0, 0.05);
+}
+
+TEST(LineSearch, ToleranceAllowsSlightViolation) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  LineSearchOptions options;
+  options.tolerance = 10.0;  // everything counts as feasible
+  const LineSearchResult result =
+      feasibility_line_search(ev, Vector{2.0, 1.0}, Vector{6.0, 6.0}, options);
+  EXPECT_EQ(result.gamma, 1.0);
+}
+
+}  // namespace
+}  // namespace mayo::core

@@ -1,0 +1,108 @@
+#include "core/linearization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+TEST(Linearization, BuildsOneModelPerLinearSpecPlusMirror) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const LinearizedModels lm =
+      build_linearizations(ev, problem.design.nominal);
+  // Linear spec -> 1 model; quadratic spec -> primary + mirror.
+  ASSERT_EQ(lm.models.size(), 3u);
+  EXPECT_EQ(lm.worst_cases.size(), 2u);
+  EXPECT_FALSE(lm.models[0].is_mirror);
+  EXPECT_FALSE(lm.models[1].is_mirror);
+  EXPECT_TRUE(lm.models[2].is_mirror);
+  EXPECT_EQ(lm.models[2].spec, 1u);
+}
+
+TEST(Linearization, MirrorNegatesExpansion) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const LinearizedModels lm =
+      build_linearizations(ev, problem.design.nominal);
+  const SpecLinearization& primary = lm.models[1];
+  const SpecLinearization& mirror = lm.models[2];
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(mirror.s_wc[i], -primary.s_wc[i], 1e-12);
+    EXPECT_NEAR(mirror.grad_s[i], -primary.grad_s[i], 1e-12);
+  }
+  EXPECT_EQ(mirror.grad_d, primary.grad_d);
+}
+
+TEST(Linearization, ModelValueExactForLinearSpec) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const LinearizedModels lm =
+      build_linearizations(ev, problem.design.nominal);
+  const SpecLinearization& lin = lm.models[0];
+  // The model must reproduce the true margin of the linear spec anywhere.
+  const Vector d{3.0, 0.5};
+  Vector s{0.7, -0.3, 0.2};
+  const double predicted = lin.value(d, s);
+  const double truth = ev.margin(0, d, s, lin.theta_wc);
+  EXPECT_NEAR(predicted, truth, 1e-5);
+}
+
+TEST(Linearization, UsesWorstCaseOperatingPoint) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const LinearizedModels lm =
+      build_linearizations(ev, problem.design.nominal);
+  EXPECT_EQ(lm.models[0].theta_wc, (Vector{1.0}));
+  EXPECT_NEAR(lm.operating.worst_margin[0], 2.0, 1e-12);
+}
+
+TEST(Linearization, NominalAblationExpandsAtZero) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  LinearizationOptions options;
+  options.linearize_at_nominal = true;
+  const LinearizedModels lm =
+      build_linearizations(ev, problem.design.nominal, options);
+  // No mirrors in the ablation, expansion at s = 0.
+  ASSERT_EQ(lm.models.size(), 2u);
+  EXPECT_EQ(lm.models[1].s_wc, Vector(3));
+  // The quadratic spec's gradient at the nominal is ~0: the model wrongly
+  // predicts total insensitivity -- the Table-4 failure mechanism.
+  EXPECT_LT(lm.models[1].grad_s.norm(), 0.1);
+  const Vector d = problem.design.nominal;
+  Vector far(3);
+  far[1] = 3.0;
+  far[2] = -3.0;
+  const double predicted = lm.models[1].value(d, far);
+  const double truth = ev.margin(1, d, far, lm.models[1].theta_wc);
+  EXPECT_GT(predicted - truth, 10.0);  // wildly optimistic
+}
+
+TEST(Linearization, MirrorCanBeDisabled) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  LinearizationOptions options;
+  options.enable_mirror = false;
+  const LinearizedModels lm =
+      build_linearizations(ev, problem.design.nominal, options);
+  EXPECT_EQ(lm.models.size(), 2u);
+}
+
+TEST(Linearization, DGradientAtWcPoint) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const LinearizedModels lm =
+      build_linearizations(ev, problem.design.nominal);
+  // d-gradient of the linear margin is (1, 1).
+  EXPECT_NEAR(lm.models[0].grad_d[0], 1.0, 1e-5);
+  EXPECT_NEAR(lm.models[0].grad_d[1], 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace mayo::core

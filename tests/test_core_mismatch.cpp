@@ -1,0 +1,159 @@
+#include "core/mismatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(AngleWindow, OneOnMismatchLine) {
+  // arctan of a (-1) ratio is -pi/4: the mismatch line.
+  EXPECT_DOUBLE_EQ(mismatch_angle_window(-kPi / 4.0), 1.0);
+}
+
+TEST(AngleWindow, ZeroOnNeutralLine) {
+  EXPECT_DOUBLE_EQ(mismatch_angle_window(kPi / 4.0), 0.0);
+}
+
+TEST(AngleWindow, LinearDecayBetweenDeltas) {
+  MismatchOptions options;
+  options.delta1 = 0.1;
+  options.delta2 = 0.3;
+  EXPECT_DOUBLE_EQ(mismatch_angle_window(-kPi / 4.0 + 0.05, options), 1.0);
+  EXPECT_NEAR(mismatch_angle_window(-kPi / 4.0 + 0.2, options), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(mismatch_angle_window(-kPi / 4.0 + 0.35, options), 0.0);
+  // Symmetric around the mismatch-line angle.
+  EXPECT_NEAR(mismatch_angle_window(-kPi / 4.0 - 0.2, options),
+              mismatch_angle_window(-kPi / 4.0 + 0.2, options), 1e-12);
+}
+
+TEST(RobustnessWeight, PaperProperties) {
+  // eta(0) = 1/2 (requirement: continuous at beta = 0).
+  EXPECT_DOUBLE_EQ(mismatch_robustness_weight(0.0), 0.5);
+  // Robust specs get small weights; violated specs approach 1.
+  EXPECT_NEAR(mismatch_robustness_weight(3.0), 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(mismatch_robustness_weight(-3.0), 1.0 - 1.0 / 8.0, 1e-12);
+  // Range (0, 1).
+  for (double beta = -20.0; beta <= 20.0; beta += 0.5) {
+    const double eta = mismatch_robustness_weight(beta);
+    EXPECT_GT(eta, 0.0);
+    EXPECT_LT(eta, 1.0);
+  }
+}
+
+TEST(RobustnessWeight, MonotoneDecreasing) {
+  double prev = 2.0;
+  for (double beta = -10.0; beta <= 10.0; beta += 0.25) {
+    const double eta = mismatch_robustness_weight(beta);
+    EXPECT_LT(eta, prev);
+    prev = eta;
+  }
+}
+
+TEST(RobustnessWeight, ContinuouslyDifferentiableAtZero) {
+  const double h = 1e-7;
+  const double left =
+      (mismatch_robustness_weight(0.0) - mismatch_robustness_weight(-h)) / h;
+  const double right =
+      (mismatch_robustness_weight(h) - mismatch_robustness_weight(0.0)) / h;
+  EXPECT_NEAR(left, right, 1e-5);
+  EXPECT_NEAR(left, -0.5, 1e-5);
+}
+
+TEST(MismatchMeasure, PerfectMismatchPair) {
+  // Components of equal magnitude and opposite sign dominate the point:
+  // measure = eta(beta) * 1 * 1.
+  Vector s_wc{0.0, 1.5, -1.5};
+  const double beta = s_wc.norm();
+  const double m = mismatch_measure(s_wc, beta, 1, 2);
+  EXPECT_NEAR(m, mismatch_robustness_weight(beta), 1e-12);
+}
+
+TEST(MismatchMeasure, RangeZeroToOne) {
+  // Requirement 2 of Sec. 3.1.
+  Vector s_wc{0.3, 1.5, -1.4};
+  for (double beta : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    for (std::size_t k = 0; k < 3; ++k)
+      for (std::size_t l = k + 1; l < 3; ++l) {
+        const double m = mismatch_measure(s_wc, beta, k, l);
+        EXPECT_GE(m, 0.0);
+        EXPECT_LE(m, 1.0);
+      }
+  }
+}
+
+TEST(MismatchMeasure, SameSignPairIsZero) {
+  Vector s_wc{1.0, 1.0, 0.5};
+  EXPECT_EQ(mismatch_measure(s_wc, 1.0, 0, 1), 0.0);
+}
+
+TEST(MismatchMeasure, ZeroComponentIsZero) {
+  Vector s_wc{0.0, 1.0, -1.0};
+  EXPECT_EQ(mismatch_measure(s_wc, 1.0, 0, 1), 0.0);
+  EXPECT_EQ(mismatch_measure(Vector(3), 1.0, 1, 2), 0.0);
+}
+
+TEST(MismatchMeasure, SymmetricInPairOrder) {
+  Vector s_wc{0.2, 1.2, -0.9};
+  EXPECT_NEAR(mismatch_measure(s_wc, 1.0, 1, 2),
+              mismatch_measure(s_wc, 1.0, 2, 1), 1e-12);
+}
+
+TEST(MismatchMeasure, SmallerDeviationsWeighLess) {
+  // Requirement: pairs with larger worst-case deviation matter more.
+  Vector s_wc{2.0, -2.0, 0.5, -0.5};
+  const double big = mismatch_measure(s_wc, 1.0, 0, 1);
+  const double small = mismatch_measure(s_wc, 1.0, 2, 3);
+  EXPECT_GT(big, small);
+  EXPECT_NEAR(big / small, 2.0 / 0.5, 1e-9);
+}
+
+TEST(MismatchMeasure, RobustSpecScoresLower) {
+  // Requirement 4: more robust performance -> lower measure.
+  Vector s_wc{1.0, -1.0};
+  EXPECT_GT(mismatch_measure(s_wc, 0.5, 0, 1),
+            mismatch_measure(s_wc, 3.0, 0, 1));
+}
+
+TEST(RankMismatchPairs, SortsAndFilters) {
+  WorstCasePoint wc;
+  wc.spec = 7;
+  wc.s_wc = Vector{2.0, -2.0, 0.4, -0.4, 0.001};
+  wc.beta = 1.0;
+  const auto pairs = rank_mismatch_pairs(wc, 1e-3);
+  ASSERT_GE(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].spec, 7u);
+  EXPECT_EQ(pairs[0].k, 0u);
+  EXPECT_EQ(pairs[0].l, 1u);
+  // Descending order.
+  for (std::size_t i = 1; i < pairs.size(); ++i)
+    EXPECT_GE(pairs[i - 1].measure, pairs[i].measure);
+  // Threshold filters the tiny component pairings.
+  for (const auto& pair : pairs) EXPECT_GE(pair.measure, 1e-3);
+}
+
+TEST(RankMismatchPairs, MixedMagnitudePairStillDetected) {
+  // Deviations of opposite sign but unequal magnitude inside the window.
+  WorstCasePoint wc;
+  wc.s_wc = Vector{1.0, -0.8};
+  wc.beta = 1.0;
+  const auto pairs = rank_mismatch_pairs(wc, 1e-6);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_GT(pairs[0].measure, 0.1);
+}
+
+TEST(RankMismatchPairs, EmptyForNeutralPoint) {
+  WorstCasePoint wc;
+  wc.s_wc = Vector{1.0, 1.0, 1.0};
+  wc.beta = 2.0;
+  EXPECT_TRUE(rank_mismatch_pairs(wc).empty());
+}
+
+}  // namespace
+}  // namespace mayo::core

@@ -1,0 +1,65 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mayo::core {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22.5"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // All lines (except the separator) have the same padded layout: check
+  // the value column starts at a fixed offset.
+  std::istringstream is(out);
+  std::string header;
+  std::string sep;
+  std::string row1;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row1);
+  EXPECT_EQ(header.find("value"), row1.find("1"));
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, StreamsViaOperator) {
+  TextTable table({"x"});
+  table.add_row({"y"});
+  std::ostringstream os;
+  os << table;
+  EXPECT_EQ(os.str(), table.str());
+}
+
+TEST(Format, Fmt) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.999, 1), "99.9%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.0, 1), "0.0%");
+}
+
+TEST(Format, Permille) {
+  EXPECT_EQ(fmt_permille(980.4, 1), "980.4");
+  EXPECT_EQ(fmt_permille(0.0, 1), "0.0");
+}
+
+}  // namespace
+}  // namespace mayo::core

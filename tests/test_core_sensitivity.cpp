@@ -1,0 +1,68 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+TEST(Sensitivity, MatchesAnalyticGradients) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const SensitivityReport report =
+      analyze_sensitivities(ev, problem.design.nominal);
+  // Linear spec margin = d0 + d1 - ...: dm/dd = (1, 1); design ranges are
+  // 10 wide and the scale is 1 -> normalized entries = 10.
+  EXPECT_NEAR(report.design(0, 0), 10.0, 1e-3);
+  EXPECT_NEAR(report.design(0, 1), 10.0, 1e-3);
+  // Quadratic spec margin = d0 + 4 - (s1-s2)^2: dm/dd = (1, 0).
+  EXPECT_NEAR(report.design(1, 0), 10.0, 1e-3);
+  EXPECT_NEAR(report.design(1, 1), 0.0, 1e-3);
+}
+
+TEST(Sensitivity, StatisticalRowPerSigma) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const SensitivityReport report =
+      analyze_sensitivities(ev, problem.design.nominal);
+  // Linear spec: dm/ds = (-1, -2, 0).
+  EXPECT_NEAR(report.statistical(0, 0), -1.0, 1e-6);
+  EXPECT_NEAR(report.statistical(0, 1), -2.0, 1e-6);
+  EXPECT_NEAR(report.statistical(0, 2), 0.0, 1e-6);
+}
+
+TEST(Sensitivity, UsesWorstCaseOperatingCorner) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const SensitivityReport report =
+      analyze_sensitivities(ev, problem.design.nominal);
+  EXPECT_EQ(report.operating.theta_wc[0], (linalg::Vector{1.0}));
+}
+
+TEST(Sensitivity, TopParameterRanking) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const SensitivityReport report =
+      analyze_sensitivities(ev, problem.design.nominal);
+  const auto top_stat = report.top_statistical_parameters(0, 2);
+  ASSERT_EQ(top_stat.size(), 2u);
+  EXPECT_EQ(top_stat[0], 1u);  // |-2| largest
+  EXPECT_EQ(top_stat[1], 0u);
+  const auto top_design = report.top_design_parameters(1, 1);
+  ASSERT_EQ(top_design.size(), 1u);
+  EXPECT_EQ(top_design[0], 0u);  // only d0 matters for the quadratic spec
+}
+
+TEST(Sensitivity, ScaleNormalization) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  problem.specs[0].scale = 5.0;
+  Evaluator ev(problem);
+  const SensitivityReport report =
+      analyze_sensitivities(ev, problem.design.nominal);
+  EXPECT_NEAR(report.design(0, 0), 10.0 / 5.0, 1e-3);
+  EXPECT_NEAR(report.statistical(0, 1), -2.0 / 5.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mayo::core

@@ -1,0 +1,109 @@
+#include "core/verification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/normal.hpp"
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+using testing::SyntheticModel;
+
+TEST(Verification, MatchesAnalyticYieldForLinearSpec) {
+  // Disable the quadratic spec by an impossible-to-fail bound, keep the
+  // linear one: yield = Phi(beta) with beta = (d0+d1-1)/sqrt(5).
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  problem.specs[1].bound = -1e9;
+  Evaluator ev(problem);
+  VerificationOptions options;
+  options.num_samples = 4000;
+  const std::vector<Vector> theta_wc = {Vector{1.0}, Vector{1.0}};
+  const VerificationResult result =
+      monte_carlo_verify(ev, problem.design.nominal, theta_wc, options);
+  const double expected =
+      stats::yield_from_beta(testing::linear_beta(2.0, 1.0));
+  EXPECT_NEAR(result.yield, expected, 0.02);
+  EXPECT_LE(result.confidence.lower, result.yield);
+  EXPECT_GE(result.confidence.upper, result.yield);
+}
+
+TEST(Verification, SharesEvaluationsForEqualTheta) {
+  auto problem = testing::make_synthetic_problem();
+  auto* model = dynamic_cast<SyntheticModel*>(problem.model.get());
+  Evaluator ev(problem);
+  VerificationOptions options;
+  options.num_samples = 50;
+  model->evaluations = 0;
+  // Both specs share theta_wc -> one evaluation per sample.
+  monte_carlo_verify(ev, problem.design.nominal,
+                     {Vector{1.0}, Vector{1.0}}, options);
+  EXPECT_EQ(model->evaluations, 50);
+
+  model->evaluations = 0;
+  ev.clear_cache();
+  // Distinct theta_wc -> two evaluations per sample (the N* bound).
+  monte_carlo_verify(ev, problem.design.nominal,
+                     {Vector{1.0}, Vector{-1.0}}, options);
+  EXPECT_EQ(model->evaluations, 100);
+}
+
+TEST(Verification, PerSpecFailCounts) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  // Make the quadratic spec fail often: bound raised close to the peak.
+  problem.specs[1].bound = 5.0;  // margin = 1 - (s1-s2)^2: fails if |u|>1
+  Evaluator ev(problem);
+  VerificationOptions options;
+  options.num_samples = 3000;
+  const VerificationResult result = monte_carlo_verify(
+      ev, problem.design.nominal, {Vector{1.0}, Vector{0.0}}, options);
+  // u = s1 - s2 ~ N(0, 2): P(|u| > 1) = 2(1 - Phi(1/sqrt(2))) ~ 0.4795.
+  const double expected_fail = 2.0 * (1.0 - stats::normal_cdf(1.0 / std::sqrt(2.0)));
+  EXPECT_NEAR(static_cast<double>(result.fails_per_spec[1]) / 3000.0,
+              expected_fail, 0.03);
+  // Linear spec at theta_wc = 1: margin 2, sigma sqrt(5) -> fail fraction
+  // 1 - Phi(2/sqrt(5)) ~ 18.6%.
+  const double expected_lin_fail = 1.0 - stats::normal_cdf(2.0 / std::sqrt(5.0));
+  EXPECT_NEAR(static_cast<double>(result.fails_per_spec[0]) / 3000.0,
+              expected_lin_fail, 0.03);
+}
+
+TEST(Verification, PerformanceMomentsReported) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  VerificationOptions options;
+  options.num_samples = 4000;
+  const VerificationResult result = monte_carlo_verify(
+      ev, problem.design.nominal, {Vector{0.0}, Vector{0.0}}, options);
+  // f0 = 3 - s0 - 2 s1 at theta 0: mean 3, sigma sqrt(5).
+  EXPECT_NEAR(result.performance_mean[0], 3.0, 0.1);
+  EXPECT_NEAR(result.performance_stddev[0], std::sqrt(5.0), 0.1);
+  // f1 = 6 - u^2, u ~ N(0,2): mean 6 - 2 = 4.
+  EXPECT_NEAR(result.performance_mean[1], 4.0, 0.15);
+}
+
+TEST(Verification, ThetaSizeMismatchThrows) {
+  auto problem = testing::make_synthetic_problem();
+  Evaluator ev(problem);
+  EXPECT_THROW(
+      monte_carlo_verify(ev, problem.design.nominal, {Vector{1.0}}, {}),
+      std::invalid_argument);
+}
+
+TEST(Verification, CountsChargedToVerificationBudget) {
+  auto problem = testing::make_synthetic_problem();
+  Evaluator ev(problem);
+  VerificationOptions options;
+  options.num_samples = 20;
+  const VerificationResult result = monte_carlo_verify(
+      ev, problem.design.nominal, {Vector{1.0}, Vector{1.0}}, options);
+  EXPECT_EQ(result.evaluations, 20u);
+  EXPECT_EQ(ev.counts().verification, 20u);
+  EXPECT_EQ(ev.counts().optimization, 0u);
+}
+
+}  // namespace
+}  // namespace mayo::core

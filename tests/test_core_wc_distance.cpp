@@ -1,0 +1,141 @@
+#include "core/wc_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/normal.hpp"
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+TEST(WcDistance, LinearSpecClosedForm) {
+  // margin = d0 + d1 - s0 - 2 s1 - theta; at theta_wc = 1 and d = (2, 1):
+  // m0 = 2, g = (-1, -2, 0), beta = 2/sqrt(5).
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const Vector theta_wc{1.0};
+  const WorstCasePoint wc =
+      find_worst_case_point(ev, 0, problem.design.nominal, theta_wc);
+  EXPECT_TRUE(wc.converged);
+  EXPECT_NEAR(wc.beta, testing::linear_beta(2.0, 1.0), 1e-6);
+  EXPECT_NEAR(wc.margin_at_wc, 0.0, 1e-6);
+  // s_wc = -g * m0 / ||g||^2 = (1, 2, 0) * 2/5 -- on the failure side.
+  EXPECT_NEAR(wc.s_wc[0], 0.4, 1e-5);
+  EXPECT_NEAR(wc.s_wc[1], 0.8, 1e-5);
+  EXPECT_NEAR(wc.s_wc[2], 0.0, 1e-5);
+  EXPECT_FALSE(wc.mirrored);  // linear performance: no quadratic signature
+}
+
+TEST(WcDistance, ViolatedSpecHasNegativeBeta) {
+  // d = (-2, 1): m0 at theta_wc=1 is -2 -- the nominal violates the spec.
+  auto problem = testing::make_synthetic_problem(-2.0, 1.0);
+  Evaluator ev(problem);
+  const WorstCasePoint wc =
+      find_worst_case_point(ev, 0, problem.design.nominal, Vector{1.0});
+  EXPECT_TRUE(wc.converged);
+  EXPECT_LT(wc.margin_nominal, 0.0);
+  EXPECT_NEAR(wc.beta, testing::linear_beta(-2.0, 1.0), 1e-6);
+  EXPECT_LT(wc.beta, 0.0);
+  // The worst-case point sits where the margin recovers to zero.
+  EXPECT_NEAR(wc.margin_at_wc, 0.0, 1e-6);
+}
+
+TEST(WcDistance, QuadraticMismatchSpec) {
+  // margin = d0 + 4 - (s1 - s2)^2; WC points at s1 = -s2 = +-u/2 with
+  // u = sqrt(d0 + 4); beta = u/sqrt(2).
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const WorstCasePoint wc =
+      find_worst_case_point(ev, 1, problem.design.nominal, Vector{0.0});
+  EXPECT_TRUE(wc.converged);
+  EXPECT_NEAR(wc.beta, testing::quad_beta(2.0), 1e-3);
+  // Pure pair signature: s1 and s2 equal magnitude, opposite sign; s0 ~ 0.
+  // (Component tolerance is set by the forward-difference bias q*h of the
+  // gradient on a quadratic; the norm beta is accurate to second order.)
+  EXPECT_NEAR(wc.s_wc[0], 0.0, 1e-4);
+  EXPECT_NEAR(wc.s_wc[1], -wc.s_wc[2], 0.03);
+  EXPECT_NEAR(std::abs(wc.s_wc[1]), std::sqrt(6.0) / 2.0, 0.03);
+  // Quadratic symmetric performance: mirror must be detected.
+  EXPECT_TRUE(wc.mirrored);
+  EXPECT_NEAR(wc.margin_at_mirror, 0.0, 1e-3);
+}
+
+TEST(WcDistance, QuadraticWithoutCurvatureStartsFails) {
+  // The gradient at s = 0 vanishes for the quadratic spec; without the
+  // curvature-seeded starts the search cannot leave the neutral line --
+  // exactly the problem ref. [12] addresses.
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  WcDistanceOptions options;
+  options.curvature_starts = false;
+  const WorstCasePoint wc = find_worst_case_point(
+      ev, 1, problem.design.nominal, Vector{0.0}, options);
+  EXPECT_FALSE(wc.converged);
+}
+
+TEST(WcDistance, PerSpecYield) {
+  WorstCasePoint wc;
+  wc.beta = 3.0;
+  EXPECT_NEAR(worst_case_yield(wc), stats::yield_from_beta(3.0), 1e-12);
+}
+
+TEST(WcDistance, BetaScalesWithMargin) {
+  // Property: increasing the nominal margin increases beta.
+  double prev_beta = -1e9;
+  for (double d0 : {-1.0, 0.5, 2.0, 4.0}) {
+    auto problem = testing::make_synthetic_problem(d0, 1.0);
+    Evaluator ev(problem);
+    const WorstCasePoint wc =
+        find_worst_case_point(ev, 0, problem.design.nominal, Vector{1.0});
+    EXPECT_TRUE(wc.converged) << d0;
+    EXPECT_GT(wc.beta, prev_beta);
+    prev_beta = wc.beta;
+  }
+}
+
+TEST(WcDistance, GradientReportedAtWcPoint) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const WorstCasePoint wc =
+      find_worst_case_point(ev, 0, problem.design.nominal, Vector{1.0});
+  ASSERT_EQ(wc.gradient.size(), 3u);
+  EXPECT_NEAR(wc.gradient[0], -1.0, 1e-6);
+  EXPECT_NEAR(wc.gradient[1], -2.0, 1e-6);
+}
+
+TEST(WcDistance, StationarityOfSolution) {
+  // At the solution, s_wc must be (anti)parallel to the gradient
+  // (first-order optimality of eq. 8).
+  auto problem = testing::make_synthetic_problem(3.0, 0.5);
+  Evaluator ev(problem);
+  for (std::size_t spec : {std::size_t{0}, std::size_t{1}}) {
+    const WorstCasePoint wc = find_worst_case_point(
+        ev, spec, problem.design.nominal, Vector{spec == 0 ? 1.0 : 0.0});
+    ASSERT_TRUE(wc.converged);
+    const double cosine =
+        linalg::dot(wc.s_wc, wc.gradient) /
+        (wc.s_wc.norm() * wc.gradient.norm());
+    EXPECT_NEAR(std::abs(cosine), 1.0, 1e-2) << "spec " << spec;
+  }
+}
+
+TEST(WcDistance, MaxRadiusClampsHopelessSearch) {
+  // Spec so robust that no point within the trust radius reaches the
+  // bound: the search must stay bounded and report non-convergence.
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  problem.specs[0].bound = -1000.0;  // margin ~ 1003 everywhere reachable
+  Evaluator ev(problem);
+  WcDistanceOptions options;
+  options.max_radius = 5.0;
+  const WorstCasePoint wc = find_worst_case_point(
+      ev, 0, problem.design.nominal, Vector{1.0}, options);
+  EXPECT_LE(wc.s_wc.norm(), 5.0 + 1e-9);
+  EXPECT_FALSE(wc.converged);
+}
+
+}  // namespace
+}  // namespace mayo::core

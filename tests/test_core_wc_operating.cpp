@@ -1,0 +1,89 @@
+#include "core/wc_operating.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+TEST(WcOperating, FindsWorstCorner) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const WcOperatingResult result =
+      find_worst_case_operating(ev, problem.design.nominal);
+  ASSERT_EQ(result.theta_wc.size(), 2u);
+  // Linear spec margin = d0+d1 - theta: worst at theta = +1.
+  EXPECT_EQ(result.theta_wc[0], (Vector{1.0}));
+  EXPECT_NEAR(result.worst_margin[0], 2.0, 1e-12);
+  // Quadratic spec does not depend on theta; margin is d0+4 everywhere.
+  EXPECT_NEAR(result.worst_margin[1], 6.0, 1e-12);
+}
+
+TEST(WcOperating, SharesEvaluationsAcrossSpecs) {
+  auto problem = testing::make_synthetic_problem();
+  auto* model = dynamic_cast<testing::SyntheticModel*>(problem.model.get());
+  Evaluator ev(problem);
+  find_worst_case_operating(ev, problem.design.nominal);
+  // 2 corners + nominal = 3 evaluations for BOTH specs together.
+  EXPECT_EQ(model->evaluations, 3);
+}
+
+TEST(WcOperating, CoordinateRefinementProbesMidpoints) {
+  auto problem = testing::make_synthetic_problem();
+  auto* model = dynamic_cast<testing::SyntheticModel*>(problem.model.get());
+  Evaluator ev(problem);
+  WcOperatingOptions options;
+  options.coordinate_refinement = true;
+  const WcOperatingResult result =
+      find_worst_case_operating(ev, problem.design.nominal, options);
+  // Midpoint (0) coincides with the nominal -- cached, so still 3 model
+  // evaluations, and the corner result is unchanged.
+  EXPECT_EQ(result.theta_wc[0], (Vector{1.0}));
+  EXPECT_LE(model->evaluations, 4);
+}
+
+// Monotone performance in a 2-D operating box: worst case at a vertex.
+class TwoThetaModel final : public PerformanceModel {
+ public:
+  std::size_t num_performances() const override { return 2; }
+  std::size_t num_constraints() const override { return 1; }
+  linalg::Vector evaluate(const linalg::Vector&, const linalg::Vector&,
+                          const linalg::Vector& theta) override {
+    linalg::Vector f(2);
+    f[0] = 1.0 + theta[0] - 2.0 * theta[1];  // worst at (lo, hi)
+    f[1] = 5.0 - theta[0] - theta[1];        // worst at (hi, hi)
+    return f;
+  }
+  linalg::Vector constraints(const linalg::Vector&) override {
+    return linalg::Vector(1, 1.0);
+  }
+};
+
+TEST(WcOperating, PerSpecCornersDiffer) {
+  YieldProblem problem;
+  problem.model = std::make_shared<TwoThetaModel>();
+  problem.specs = {{"f0", SpecKind::kLowerBound, 0.0, "u", 1.0},
+                   {"f1", SpecKind::kLowerBound, 0.0, "u", 1.0}};
+  problem.design.names = {"d0"};
+  problem.design.lower = Vector{0.0};
+  problem.design.upper = Vector{1.0};
+  problem.design.nominal = Vector{0.5};
+  problem.operating.names = {"t0", "t1"};
+  problem.operating.lower = Vector{-1.0, -1.0};
+  problem.operating.upper = Vector{1.0, 1.0};
+  problem.operating.nominal = Vector{0.0, 0.0};
+  problem.statistical.add(stats::StatParam::global("s", 0.0, 1.0));
+  Evaluator ev(problem);
+  const WcOperatingResult result =
+      find_worst_case_operating(ev, problem.design.nominal);
+  EXPECT_EQ(result.theta_wc[0], (Vector{-1.0, 1.0}));
+  EXPECT_EQ(result.theta_wc[1], (Vector{1.0, 1.0}));
+  EXPECT_NEAR(result.worst_margin[0], -2.0, 1e-12);
+  EXPECT_NEAR(result.worst_margin[1], 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mayo::core

@@ -1,0 +1,103 @@
+#include "core/yield_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/yield_model.hpp"
+#include "stats/normal.hpp"
+#include "stats/sampler.hpp"
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+SpecLinearization make_model(std::size_t spec, double m0, Vector g_s) {
+  SpecLinearization lin;
+  lin.spec = spec;
+  lin.s_wc = Vector(g_s.size());
+  lin.margin_wc = m0;
+  lin.grad_s = std::move(g_s);
+  lin.grad_d = Vector{0.0};
+  lin.d_f = Vector{0.0};
+  lin.theta_wc = Vector{0.0};
+  return lin;
+}
+
+TEST(YieldBounds, SingleSpecAllBoundsCoincide) {
+  const auto models = std::vector<SpecLinearization>{
+      make_model(0, 2.0, Vector{-1.0, 0.0})};
+  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  const double expected = stats::yield_from_beta(2.0);
+  EXPECT_NEAR(bounds.lower, expected, 1e-12);
+  EXPECT_NEAR(bounds.independent, expected, 1e-12);
+  EXPECT_NEAR(bounds.upper, expected, 1e-12);
+  ASSERT_EQ(bounds.per_spec.size(), 1u);
+  EXPECT_NEAR(bounds.per_spec[0], expected, 1e-12);
+}
+
+TEST(YieldBounds, OrderingHolds) {
+  const std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0, 0.0}),
+      make_model(1, 1.5, Vector{0.0, 1.0}),
+  };
+  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  EXPECT_LE(bounds.lower, bounds.independent);
+  EXPECT_LE(bounds.independent, bounds.upper);
+}
+
+TEST(YieldBounds, IndependentSpecsMatchProduct) {
+  // Orthogonal gradients -> the sampled yield sits at the product.
+  const std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0, 0.0}),
+      make_model(1, 1.0, Vector{0.0, -1.0}),
+  };
+  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  const stats::SampleSet samples(40000, 2, 77);
+  LinearYieldModel sampled(models, samples);
+  EXPECT_NEAR(sampled.yield(), bounds.independent, 0.01);
+  EXPECT_GE(sampled.yield() + 0.01, bounds.lower);
+  EXPECT_LE(sampled.yield() - 0.01, bounds.upper);
+}
+
+TEST(YieldBounds, CorrelatedSpecsExceedProduct) {
+  // Identical gradients: passing one spec implies passing the weaker one,
+  // so the true yield equals the upper bound and exceeds the product.
+  const std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0, 0.0}),
+      make_model(1, 2.0, Vector{-1.0, 0.0}),
+  };
+  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  const stats::SampleSet samples(40000, 2, 78);
+  LinearYieldModel sampled(models, samples);
+  EXPECT_NEAR(sampled.yield(), bounds.upper, 0.01);
+  EXPECT_GT(sampled.yield(), bounds.independent + 0.005);
+}
+
+TEST(YieldBounds, BonferroniClampsAtZero) {
+  const std::vector<SpecLinearization> models = {
+      make_model(0, -2.0, Vector{-1.0, 0.0}),
+      make_model(1, -2.0, Vector{0.0, -1.0}),
+  };
+  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  EXPECT_EQ(bounds.lower, 0.0);
+  EXPECT_LT(bounds.upper, 0.05);
+}
+
+TEST(YieldBounds, BracketsSampledEstimateOnSyntheticProblem) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  const auto lm = build_linearizations(ev, problem.design.nominal);
+  const YieldBounds bounds =
+      analytic_yield_bounds(lm.models, problem.design.nominal);
+  const stats::SampleSet samples(20000, 3, 41);
+  LinearYieldModel sampled(lm.models, samples);
+  sampled.set_design(problem.design.nominal);
+  EXPECT_GE(sampled.yield() + 0.02, bounds.lower);
+  EXPECT_LE(sampled.yield() - 0.02, bounds.upper);
+}
+
+}  // namespace
+}  // namespace mayo::core

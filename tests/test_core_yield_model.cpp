@@ -1,0 +1,168 @@
+#include "core/yield_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/normal.hpp"
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+/// One handmade linear model: margin = m0 + g_s . s + g_d . (d - d_f).
+SpecLinearization make_model(std::size_t spec, double m0, Vector g_s,
+                             Vector g_d, Vector d_f) {
+  SpecLinearization lin;
+  lin.spec = spec;
+  lin.s_wc = Vector(g_s.size());
+  lin.margin_wc = m0;
+  lin.grad_s = std::move(g_s);
+  lin.grad_d = std::move(g_d);
+  lin.d_f = std::move(d_f);
+  lin.theta_wc = Vector{0.0};
+  return lin;
+}
+
+TEST(LinearYieldModel, SingleSpecMatchesPhiBeta) {
+  // margin = 1 - s0: passes iff s0 <= 1 -> yield = Phi(1).
+  const stats::SampleSet samples(20000, 2, 7);
+  std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0, 0.0}, Vector{0.0}, Vector{0.0})};
+  LinearYieldModel model(models, samples);
+  EXPECT_NEAR(model.yield(), stats::yield_from_beta(1.0), 0.01);
+}
+
+TEST(LinearYieldModel, TwoIndependentSpecsMultiply) {
+  // Independent margins on s0 and s1 with beta = 1 each.
+  const stats::SampleSet samples(40000, 2, 11);
+  std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0, 0.0}, Vector{0.0}, Vector{0.0}),
+      make_model(1, 1.0, Vector{0.0, -1.0}, Vector{0.0}, Vector{0.0})};
+  LinearYieldModel model(models, samples);
+  const double phi1 = stats::yield_from_beta(1.0);
+  EXPECT_NEAR(model.yield(), phi1 * phi1, 0.01);
+}
+
+TEST(LinearYieldModel, DesignOffsetShiftsYield) {
+  // margin = 1 - s0 + (d - 0): moving d by +1 gives beta = 2.
+  const stats::SampleSet samples(20000, 1, 3);
+  std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0}, Vector{1.0}, Vector{0.0})};
+  LinearYieldModel model(models, samples);
+  model.set_design(Vector{1.0});
+  EXPECT_NEAR(model.yield(), stats::yield_from_beta(2.0), 0.01);
+}
+
+TEST(LinearYieldModel, ApplyCoordinateMatchesSetDesign) {
+  const stats::SampleSet samples(5000, 2, 5);
+  std::vector<SpecLinearization> models = {
+      make_model(0, 0.5, Vector{-1.0, 0.3}, Vector{0.7, -0.2}, Vector{0.0, 0.0}),
+      make_model(1, 1.5, Vector{0.4, -0.8}, Vector{-0.3, 0.9}, Vector{0.0, 0.0})};
+  LinearYieldModel incremental(models, samples);
+  LinearYieldModel reference(models, samples);
+  incremental.apply_coordinate(0, 0.8);
+  incremental.apply_coordinate(1, -0.4);
+  incremental.apply_coordinate(0, 0.1);
+  reference.set_design(Vector{0.9, -0.4});
+  EXPECT_EQ(incremental.passing(), reference.passing());
+  for (std::size_t l = 0; l < 2; ++l)
+    EXPECT_NEAR(incremental.sample_margin(l, 17),
+                reference.sample_margin(l, 17), 1e-10);
+}
+
+TEST(LinearYieldModel, BadSamplesPerSpecCombinesMirrors) {
+  const stats::SampleSet samples(10000, 1, 9);
+  // Spec 0: primary passes s <= 1, mirror passes s >= -1 -> bad when
+  // |s| > 1 -> ~31.7% bad.
+  std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0}, Vector{}, Vector{}),
+      make_model(0, 1.0, Vector{1.0}, Vector{}, Vector{})};
+  models[0].d_f = Vector{0.0};
+  models[0].grad_d = Vector{0.0};
+  models[1].d_f = Vector{0.0};
+  models[1].grad_d = Vector{0.0};
+  models[1].is_mirror = true;
+  LinearYieldModel model(models, samples);
+  const auto bad = model.bad_samples_per_spec(1);
+  EXPECT_NEAR(static_cast<double>(bad[0]) / samples.count(), 0.3173, 0.02);
+  EXPECT_NEAR(model.yield(), 1.0 - 0.3173, 0.02);
+}
+
+TEST(LinearYieldModel, BestAlphaFindsExactOptimum) {
+  // margin_0 = 1 - s0 + alpha (improves with alpha),
+  // margin_1 = 1 + s1 - alpha (degrades with alpha).
+  // Optimal alpha balances the two: by symmetry alpha* ~ 0... but with
+  // different betas the plateau moves.  Use brute force as the oracle.
+  const stats::SampleSet samples(2000, 2, 21);
+  std::vector<SpecLinearization> models = {
+      make_model(0, 0.2, Vector{-1.0, 0.0}, Vector{1.0}, Vector{0.0}),
+      make_model(1, 1.8, Vector{0.0, 1.0}, Vector{-1.0}, Vector{0.0})};
+  LinearYieldModel model(models, samples);
+  const auto scan = model.best_alpha(0, -3.0, 3.0);
+
+  // Brute-force oracle on a fine grid.
+  std::size_t best_count = 0;
+  for (double alpha = -3.0; alpha <= 3.0; alpha += 0.001) {
+    LinearYieldModel probe(models, samples);
+    probe.set_design(Vector{alpha});
+    best_count = std::max(best_count, probe.passing());
+  }
+  EXPECT_EQ(scan.passing, best_count);
+
+  // The returned alpha actually achieves the count.
+  LinearYieldModel check(models, samples);
+  check.set_design(Vector{scan.alpha});
+  EXPECT_EQ(check.passing(), best_count);
+}
+
+TEST(LinearYieldModel, BestAlphaPrefersPlateauNearZero) {
+  // A model where every sample passes for alpha in [1, 2] OR [-9, -8]...
+  // Construct: margin = (s0 shifted) such that intervals are symmetric;
+  // simpler: single sample-free check -- all samples pass everywhere in
+  // alpha (zero slope), plateau should contain 0 and return alpha = 0.
+  const stats::SampleSet samples(100, 1, 2);
+  std::vector<SpecLinearization> models = {
+      make_model(0, 10.0, Vector{-0.1}, Vector{0.0}, Vector{0.0})};
+  LinearYieldModel model(models, samples);
+  const auto scan = model.best_alpha(0, -5.0, 5.0);
+  EXPECT_EQ(scan.passing, 100u);
+  EXPECT_EQ(scan.alpha, 0.0);
+}
+
+TEST(LinearYieldModel, BestAlphaEmptyIntervalThrows) {
+  const stats::SampleSet samples(10, 1, 2);
+  std::vector<SpecLinearization> models = {
+      make_model(0, 1.0, Vector{-1.0}, Vector{1.0}, Vector{0.0})};
+  LinearYieldModel model(models, samples);
+  EXPECT_THROW(model.best_alpha(0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(LinearYieldModel, ZeroYieldWhenHopeless) {
+  const stats::SampleSet samples(1000, 1, 4);
+  std::vector<SpecLinearization> models = {
+      make_model(0, -100.0, Vector{-1.0}, Vector{0.0}, Vector{0.0})};
+  LinearYieldModel model(models, samples);
+  EXPECT_EQ(model.passing(), 0u);
+  const auto scan = model.best_alpha(0, -1.0, 1.0);
+  EXPECT_EQ(scan.passing, 0u);
+}
+
+TEST(LinearYieldModel, ValidatesConstruction) {
+  const stats::SampleSet samples(10, 2, 4);
+  EXPECT_THROW(LinearYieldModel({}, samples), std::invalid_argument);
+  // Statistical dimension mismatch.
+  std::vector<SpecLinearization> bad = {
+      make_model(0, 1.0, Vector{-1.0}, Vector{0.0}, Vector{0.0})};
+  EXPECT_THROW(LinearYieldModel(bad, samples), std::invalid_argument);
+  // Mismatched expansion points.
+  std::vector<SpecLinearization> mixed = {
+      make_model(0, 1.0, Vector{-1.0, 0.0}, Vector{0.0}, Vector{0.0}),
+      make_model(1, 1.0, Vector{-1.0, 0.0}, Vector{0.0}, Vector{1.0})};
+  EXPECT_THROW(LinearYieldModel(mixed, samples), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mayo::core

@@ -1,0 +1,108 @@
+#include "linalg/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/lu.hpp"
+#include "stats/rng.hpp"
+
+namespace mayo::linalg {
+namespace {
+
+TEST(Qr, SolvesSquareSystem) {
+  Matrixd a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const Vector x = Qr(a).solve(Vector{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Qr, LeastSquaresOverdetermined) {
+  // Fit y = a + b*t to points (0,1), (1,3), (2,5): exact line 1 + 2t.
+  Matrixd a(3, 2);
+  a(0, 0) = 1; a(0, 1) = 0;
+  a(1, 0) = 1; a(1, 1) = 1;
+  a(2, 0) = 1; a(2, 1) = 2;
+  const Vector x = lstsq(a, Vector{1.0, 3.0, 5.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Qr, LeastSquaresMinimizesResidual) {
+  // Inconsistent system: solution is the normal-equation minimizer.
+  Matrixd a(3, 1);
+  a(0, 0) = 1; a(1, 0) = 1; a(2, 0) = 1;
+  const Vector x = lstsq(a, Vector{1.0, 2.0, 6.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);  // mean
+}
+
+TEST(Qr, UnderdeterminedThrows) {
+  EXPECT_THROW(Qr(Matrixd(2, 3)), std::invalid_argument);
+}
+
+TEST(Qr, RankDeficientThrows) {
+  Matrixd a(3, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  a(2, 0) = 3; a(2, 1) = 6;
+  EXPECT_THROW(Qr qr(a), SingularMatrixError);
+}
+
+TEST(Qr, RIsUpperTriangularAndConsistent) {
+  stats::Rng rng(5);
+  Matrixd a(5, 3);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  Qr qr(a);
+  const Matrixd r = qr.r();
+  for (std::size_t i = 1; i < 3; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(r(i, j), 0.0);
+  // R^T R == A^T A (Gram matrix preserved by orthogonal Q).
+  const Matrixd gram_r = r.transposed() * r;
+  const Matrixd gram_a = a.transposed() * a;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(gram_r(i, j), gram_a(i, j), 1e-10);
+}
+
+TEST(Qr, ApplyQtPreservesNorm) {
+  stats::Rng rng(17);
+  Matrixd a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 2; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  Qr qr(a);
+  Vector b{1.0, -2.0, 0.5, 3.0};
+  const Vector qtb = qr.apply_qt(b);
+  EXPECT_NEAR(qtb.norm(), b.norm(), 1e-12);
+}
+
+TEST(MinNormOnHyperplane, MatchesClosedForm) {
+  const Vector g{3.0, 4.0};
+  const Vector x = min_norm_on_hyperplane(g, 10.0);
+  // x = g * rhs / ||g||^2 = (3,4) * 10/25
+  EXPECT_NEAR(x[0], 1.2, 1e-12);
+  EXPECT_NEAR(x[1], 1.6, 1e-12);
+  EXPECT_NEAR(dot(g, x), 10.0, 1e-12);
+}
+
+TEST(MinNormOnHyperplane, ZeroGradientThrows) {
+  EXPECT_THROW(min_norm_on_hyperplane(Vector(3), 1.0), std::domain_error);
+}
+
+TEST(MinNormOnHyperplane, IsMinimumNorm) {
+  // Any other point on the hyperplane has a larger norm.
+  const Vector g{1.0, 2.0, -1.0};
+  const double rhs = 4.0;
+  const Vector x0 = min_norm_on_hyperplane(g, rhs);
+  stats::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector t(3);
+    for (std::size_t i = 0; i < 3; ++i) t[i] = rng.uniform(-2.0, 2.0);
+    // Project t onto the hyperplane g^T x = rhs.
+    const Vector proj = t - g * ((dot(g, t) - rhs) / g.norm2());
+    EXPECT_GE(proj.norm2() + 1e-12, x0.norm2());
+  }
+}
+
+}  // namespace
+}  // namespace mayo::linalg

@@ -1,0 +1,126 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace mayo::linalg {
+namespace {
+
+TEST(Lu, Solves2x2) {
+  Matrixd a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const Vector x = solve(a, Vector{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresSquare) {
+  EXPECT_THROW(Lud(Matrixd(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrixd a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(Lud lu(a), SingularMatrixError);
+}
+
+TEST(Lu, SingularErrorCarriesPivot) {
+  Matrixd a(2, 2);  // all zeros
+  try {
+    Lud lu(a);
+    FAIL() << "expected SingularMatrixError";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.pivot_index(), 0u);
+  }
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrixd a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const Vector x = solve(a, Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  Matrixd a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  EXPECT_NEAR(Lud(a).determinant(), 5.0, 1e-12);
+}
+
+TEST(Lu, DeterminantSignWithPivot) {
+  Matrixd a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  EXPECT_NEAR(Lud(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  stats::Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5 + trial;
+    Matrixd a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 2.0;  // diagonal dominance-ish
+    Vector x_true(n);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-2.0, 2.0);
+    const Vector b = a * x_true;
+    const Vector x = solve(a, b);
+    EXPECT_LT(distance(x, x_true), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Lu, SolveReusableForMultipleRhs) {
+  Matrixd a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 5;
+  Lud lu(a);
+  for (int k = 0; k < 3; ++k) {
+    std::vector<double> e(3, 0.0);
+    e[k] = 1.0;
+    const std::vector<double> x = lu.solve(e);
+    // Check A x = e.
+    for (int r = 0; r < 3; ++r) {
+      double acc = 0.0;
+      for (int c = 0; c < 3; ++c) acc += a(r, c) * x[c];
+      EXPECT_NEAR(acc, e[r], 1e-12);
+    }
+  }
+}
+
+TEST(Lu, ComplexSolve) {
+  using C = std::complex<double>;
+  Matrixc a(2, 2);
+  a(0, 0) = C(1, 1); a(0, 1) = C(0, 0);
+  a(1, 0) = C(0, 0); a(1, 1) = C(2, -1);
+  const VectorC x = solve(a, VectorC{C(2, 0), C(5, 0)});
+  EXPECT_NEAR(std::abs(x[0] - C(1, -1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - C(2, 1)), 0.0, 1e-12);
+}
+
+TEST(Lu, InverseMatchesIdentity) {
+  Matrixd a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 0; a(1, 1) = 3; a(1, 2) = 1;
+  a(2, 0) = 1; a(2, 1) = 0; a(2, 2) = 4;
+  const Matrixd inv = inverse(a);
+  const Matrixd id = a * inv;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_NEAR(id(r, c), r == c ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Lu, RhsSizeMismatchThrows) {
+  Lud lu(Matrixd::identity(2));
+  EXPECT_THROW(lu.solve(std::vector<double>(3, 0.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mayo::linalg

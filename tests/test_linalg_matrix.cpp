@@ -1,0 +1,127 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mayo::linalg {
+namespace {
+
+TEST(Matrix, ZeroConstructed) {
+  Matrixd m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.max_abs(), 0.0);
+}
+
+TEST(Matrix, Identity) {
+  Matrixd id = Matrixd::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Diagonal) {
+  Matrixd m = Matrixd::diagonal({1.0, 2.0, 3.0});
+  EXPECT_EQ(m(1, 1), 2.0);
+  EXPECT_EQ(m(0, 1), 0.0);
+}
+
+TEST(Matrix, AtThrows) {
+  Matrixd m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrixd a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 2.0;
+  Matrixd b = Matrixd::identity(2);
+  Matrixd sum = a + b;
+  EXPECT_EQ(sum(0, 0), 2.0);
+  EXPECT_EQ(sum(1, 1), 3.0);
+  Matrixd diff = a - b;
+  EXPECT_EQ(diff(0, 0), 0.0);
+  Matrixd scaled = a * 3.0;
+  EXPECT_EQ(scaled(1, 1), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrixd a(2, 2);
+  Matrixd b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Matrix, Product) {
+  Matrixd a(2, 3);
+  // [1 2 3; 4 5 6]
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrixd b(3, 2);
+  // [7 8; 9 10; 11 12]
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  Matrixd c = a * b;
+  EXPECT_EQ(c(0, 0), 58.0);
+  EXPECT_EQ(c(0, 1), 64.0);
+  EXPECT_EQ(c(1, 0), 139.0);
+  EXPECT_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, ProductDimensionMismatchThrows) {
+  Matrixd a(2, 3);
+  Matrixd b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrixd a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  Vector v{1.0, -1.0};
+  EXPECT_EQ(a * v, (Vector{-1.0, -1.0}));
+}
+
+TEST(Matrix, MulTransposed) {
+  Matrixd a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Vector v{1.0, 1.0};
+  EXPECT_EQ(mul_transposed(a, v), (Vector{5.0, 7.0, 9.0}));
+}
+
+TEST(Matrix, Transposed) {
+  Matrixd a(2, 3);
+  a(0, 2) = 5.0;
+  Matrixd at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at(2, 0), 5.0);
+}
+
+TEST(Matrix, Outer) {
+  Matrixd m = outer(Vector{1.0, 2.0}, Vector{3.0, 4.0});
+  EXPECT_EQ(m(0, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 8.0);
+  EXPECT_EQ(m(1, 0), 6.0);
+}
+
+TEST(Matrix, ComplexProductWorks) {
+  using C = std::complex<double>;
+  Matrixc a(1, 1);
+  a(0, 0) = C(0.0, 1.0);
+  VectorC v{C(1.0, 0.0)};
+  const VectorC out = a * v;
+  EXPECT_EQ(out[0], C(0.0, 1.0));
+}
+
+TEST(Matrix, SetZeroKeepsShape) {
+  Matrixd a(2, 2, 3.0);
+  a.set_zero();
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.max_abs(), 0.0);
+}
+
+}  // namespace
+}  // namespace mayo::linalg

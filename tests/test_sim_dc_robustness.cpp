@@ -1,0 +1,124 @@
+// DC solver robustness: option handling, iteration budgets, continuation
+// fallbacks, and source restoration.
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.hpp"
+#include "sim/dc.hpp"
+
+namespace mayo::sim {
+namespace {
+
+using circuit::Conditions;
+using circuit::kGround;
+using circuit::MosGeometry;
+using circuit::Mosfet;
+using circuit::MosProcess;
+using circuit::MosType;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::VoltageSource;
+
+/// A cross-coupled NMOS latch with load resistors: two stable states, a
+/// nonlinear system that benefits from continuation.
+struct Latch {
+  Latch() {
+    vdd = nl.add_node("vdd");
+    a = nl.add_node("a");
+    b = nl.add_node("b");
+    nl.add<VoltageSource>("Vdd", vdd, kGround, 5.0);
+    nl.add<Resistor>("Ra", vdd, a, 10e3);
+    nl.add<Resistor>("Rb", vdd, b, 10e3);
+    MosProcess proc;
+    nl.add<Mosfet>("M1", MosType::kNmos, a, b, kGround, kGround, proc,
+                   MosGeometry{10e-6, 1e-6});
+    nl.add<Mosfet>("M2", MosType::kNmos, b, a, kGround, kGround, proc,
+                   MosGeometry{10e-6, 1e-6});
+  }
+  Netlist nl;
+  NodeId vdd{};
+  NodeId a{};
+  NodeId b{};
+};
+
+TEST(DcRobustness, LatchConvergesToAValidState) {
+  Latch latch;
+  const DcResult result = solve_dc(latch.nl, Conditions{});
+  ASSERT_TRUE(result.converged);
+  const double va = result.solution[latch.a - 1];
+  const double vb = result.solution[latch.b - 1];
+  // Any valid solution satisfies KCL; the symmetric metastable point has
+  // va == vb, the stable states are asymmetric.  All are fixed points of
+  // the system -- require only physical node voltages.
+  EXPECT_GE(va, -0.1);
+  EXPECT_LE(va, 5.1);
+  EXPECT_GE(vb, -0.1);
+  EXPECT_LE(vb, 5.1);
+}
+
+TEST(DcRobustness, TightIterationBudgetFailsGracefully) {
+  Latch latch;
+  DcOptions options;
+  options.max_iterations = 1;
+  options.allow_gmin_stepping = false;
+  options.allow_source_stepping = false;
+  const DcResult result = solve_dc(latch.nl, Conditions{}, options);
+  EXPECT_FALSE(result.converged);
+  // The result still reports the iterations it spent.
+  EXPECT_GE(result.newton_iterations, 1);
+}
+
+TEST(DcRobustness, SourceValuesRestoredAfterStepping) {
+  Latch latch;
+  auto& vdd = dynamic_cast<VoltageSource&>(latch.nl.device("Vdd"));
+  DcOptions options;
+  options.max_iterations = 3;  // force fallback into continuation paths
+  solve_dc(latch.nl, Conditions{}, options);
+  EXPECT_DOUBLE_EQ(vdd.dc_value(), 5.0);
+}
+
+TEST(DcRobustness, ContinuationDisabledStillSolvesEasyCircuits) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add<VoltageSource>("V1", a, kGround, 1.0);
+  nl.add<Resistor>("R1", a, kGround, 1e3);
+  DcOptions options;
+  options.allow_gmin_stepping = false;
+  options.allow_source_stepping = false;
+  const DcResult result = solve_dc(nl, Conditions{}, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.continuation_steps, 0);
+}
+
+TEST(DcRobustness, BadInitialGuessRecovered) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add<VoltageSource>("V1", a, kGround, 2.0);
+  nl.add<Resistor>("R1", a, kGround, 1e3);
+  linalg::Vector awful(nl.system_size());
+  awful[0] = 1e6;  // absurd seed
+  const DcResult result = solve_dc(nl, Conditions{}, {}, &awful);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.solution[a - 1], 2.0, 1e-6);
+}
+
+TEST(DcRobustness, DampingClampLimitsStep) {
+  // With max_step_v tiny, a 5 V target takes many iterations -- verify the
+  // clamp is actually applied (iterations scale inversely with the clamp).
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add<VoltageSource>("V1", a, kGround, 5.0);
+  nl.add<Resistor>("R1", a, kGround, 1e3);
+  DcOptions loose;
+  loose.max_step_v = 10.0;
+  DcOptions tight;
+  tight.max_step_v = 0.5;
+  const DcResult fast = solve_dc(nl, Conditions{}, loose);
+  const DcResult slow = solve_dc(nl, Conditions{}, tight);
+  ASSERT_TRUE(fast.converged);
+  ASSERT_TRUE(slow.converged);
+  EXPECT_GT(slow.newton_iterations, fast.newton_iterations);
+}
+
+}  // namespace
+}  // namespace mayo::sim

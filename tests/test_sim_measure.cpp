@@ -1,0 +1,152 @@
+#include "sim/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/dc.hpp"
+
+namespace mayo::sim {
+namespace {
+
+using circuit::Capacitor;
+using circuit::Conditions;
+using circuit::kGround;
+using circuit::MosGeometry;
+using circuit::Mosfet;
+using circuit::MosProcess;
+using circuit::MosType;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::Vcvs;
+using circuit::VoltageSource;
+using linalg::Vector;
+
+TEST(Measure, DbAndPhaseHelpers) {
+  EXPECT_NEAR(to_db({10.0, 0.0}), 20.0, 1e-12);
+  EXPECT_NEAR(to_db({0.1, 0.0}), -20.0, 1e-12);
+  EXPECT_NEAR(phase_deg({0.0, 1.0}), 90.0, 1e-12);
+  EXPECT_NEAR(phase_deg({-1.0, 0.0}), 180.0, 1e-12);
+}
+
+/// Ideal single-pole amplifier: VCVS gain A, then R-C pole.
+struct OnePoleAmp {
+  OnePoleAmp(double gain, double r, double c) {
+    in = nl.add_node("in");
+    mid = nl.add_node("mid");
+    out = nl.add_node("out");
+    auto& vin = nl.add<VoltageSource>("Vin", in, kGround, 0.0);
+    vin.set_ac_value({1.0, 0.0});
+    nl.add<Vcvs>("E1", mid, kGround, in, kGround, gain);
+    nl.add<Resistor>("R1", mid, out, r);
+    nl.add<Capacitor>("C1", out, kGround, c);
+    op = Vector(nl.system_size());
+  }
+  Netlist nl;
+  NodeId in{};
+  NodeId mid{};
+  NodeId out{};
+  Vector op;
+};
+
+TEST(Measure, GainBandwidthSinglePole) {
+  // A = 1000 (60 dB), pole at 1/(2 pi RC) = 159 Hz -> ft ~ A * fp ~ 159 kHz.
+  OnePoleAmp amp(1000.0, 1e6, 1e-9);
+  const GainBandwidth gb = measure_gain_bandwidth(
+      amp.nl, amp.op, Conditions{}, amp.out, 1.0, 1e9);
+  EXPECT_NEAR(gb.a0_db, 60.0, 0.01);
+  ASSERT_TRUE(gb.ft_found);
+  const double fp = 1.0 / (2.0 * std::numbers::pi * 1e6 * 1e-9);
+  // |H| = A / sqrt(1 + (f/fp)^2) = 1 -> f = fp * sqrt(A^2 - 1).
+  const double expected_ft = fp * std::sqrt(1000.0 * 1000.0 - 1.0);
+  EXPECT_NEAR(gb.ft_hz / expected_ft, 1.0, 0.01);
+  // Single pole: phase margin ~ 90 deg.
+  EXPECT_NEAR(gb.phase_margin_deg, 90.0, 1.0);
+}
+
+TEST(Measure, GainBandwidthNoCrossing) {
+  // Gain below unity everywhere: no ft.
+  OnePoleAmp amp(0.5, 1e3, 1e-12);
+  const GainBandwidth gb = measure_gain_bandwidth(
+      amp.nl, amp.op, Conditions{}, amp.out, 1.0, 1e6);
+  EXPECT_FALSE(gb.ft_found);
+  EXPECT_EQ(gb.ft_hz, 0.0);
+  EXPECT_NEAR(gb.a0_db, to_db({0.5, 0.0}), 1e-6);
+}
+
+TEST(Measure, TwoPolePhaseMargin) {
+  // Two coincident poles at fp; at ft the phase margin is
+  // 180 - 2*atan(ft/fp) -- check against the analytic value.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId m1 = nl.add_node("m1");
+  const NodeId p1 = nl.add_node("p1");
+  const NodeId m2 = nl.add_node("m2");
+  const NodeId out = nl.add_node("out");
+  auto& vin = nl.add<VoltageSource>("Vin", in, kGround, 0.0);
+  vin.set_ac_value({1.0, 0.0});
+  nl.add<Vcvs>("E1", m1, kGround, in, kGround, 100.0);
+  nl.add<Resistor>("R1", m1, p1, 1e3);
+  nl.add<Capacitor>("C1", p1, kGround, 1e-9);  // fp ~ 159 kHz
+  nl.add<Vcvs>("E2", m2, kGround, p1, kGround, 1.0);
+  nl.add<Resistor>("R2", m2, out, 1e3);
+  nl.add<Capacitor>("C2", out, kGround, 1e-9);
+  Vector op(nl.system_size());
+  const GainBandwidth gb =
+      measure_gain_bandwidth(nl, op, Conditions{}, out, 10.0, 1e9);
+  ASSERT_TRUE(gb.ft_found);
+  const double fp = 1.0 / (2.0 * std::numbers::pi * 1e3 * 1e-9);
+  const double expected_pm =
+      180.0 - 2.0 * std::atan(gb.ft_hz / fp) * 180.0 / std::numbers::pi;
+  EXPECT_NEAR(gb.phase_margin_deg, expected_pm, 1.0);
+  EXPECT_LT(gb.phase_margin_deg, 90.0);
+}
+
+TEST(Measure, SupplyPower) {
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  auto& supply = nl.add<VoltageSource>("Vdd", vdd, kGround, 5.0);
+  nl.add<Resistor>("R1", vdd, kGround, 1e3);
+  Conditions cond;
+  const DcResult op = solve_dc(nl, cond);
+  ASSERT_TRUE(op.converged);
+  const double power = measure_supply_power(nl, op.solution, {&supply});
+  EXPECT_NEAR(power, 25e-3, 1e-6);  // 5V * 5mA
+}
+
+TEST(Measure, SupplyPowerIgnoresNull) {
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  nl.add<VoltageSource>("Vdd", vdd, kGround, 5.0);
+  nl.add<Resistor>("R1", vdd, kGround, 1e3);
+  Conditions cond;
+  const DcResult op = solve_dc(nl, cond);
+  EXPECT_EQ(measure_supply_power(nl, op.solution, {nullptr}), 0.0);
+}
+
+TEST(Measure, MosOperatingPoints) {
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId g = nl.add_node("g");
+  nl.add<VoltageSource>("Vdd", vdd, kGround, 5.0);
+  nl.add<circuit::CurrentSource>("I1", vdd, g, 50e-6);
+  MosProcess proc;
+  nl.add<Mosfet>("M1", MosType::kNmos, g, g, kGround, kGround, proc,
+                 MosGeometry{20e-6, 1e-6});
+  Conditions cond;
+  const DcResult op = solve_dc(nl, cond);
+  ASSERT_TRUE(op.converged);
+  const auto points = mos_operating_points(nl, op.solution, cond);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].name, "M1");
+  EXPECT_NEAR(points[0].id, 50e-6, 1e-6);
+  EXPECT_EQ(points[0].region, circuit::MosRegion::kSaturation);
+  // Diode-connected: vds = vgs > vdsat, positive saturation margin.
+  EXPECT_GT(points[0].sat_margin, 0.0);
+  EXPECT_NEAR(points[0].vds, op.solution[g - 1], 1e-9);
+}
+
+}  // namespace
+}  // namespace mayo::sim

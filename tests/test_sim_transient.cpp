@@ -1,0 +1,200 @@
+#include "sim/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/dc.hpp"
+
+namespace mayo::sim {
+namespace {
+
+using circuit::Capacitor;
+using circuit::Conditions;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::VoltageSource;
+using linalg::Vector;
+
+TEST(Transient, RcStepResponse) {
+  // R = 1k, C = 1n, tau = 1 us; step 0 -> 1 V at t = 0.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  auto& vin = nl.add<VoltageSource>("Vin", in, kGround, 0.0);
+  nl.add<Resistor>("R1", in, out, 1e3);
+  nl.add<Capacitor>("C1", out, kGround, 1e-9);
+
+  Conditions cond;
+  const DcResult op = solve_dc(nl, cond);
+  ASSERT_TRUE(op.converged);
+
+  vin.set_waveform([](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  TranOptions options;
+  options.t_stop = 5e-6;
+  options.dt = 5e-9;  // tau/200 keeps BE's first-order error ~ 0.25%
+  const TranResult result = solve_transient(nl, op.solution, cond, options);
+  ASSERT_TRUE(result.converged);
+
+  const std::vector<double> v = result.node_voltage(out);
+  // Compare with 1 - exp(-t/tau) at a few times.
+  for (std::size_t k = 0; k < result.time.size(); k += 100) {
+    const double expected = 1.0 - std::exp(-result.time[k] / 1e-6);
+    EXPECT_NEAR(v[k], expected, 0.01) << "t=" << result.time[k];
+  }
+  // Fully settled at 5 tau.
+  EXPECT_NEAR(v.back(), 1.0, 0.01);
+}
+
+TEST(Transient, InitialStateIsFirstSample) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add<VoltageSource>("V1", a, kGround, 2.0);
+  Conditions cond;
+  const DcResult op = solve_dc(nl, cond);
+  ASSERT_TRUE(op.converged);
+  TranOptions options;
+  options.t_stop = 1e-8;
+  options.dt = 1e-9;
+  const TranResult result = solve_transient(nl, op.solution, cond, options);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.time.front(), 0.0);
+  EXPECT_NEAR(result.node_voltage(a).front(), 2.0, 1e-9);
+}
+
+TEST(Transient, ValidatesArguments) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add<Resistor>("R1", a, kGround, 1.0);
+  Vector wrong(5);
+  TranOptions options;
+  EXPECT_THROW(solve_transient(nl, wrong, Conditions{}, options),
+               std::invalid_argument);
+  Vector ok(nl.system_size());
+  options.dt = 0.0;
+  EXPECT_THROW(solve_transient(nl, ok, Conditions{}, options),
+               std::invalid_argument);
+}
+
+TEST(Transient, RcDischargeConservesMonotonicity) {
+  // Start charged via DC, then source drops to 0: v decays monotonically.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  auto& vin = nl.add<VoltageSource>("Vin", in, kGround, 1.0);
+  nl.add<Resistor>("R1", in, out, 1e3);
+  nl.add<Capacitor>("C1", out, kGround, 1e-9);
+  Conditions cond;
+  const DcResult op = solve_dc(nl, cond);
+  ASSERT_TRUE(op.converged);
+  vin.set_waveform([](double) { return 0.0; });
+  TranOptions options;
+  options.t_stop = 3e-6;
+  options.dt = 10e-9;
+  const TranResult result = solve_transient(nl, op.solution, cond, options);
+  ASSERT_TRUE(result.converged);
+  const std::vector<double> v = result.node_voltage(out);
+  for (std::size_t k = 1; k < v.size(); ++k) EXPECT_LE(v[k], v[k - 1] + 1e-12);
+}
+
+TEST(SlopeHelpers, MaxSlope) {
+  const std::vector<double> t = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> v = {0.0, 2.0, 3.0, 2.5};
+  EXPECT_DOUBLE_EQ(max_slope(t, v), 2.0);
+  EXPECT_DOUBLE_EQ(max_negative_slope(t, v), 0.5);
+}
+
+TEST(SlopeHelpers, SizeMismatchThrows) {
+  EXPECT_THROW(max_slope({0.0, 1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(max_negative_slope({0.0}, {0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(SlopeHelpers, EmptyIsZero) {
+  EXPECT_EQ(max_slope({}, {}), 0.0);
+  EXPECT_EQ(max_negative_slope({0.0}, {1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace mayo::sim
+
+namespace mayo::sim {
+namespace {
+
+using circuit::Capacitor;
+using circuit::Conditions;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::VoltageSource;
+
+/// Max |v(t) - analytic| over an RC step response for a given method/step.
+double rc_step_error(TranMethod method, double dt) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  auto& vin = nl.add<VoltageSource>("Vin", in, kGround, 0.0);
+  nl.add<Resistor>("R1", in, out, 1e3);
+  nl.add<Capacitor>("C1", out, kGround, 1e-9);  // tau = 1 us
+  const DcResult op = solve_dc(nl, Conditions{});
+  vin.set_waveform([](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  TranOptions options;
+  options.t_stop = 3e-6;
+  options.dt = dt;
+  options.method = method;
+  const TranResult result = solve_transient(nl, op.solution, Conditions{}, options);
+  if (!result.converged) return 1e9;
+  const auto v = result.node_voltage(out);
+  double worst = 0.0;
+  // Skip the first few samples: the startup BE step dominates there.
+  for (std::size_t k = 5; k < v.size(); ++k) {
+    const double expected = 1.0 - std::exp(-result.time[k] / 1e-6);
+    worst = std::max(worst, std::abs(v[k] - expected));
+  }
+  return worst;
+}
+
+TEST(TransientBdf2, MoreAccurateThanBackwardEuler) {
+  const double be = rc_step_error(TranMethod::kBackwardEuler, 20e-9);
+  const double bdf2 = rc_step_error(TranMethod::kBdf2, 20e-9);
+  EXPECT_LT(bdf2, be / 3.0);
+}
+
+TEST(TransientBdf2, SecondOrderConvergence) {
+  // Halving dt should cut the BDF2 error by ~4 (2nd order); BE by ~2.
+  const double coarse = rc_step_error(TranMethod::kBdf2, 40e-9);
+  const double fine = rc_step_error(TranMethod::kBdf2, 20e-9);
+  EXPECT_GT(coarse / fine, 3.0);
+  EXPECT_LT(coarse / fine, 6.0);
+  const double be_coarse = rc_step_error(TranMethod::kBackwardEuler, 40e-9);
+  const double be_fine = rc_step_error(TranMethod::kBackwardEuler, 20e-9);
+  EXPECT_GT(be_coarse / be_fine, 1.6);
+  EXPECT_LT(be_coarse / be_fine, 2.6);
+}
+
+TEST(TransientBdf2, InductorRlMatchesAnalytic) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  auto& v = nl.add<VoltageSource>("V1", in, kGround, 0.0);
+  nl.add<Resistor>("R1", in, mid, 1e3);
+  nl.add<circuit::Inductor>("L1", mid, kGround, 1e-3);  // tau = 1 us
+  const auto op = solve_dc(nl, Conditions{});
+  v.set_waveform([](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  TranOptions options;
+  options.t_stop = 4e-6;
+  options.dt = 20e-9;
+  options.method = TranMethod::kBdf2;
+  const auto result = solve_transient(nl, op.solution, Conditions{}, options);
+  ASSERT_TRUE(result.converged);
+  const auto v_mid = result.node_voltage(mid);
+  for (std::size_t k = 10; k < v_mid.size(); k += 40) {
+    const double expected = std::exp(-result.time[k] / 1e-6);
+    EXPECT_NEAR(v_mid[k], expected, 5e-3) << result.time[k];
+  }
+}
+
+}  // namespace
+}  // namespace mayo::sim

@@ -1,0 +1,133 @@
+#include "spice/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/dc.hpp"
+#include "spice/parser.hpp"
+
+namespace mayo::spice {
+namespace {
+
+using circuit::Conditions;
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+
+TEST(Export, SimpleDividerRoundTrip) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  nl.add<circuit::VoltageSource>("V1", in, kGround, 10.0);
+  nl.add<circuit::Resistor>("R1", in, mid, 1e3);
+  nl.add<circuit::Resistor>("R2", mid, kGround, 3e3);
+
+  const std::string deck = export_netlist(nl);
+  const auto parsed = parse_netlist(deck);
+  EXPECT_EQ(parsed.netlist->num_devices(), 3u);
+  const auto result = sim::solve_dc(*parsed.netlist, Conditions{});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.solution[parsed.netlist->node("mid") - 1], 7.5, 1e-6);
+}
+
+TEST(Export, AllElementTypesRoundTrip) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  const NodeId c = nl.add_node("c");
+  auto& v = nl.add<circuit::VoltageSource>("V1", a, kGround, 1.25);
+  v.set_ac_value({0.5, 0.0});
+  nl.add<circuit::CurrentSource>("I1", a, b, 3.5e-6);
+  nl.add<circuit::Resistor>("R1", a, b, 4.7e3);
+  nl.add<circuit::Capacitor>("C1", b, kGround, 2.2e-12);
+  nl.add<circuit::Inductor>("L1", b, c, 1e-6);
+  nl.add<circuit::Diode>("D1", c, kGround, 3e-15, 1.2);
+  nl.add<circuit::Vcvs>("E1", c, kGround, a, b, 12.5);
+  circuit::MosProcess proc;
+  proc.vth0 = 0.62;
+  nl.add<circuit::Mosfet>("M1", circuit::MosType::kNmos, a, b, kGround,
+                          kGround, proc, circuit::MosGeometry{17e-6, 1.3e-6});
+
+  const std::string deck = export_netlist(nl);
+  const auto parsed = parse_netlist(deck);
+  ASSERT_EQ(parsed.netlist->num_devices(), nl.num_devices());
+
+  const auto& v2 = dynamic_cast<const circuit::VoltageSource&>(
+      parsed.netlist->device("V1"));
+  EXPECT_DOUBLE_EQ(v2.dc_value(), 1.25);
+  EXPECT_DOUBLE_EQ(v2.ac_value().real(), 0.5);
+  const auto& r2 =
+      dynamic_cast<const circuit::Resistor&>(parsed.netlist->device("R1"));
+  EXPECT_DOUBLE_EQ(r2.resistance(), 4.7e3);
+  const auto& l2 =
+      dynamic_cast<const circuit::Inductor&>(parsed.netlist->device("L1"));
+  EXPECT_DOUBLE_EQ(l2.inductance(), 1e-6);
+  const auto& d2 =
+      dynamic_cast<const circuit::Diode&>(parsed.netlist->device("D1"));
+  EXPECT_DOUBLE_EQ(d2.saturation_current(), 3e-15);
+  EXPECT_DOUBLE_EQ(d2.emission_coefficient(), 1.2);
+  const auto& e2 =
+      dynamic_cast<const circuit::Vcvs&>(parsed.netlist->device("E1"));
+  EXPECT_DOUBLE_EQ(e2.gain(), 12.5);
+  const auto& m2 =
+      dynamic_cast<const circuit::Mosfet&>(parsed.netlist->device("M1"));
+  EXPECT_DOUBLE_EQ(m2.geometry().w, 17e-6);
+  EXPECT_DOUBLE_EQ(m2.geometry().l, 1.3e-6);
+  EXPECT_DOUBLE_EQ(m2.process().vth0, 0.62);
+}
+
+TEST(Export, DeduplicatesModelCards) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  circuit::MosProcess proc_a;
+  circuit::MosProcess proc_b;
+  proc_b.vth0 = 0.9;
+  nl.add<circuit::Mosfet>("M1", circuit::MosType::kNmos, a, a, kGround,
+                          kGround, proc_a, circuit::MosGeometry{1e-6, 1e-6});
+  nl.add<circuit::Mosfet>("M2", circuit::MosType::kNmos, a, a, kGround,
+                          kGround, proc_a, circuit::MosGeometry{2e-6, 1e-6});
+  nl.add<circuit::Mosfet>("M3", circuit::MosType::kNmos, a, a, kGround,
+                          kGround, proc_b, circuit::MosGeometry{1e-6, 1e-6});
+  const std::string deck = export_netlist(nl);
+  // Two distinct processes -> exactly two .model cards.
+  std::size_t cards = 0;
+  std::size_t pos = 0;
+  while ((pos = deck.find(".model", pos)) != std::string::npos) {
+    ++cards;
+    pos += 6;
+  }
+  EXPECT_EQ(cards, 2u);
+  const auto parsed = parse_netlist(deck);
+  EXPECT_EQ(parsed.models.size(), 2u);
+}
+
+TEST(Export, OperatingPointPreservedThroughRoundTrip) {
+  // A nonlinear circuit: the reparsed deck must solve to the same OP.
+  Netlist nl;
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId g = nl.add_node("g");
+  nl.add<circuit::VoltageSource>("Vdd", vdd, kGround, 5.0);
+  nl.add<circuit::CurrentSource>("Iref", vdd, g, 50e-6);
+  circuit::MosProcess proc;
+  nl.add<circuit::Mosfet>("M1", circuit::MosType::kNmos, g, g, kGround,
+                          kGround, proc, circuit::MosGeometry{20e-6, 1e-6});
+  const auto original = sim::solve_dc(nl, Conditions{});
+  ASSERT_TRUE(original.converged);
+
+  auto parsed = parse_netlist(export_netlist(nl));
+  const auto reparsed = sim::solve_dc(*parsed.netlist, Conditions{});
+  ASSERT_TRUE(reparsed.converged);
+  EXPECT_NEAR(reparsed.solution[parsed.netlist->node("g") - 1],
+              original.solution[g - 1], 1e-9);
+}
+
+TEST(Export, EndsWithEndDirective) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add<circuit::Resistor>("R1", a, kGround, 1.0);
+  const std::string deck = export_netlist(nl);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+  EXPECT_EQ(deck.rfind(".end\n"), deck.size() - 5);
+}
+
+}  // namespace
+}  // namespace mayo::spice

@@ -1,0 +1,227 @@
+#include "spice/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+
+namespace mayo::spice {
+namespace {
+
+TEST(ParseValue, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_value("5"), 5.0);
+  EXPECT_DOUBLE_EQ(parse_value("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_value("-3.25"), -3.25);
+  EXPECT_DOUBLE_EQ(parse_value("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_value("1.5E6"), 1.5e6);
+}
+
+TEST(ParseValue, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_value("1T"), 1e12);
+  EXPECT_DOUBLE_EQ(parse_value("2G"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_value("3MEG"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_value("4k"), 4e3);
+  EXPECT_DOUBLE_EQ(parse_value("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_value("6u"), 6e-6);
+  EXPECT_DOUBLE_EQ(parse_value("7n"), 7e-9);
+  EXPECT_DOUBLE_EQ(parse_value("8p"), 8e-12);
+  EXPECT_DOUBLE_EQ(parse_value("9f"), 9e-15);
+  // Case-insensitive.
+  EXPECT_DOUBLE_EQ(parse_value("4K"), 4e3);
+  EXPECT_DOUBLE_EQ(parse_value("3meg"), 3e6);
+}
+
+TEST(ParseValue, Malformed) {
+  EXPECT_THROW(parse_value(""), std::invalid_argument);
+  EXPECT_THROW(parse_value("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_value("1x"), std::invalid_argument);
+  EXPECT_THROW(parse_value("1.2.3"), std::invalid_argument);
+}
+
+TEST(Parser, MinimalDivider) {
+  const auto parsed = parse_netlist(R"(
+* a comment
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k ; trailing comment
+.end
+)");
+  ASSERT_TRUE(parsed.netlist);
+  EXPECT_EQ(parsed.netlist->num_devices(), 3u);
+  EXPECT_TRUE(parsed.netlist->has_node("in"));
+  EXPECT_TRUE(parsed.netlist->has_node("mid"));
+
+  circuit::Conditions cond;
+  const auto result = sim::solve_dc(*parsed.netlist, cond);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.solution[parsed.netlist->node("mid") - 1], 7.5, 1e-6);
+}
+
+TEST(Parser, ContinuationLines) {
+  const auto parsed = parse_netlist(
+      "V1 a 0\n"
+      "+ 5.0\n"
+      "R1 a 0 2k\n");
+  EXPECT_EQ(parsed.netlist->num_devices(), 2u);
+  const auto* v =
+      dynamic_cast<const circuit::VoltageSource*>(&parsed.netlist->device("V1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->dc_value(), 5.0);
+}
+
+TEST(Parser, ContinuationWithoutPredecessorThrows) {
+  try {
+    parse_netlist("+ 5.0\nR1 a 0 1k\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+  }
+}
+
+TEST(Parser, ModelCardAndMosfet) {
+  const auto parsed = parse_netlist(R"(
+.model nch nmos vth0=0.65 kp=110u lambda_l=0.04u gamma=0.5 phi=0.7
+Vd d 0 2.0
+Vg g 0 1.5
+M1 d g 0 0 nch w=20u l=1u
+)");
+  ASSERT_EQ(parsed.models.size(), 1u);
+  const auto& model = parsed.models.at("nch");
+  EXPECT_DOUBLE_EQ(model.vth0, 0.65);
+  EXPECT_DOUBLE_EQ(model.kp, 110e-6);
+  EXPECT_DOUBLE_EQ(model.lambda_l, 0.04e-6);
+  const auto* m = dynamic_cast<const circuit::Mosfet*>(
+      &parsed.netlist->device("M1"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->type(), circuit::MosType::kNmos);
+  EXPECT_DOUBLE_EQ(m->geometry().w, 20e-6);
+  EXPECT_DOUBLE_EQ(m->geometry().l, 1e-6);
+
+  // The parsed transistor actually conducts.
+  circuit::Conditions cond;
+  const auto op = sim::solve_dc(*parsed.netlist, cond);
+  ASSERT_TRUE(op.converged);
+  const auto eval = m->evaluate_at(2.0, 1.5, 0.0, 0.0, cond.temperature_k);
+  EXPECT_GT(eval.id, 1e-5);
+}
+
+TEST(Parser, ModelUsableBeforeDefinition) {
+  // .model cards may appear after the devices that use them (two passes).
+  const auto parsed = parse_netlist(R"(
+M1 d g 0 0 nch w=10u l=1u
+.model nch nmos vth0=0.7
+)");
+  EXPECT_EQ(parsed.netlist->num_devices(), 1u);
+}
+
+TEST(Parser, PmosModel) {
+  const auto parsed = parse_netlist(R"(
+.model pch pmos vth0=0.8 kp=35u
+M1 d g s s pch w=10u l=2u
+)");
+  const auto* m = dynamic_cast<const circuit::Mosfet*>(
+      &parsed.netlist->device("M1"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->type(), circuit::MosType::kPmos);
+}
+
+TEST(Parser, AcSourceParameter) {
+  const auto parsed = parse_netlist(R"(
+V1 in 0 0 ac=0.5
+R1 in out 1k
+C1 out 0 1n
+)");
+  const auto* v =
+      dynamic_cast<const circuit::VoltageSource*>(&parsed.netlist->device("V1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->ac_value().real(), 0.5);
+
+  // Full AC flow on the parsed circuit: RC low-pass transfer at the corner.
+  linalg::Vector op(parsed.netlist->system_size());
+  const auto h = sim::ac_node_voltage(*parsed.netlist, op, {},
+                                      1.0 / (2 * 3.14159265e-6) * 1e0,
+                                      parsed.netlist->node("out"));
+  EXPECT_NEAR(std::abs(h), 0.5 / std::sqrt(2.0), 0.01);
+}
+
+TEST(Parser, Vcvs) {
+  const auto parsed = parse_netlist("E1 out 0 inp inn 42\n");
+  const auto* e = dynamic_cast<const circuit::Vcvs*>(
+      &parsed.netlist->device("E1"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->gain(), 42.0);
+}
+
+TEST(Parser, CurrentSource) {
+  const auto parsed = parse_netlist("I1 vdd bn1 50u\n");
+  const auto* i = dynamic_cast<const circuit::CurrentSource*>(
+      &parsed.netlist->device("I1"));
+  ASSERT_NE(i, nullptr);
+  EXPECT_DOUBLE_EQ(i->dc_value(), 50e-6);
+}
+
+TEST(Parser, GroundAliases) {
+  const auto parsed = parse_netlist("R1 a 0 1k\nR2 a gnd 1k\nR3 a GND 1k\n");
+  // All three resistors reference ground; only node "a" was created.
+  EXPECT_EQ(parsed.netlist->num_nodes(), 2u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("R1 a 0 1k\nQ1 c b e bjt\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("unsupported element"),
+              std::string::npos);
+  }
+}
+
+TEST(Parser, MissingMosfetGeometryThrows) {
+  EXPECT_THROW(parse_netlist(".model nch nmos\nM1 d g 0 0 nch w=10u\n"),
+               ParseError);
+}
+
+TEST(Parser, UnknownModelThrows) {
+  EXPECT_THROW(parse_netlist("M1 d g 0 0 missing w=1u l=1u\n"), ParseError);
+}
+
+TEST(Parser, UnknownModelParameterThrows) {
+  EXPECT_THROW(parse_netlist(".model nch nmos vth9=0.7\n"), ParseError);
+}
+
+TEST(Parser, UnknownDirectiveThrows) {
+  EXPECT_THROW(parse_netlist(".tran 1n 1u\n"), ParseError);
+}
+
+TEST(Parser, BadParameterSyntaxThrows) {
+  EXPECT_THROW(parse_netlist("V1 a 0 1 ac\n"), ParseError);
+  EXPECT_THROW(parse_netlist("V1 a 0 1 =5\n"), ParseError);
+}
+
+TEST(Parser, TextAfterEndIgnored) {
+  const auto parsed = parse_netlist("R1 a 0 1k\n.end\nR2 b 0 1k\n");
+  EXPECT_EQ(parsed.netlist->num_devices(), 1u);
+}
+
+TEST(Parser, CompleteAmplifierDeck) {
+  // A parsed common-source amplifier must produce the same gain as the
+  // programmatic construction in test_sim_ac.
+  const auto parsed = parse_netlist(R"(
+.model nch nmos vth0=0.7 kp=100u lambda_l=0.05u gamma=0.45 phi=0.7
+Vdd vdd 0 5
+Vin in 0 1.0 ac=1
+RL vdd out 10k
+M1 out in 0 0 nch w=20u l=1u
+)");
+  circuit::Conditions cond;
+  const auto op = sim::solve_dc(*parsed.netlist, cond);
+  ASSERT_TRUE(op.converged);
+  const auto h = sim::ac_node_voltage(*parsed.netlist, op.solution, cond, 10.0,
+                                      parsed.netlist->node("out"));
+  EXPECT_GT(std::abs(h), 3.0);   // a few V/V of gain
+  EXPECT_LT(std::abs(h), 20.0);
+}
+
+}  // namespace
+}  // namespace mayo::spice

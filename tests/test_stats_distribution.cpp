@@ -1,0 +1,121 @@
+#include "stats/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "stats/normal.hpp"
+
+namespace mayo::stats {
+namespace {
+
+TEST(NormalDistribution, Basics) {
+  NormalDistribution d(2.0, 0.5);
+  EXPECT_EQ(d.mean(), 2.0);
+  EXPECT_EQ(d.stddev(), 0.5);
+  EXPECT_NEAR(d.cdf(2.0), 0.5, 1e-14);
+  EXPECT_NEAR(d.quantile(0.5), 2.0, 1e-12);
+  EXPECT_GT(d.pdf(2.0), d.pdf(3.0));
+}
+
+TEST(NormalDistribution, RejectsBadSigma) {
+  EXPECT_THROW(NormalDistribution(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(NormalDistribution(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(LogNormalDistribution, SupportAndMoments) {
+  LogNormalDistribution d(0.0, 0.25);
+  EXPECT_EQ(d.pdf(-1.0), 0.0);
+  EXPECT_EQ(d.cdf(0.0), 0.0);
+  EXPECT_NEAR(d.mean(), std::exp(0.03125), 1e-12);
+  EXPECT_NEAR(d.quantile(0.5), 1.0, 1e-12);  // median = exp(mu)
+}
+
+TEST(LogNormalDistribution, CdfQuantileRoundTrip) {
+  LogNormalDistribution d(0.5, 0.4);
+  for (double p : {0.05, 0.3, 0.5, 0.9, 0.99})
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-10);
+}
+
+TEST(UniformDistribution, Basics) {
+  UniformDistribution d(2.0, 6.0);
+  EXPECT_EQ(d.mean(), 4.0);
+  EXPECT_NEAR(d.stddev(), 4.0 / std::sqrt(12.0), 1e-12);
+  EXPECT_EQ(d.pdf(1.0), 0.0);
+  EXPECT_EQ(d.pdf(3.0), 0.25);
+  EXPECT_EQ(d.cdf(2.0), 0.0);
+  EXPECT_EQ(d.cdf(4.0), 0.5);
+  EXPECT_EQ(d.cdf(7.0), 1.0);
+  EXPECT_EQ(d.quantile(0.25), 3.0);
+}
+
+TEST(UniformDistribution, RejectsEmptySupport) {
+  EXPECT_THROW(UniformDistribution(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(UniformDistribution(2.0, 1.0), std::invalid_argument);
+}
+
+// The transform of paper Sec. 2 / ref. [14]: every marginal maps onto the
+// standard normal by u = Phi^-1(F(x)).
+TEST(Transform, NormalIsAffine) {
+  NormalDistribution d(3.0, 2.0);
+  // x = mean + sigma * u exactly.
+  for (double u : {-2.0, -0.5, 0.0, 1.0, 2.5}) {
+    EXPECT_NEAR(d.from_standard_normal(u), 3.0 + 2.0 * u, 1e-9);
+    EXPECT_NEAR(d.to_standard_normal(3.0 + 2.0 * u), u, 1e-9);
+  }
+}
+
+TEST(Transform, RoundTripLogNormal) {
+  LogNormalDistribution d(0.2, 0.3);
+  for (double u : {-3.0, -1.0, 0.0, 0.5, 2.0}) {
+    EXPECT_NEAR(d.to_standard_normal(d.from_standard_normal(u)), u, 1e-8);
+  }
+}
+
+TEST(Transform, RoundTripUniform) {
+  UniformDistribution d(-1.0, 1.0);
+  for (double u : {-2.0, -0.3, 0.0, 0.7, 2.0}) {
+    EXPECT_NEAR(d.to_standard_normal(d.from_standard_normal(u)), u, 1e-8);
+  }
+}
+
+TEST(Transform, PreservesProbabilityMass) {
+  // P(X <= x) == Phi(u(x)) by construction.
+  LogNormalDistribution d(0.0, 0.5);
+  for (double x : {0.3, 0.8, 1.0, 2.0, 5.0}) {
+    const double u = d.to_standard_normal(x);
+    EXPECT_NEAR(normal_cdf(u), d.cdf(x), 1e-9);
+  }
+}
+
+TEST(Transform, MonotoneInParameterValue) {
+  UniformDistribution d(0.0, 10.0);
+  double prev = -1e9;
+  for (double x = 0.5; x < 10.0; x += 0.5) {
+    const double u = d.to_standard_normal(x);
+    EXPECT_GT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(Distribution, CloneIsIndependentCopy) {
+  std::unique_ptr<Distribution> d =
+      std::make_unique<NormalDistribution>(1.0, 2.0);
+  auto clone = d->clone();
+  EXPECT_EQ(clone->mean(), 1.0);
+  EXPECT_EQ(clone->stddev(), 2.0);
+  EXPECT_NE(clone.get(), d.get());
+}
+
+TEST(Distribution, Describe) {
+  EXPECT_NE(NormalDistribution(0, 1).describe().find("Normal"),
+            std::string::npos);
+  EXPECT_NE(LogNormalDistribution(0, 1).describe().find("LogNormal"),
+            std::string::npos);
+  EXPECT_NE(UniformDistribution(0, 1).describe().find("Uniform"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mayo::stats

@@ -1,0 +1,95 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace mayo::stats {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng rng(11);
+  RunningStats acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+  EXPECT_NEAR(acc.stddev(), 1.0 / std::sqrt(12.0), 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalTailFractions) {
+  Rng rng(17);
+  int beyond_2sigma = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (std::abs(rng.normal()) > 2.0) ++beyond_2sigma;
+  // P(|Z| > 2) ~ 4.55%.
+  EXPECT_NEAR(static_cast<double>(beyond_2sigma) / n, 0.0455, 0.005);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(19);
+  RunningStats acc;
+  for (int i = 0; i < 50000; ++i) acc.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BelowInRangeAndCovers) {
+  Rng rng(23);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(5);
+    ASSERT_LT(v, 5u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mayo::stats

@@ -1,0 +1,68 @@
+#include "stats/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+
+namespace mayo::stats {
+namespace {
+
+using linalg::Vector;
+
+TEST(SampleSet, ShapeAndDeterminism) {
+  SampleSet a(100, 5, 42);
+  SampleSet b(100, 5, 42);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.dim(), 5u);
+  for (std::size_t j = 0; j < 100; ++j)
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_EQ(a.sample(j)[i], b.sample(j)[i]);
+}
+
+TEST(SampleSet, DifferentSeedsDiffer) {
+  SampleSet a(10, 3, 1);
+  SampleSet b(10, 3, 2);
+  bool any_diff = false;
+  for (std::size_t j = 0; j < 10 && !any_diff; ++j)
+    for (std::size_t i = 0; i < 3; ++i)
+      if (a.sample(j)[i] != b.sample(j)[i]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SampleSet, StandardNormalMoments) {
+  SampleSet set(20000, 2, 7);
+  RunningStats acc;
+  for (std::size_t j = 0; j < set.count(); ++j) acc.add(set.sample(j)[0]);
+  EXPECT_NEAR(acc.mean(), 0.0, 0.03);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.03);
+}
+
+TEST(SampleSet, DotMatchesManual) {
+  SampleSet set(10, 3, 5);
+  const Vector g{1.0, -2.0, 0.5};
+  for (std::size_t j = 0; j < 10; ++j) {
+    double manual = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) manual += set.sample(j)[i] * g[i];
+    EXPECT_DOUBLE_EQ(set.dot(j, g), manual);
+  }
+}
+
+TEST(SampleSet, DotSizeMismatchThrows) {
+  SampleSet set(4, 3, 5);
+  EXPECT_THROW(set.dot(0, Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SampleSet, SampleVectorCopies) {
+  SampleSet set(4, 3, 5);
+  const Vector v = set.sample_vector(2);
+  EXPECT_EQ(v.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(v[i], set.sample(2)[i]);
+}
+
+TEST(SampleSet, InvalidShapeThrows) {
+  EXPECT_THROW(SampleSet(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(SampleSet(3, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mayo::stats

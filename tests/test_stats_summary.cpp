@@ -1,0 +1,88 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+namespace mayo::stats {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats acc;
+  acc.add(3.0);
+  EXPECT_EQ(acc.mean(), 3.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 3.0);
+  EXPECT_EQ(acc.max(), 3.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sum of squared deviations = 32; unbiased variance = 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffset) {
+  RunningStats acc;
+  for (double x : {1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0}) acc.add(x);
+  EXPECT_NEAR(acc.mean(), 1e9 + 2.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(SpanHelpers, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(YieldConfidence, PointEstimate) {
+  const YieldInterval yi = yield_confidence(90, 100);
+  EXPECT_DOUBLE_EQ(yi.estimate, 0.9);
+  EXPECT_LT(yi.lower, 0.9);
+  EXPECT_GT(yi.upper, 0.9);
+}
+
+TEST(YieldConfidence, WilsonKnownValue) {
+  // 50/100 at z=1.96: Wilson interval ~ [0.404, 0.596].
+  const YieldInterval yi = yield_confidence(50, 100);
+  EXPECT_NEAR(yi.lower, 0.4038, 5e-4);
+  EXPECT_NEAR(yi.upper, 0.5962, 5e-4);
+}
+
+TEST(YieldConfidence, EdgeCasesStayInUnitInterval) {
+  const YieldInterval zero = yield_confidence(0, 50);
+  EXPECT_EQ(zero.estimate, 0.0);
+  EXPECT_GE(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);  // zero successes still leave upper room
+  const YieldInterval full = yield_confidence(50, 50);
+  EXPECT_EQ(full.estimate, 1.0);
+  EXPECT_LT(full.lower, 1.0);
+  EXPECT_LE(full.upper, 1.0);
+}
+
+TEST(YieldConfidence, MoreTrialsTighter) {
+  const YieldInterval small = yield_confidence(9, 10);
+  const YieldInterval large = yield_confidence(900, 1000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(YieldConfidence, Validation) {
+  EXPECT_THROW(yield_confidence(1, 0), std::invalid_argument);
+  EXPECT_THROW(yield_confidence(5, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mayo::stats
