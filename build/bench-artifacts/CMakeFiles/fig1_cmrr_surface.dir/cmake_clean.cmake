@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_cmrr_surface"
+  "../bench/fig1_cmrr_surface.pdb"
+  "CMakeFiles/fig1_cmrr_surface.dir/fig1_cmrr_surface.cpp.o"
+  "CMakeFiles/fig1_cmrr_surface.dir/fig1_cmrr_surface.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cmrr_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_measure_shapes"
+  "../bench/fig23_measure_shapes.pdb"
+  "CMakeFiles/fig23_measure_shapes.dir/fig23_measure_shapes.cpp.o"
+  "CMakeFiles/fig23_measure_shapes.dir/fig23_measure_shapes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_measure_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_feasibility_gain"
+  "../bench/fig4_feasibility_gain.pdb"
+  "CMakeFiles/fig4_feasibility_gain.dir/fig4_feasibility_gain.cpp.o"
+  "CMakeFiles/fig4_feasibility_gain.dir/fig4_feasibility_gain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_feasibility_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

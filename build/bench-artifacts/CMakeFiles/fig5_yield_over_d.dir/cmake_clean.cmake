@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_yield_over_d"
+  "../bench/fig5_yield_over_d.pdb"
+  "CMakeFiles/fig5_yield_over_d.dir/fig5_yield_over_d.cpp.o"
+  "CMakeFiles/fig5_yield_over_d.dir/fig5_yield_over_d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_yield_over_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_folded_trace"
+  "../bench/table1_folded_trace.pdb"
+  "CMakeFiles/table1_folded_trace.dir/table1_folded_trace.cpp.o"
+  "CMakeFiles/table1_folded_trace.dir/table1_folded_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_folded_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_improvement"
+  "../bench/table2_improvement.pdb"
+  "CMakeFiles/table2_improvement.dir/table2_improvement.cpp.o"
+  "CMakeFiles/table2_improvement.dir/table2_improvement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

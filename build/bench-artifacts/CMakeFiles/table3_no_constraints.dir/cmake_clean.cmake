@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_no_constraints"
+  "../bench/table3_no_constraints.pdb"
+  "CMakeFiles/table3_no_constraints.dir/table3_no_constraints.cpp.o"
+  "CMakeFiles/table3_no_constraints.dir/table3_no_constraints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_no_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

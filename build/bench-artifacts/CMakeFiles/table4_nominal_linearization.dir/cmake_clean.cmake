@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_nominal_linearization"
+  "../bench/table4_nominal_linearization.pdb"
+  "CMakeFiles/table4_nominal_linearization.dir/table4_nominal_linearization.cpp.o"
+  "CMakeFiles/table4_nominal_linearization.dir/table4_nominal_linearization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_nominal_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_mismatch_measure"
+  "../bench/table5_mismatch_measure.pdb"
+  "CMakeFiles/table5_mismatch_measure.dir/table5_mismatch_measure.cpp.o"
+  "CMakeFiles/table5_mismatch_measure.dir/table5_mismatch_measure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_mismatch_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

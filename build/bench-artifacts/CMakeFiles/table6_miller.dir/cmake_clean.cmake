@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_miller"
+  "../bench/table6_miller.pdb"
+  "CMakeFiles/table6_miller.dir/table6_miller.cpp.o"
+  "CMakeFiles/table6_miller.dir/table6_miller.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_miller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

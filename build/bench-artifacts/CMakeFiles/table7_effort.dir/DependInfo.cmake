@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table7_effort.cpp" "bench-artifacts/CMakeFiles/table7_effort.dir/table7_effort.cpp.o" "gcc" "bench-artifacts/CMakeFiles/table7_effort.dir/table7_effort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuits/CMakeFiles/mayo_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mayo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mayo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/mayo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mayo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

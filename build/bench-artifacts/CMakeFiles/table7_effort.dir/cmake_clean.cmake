@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_effort"
+  "../bench/table7_effort.pdb"
+  "CMakeFiles/table7_effort.dir/table7_effort.cpp.o"
+  "CMakeFiles/table7_effort.dir/table7_effort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandgap_tempco.dir/bandgap_tempco.cpp.o"
+  "CMakeFiles/bandgap_tempco.dir/bandgap_tempco.cpp.o.d"
+  "bandgap_tempco"
+  "bandgap_tempco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandgap_tempco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

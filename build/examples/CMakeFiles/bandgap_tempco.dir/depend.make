@@ -1,0 +1,2 @@
+# Empty dependencies file for bandgap_tempco.
+# This may be replaced when dependencies are built.

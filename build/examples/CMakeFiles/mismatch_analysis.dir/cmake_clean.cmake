@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mismatch_analysis.dir/mismatch_analysis.cpp.o"
+  "CMakeFiles/mismatch_analysis.dir/mismatch_analysis.cpp.o.d"
+  "mismatch_analysis"
+  "mismatch_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mismatch_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

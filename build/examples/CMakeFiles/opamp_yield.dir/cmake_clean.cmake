@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opamp_yield.dir/opamp_yield.cpp.o"
+  "CMakeFiles/opamp_yield.dir/opamp_yield.cpp.o.d"
+  "opamp_yield"
+  "opamp_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opamp_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

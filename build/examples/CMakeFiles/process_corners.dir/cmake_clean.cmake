@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_corners.dir/process_corners.cpp.o"
+  "CMakeFiles/process_corners.dir/process_corners.cpp.o.d"
+  "process_corners"
+  "process_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_deck.dir/spice_deck.cpp.o"
+  "CMakeFiles/spice_deck.dir/spice_deck.cpp.o.d"
+  "spice_deck"
+  "spice_deck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_deck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/devices.cpp" "src/circuit/CMakeFiles/mayo_circuit.dir/devices.cpp.o" "gcc" "src/circuit/CMakeFiles/mayo_circuit.dir/devices.cpp.o.d"
+  "/root/repo/src/circuit/mos_model.cpp" "src/circuit/CMakeFiles/mayo_circuit.dir/mos_model.cpp.o" "gcc" "src/circuit/CMakeFiles/mayo_circuit.dir/mos_model.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/mayo_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/mayo_circuit.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

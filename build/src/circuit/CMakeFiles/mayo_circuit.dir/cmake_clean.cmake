@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayo_circuit.dir/devices.cpp.o"
+  "CMakeFiles/mayo_circuit.dir/devices.cpp.o.d"
+  "CMakeFiles/mayo_circuit.dir/mos_model.cpp.o"
+  "CMakeFiles/mayo_circuit.dir/mos_model.cpp.o.d"
+  "CMakeFiles/mayo_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/mayo_circuit.dir/netlist.cpp.o.d"
+  "libmayo_circuit.a"
+  "libmayo_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayo_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/folded_cascode.cpp" "src/circuits/CMakeFiles/mayo_circuits.dir/folded_cascode.cpp.o" "gcc" "src/circuits/CMakeFiles/mayo_circuits.dir/folded_cascode.cpp.o.d"
+  "/root/repo/src/circuits/miller.cpp" "src/circuits/CMakeFiles/mayo_circuits.dir/miller.cpp.o" "gcc" "src/circuits/CMakeFiles/mayo_circuits.dir/miller.cpp.o.d"
+  "/root/repo/src/circuits/process.cpp" "src/circuits/CMakeFiles/mayo_circuits.dir/process.cpp.o" "gcc" "src/circuits/CMakeFiles/mayo_circuits.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mayo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mayo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/mayo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mayo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

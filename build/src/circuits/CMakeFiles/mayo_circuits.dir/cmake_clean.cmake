@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayo_circuits.dir/folded_cascode.cpp.o"
+  "CMakeFiles/mayo_circuits.dir/folded_cascode.cpp.o.d"
+  "CMakeFiles/mayo_circuits.dir/miller.cpp.o"
+  "CMakeFiles/mayo_circuits.dir/miller.cpp.o.d"
+  "CMakeFiles/mayo_circuits.dir/process.cpp.o"
+  "CMakeFiles/mayo_circuits.dir/process.cpp.o.d"
+  "libmayo_circuits.a"
+  "libmayo_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayo_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

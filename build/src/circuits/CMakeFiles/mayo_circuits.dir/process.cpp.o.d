@@ -1,0 +1,4 @@
+src/circuits/CMakeFiles/mayo_circuits.dir/process.cpp.o: \
+ /root/repo/src/circuits/process.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/circuits/../circuits/process.hpp \
+ /root/repo/src/circuits/../circuit/mos_model.hpp

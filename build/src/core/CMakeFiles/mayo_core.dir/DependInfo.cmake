@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/mayo_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/coordinate_search.cpp" "src/core/CMakeFiles/mayo_core.dir/coordinate_search.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/coordinate_search.cpp.o.d"
+  "/root/repo/src/core/corners.cpp" "src/core/CMakeFiles/mayo_core.dir/corners.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/corners.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/mayo_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/mayo_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/line_search.cpp" "src/core/CMakeFiles/mayo_core.dir/line_search.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/line_search.cpp.o.d"
+  "/root/repo/src/core/linearization.cpp" "src/core/CMakeFiles/mayo_core.dir/linearization.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/linearization.cpp.o.d"
+  "/root/repo/src/core/mismatch.cpp" "src/core/CMakeFiles/mayo_core.dir/mismatch.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/mismatch.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/mayo_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/core/CMakeFiles/mayo_core.dir/parallel.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/parallel.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/mayo_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/mayo_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/mayo_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/verification.cpp" "src/core/CMakeFiles/mayo_core.dir/verification.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/verification.cpp.o.d"
+  "/root/repo/src/core/wc_distance.cpp" "src/core/CMakeFiles/mayo_core.dir/wc_distance.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/wc_distance.cpp.o.d"
+  "/root/repo/src/core/wc_operating.cpp" "src/core/CMakeFiles/mayo_core.dir/wc_operating.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/wc_operating.cpp.o.d"
+  "/root/repo/src/core/yield_bounds.cpp" "src/core/CMakeFiles/mayo_core.dir/yield_bounds.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/yield_bounds.cpp.o.d"
+  "/root/repo/src/core/yield_model.cpp" "src/core/CMakeFiles/mayo_core.dir/yield_model.cpp.o" "gcc" "src/core/CMakeFiles/mayo_core.dir/yield_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/mayo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

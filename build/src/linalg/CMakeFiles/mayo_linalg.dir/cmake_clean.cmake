@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayo_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/mayo_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/mayo_linalg.dir/least_squares.cpp.o"
+  "CMakeFiles/mayo_linalg.dir/least_squares.cpp.o.d"
+  "CMakeFiles/mayo_linalg.dir/lu.cpp.o"
+  "CMakeFiles/mayo_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/mayo_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/mayo_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/mayo_linalg.dir/vector.cpp.o"
+  "CMakeFiles/mayo_linalg.dir/vector.cpp.o.d"
+  "libmayo_linalg.a"
+  "libmayo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmayo_linalg.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayo_sim.dir/ac.cpp.o"
+  "CMakeFiles/mayo_sim.dir/ac.cpp.o.d"
+  "CMakeFiles/mayo_sim.dir/dc.cpp.o"
+  "CMakeFiles/mayo_sim.dir/dc.cpp.o.d"
+  "CMakeFiles/mayo_sim.dir/measure.cpp.o"
+  "CMakeFiles/mayo_sim.dir/measure.cpp.o.d"
+  "CMakeFiles/mayo_sim.dir/transient.cpp.o"
+  "CMakeFiles/mayo_sim.dir/transient.cpp.o.d"
+  "libmayo_sim.a"
+  "libmayo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/export.cpp" "src/spice/CMakeFiles/mayo_spice.dir/export.cpp.o" "gcc" "src/spice/CMakeFiles/mayo_spice.dir/export.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/mayo_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/mayo_spice.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/mayo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

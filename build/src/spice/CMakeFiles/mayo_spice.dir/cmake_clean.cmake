@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayo_spice.dir/export.cpp.o"
+  "CMakeFiles/mayo_spice.dir/export.cpp.o.d"
+  "CMakeFiles/mayo_spice.dir/parser.cpp.o"
+  "CMakeFiles/mayo_spice.dir/parser.cpp.o.d"
+  "libmayo_spice.a"
+  "libmayo_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayo_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/covariance.cpp" "src/stats/CMakeFiles/mayo_stats.dir/covariance.cpp.o" "gcc" "src/stats/CMakeFiles/mayo_stats.dir/covariance.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/mayo_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/mayo_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/mayo_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/mayo_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/mayo_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/mayo_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/sampler.cpp" "src/stats/CMakeFiles/mayo_stats.dir/sampler.cpp.o" "gcc" "src/stats/CMakeFiles/mayo_stats.dir/sampler.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/mayo_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/mayo_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

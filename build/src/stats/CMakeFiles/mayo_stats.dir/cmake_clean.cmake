@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayo_stats.dir/covariance.cpp.o"
+  "CMakeFiles/mayo_stats.dir/covariance.cpp.o.d"
+  "CMakeFiles/mayo_stats.dir/distribution.cpp.o"
+  "CMakeFiles/mayo_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/mayo_stats.dir/normal.cpp.o"
+  "CMakeFiles/mayo_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/mayo_stats.dir/rng.cpp.o"
+  "CMakeFiles/mayo_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/mayo_stats.dir/sampler.cpp.o"
+  "CMakeFiles/mayo_stats.dir/sampler.cpp.o.d"
+  "CMakeFiles/mayo_stats.dir/summary.cpp.o"
+  "CMakeFiles/mayo_stats.dir/summary.cpp.o.d"
+  "libmayo_stats.a"
+  "libmayo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

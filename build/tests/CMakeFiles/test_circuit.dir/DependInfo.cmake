@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_circuit_devices.cpp" "tests/CMakeFiles/test_circuit.dir/test_circuit_devices.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/test_circuit_devices.cpp.o.d"
+  "/root/repo/tests/test_circuit_diode.cpp" "tests/CMakeFiles/test_circuit.dir/test_circuit_diode.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/test_circuit_diode.cpp.o.d"
+  "/root/repo/tests/test_circuit_inductor.cpp" "tests/CMakeFiles/test_circuit.dir/test_circuit_inductor.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/test_circuit_inductor.cpp.o.d"
+  "/root/repo/tests/test_circuit_mos_model.cpp" "tests/CMakeFiles/test_circuit.dir/test_circuit_mos_model.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/test_circuit_mos_model.cpp.o.d"
+  "/root/repo/tests/test_circuit_netlist.cpp" "tests/CMakeFiles/test_circuit.dir/test_circuit_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_circuit.dir/test_circuit_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuits/CMakeFiles/mayo_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mayo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mayo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/mayo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/mayo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mayo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/test_circuit_devices.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_circuit_devices.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/test_circuit_diode.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_circuit_diode.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/test_circuit_inductor.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_circuit_inductor.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/test_circuit_mos_model.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_circuit_mos_model.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/test_circuit_netlist.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_circuit_netlist.cpp.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

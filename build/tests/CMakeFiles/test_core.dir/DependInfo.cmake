@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_baseline.cpp" "tests/CMakeFiles/test_core.dir/test_core_baseline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_baseline.cpp.o.d"
+  "/root/repo/tests/test_core_coordinate_search.cpp" "tests/CMakeFiles/test_core.dir/test_core_coordinate_search.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_coordinate_search.cpp.o.d"
+  "/root/repo/tests/test_core_corners.cpp" "tests/CMakeFiles/test_core.dir/test_core_corners.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_corners.cpp.o.d"
+  "/root/repo/tests/test_core_evaluator.cpp" "tests/CMakeFiles/test_core.dir/test_core_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_evaluator.cpp.o.d"
+  "/root/repo/tests/test_core_feasibility.cpp" "tests/CMakeFiles/test_core.dir/test_core_feasibility.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_feasibility.cpp.o.d"
+  "/root/repo/tests/test_core_line_search.cpp" "tests/CMakeFiles/test_core.dir/test_core_line_search.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_line_search.cpp.o.d"
+  "/root/repo/tests/test_core_linearization.cpp" "tests/CMakeFiles/test_core.dir/test_core_linearization.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_linearization.cpp.o.d"
+  "/root/repo/tests/test_core_mismatch.cpp" "tests/CMakeFiles/test_core.dir/test_core_mismatch.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_mismatch.cpp.o.d"
+  "/root/repo/tests/test_core_optimizer.cpp" "tests/CMakeFiles/test_core.dir/test_core_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_optimizer.cpp.o.d"
+  "/root/repo/tests/test_core_parallel.cpp" "tests/CMakeFiles/test_core.dir/test_core_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_parallel.cpp.o.d"
+  "/root/repo/tests/test_core_problem.cpp" "tests/CMakeFiles/test_core.dir/test_core_problem.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_problem.cpp.o.d"
+  "/root/repo/tests/test_core_report.cpp" "tests/CMakeFiles/test_core.dir/test_core_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_report.cpp.o.d"
+  "/root/repo/tests/test_core_sensitivity.cpp" "tests/CMakeFiles/test_core.dir/test_core_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_core_verification.cpp" "tests/CMakeFiles/test_core.dir/test_core_verification.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_verification.cpp.o.d"
+  "/root/repo/tests/test_core_wc_distance.cpp" "tests/CMakeFiles/test_core.dir/test_core_wc_distance.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_wc_distance.cpp.o.d"
+  "/root/repo/tests/test_core_wc_operating.cpp" "tests/CMakeFiles/test_core.dir/test_core_wc_operating.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_wc_operating.cpp.o.d"
+  "/root/repo/tests/test_core_yield_bounds.cpp" "tests/CMakeFiles/test_core.dir/test_core_yield_bounds.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_yield_bounds.cpp.o.d"
+  "/root/repo/tests/test_core_yield_model.cpp" "tests/CMakeFiles/test_core.dir/test_core_yield_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core_yield_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuits/CMakeFiles/mayo_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mayo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mayo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/mayo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/mayo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mayo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/test_linalg_cholesky.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_cholesky.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_least_squares.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_least_squares.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_lu.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_lu.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_matrix.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_matrix.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/test_linalg_vector.cpp.o"
+  "CMakeFiles/test_linalg.dir/test_linalg_vector.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

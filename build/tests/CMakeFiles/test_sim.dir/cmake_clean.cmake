@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_sim_ac.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_ac.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_dc.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_dc.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_dc_robustness.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_dc_robustness.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_measure.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_measure.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_transient.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_transient.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice.dir/test_spice_export.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_export.cpp.o.d"
+  "CMakeFiles/test_spice.dir/test_spice_parser.cpp.o"
+  "CMakeFiles/test_spice.dir/test_spice_parser.cpp.o.d"
+  "test_spice"
+  "test_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats_covariance.cpp" "tests/CMakeFiles/test_stats.dir/test_stats_covariance.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats_covariance.cpp.o.d"
+  "/root/repo/tests/test_stats_distribution.cpp" "tests/CMakeFiles/test_stats.dir/test_stats_distribution.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats_distribution.cpp.o.d"
+  "/root/repo/tests/test_stats_normal.cpp" "tests/CMakeFiles/test_stats.dir/test_stats_normal.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats_normal.cpp.o.d"
+  "/root/repo/tests/test_stats_rng.cpp" "tests/CMakeFiles/test_stats.dir/test_stats_rng.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats_rng.cpp.o.d"
+  "/root/repo/tests/test_stats_sampler.cpp" "tests/CMakeFiles/test_stats.dir/test_stats_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats_sampler.cpp.o.d"
+  "/root/repo/tests/test_stats_summary.cpp" "tests/CMakeFiles/test_stats.dir/test_stats_summary.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuits/CMakeFiles/mayo_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mayo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mayo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/mayo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/mayo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mayo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mayo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/test_stats_covariance.cpp.o"
+  "CMakeFiles/test_stats.dir/test_stats_covariance.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_stats_distribution.cpp.o"
+  "CMakeFiles/test_stats.dir/test_stats_distribution.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_stats_normal.cpp.o"
+  "CMakeFiles/test_stats.dir/test_stats_normal.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_stats_rng.cpp.o"
+  "CMakeFiles/test_stats.dir/test_stats_rng.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_stats_sampler.cpp.o"
+  "CMakeFiles/test_stats.dir/test_stats_sampler.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_stats_summary.cpp.o"
+  "CMakeFiles/test_stats.dir/test_stats_summary.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_fc.dir/calibrate_fc.cpp.o"
+  "CMakeFiles/calibrate_fc.dir/calibrate_fc.cpp.o.d"
+  "calibrate_fc"
+  "calibrate_fc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

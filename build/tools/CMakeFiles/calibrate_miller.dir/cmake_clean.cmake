@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_miller.dir/calibrate_miller.cpp.o"
+  "CMakeFiles/calibrate_miller.dir/calibrate_miller.cpp.o.d"
+  "calibrate_miller"
+  "calibrate_miller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_miller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
