@@ -170,9 +170,13 @@ void BM_WorstCaseDistanceAnalytic(benchmark::State& state) {
   problem.operating.lower = linalg::Vector{0.0};
   problem.operating.upper = linalg::Vector{1.0};
   problem.operating.nominal = linalg::Vector{0.5};
-  for (int i = 0; i < 14; ++i)
-    problem.statistical.add(
-        stats::StatParam::global("s" + std::to_string(i), 0.0, 1.0));
+  for (int i = 0; i < 14; ++i) {
+    // Built via += : operator+(const char*, string&&) trips GCC 12's
+    // bogus -Wrestrict on the inlined memcpy (PR 105651).
+    std::string name = "s";
+    name += std::to_string(i);
+    problem.statistical.add(stats::StatParam::global(std::move(name), 0.0, 1.0));
+  }
   core::Evaluator ev(problem);
   for (auto _ : state) {
     ev.clear_cache();

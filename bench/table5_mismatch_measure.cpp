@@ -47,7 +47,13 @@ int main() {
       std::string label = circuits::FoldedCascode::pair_label(pair.k, pair.l);
       if (label.empty())
         label = stat_names[pair.k] + " / " + stat_names[pair.l];
-      table.add_row({names[spec], "P" + std::to_string(shown + 1) + " " + label,
+      // Built via += : the operator+(const char*, string&&) form trips
+      // GCC 12's bogus -Wrestrict on the inlined memcpy (PR 105651).
+      std::string pair_id = "P";
+      pair_id += std::to_string(shown + 1);
+      pair_id += ' ';
+      pair_id += label;
+      table.add_row({names[spec], std::move(pair_id),
                      stat_names[pair.k] + "," + stat_names[pair.l],
                      core::fmt(pair.measure, 3)});
       ++shown;

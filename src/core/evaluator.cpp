@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/check.hpp"
+
 namespace mayo::core {
 
 using linalg::Matrixd;
@@ -66,6 +68,10 @@ Vector Evaluator::evaluate_physical(const Vector& d, const Vector& s_hat,
   Vector values = problem_.model->evaluate(d, s, theta);
   if (values.size() != num_specs())
     throw std::runtime_error("Evaluator: model returned wrong performance count");
+  // Every downstream consumer (worst-case search, linearization, yield
+  // accumulation) assumes finite performances; catch a silent NaN at the
+  // single point where model output enters the system.
+  MAYO_CHECK_FINITE(values, "Evaluator: model performance values");
   if (budget == Budget::kOptimization)
     ++counts_.optimization;
   else

@@ -14,7 +14,6 @@ namespace {
 IterationRecord make_record(Evaluator& evaluator, const Vector& d,
                             const LinearizedModels& linearized,
                             const stats::SampleSet& samples,
-                            const YieldOptimizerOptions& options,
                             int iteration) {
   IterationRecord record;
   record.iteration = iteration;
@@ -77,7 +76,7 @@ YieldOptimizationResult optimize_yield(Evaluator& evaluator,
       build_linearizations(evaluator, d_f, options.linearization);
   {
     IterationRecord initial =
-        make_record(evaluator, d_f, linearized, samples, options, 0);
+        make_record(evaluator, d_f, linearized, samples, 0);
     attach_verification(evaluator, initial, linearized, options);
     result.trace.push_back(std::move(initial));
   }
@@ -121,7 +120,7 @@ YieldOptimizationResult optimize_yield(Evaluator& evaluator,
       LinearizedModels candidate_models =
           build_linearizations(evaluator, d_new, options.linearization);
       IterationRecord record = make_record(evaluator, d_new, candidate_models,
-                                           samples, options, iteration);
+                                           samples, iteration);
       if (options.monotone_safeguard &&
           record.linear_yield + 1e-12 < result.trace.back().linear_yield) {
         search_options.trust_fraction *= 0.5;

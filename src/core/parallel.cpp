@@ -1,9 +1,11 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <thread>
 #include <vector>
 
+#include "core/check.hpp"
 #include "stats/sampler.hpp"
 #include "stats/summary.hpp"
 
@@ -48,42 +50,63 @@ VerificationResult parallel_monte_carlo_verify(
                                  problem.statistical.dimension(),
                                  options.verification.seed);
 
+  // Per-sample decisions: workers own disjoint strided indices, so writing
+  // directly into the shared vector is race-free (distinct memory
+  // locations; verified under TSan by test_core_parallel_determinism).
+  std::vector<std::uint8_t> sample_pass;
+  if (options.verification.record_decisions)
+    sample_pass.assign(samples.count(), 0);
+
   std::vector<WorkerResult> worker_results(threads);
+  // A worker that throws (model failure, contract violation) must not call
+  // std::terminate: capture the exception and rethrow on the caller's
+  // thread after the join barrier.
+  std::vector<std::exception_ptr> worker_errors(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
 
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t]() {
-      // Thread-local copy of the problem with a cloned model.
-      YieldProblem local = problem;
-      local.model = std::shared_ptr<PerformanceModel>(problem.model->clone());
-      Evaluator local_evaluator(local);
+      try {
+        // Thread-local copy of the problem with a cloned model.
+        YieldProblem local = problem;
+        local.model = std::shared_ptr<PerformanceModel>(problem.model->clone());
+        Evaluator local_evaluator(local);
 
-      WorkerResult& out = worker_results[t];
-      out.fails_per_spec.assign(num_specs, 0);
-      out.perf_stats.resize(num_specs);
+        WorkerResult& out = worker_results[t];
+        out.fails_per_spec.assign(num_specs, 0);
+        out.perf_stats.resize(num_specs);
 
-      for (std::size_t j = t; j < samples.count(); j += threads) {
-        const Vector s_hat = samples.sample_vector(j);
-        std::vector<Vector> values(grouping.distinct.size());
-        for (std::size_t g = 0; g < grouping.distinct.size(); ++g)
-          values[g] = local_evaluator.performances(
-              d, s_hat, grouping.distinct[g], Budget::kVerification);
-        bool pass = true;
-        for (std::size_t i = 0; i < num_specs; ++i) {
-          const double value = values[grouping.group_of_spec[i]][i];
-          out.perf_stats[i].add(value);
-          if (local.specs[i].margin(value) < 0.0) {
-            ++out.fails_per_spec[i];
-            pass = false;
+        for (std::size_t j = t; j < samples.count(); j += threads) {
+          const Vector s_hat = samples.sample_vector(j);
+          std::vector<Vector> values(grouping.distinct.size());
+          for (std::size_t g = 0; g < grouping.distinct.size(); ++g)
+            values[g] = local_evaluator.performances(
+                d, s_hat, grouping.distinct[g], Budget::kVerification);
+          bool pass = true;
+          for (std::size_t i = 0; i < num_specs; ++i) {
+            const double value = values[grouping.group_of_spec[i]][i];
+            MAYO_CHECK_FINITE(
+                value, "parallel_monte_carlo_verify: performance sample");
+            out.perf_stats[i].add(value);
+            if (local.specs[i].margin(value) < 0.0) {
+              ++out.fails_per_spec[i];
+              pass = false;
+            }
           }
+          out.passing += pass ? 1 : 0;
+          if (options.verification.record_decisions)
+            sample_pass[j] = pass ? 1 : 0;
         }
-        out.passing += pass ? 1 : 0;
+        out.evaluations = local_evaluator.counts().verification;
+      } catch (...) {
+        worker_errors[t] = std::current_exception();
       }
-      out.evaluations = local_evaluator.counts().verification;
     });
   }
   for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : worker_errors)
+    if (error) std::rethrow_exception(error);
 
   // Deterministic merge (worker order is fixed).
   VerificationResult result;
@@ -99,6 +122,7 @@ VerificationResult parallel_monte_carlo_verify(
     }
   }
   evaluator.charge_verification(result.evaluations);
+  result.sample_pass = std::move(sample_pass);
 
   result.yield = static_cast<double>(passing) / samples.count();
   result.confidence = stats::yield_confidence(passing, samples.count());

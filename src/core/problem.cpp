@@ -43,8 +43,13 @@ std::size_t ParameterSpace::index_of(const std::string& name) const {
 std::vector<std::string> PerformanceModel::constraint_names() const {
   std::vector<std::string> names;
   names.reserve(num_constraints());
-  for (std::size_t i = 0; i < num_constraints(); ++i)
-    names.push_back("c" + std::to_string(i));
+  for (std::size_t i = 0; i < num_constraints(); ++i) {
+    // Built via += : the operator+(const char*, string&&) form trips
+    // GCC 12's bogus -Wrestrict on the inlined memcpy (PR 105651).
+    std::string name = "c";
+    name += std::to_string(i);
+    names.push_back(std::move(name));
+  }
   return names;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "stats/sampler.hpp"
 
 namespace mayo::core {
@@ -44,6 +45,7 @@ VerificationResult monte_carlo_verify(Evaluator& evaluator, const Vector& d,
 
   VerificationResult result;
   result.fails_per_spec.assign(num_specs, 0);
+  if (options.record_decisions) result.sample_pass.assign(samples.count(), 0);
   std::vector<stats::RunningStats> perf_stats(num_specs);
   const std::size_t evals_before = evaluator.counts().verification;
 
@@ -58,6 +60,7 @@ VerificationResult monte_carlo_verify(Evaluator& evaluator, const Vector& d,
     bool pass = true;
     for (std::size_t i = 0; i < num_specs; ++i) {
       const double value = values[group_of_spec[i]][i];
+      MAYO_CHECK_FINITE(value, "monte_carlo_verify: performance sample");
       perf_stats[i].add(value);
       if (evaluator.problem().specs[i].margin(value) < 0.0) {
         ++result.fails_per_spec[i];
@@ -65,6 +68,7 @@ VerificationResult monte_carlo_verify(Evaluator& evaluator, const Vector& d,
       }
     }
     passing += pass ? 1 : 0;
+    if (options.record_decisions) result.sample_pass[j] = pass ? 1 : 0;
   }
 
   result.yield = static_cast<double>(passing) / samples.count();

@@ -19,6 +19,10 @@ namespace mayo::core {
 struct VerificationOptions {
   std::size_t num_samples = 300;
   std::uint64_t seed = 0xC0FFEE;
+  /// Record the pass/fail decision of every sample in
+  /// VerificationResult::sample_pass (index = sample).  Off by default:
+  /// only aggregate counts are kept.
+  bool record_decisions = false;
 };
 
 struct VerificationResult {
@@ -30,6 +34,9 @@ struct VerificationResult {
   /// Per-spec sample standard deviation of the performance value.
   std::vector<double> performance_stddev;
   std::size_t evaluations = 0;            ///< model evaluations spent
+  /// Per-sample pass decision (only with record_decisions; else empty).
+  /// Identical between the serial and parallel verifier by construction.
+  std::vector<std::uint8_t> sample_pass;
 };
 
 /// Groups specifications by identical worst-case operating point so one

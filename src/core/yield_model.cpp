@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/check.hpp"
+
 namespace mayo::core {
 
 using linalg::Vector;
@@ -24,6 +26,11 @@ LinearYieldModel::LinearYieldModel(std::vector<SpecLinearization> models,
     if (model.d_f != models_.front().d_f)
       throw std::invalid_argument(
           "LinearYieldModel: models must share the expansion point d_f");
+    MAYO_CHECK_DIM(model.grad_d.size(), model.d_f.size(),
+                   "LinearYieldModel: grad_d vs design dimension");
+    MAYO_CHECK_FINITE(model.margin_wc, "LinearYieldModel: margin_wc");
+    MAYO_CHECK_FINITE(model.grad_s, "LinearYieldModel: grad_s");
+    MAYO_CHECK_FINITE(model.grad_d, "LinearYieldModel: grad_d");
   }
   // base[l][j] = m_wc + grad_s^T (s_j - s_wc)
   for (std::size_t l = 0; l < models_.size(); ++l) {
@@ -36,6 +43,8 @@ LinearYieldModel::LinearYieldModel(std::vector<SpecLinearization> models,
 }
 
 void LinearYieldModel::set_design(const Vector& d) {
+  MAYO_CHECK_DIM(d.size(), models_.front().d_f.size(),
+                 "LinearYieldModel::set_design: design dimension");
   d_ = d;
   for (std::size_t l = 0; l < models_.size(); ++l)
     offsets_[l] = linalg::dot(models_[l].grad_d, d - models_[l].d_f);

@@ -1,13 +1,21 @@
 #include "linalg/cholesky.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace mayo::linalg {
 
 Cholesky::Cholesky(const Matrixd& a) : l_(a.rows(), a.cols()) {
   if (a.rows() != a.cols())
     throw std::invalid_argument("Cholesky: matrix must be square");
+  // A non-finite entry would propagate silently: NaN fails the diag <= 0
+  // test below and sqrt(NaN) flows into every downstream solve.
+  MAYO_CHECK_FINITE(
+      (std::span<const double>(a.data(), a.rows() * a.cols())),
+      "Cholesky: input matrix");
   if (!is_symmetric(a, 1e-9 * std::max(1.0, a.max_abs())))
     throw std::invalid_argument("Cholesky: matrix must be symmetric");
   const std::size_t n = a.rows();

@@ -1,8 +1,10 @@
 #include "linalg/least_squares.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "linalg/lu.hpp"
 
 namespace mayo::linalg {
@@ -11,6 +13,8 @@ Qr::Qr(Matrixd a) : qr_(std::move(a)), betas_(qr_.cols()), rdiag_(qr_.cols()) {
   const std::size_t m = qr_.rows();
   const std::size_t n = qr_.cols();
   if (m < n) throw std::invalid_argument("Qr: requires rows >= cols");
+  MAYO_CHECK_FINITE((std::span<const double>(qr_.data(), m * n)),
+                    "Qr: input matrix");
   // Rank-deficiency threshold relative to the largest column norm.
   double scale = 0.0;
   for (std::size_t c = 0; c < n; ++c) {

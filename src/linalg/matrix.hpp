@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/check.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::linalg {
@@ -31,8 +32,14 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
-  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  T operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  T& operator()(std::size_t r, std::size_t c) {
+    MAYO_ASSERT(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  T operator()(std::size_t r, std::size_t c) const {
+    MAYO_ASSERT(r < rows_ && c < cols_, "Matrix index out of range");
+    return data_[r * cols_ + c];
+  }
 
   T& at(std::size_t r, std::size_t c) {
     check_index(r, c);
@@ -46,8 +53,14 @@ class Matrix {
   T* data() { return data_.data(); }
   const T* data() const { return data_.data(); }
   /// Pointer to the first element of row `r`.
-  T* row(std::size_t r) { return data_.data() + r * cols_; }
-  const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+  T* row(std::size_t r) {
+    MAYO_ASSERT(r < rows_, "Matrix row index out of range");
+    return data_.data() + r * cols_;
+  }
+  const T* row(std::size_t r) const {
+    MAYO_ASSERT(r < rows_, "Matrix row index out of range");
+    return data_.data() + r * cols_;
+  }
 
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
   /// Resets every entry to zero while keeping the shape.

@@ -12,6 +12,8 @@
 #include <iosfwd>
 #include <vector>
 
+#include "core/check.hpp"
+
 namespace mayo::linalg {
 
 /// Dense real vector with value semantics and elementwise arithmetic.
@@ -29,8 +31,14 @@ class Vector {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& operator[](std::size_t i) { return data_[i]; }
-  double operator[](std::size_t i) const { return data_[i]; }
+  double& operator[](std::size_t i) {
+    MAYO_ASSERT(i < data_.size(), "Vector index out of range");
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    MAYO_ASSERT(i < data_.size(), "Vector index out of range");
+    return data_[i];
+  }
   /// Bounds-checked element access (throws std::out_of_range).
   double& at(std::size_t i) { return data_.at(i); }
   double at(std::size_t i) const { return data_.at(i); }

@@ -53,7 +53,10 @@ std::vector<std::pair<std::size_t, std::string>> logical_lines(
     if (content[0] == '+') {
       if (lines.empty())
         throw ParseError(line_number, "continuation line without a predecessor");
-      lines.back().second += " " + content.substr(1);
+      // Appended in place: the operator+(const char*, string&&) form trips
+      // GCC 12's bogus -Wrestrict on the inlined memcpy (PR 105651).
+      lines.back().second += ' ';
+      lines.back().second.append(content, 1, std::string::npos);
     } else {
       lines.emplace_back(line_number, std::move(content));
     }

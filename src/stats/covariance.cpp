@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.hpp"
+
 namespace mayo::stats {
 
 using linalg::Cholesky;
@@ -102,6 +104,7 @@ Matrixd CovarianceModel::factor(const Vector& d) const {
 Vector CovarianceModel::to_physical(const Vector& s_hat, const Vector& d) const {
   if (s_hat.size() != dimension())
     throw std::invalid_argument("CovarianceModel::to_physical: size mismatch");
+  MAYO_CHECK_FINITE(s_hat, "CovarianceModel::to_physical: s_hat");
   const Vector sig = sigmas(d);
   Vector s(dimension());
   if (correlations_.empty()) {

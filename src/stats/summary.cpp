@@ -3,9 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.hpp"
+
 namespace mayo::stats {
 
 void RunningStats::add(double x) {
+  // Guard the accumulator: one NaN here silently poisons every moment the
+  // yield verifier reports.
+  MAYO_CHECK_FINITE(x, "RunningStats::add: sample");
   if (count_ == 0) {
     min_ = max_ = x;
   } else {

@@ -1,0 +1,177 @@
+// Contract-macro behaviour (src/core/check.hpp): in debug builds the
+// MAYO_* macros throw mayo::ContractViolation on violated contracts and
+// admit legal inputs; with NDEBUG they expand to ((void)0) -- no throw,
+// and no evaluation of their arguments.  Also covers the deployed
+// contracts at the linalg / stats / core boundaries.
+#include "core/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "core/evaluator.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/covariance.hpp"
+#include "stats/summary.hpp"
+
+namespace mayo {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+#if MAYO_CHECKS_ENABLED
+
+TEST(CheckMacros, AssertPassesOnTrue) {
+  EXPECT_NO_THROW(MAYO_ASSERT(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(CheckMacros, AssertFiresOnFalse) {
+  EXPECT_THROW(MAYO_ASSERT(false, "must fire"), ContractViolation);
+  try {
+    MAYO_ASSERT(2 < 1, "ordering");
+    FAIL() << "contract did not fire";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ordering"), std::string::npos);
+  }
+}
+
+TEST(CheckMacros, CheckDimPassesOnAgreement) {
+  EXPECT_NO_THROW(MAYO_CHECK_DIM(std::size_t{3}, std::size_t{3}, "dims"));
+}
+
+TEST(CheckMacros, CheckDimFiresOnMismatch) {
+  try {
+    MAYO_CHECK_DIM(std::size_t{2}, std::size_t{5}, "jacobian rows");
+    FAIL() << "contract did not fire";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("jacobian rows"), std::string::npos);
+    EXPECT_NE(what.find("got 2"), std::string::npos);
+    EXPECT_NE(what.find("expected 5"), std::string::npos);
+  }
+}
+
+TEST(CheckMacros, CheckFiniteScalar) {
+  EXPECT_NO_THROW(MAYO_CHECK_FINITE(0.0, "zero"));
+  EXPECT_NO_THROW(MAYO_CHECK_FINITE(-1e300, "large"));
+  EXPECT_THROW(MAYO_CHECK_FINITE(kNaN, "nan"), ContractViolation);
+  EXPECT_THROW(MAYO_CHECK_FINITE(kInf, "inf"), ContractViolation);
+  EXPECT_THROW(MAYO_CHECK_FINITE(-kInf, "-inf"), ContractViolation);
+}
+
+TEST(CheckMacros, CheckFiniteRangeReportsIndex) {
+  const linalg::Vector ok{1.0, 2.0, 3.0};
+  EXPECT_NO_THROW(MAYO_CHECK_FINITE(ok, "ok"));
+  const linalg::Vector bad{1.0, 2.0, kNaN, 4.0};
+  try {
+    MAYO_CHECK_FINITE(bad, "perf");
+    FAIL() << "contract did not fire";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("perf[2]"), std::string::npos);
+  }
+}
+
+// -- deployed contracts ----------------------------------------------------
+
+TEST(DeployedContracts, VectorIndexOutOfRange) {
+  linalg::Vector v(3);
+  EXPECT_NO_THROW(v[2]);
+  EXPECT_THROW(v[3], ContractViolation);
+  const linalg::Vector& cv = v;
+  EXPECT_THROW(cv[7], ContractViolation);
+}
+
+TEST(DeployedContracts, MatrixIndexOutOfRange) {
+  linalg::Matrixd m(2, 3);
+  EXPECT_NO_THROW(m(1, 2));
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m(0, 3), ContractViolation);
+  EXPECT_THROW(m.row(2), ContractViolation);
+}
+
+TEST(DeployedContracts, CholeskyRejectsNonFiniteInput) {
+  // Without the contract a NaN passes the symmetry test (NaN comparisons
+  // are false) and sqrt(NaN) silently poisons the factor.
+  linalg::Matrixd a(2, 2);
+  a(0, 0) = kNaN;
+  a(1, 1) = 1.0;
+  EXPECT_THROW(linalg::Cholesky{a}, ContractViolation);
+}
+
+TEST(DeployedContracts, RunningStatsRejectsNonFiniteSample) {
+  stats::RunningStats acc;
+  acc.add(1.0);
+  EXPECT_THROW(acc.add(kNaN), ContractViolation);
+  EXPECT_THROW(acc.add(kInf), ContractViolation);
+}
+
+TEST(DeployedContracts, EvaluatorRejectsNaNPerformance) {
+  class NaNModel final : public core::PerformanceModel {
+   public:
+    std::size_t num_performances() const override { return 1; }
+    std::size_t num_constraints() const override { return 0; }
+    linalg::Vector evaluate(const linalg::Vector&, const linalg::Vector&,
+                            const linalg::Vector&) override {
+      return linalg::Vector{kNaN};
+    }
+    linalg::Vector constraints(const linalg::Vector&) override {
+      return linalg::Vector{};
+    }
+  };
+  core::YieldProblem problem;
+  problem.model = std::make_shared<NaNModel>();
+  problem.specs = {{"f", core::SpecKind::kLowerBound, 0.0, "u", 1.0}};
+  problem.design.names = {"d"};
+  problem.design.lower = linalg::Vector{0.0};
+  problem.design.upper = linalg::Vector{1.0};
+  problem.design.nominal = linalg::Vector{0.5};
+  problem.operating.names = {"t"};
+  problem.operating.lower = linalg::Vector{0.0};
+  problem.operating.upper = linalg::Vector{1.0};
+  problem.operating.nominal = linalg::Vector{0.5};
+  problem.statistical.add(stats::StatParam::global("s", 0.0, 1.0));
+  core::Evaluator ev(problem);
+  EXPECT_THROW(ev.performances(problem.design.nominal, linalg::Vector(1),
+                               problem.operating.nominal),
+               ContractViolation);
+}
+
+#else  // !MAYO_CHECKS_ENABLED: Release -- every macro is a no-op.
+
+TEST(CheckMacrosRelease, AssertIsNoOp) {
+  EXPECT_NO_THROW(MAYO_ASSERT(false, "compiled out"));
+}
+
+TEST(CheckMacrosRelease, CheckDimIsNoOp) {
+  EXPECT_NO_THROW(MAYO_CHECK_DIM(std::size_t{2}, std::size_t{5}, "ignored"));
+}
+
+TEST(CheckMacrosRelease, CheckFiniteIsNoOp) {
+  EXPECT_NO_THROW(MAYO_CHECK_FINITE(kNaN, "ignored"));
+  const linalg::Vector bad{kNaN, kInf};
+  EXPECT_NO_THROW(MAYO_CHECK_FINITE(bad, "ignored"));
+}
+
+TEST(CheckMacrosRelease, ArgumentsAreNotEvaluated) {
+  // Zero Release overhead: the macro operands must not even be evaluated.
+  int calls = 0;
+  MAYO_CHECK_FINITE((static_cast<void>(++calls), kNaN), "side effect");
+  MAYO_ASSERT((static_cast<void>(++calls), false), "side effect");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CheckMacrosRelease, RunningStatsAcceptsAnything) {
+  stats::RunningStats acc;
+  EXPECT_NO_THROW(acc.add(kNaN));  // contract compiled out
+}
+
+#endif
+
+}  // namespace
+}  // namespace mayo

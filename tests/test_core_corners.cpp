@@ -89,7 +89,9 @@ TEST_F(CornerTest, MarginEvaluationCostsOneSimEach) {
     EXPECT_TRUE(corner.margin_evaluated);
     // A beta=3 corner of a satisfied spec lies beyond the boundary: the
     // margin there is negative (the corner is a pessimistic set).
-    if (corner.spec == 0) EXPECT_LT(corner.margin, 0.0);
+    if (corner.spec == 0) {
+      EXPECT_LT(corner.margin, 0.0);
+    }
   }
 }
 

@@ -1,0 +1,102 @@
+// Determinism contract of the parallel Monte-Carlo verifier: for every
+// thread count and sample count, parallel_monte_carlo_verify produces the
+// same pass count, the same per-spec failure counts, and (with
+// record_decisions) bit-identical per-sample pass/fail decisions as the
+// serial monte_carlo_verify.  Only floating-point accumulation order of
+// the reported moments may differ.
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+VerificationResult run_serial(std::size_t num_samples) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  VerificationOptions opts;
+  opts.num_samples = num_samples;
+  opts.record_decisions = true;
+  return monte_carlo_verify(ev, problem.design.nominal,
+                            {Vector{1.0}, Vector{0.0}}, opts);
+}
+
+VerificationResult run_parallel(std::size_t num_samples, unsigned threads) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  ParallelVerificationOptions opts;
+  opts.verification.num_samples = num_samples;
+  opts.verification.record_decisions = true;
+  opts.threads = threads;
+  return parallel_monte_carlo_verify(ev, problem.design.nominal,
+                                     {Vector{1.0}, Vector{0.0}}, opts);
+}
+
+void expect_identical(const VerificationResult& serial,
+                      const VerificationResult& parallel) {
+  EXPECT_EQ(parallel.yield, serial.yield);
+  EXPECT_EQ(parallel.fails_per_spec, serial.fails_per_spec);
+  EXPECT_EQ(parallel.sample_pass, serial.sample_pass);
+  EXPECT_EQ(parallel.evaluations, serial.evaluations);
+}
+
+TEST(ParallelDeterminism, ThreadCountSweep) {
+  const VerificationResult serial = run_serial(301);  // odd on purpose
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    expect_identical(serial, run_parallel(301, threads));
+  }
+}
+
+TEST(ParallelDeterminism, SingleSample) {
+  const VerificationResult serial = run_serial(1);
+  EXPECT_EQ(serial.sample_pass.size(), 1u);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    expect_identical(serial, run_parallel(1, threads));
+  }
+}
+
+TEST(ParallelDeterminism, FewerSamplesThanThreads) {
+  const VerificationResult serial = run_serial(3);
+  expect_identical(serial, run_parallel(3, 8));
+  const VerificationResult serial5 = run_serial(5);
+  expect_identical(serial5, run_parallel(5, 8));
+}
+
+TEST(ParallelDeterminism, ZeroSamplesThrowsConsistently) {
+  // The sample set requires N > 0; serial and parallel agree on the error.
+  EXPECT_THROW(run_serial(0), std::invalid_argument);
+  for (unsigned threads : {1u, 2u, 8u})
+    EXPECT_THROW(run_parallel(0, threads), std::invalid_argument);
+}
+
+TEST(ParallelDeterminism, DecisionsConsistentWithAggregates) {
+  const VerificationResult result = run_parallel(301, 8);
+  std::size_t passing = 0;
+  for (std::uint8_t pass : result.sample_pass) passing += pass;
+  EXPECT_EQ(result.yield,
+            static_cast<double>(passing) / result.sample_pass.size());
+}
+
+TEST(ParallelDeterminism, DecisionsOffByDefault) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  ParallelVerificationOptions opts;
+  opts.verification.num_samples = 16;
+  opts.threads = 2;
+  const VerificationResult result = parallel_monte_carlo_verify(
+      ev, problem.design.nominal, {Vector{1.0}, Vector{0.0}}, opts);
+  EXPECT_TRUE(result.sample_pass.empty());
+}
+
+}  // namespace
+}  // namespace mayo::core

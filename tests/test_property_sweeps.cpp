@@ -200,9 +200,12 @@ TEST_P(MismatchGeometrySweep, MeasureInUnitRangeAndAngleConsistent) {
   const double m = core::mismatch_measure(s_wc, beta, 0, 1);
   EXPECT_GE(m, 0.0);
   EXPECT_LE(m, 1.0);
-  if (ratio > 0.0) EXPECT_EQ(m, 0.0);  // same-sign pairs never flagged
-  if (ratio == -1.0)
+  if (ratio > 0.0) {
+    EXPECT_EQ(m, 0.0);  // same-sign pairs never flagged
+  }
+  if (ratio == -1.0) {
     EXPECT_NEAR(m, core::mismatch_robustness_weight(beta), 1e-12);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Local fallback for .github/workflows/ci.yml: runs the same three
+# hardening configurations sequentially.
+#
+#   1. Release + -Werror
+#   2. Debug + AddressSanitizer + UndefinedBehaviorSanitizer
+#   3. Debug + ThreadSanitizer
+#
+# Each configuration builds into its own build-ci-<name>/ tree (ignored by
+# git), runs the full ctest suite (which includes the project lint), and
+# stops at the first failure.  Usage: tools/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1"
+
+run_config() {
+  local name="$1" build_type="$2" sanitize="$3"
+  echo "=== [$name] configure (${build_type}, sanitize='${sanitize}') ==="
+  cmake -B "build-ci-${name}" -S . \
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DMAYO_WERROR=ON \
+    -DMAYO_SANITIZE="${sanitize}"
+  echo "=== [$name] build ==="
+  cmake --build "build-ci-${name}" -j"${JOBS}"
+  echo "=== [$name] test ==="
+  ctest --test-dir "build-ci-${name}" --output-on-failure -j"${JOBS}"
+}
+
+run_config release-werror Release ""
+run_config asan-ubsan Debug "address,undefined"
+run_config tsan Debug "thread"
+
+python3 tools/lint.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy ==="
+  git ls-files 'src/**/*.cpp' 'tests/*.cpp' 'tools/*.cpp' \
+    'bench/*.cpp' 'examples/*.cpp' \
+    | xargs clang-tidy -p build-ci-release-werror --warnings-as-errors='*'
+else
+  echo "clang-tidy not installed; skipping static analysis pass"
+fi
+
+echo "ci: all configurations passed"

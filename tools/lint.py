@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Project lint: mechanical repo invariants, run as a ctest.
+
+Checks (each with a rule id, so suppressing or extending one is a
+one-line diff in RULES below):
+
+  pragma-once       every header starts guard-free with #pragma once
+                    (and no .cpp file carries one)
+  determinism       library code (src/) must not seed from entropy or the
+                    wall clock: no std::random_device, rand()/srand(),
+                    time(...), system_clock / high_resolution_clock.
+                    Monte-Carlo yield numbers must be bit-reproducible;
+                    steady_clock is allowed (elapsed-time reporting only).
+  io-discipline     library code must not write to stdout/stderr: no
+                    <iostream> include, no std::cout/cerr/clog, no
+                    printf-family calls.  Reporting belongs to
+                    src/core/report.cpp (string/ostream builders) and to
+                    the bench/example/tool binaries.
+  include-hygiene   project includes are quoted and module-qualified
+                    ("linalg/vector.hpp"), resolve to an existing file,
+                    and never use "../" escapes; system includes use <>.
+  layering          src/ modules only include headers of modules below
+                    them: linalg < {stats, circuit} < {spice, sim} <
+                    core < circuits.  The one sanctioned exception is
+                    core/check.hpp (dependency-free contract macros,
+                    usable from every layer).
+
+Usage: python3 tools/lint.py [--root REPO_ROOT]
+Exits non-zero and prints file:line: [rule] message for each violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "tests", "bench", "tools", "examples")
+CPP_EXT = {".cpp", ".hpp"}
+
+# Module layering inside src/: module -> modules it may include from.
+# core/check.hpp is allowed everywhere (see module docstring).
+LAYERS = {
+    "linalg": {"linalg"},
+    "stats": {"stats", "linalg"},
+    "circuit": {"circuit", "linalg"},
+    "spice": {"spice", "circuit", "linalg"},
+    "sim": {"sim", "circuit", "linalg"},
+    "core": {"core", "stats", "linalg"},
+    "circuits": {"circuits", "core", "sim", "spice", "circuit", "stats", "linalg"},
+}
+CHECK_HEADER = "core/check.hpp"
+
+# Files in src/ allowed to perform console I/O.
+IO_ALLOWLIST = {"src/core/report.cpp"}
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w:])rand\s*\("), "rand()"),
+    (re.compile(r"std::time\s*\("), "std::time()"),
+    (re.compile(r"(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time()"),
+    (re.compile(r"std::chrono::system_clock"), "system_clock"),
+    (re.compile(r"std::chrono::high_resolution_clock"), "high_resolution_clock"),
+]
+
+IO_PATTERNS = [
+    (re.compile(r"#\s*include\s*<iostream>"), "#include <iostream>"),
+    (re.compile(r"std::(cout|cerr|clog)\b"), "std::cout/cerr/clog"),
+    (re.compile(r"(?<![\w.])f?printf\s*\("), "printf family"),
+    (re.compile(r"(?<![\w.])f?puts\s*\("), "puts family"),
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(<[^>]+>|"[^"]+")')
+COMMENT_RE = re.compile(r"//.*?$|/\*.*?\*/", re.DOTALL | re.MULTILINE)
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments, preserving line numbers."""
+    def repl(m: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+    return COMMENT_RE.sub(repl, text)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[tuple[str, int, str, str]] = []
+
+    def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        self.violations.append((rel, line, rule, message))
+
+    # -- rules ------------------------------------------------------------
+
+    def check_pragma_once(self, path: Path, text: str) -> None:
+        has_pragma = re.search(r"^#pragma once\s*$", text, re.MULTILINE)
+        if path.suffix == ".hpp" and not has_pragma:
+            self.report(path, 1, "pragma-once", "header missing #pragma once")
+        if path.suffix == ".cpp" and has_pragma:
+            line = text[: has_pragma.start()].count("\n") + 1
+            self.report(path, line, "pragma-once",
+                        "#pragma once in a .cpp file")
+
+    def check_patterns(self, path: Path, code: str, patterns, rule: str,
+                       what: str) -> None:
+        for lineno, line in enumerate(code.splitlines(), 1):
+            for pattern, name in patterns:
+                if pattern.search(line):
+                    self.report(path, lineno, rule, f"{name} {what}")
+
+    def check_includes(self, path: Path, code: str) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        in_src = rel.startswith("src/")
+        module = rel.split("/")[1] if in_src and "/" in rel[4:] else None
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            inc = m.group(1)
+            if inc.startswith("<"):
+                # Angle includes must not name project headers.
+                if (self.root / "src" / inc[1:-1]).exists():
+                    self.report(path, lineno, "include-hygiene",
+                                f"project header {inc} included with <>")
+                continue
+            target = inc[1:-1]
+            if target.startswith("../") or "/../" in target:
+                self.report(path, lineno, "include-hygiene",
+                            f'relative include "{target}"')
+                continue
+            if in_src:
+                if not (self.root / "src" / target).exists():
+                    self.report(path, lineno, "include-hygiene",
+                                f'"{target}" does not resolve under src/')
+                    continue
+                if "/" not in target:
+                    self.report(path, lineno, "include-hygiene",
+                                f'"{target}" is not module-qualified')
+                    continue
+                dep = target.split("/")[0]
+                if (module in LAYERS and target != CHECK_HEADER
+                        and dep not in LAYERS[module]):
+                    self.report(path, lineno, "layering",
+                                f"module '{module}' must not include "
+                                f"'{dep}/' headers")
+            else:
+                # Outside src/: local headers (same dir) or src/ headers.
+                local = (path.parent / target).exists()
+                in_tree = (self.root / "src" / target).exists()
+                if not local and not in_tree:
+                    self.report(path, lineno, "include-hygiene",
+                                f'"{target}" resolves neither locally nor '
+                                "under src/")
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> int:
+        files = []
+        for d in SOURCE_DIRS:
+            base = self.root / d
+            if base.is_dir():
+                files.extend(p for p in sorted(base.rglob("*"))
+                             if p.suffix in CPP_EXT)
+        if not files:
+            # A wrong --root must not report a green "0 violations" run.
+            print(f"lint: error: no C++ sources found under {self.root} "
+                  f"(checked {', '.join(SOURCE_DIRS)})", file=sys.stderr)
+            return 2
+        for path in files:
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments(text)
+            rel = path.relative_to(self.root).as_posix()
+            self.check_pragma_once(path, text)
+            self.check_includes(path, code)
+            if rel.startswith("src/"):
+                self.check_patterns(path, code, DETERMINISM_PATTERNS,
+                                    "determinism",
+                                    "is forbidden in library code")
+                if rel not in IO_ALLOWLIST:
+                    self.check_patterns(path, code, IO_PATTERNS,
+                                        "io-discipline",
+                                        "is forbidden outside report.cpp")
+        for rel, line, rule, message in self.violations:
+            print(f"{rel}:{line}: [{rule}] {message}")
+        print(f"lint: {len(files)} files checked, "
+              f"{len(self.violations)} violation(s)")
+        return 1 if self.violations else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent)
+    args = parser.parse_args()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
