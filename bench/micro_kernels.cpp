@@ -86,6 +86,38 @@ void BM_FoldedCascodeConstraints(benchmark::State& state) {
 }
 BENCHMARK(BM_FoldedCascodeConstraints);
 
+void BM_BatchEvalFoldedCascode(benchmark::State& state) {
+  // Batch-vs-scalar throughput of the evaluation spine.  Every iteration
+  // evaluates one block at a FRESH design (d[0] bumped, as in
+  // BM_YieldFullEvaluation), so the per-(d, theta) setup -- bias solve,
+  // f_t bracket, nominal slew trajectory -- cannot be cached across
+  // blocks.  Block size 1 therefore pays the setup per sample (the old
+  // scalar path); larger blocks amortize it.  Compare items_per_second.
+  const std::size_t block_size = static_cast<std::size_t>(state.range(0));
+  FoldedCascodeFixture fx;
+  core::CacheOptions cache;
+  cache.capacity = 1024;  // every probe is distinct; bound the memory
+  core::Evaluator ev(fx.problem, cache);
+  const stats::SampleSet samples(block_size, ev.num_statistical(), 7);
+  core::EvalWorkspace ws;
+  linalg::Matrixd out(block_size, ev.num_specs());
+  linalg::Vector d = fx.d;
+  for (auto _ : state) {
+    d[0] += 1e-9;  // fresh design per block
+    ev.performances_batch(d, samples.block(0, block_size), fx.theta,
+                          linalg::MatrixView(out), ws,
+                          core::Budget::kVerification);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block_size));
+}
+BENCHMARK(BM_BatchEvalFoldedCascode)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_YieldFullEvaluation(benchmark::State& state) {
   FoldedCascodeFixture fx;
   core::Evaluator ev(fx.problem);

@@ -1,8 +1,10 @@
 #include "circuits/folded_cascode.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "core/probe_cache.hpp"
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
@@ -45,9 +47,45 @@ struct FoldedCascode::Bench {
   CurrentSource* iref = nullptr;
   Capacitor* cl = nullptr;
   NodeId out = circuit::kGround;
-
-  Vector last_op;  ///< warm start for repeated DC solves
 };
+
+// Per-(d, theta) reusable results.  Everything in here is computed at the
+// NOMINAL statistical point with cold solves, i.e. it is a pure function
+// of (d, theta): evaluation results can depend on the context only through
+// warm-start seeds, never on the history of earlier calls.  (The previous
+// scheme kept the last DC solution as a warm start, which made results
+// depend on the evaluation order.)
+struct FoldedCascode::DesignContext {
+  std::vector<std::uint64_t> key;  ///< raw bits of (d, theta)
+
+  bool ac_done = false;
+  bool ac_converged = false;
+  Vector op_ac;  ///< nominal DC operating point of the AC bench
+
+  bool ft_done = false;
+  bool ft_valid = false;
+  sim::FtBracket ft_bracket;  ///< nominal unity-gain crossing, widened
+
+  bool sr_done = false;
+  bool sr_converged = false;
+  Vector op_sr;  ///< nominal DC operating point of the unity-gain bench
+  bool traj_valid = false;
+  std::vector<Vector> sr_traj;  ///< nominal step-response trajectory
+};
+
+namespace {
+/// AC sweep bounds of the ft measurement (shared by the nominal sweep in
+/// the context and the per-sample seeded measurement).
+constexpr double kFtLow = 1.0;
+constexpr double kFtHigh = 10e9;
+/// Headroom factor applied to the nominal crossing on both sides; mismatch
+/// rarely moves ft by more than tens of percent, and an escaped crossing
+/// just falls back to the full sweep.
+constexpr double kFtWiden = 1.6;
+/// Bounded FIFO of design contexts (coordinate searches revisit a handful
+/// of designs; old entries can always be rebuilt).
+constexpr std::size_t kContextCapacity = 16;
+}  // namespace
 
 std::unique_ptr<FoldedCascode::Bench> FoldedCascode::build_bench(
     const FoldedCascode::Options& opt, bool unity) {
@@ -177,6 +215,8 @@ FoldedCascode::FoldedCascode(Options options)
       ac_bench_(build_bench(options_, /*unity=*/false)),
       sr_bench_(build_bench(options_, /*unity=*/true)) {}
 
+FoldedCascode::~FoldedCascode() = default;
+
 // --------------------------------------------------------------- binding --
 
 void FoldedCascode::apply(Bench& bench, const Vector& d, const Vector& s,
@@ -230,11 +270,93 @@ void FoldedCascode::apply(Bench& bench, const Vector& d, const Vector& s,
   bench.iref->set_dc_value(d[Design::kIref]);
 }
 
+// --------------------------------------------------------------- contexts --
+
+FoldedCascode::DesignContext& FoldedCascode::design_context(
+    const Vector& d, const Vector& theta) {
+  context_key_.clear();
+  core::ProbeCache::append_bits(context_key_, d);
+  core::ProbeCache::append_bits(context_key_, theta);
+  for (auto& ctx : contexts_)
+    if (ctx->key == context_key_) return *ctx;
+  if (contexts_.size() >= kContextCapacity)
+    contexts_.erase(contexts_.begin());
+  contexts_.push_back(std::make_unique<DesignContext>());
+  contexts_.back()->key = context_key_;
+  return *contexts_.back();
+}
+
+void FoldedCascode::ensure_ac_section(DesignContext& ctx, const Vector& d,
+                                      const Vector& theta) {
+  if (ctx.ac_done) return;
+  ctx.ac_done = true;
+  Bench& ac = *ac_bench_;
+  const Vector s0(Stats::kCount);
+  apply(ac, d, s0, theta);
+  const Conditions conditions{theta[0]};
+  // Cold solve: no warm start, so the context stays a pure function of
+  // (d, theta) regardless of what was evaluated before.
+  const sim::DcResult op = sim::solve_dc(ac.netlist, conditions, {});
+  ctx.ac_converged = op.converged;
+  if (op.converged) ctx.op_ac = op.solution;
+}
+
+void FoldedCascode::ensure_ft_section(DesignContext& ctx, const Vector& d,
+                                      const Vector& theta) {
+  if (ctx.ft_done) return;
+  ensure_ac_section(ctx, d, theta);
+  ctx.ft_done = true;
+  if (!ctx.ac_converged) return;  // ft_valid stays false
+  Bench& ac = *ac_bench_;
+  const Vector s0(Stats::kCount);
+  apply(ac, d, s0, theta);
+  const Conditions conditions{theta[0]};
+  ac.vinp->set_ac_value({0.5, 0.0});
+  ac.vinn->set_ac_value({-0.5, 0.0});
+  const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
+      ac.netlist, ctx.op_ac, conditions, ac.out, kFtLow, kFtHigh);
+  if (!gb.ft_found) return;
+  ctx.ft_bracket.f_lo = std::max(kFtLow, gb.ft_hz / kFtWiden);
+  ctx.ft_bracket.f_hi = std::min(kFtHigh, gb.ft_hz * kFtWiden);
+  ctx.ft_valid = ctx.ft_bracket.f_hi > ctx.ft_bracket.f_lo;
+}
+
+void FoldedCascode::ensure_sr_section(DesignContext& ctx, const Vector& d,
+                                      const Vector& theta) {
+  if (ctx.sr_done) return;
+  ctx.sr_done = true;
+  Bench& sr = *sr_bench_;
+  const Vector s0(Stats::kCount);
+  apply(sr, d, s0, theta);
+  const double vcm = 0.5 * theta[1];
+  sr.vinp->set_dc_value(vcm);
+  const Conditions conditions{theta[0]};
+  const sim::DcResult op = sim::solve_dc(sr.netlist, conditions, {});
+  ctx.sr_converged = op.converged;
+  if (!op.converged) return;
+  ctx.op_sr = op.solution;
+  // Nominal step response: its trajectory seeds every sample's per-step
+  // Newton iteration.
+  const double step = options_.sr_step;
+  sr.vinp->set_waveform([vcm, step](double t) {
+    return t <= 0.0 ? vcm : vcm + step;
+  });
+  sim::TranOptions tran;
+  tran.t_stop = options_.sr_t_stop;
+  tran.dt = options_.sr_dt;
+  const sim::TranResult tr =
+      sim::solve_transient(sr.netlist, op.solution, conditions, tran);
+  sr.vinp->clear_waveform();
+  if (tr.converged) {
+    ctx.sr_traj = tr.solutions;
+    ctx.traj_valid = true;
+  }
+}
+
 // ----------------------------------------------------------- measurements --
 
-FoldedCascode::Measurements FoldedCascode::measure(const Vector& d,
-                                                   const Vector& s,
-                                                   const Vector& theta) {
+FoldedCascode::Measurements FoldedCascode::measure_with_context(
+    DesignContext& ctx, const Vector& d, const Vector& s, const Vector& theta) {
   Measurements out;
   Conditions conditions{theta[0]};
 
@@ -242,19 +364,18 @@ FoldedCascode::Measurements FoldedCascode::measure(const Vector& d,
   Bench& ac = *ac_bench_;
   apply(ac, d, s, theta);
   sim::DcResult op = sim::solve_dc(
-      ac.netlist, conditions, {},
-      ac.last_op.size() == ac.netlist.system_size() ? &ac.last_op : nullptr);
+      ac.netlist, conditions, {}, ctx.ac_converged ? &ctx.op_ac : nullptr);
   if (!op.converged) return out;  // valid stays false
-  ac.last_op = op.solution;
 
   out.power_mw =
       1e3 * sim::measure_supply_power(ac.netlist, op.solution, {ac.vdd});
 
-  // Differential excitation.
+  // Differential excitation; the nominal crossing seeds the ft search.
   ac.vinp->set_ac_value({0.5, 0.0});
   ac.vinn->set_ac_value({-0.5, 0.0});
   const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
-      ac.netlist, op.solution, conditions, ac.out, 1.0, 10e9);
+      ac.netlist, op.solution, conditions, ac.out, kFtLow, kFtHigh,
+      ctx.ft_valid ? &ctx.ft_bracket : nullptr);
   out.a0_db = gb.a0_db;
   out.ft_mhz = gb.ft_found ? gb.ft_hz / 1e6 : 0.0;
 
@@ -271,10 +392,8 @@ FoldedCascode::Measurements FoldedCascode::measure(const Vector& d,
   const double vcm = 0.5 * theta[1];
   sr.vinp->set_dc_value(vcm);
   sim::DcResult sr_op = sim::solve_dc(
-      sr.netlist, conditions, {},
-      sr.last_op.size() == sr.netlist.system_size() ? &sr.last_op : nullptr);
+      sr.netlist, conditions, {}, ctx.sr_converged ? &ctx.op_sr : nullptr);
   if (!sr_op.converged) return out;
-  sr.last_op = sr_op.solution;
 
   const double step = options_.sr_step;
   sr.vinp->set_waveform([vcm, step](double t) {
@@ -283,6 +402,7 @@ FoldedCascode::Measurements FoldedCascode::measure(const Vector& d,
   sim::TranOptions tran;
   tran.t_stop = options_.sr_t_stop;
   tran.dt = options_.sr_dt;
+  tran.seed_trajectory = ctx.traj_valid ? &ctx.sr_traj : nullptr;
   const sim::TranResult tr =
       sim::solve_transient(sr.netlist, sr_op.solution, conditions, tran);
   sr.vinp->clear_waveform();
@@ -293,10 +413,17 @@ FoldedCascode::Measurements FoldedCascode::measure(const Vector& d,
   return out;
 }
 
-Vector FoldedCascode::evaluate(const Vector& d, const Vector& s,
-                               const Vector& theta) {
-  const Measurements m = measure(d, s, theta);
-  Vector out(5);
+FoldedCascode::Measurements FoldedCascode::measure(const Vector& d,
+                                                   const Vector& s,
+                                                   const Vector& theta) {
+  DesignContext& ctx = design_context(d, theta);
+  ensure_ft_section(ctx, d, theta);  // builds the AC section too
+  ensure_sr_section(ctx, d, theta);
+  return measure_with_context(ctx, d, s, theta);
+}
+
+namespace {
+void pack_performances(const FoldedCascode::Measurements& m, double* out) {
   if (!m.valid) {
     // Penalty values: fail every specification decisively but finitely.
     out[0] = -20.0;  // A0 [dB]
@@ -304,36 +431,65 @@ Vector FoldedCascode::evaluate(const Vector& d, const Vector& s,
     out[2] = 0.0;    // CMRR [dB]
     out[3] = 0.0;    // SR [V/us]
     out[4] = 10.0;   // Power [mW]
-    return out;
+    return;
   }
   out[0] = m.a0_db;
   out[1] = m.ft_mhz;
   out[2] = m.cmrr_db;
   out[3] = m.sr_v_per_us;
   out[4] = m.power_mw;
+}
+}  // namespace
+
+Vector FoldedCascode::evaluate(const Vector& d, const Vector& s,
+                               const Vector& theta) {
+  Vector out(5);
+  pack_performances(measure(d, s, theta), &out[0]);
   return out;
 }
 
+void FoldedCascode::evaluate_batch(const Vector& d,
+                                   linalg::ConstMatrixView s_block,
+                                   const Vector& theta,
+                                   linalg::MatrixView out) {
+  if (out.rows() != s_block.rows() || out.cols() != num_performances())
+    throw std::invalid_argument(
+        "FoldedCascode::evaluate_batch: out shape mismatch");
+  // Hoist the nominal solves (bias point, ft bracket, slew trajectory) out
+  // of the sample loop; every row then runs the same per-sample code as
+  // evaluate(), so the results are bitwise-identical to the scalar path.
+  DesignContext& ctx = design_context(d, theta);
+  ensure_ft_section(ctx, d, theta);
+  ensure_sr_section(ctx, d, theta);
+  if (batch_s_.size() != s_block.cols()) batch_s_ = Vector(s_block.cols());
+  for (std::size_t j = 0; j < s_block.rows(); ++j) {
+    const double* row = s_block.row(j);
+    for (std::size_t i = 0; i < batch_s_.size(); ++i) batch_s_[i] = row[i];
+    pack_performances(measure_with_context(ctx, d, batch_s_, theta),
+                      out.row(j));
+  }
+}
+
 Vector FoldedCascode::saturation_margins(const Vector& d) {
-  Vector s(Stats::kCount);
+  const Vector s0(Stats::kCount);
   Vector theta{options_.process.envelope.temp_nom_k,
                options_.process.envelope.vdd_nom};
-  Bench& ac = *ac_bench_;
-  apply(ac, d, s, theta);
-  Conditions conditions{theta[0]};
-  sim::DcResult op = sim::solve_dc(
-      ac.netlist, conditions, {},
-      ac.last_op.size() == ac.netlist.system_size() ? &ac.last_op : nullptr);
+  DesignContext& ctx = design_context(d, theta);
+  ensure_ac_section(ctx, d, theta);
   Vector margins(11);
-  if (!op.converged) {
+  if (!ctx.ac_converged) {
     margins.fill(-1.0);
     return margins;
   }
-  ac.last_op = op.solution;
+  // The constraint point IS the context's nominal operating point: only
+  // the device state needs re-binding, no extra DC solve.
+  Bench& ac = *ac_bench_;
+  apply(ac, d, s0, theta);
+  const Conditions conditions{theta[0]};
   for (std::size_t i = 0; i < 11; ++i) {
     const Mosfet* mos = ac.signal[i];
     const auto voltage = [&](NodeId n) {
-      return n == circuit::kGround ? 0.0 : op.solution[n - 1];
+      return n == circuit::kGround ? 0.0 : ctx.op_ac[n - 1];
     };
     const circuit::MosEval eval = mos->evaluate_at(
         voltage(mos->drain()), voltage(mos->gate()), voltage(mos->source()),

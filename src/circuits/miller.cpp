@@ -1,8 +1,10 @@
 #include "circuits/miller.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "core/probe_cache.hpp"
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
@@ -39,9 +41,37 @@ struct Miller::Bench {
   CurrentSource* iref = nullptr;
   Capacitor* cc = nullptr;
   NodeId out = circuit::kGround;
-
-  Vector last_op;
 };
+
+// Per-(d, theta) reusable results, all computed at the nominal statistical
+// point with cold solves (pure function of (d, theta)); see the folded
+// cascode for the rationale.
+struct Miller::DesignContext {
+  std::vector<std::uint64_t> key;  ///< raw bits of (d, theta)
+
+  bool ac_done = false;
+  bool ac_converged = false;
+  Vector op_ac;
+
+  bool ft_done = false;
+  bool ft_valid = false;
+  sim::FtBracket ft_bracket;
+
+  bool sr_done = false;
+  bool sr_converged = false;
+  Vector op_sr;
+  bool traj_valid = false;
+  std::vector<Vector> sr_traj;
+};
+
+namespace {
+// AC sweep bounds of the ft measurement (two-stage opamp: crossing sits in
+// the low-MHz range, 1 GHz is ample headroom).
+constexpr double kFtLow = 1.0;
+constexpr double kFtHigh = 1e9;
+constexpr double kFtWiden = 1.6;
+constexpr std::size_t kContextCapacity = 16;
+}  // namespace
 
 std::unique_ptr<Miller::Bench> Miller::build_bench(const Options& opt,
                                                    bool unity) {
@@ -111,6 +141,8 @@ Miller::Miller(Options options)
       ac_bench_(build_bench(options_, /*unity=*/false)),
       sr_bench_(build_bench(options_, /*unity=*/true)) {}
 
+Miller::~Miller() = default;
+
 void Miller::apply(Bench& bench, const Vector& d, const Vector& s,
                    const Vector& theta) const {
   if (d.size() != Design::kCount)
@@ -145,18 +177,95 @@ void Miller::apply(Bench& bench, const Vector& d, const Vector& s,
   bench.cc->set_capacitance(d[Design::kCc]);
 }
 
-Miller::Measurements Miller::measure(const Vector& d, const Vector& s,
-                                     const Vector& theta) {
+Miller::DesignContext& Miller::design_context(const Vector& d,
+                                              const Vector& theta) {
+  context_key_.clear();
+  core::ProbeCache::append_bits(context_key_, d);
+  core::ProbeCache::append_bits(context_key_, theta);
+  for (auto& ctx : contexts_)
+    if (ctx->key == context_key_) return *ctx;
+  if (contexts_.size() >= kContextCapacity)
+    contexts_.erase(contexts_.begin());
+  contexts_.push_back(std::make_unique<DesignContext>());
+  contexts_.back()->key = context_key_;
+  return *contexts_.back();
+}
+
+void Miller::ensure_ac_section(DesignContext& ctx, const Vector& d,
+                               const Vector& theta) {
+  if (ctx.ac_done) return;
+  ctx.ac_done = true;
+  Bench& ac = *ac_bench_;
+  const Vector s0(Stats::kCount);
+  apply(ac, d, s0, theta);
+  const Conditions conditions{theta[0]};
+  const sim::DcResult op = sim::solve_dc(ac.netlist, conditions, {});
+  ctx.ac_converged = op.converged;
+  if (op.converged) ctx.op_ac = op.solution;
+}
+
+void Miller::ensure_ft_section(DesignContext& ctx, const Vector& d,
+                               const Vector& theta) {
+  if (ctx.ft_done) return;
+  ensure_ac_section(ctx, d, theta);
+  ctx.ft_done = true;
+  if (!ctx.ac_converged) return;
+  Bench& ac = *ac_bench_;
+  const Vector s0(Stats::kCount);
+  apply(ac, d, s0, theta);
+  const Conditions conditions{theta[0]};
+  ac.vinp->set_ac_value({0.5, 0.0});
+  ac.vinn->set_ac_value({-0.5, 0.0});
+  const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
+      ac.netlist, ctx.op_ac, conditions, ac.out, kFtLow, kFtHigh);
+  if (!gb.ft_found) return;
+  ctx.ft_bracket.f_lo = std::max(kFtLow, gb.ft_hz / kFtWiden);
+  ctx.ft_bracket.f_hi = std::min(kFtHigh, gb.ft_hz * kFtWiden);
+  ctx.ft_valid = ctx.ft_bracket.f_hi > ctx.ft_bracket.f_lo;
+}
+
+void Miller::ensure_sr_section(DesignContext& ctx, const Vector& d,
+                               const Vector& theta) {
+  if (ctx.sr_done) return;
+  ctx.sr_done = true;
+  Bench& sr = *sr_bench_;
+  const Vector s0(Stats::kCount);
+  apply(sr, d, s0, theta);
+  const double vcm = 0.5 * theta[1];
+  sr.vinp->set_dc_value(vcm);
+  const Conditions conditions{theta[0]};
+  const sim::DcResult op = sim::solve_dc(sr.netlist, conditions, {});
+  ctx.sr_converged = op.converged;
+  if (!op.converged) return;
+  ctx.op_sr = op.solution;
+  const double step = options_.sr_step;
+  sr.vinp->set_waveform([vcm, step](double t) {
+    return t <= 0.0 ? vcm : vcm + step;
+  });
+  sim::TranOptions tran;
+  tran.t_stop = options_.sr_t_stop;
+  tran.dt = options_.sr_dt;
+  const sim::TranResult tr =
+      sim::solve_transient(sr.netlist, op.solution, conditions, tran);
+  sr.vinp->clear_waveform();
+  if (tr.converged) {
+    ctx.sr_traj = tr.solutions;
+    ctx.traj_valid = true;
+  }
+}
+
+Miller::Measurements Miller::measure_with_context(DesignContext& ctx,
+                                                  const Vector& d,
+                                                  const Vector& s,
+                                                  const Vector& theta) {
   Measurements out;
   Conditions conditions{theta[0]};
 
   Bench& ac = *ac_bench_;
   apply(ac, d, s, theta);
   sim::DcResult op = sim::solve_dc(
-      ac.netlist, conditions, {},
-      ac.last_op.size() == ac.netlist.system_size() ? &ac.last_op : nullptr);
+      ac.netlist, conditions, {}, ctx.ac_converged ? &ctx.op_ac : nullptr);
   if (!op.converged) return out;
-  ac.last_op = op.solution;
 
   out.power_mw =
       1e3 * sim::measure_supply_power(ac.netlist, op.solution, {ac.vdd});
@@ -164,7 +273,8 @@ Miller::Measurements Miller::measure(const Vector& d, const Vector& s,
   ac.vinp->set_ac_value({0.5, 0.0});
   ac.vinn->set_ac_value({-0.5, 0.0});
   const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
-      ac.netlist, op.solution, conditions, ac.out, 1.0, 1e9);
+      ac.netlist, op.solution, conditions, ac.out, kFtLow, kFtHigh,
+      ctx.ft_valid ? &ctx.ft_bracket : nullptr);
   out.a0_db = gb.a0_db;
   out.ft_mhz = gb.ft_found ? gb.ft_hz / 1e6 : 0.0;
   out.pm_deg = gb.ft_found ? gb.phase_margin_deg : 0.0;
@@ -174,10 +284,8 @@ Miller::Measurements Miller::measure(const Vector& d, const Vector& s,
   const double vcm = 0.5 * theta[1];
   sr.vinp->set_dc_value(vcm);
   sim::DcResult sr_op = sim::solve_dc(
-      sr.netlist, conditions, {},
-      sr.last_op.size() == sr.netlist.system_size() ? &sr.last_op : nullptr);
+      sr.netlist, conditions, {}, ctx.sr_converged ? &ctx.op_sr : nullptr);
   if (!sr_op.converged) return out;
-  sr.last_op = sr_op.solution;
 
   const double step = options_.sr_step;
   sr.vinp->set_waveform([vcm, step](double t) {
@@ -186,6 +294,7 @@ Miller::Measurements Miller::measure(const Vector& d, const Vector& s,
   sim::TranOptions tran;
   tran.t_stop = options_.sr_t_stop;
   tran.dt = options_.sr_dt;
+  tran.seed_trajectory = ctx.traj_valid ? &ctx.sr_traj : nullptr;
   const sim::TranResult tr =
       sim::solve_transient(sr.netlist, sr_op.solution, conditions, tran);
   sr.vinp->clear_waveform();
@@ -218,45 +327,72 @@ Miller::Measurements Miller::measure(const Vector& d, const Vector& s,
   return out;
 }
 
-Vector Miller::evaluate(const Vector& d, const Vector& s, const Vector& theta) {
-  const Measurements m = measure(d, s, theta);
-  Vector out(5);
+Miller::Measurements Miller::measure(const Vector& d, const Vector& s,
+                                     const Vector& theta) {
+  DesignContext& ctx = design_context(d, theta);
+  ensure_ft_section(ctx, d, theta);  // builds the AC section too
+  ensure_sr_section(ctx, d, theta);
+  return measure_with_context(ctx, d, s, theta);
+}
+
+namespace {
+void pack_performances(const Miller::Measurements& m, double* out) {
   if (!m.valid) {
     out[0] = -20.0;
     out[1] = 0.0;
     out[2] = 0.0;
     out[3] = 0.0;
     out[4] = 10.0;
-    return out;
+    return;
   }
   out[0] = m.a0_db;
   out[1] = m.ft_mhz;
   out[2] = m.pm_deg;
   out[3] = m.sr_v_per_us;
   out[4] = m.power_mw;
+}
+}  // namespace
+
+Vector Miller::evaluate(const Vector& d, const Vector& s, const Vector& theta) {
+  Vector out(5);
+  pack_performances(measure(d, s, theta), &out[0]);
   return out;
 }
 
+void Miller::evaluate_batch(const Vector& d, linalg::ConstMatrixView s_block,
+                            const Vector& theta, linalg::MatrixView out) {
+  if (out.rows() != s_block.rows() || out.cols() != num_performances())
+    throw std::invalid_argument("Miller::evaluate_batch: out shape mismatch");
+  DesignContext& ctx = design_context(d, theta);
+  ensure_ft_section(ctx, d, theta);
+  ensure_sr_section(ctx, d, theta);
+  if (batch_s_.size() != s_block.cols()) batch_s_ = Vector(s_block.cols());
+  for (std::size_t j = 0; j < s_block.rows(); ++j) {
+    const double* row = s_block.row(j);
+    for (std::size_t i = 0; i < batch_s_.size(); ++i) batch_s_[i] = row[i];
+    pack_performances(measure_with_context(ctx, d, batch_s_, theta),
+                      out.row(j));
+  }
+}
+
 Vector Miller::constraints(const Vector& d) {
-  Vector s(Stats::kCount);
+  const Vector s0(Stats::kCount);
   Vector theta{options_.process.envelope.temp_nom_k,
                options_.process.envelope.vdd_nom};
-  Bench& ac = *ac_bench_;
-  apply(ac, d, s, theta);
-  Conditions conditions{theta[0]};
-  sim::DcResult op = sim::solve_dc(
-      ac.netlist, conditions, {},
-      ac.last_op.size() == ac.netlist.system_size() ? &ac.last_op : nullptr);
+  DesignContext& ctx = design_context(d, theta);
+  ensure_ac_section(ctx, d, theta);
   Vector margins(7);
-  if (!op.converged) {
+  if (!ctx.ac_converged) {
     margins.fill(-1.0);
     return margins;
   }
-  ac.last_op = op.solution;
+  Bench& ac = *ac_bench_;
+  apply(ac, d, s0, theta);
+  const Conditions conditions{theta[0]};
   for (std::size_t i = 0; i < 7; ++i) {
     const Mosfet* mos = ac.signal[i];
     const auto voltage = [&](NodeId n) {
-      return n == circuit::kGround ? 0.0 : op.solution[n - 1];
+      return n == circuit::kGround ? 0.0 : ctx.op_ac[n - 1];
     };
     const circuit::MosEval eval = mos->evaluate_at(
         voltage(mos->drain()), voltage(mos->gate()), voltage(mos->source()),

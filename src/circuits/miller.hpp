@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,7 @@ class Miller final : public core::PerformanceModel {
 
   Miller();  ///< default options
   explicit Miller(Options options);
+  ~Miller() override;
 
   std::size_t num_performances() const override { return 5; }
   std::size_t num_constraints() const override { return 7; }
@@ -73,6 +75,12 @@ class Miller final : public core::PerformanceModel {
   std::unique_ptr<core::PerformanceModel> clone() const override;
   linalg::Vector evaluate(const linalg::Vector& d, const linalg::Vector& s,
                           const linalg::Vector& theta) override;
+  /// Native batch path: per-(d, theta) nominal solves (bias point, ft
+  /// bracket, slew trajectory) are built once; each sample row reuses them
+  /// as warm starts and is bitwise-identical to the scalar evaluate().
+  void evaluate_batch(const linalg::Vector& d, linalg::ConstMatrixView s_block,
+                      const linalg::Vector& theta,
+                      linalg::MatrixView out) override;
   linalg::Vector constraints(const linalg::Vector& d) override;
 
   struct Measurements {
@@ -97,14 +105,32 @@ class Miller final : public core::PerformanceModel {
 
  private:
   struct Bench;
+  struct DesignContext;  // per-(d, theta) nominal solves shared by samples
 
   static std::unique_ptr<Bench> build_bench(const Options& options, bool unity);
   void apply(Bench& bench, const linalg::Vector& d, const linalg::Vector& s,
              const linalg::Vector& theta) const;
+  /// Context for (d, theta): created empty on first use, sections filled
+  /// lazily, FIFO-bounded.  Contents are a pure function of (d, theta).
+  DesignContext& design_context(const linalg::Vector& d,
+                                const linalg::Vector& theta);
+  void ensure_ac_section(DesignContext& ctx, const linalg::Vector& d,
+                         const linalg::Vector& theta);
+  void ensure_ft_section(DesignContext& ctx, const linalg::Vector& d,
+                         const linalg::Vector& theta);
+  void ensure_sr_section(DesignContext& ctx, const linalg::Vector& d,
+                         const linalg::Vector& theta);
+  Measurements measure_with_context(DesignContext& ctx,
+                                    const linalg::Vector& d,
+                                    const linalg::Vector& s,
+                                    const linalg::Vector& theta);
 
   Options options_;
   std::unique_ptr<Bench> ac_bench_;
   std::unique_ptr<Bench> sr_bench_;
+  std::vector<std::unique_ptr<DesignContext>> contexts_;  ///< FIFO cache
+  std::vector<std::uint64_t> context_key_;  ///< key-building scratch
+  linalg::Vector batch_s_;                  ///< row scratch for batches
 };
 
 }  // namespace mayo::circuits

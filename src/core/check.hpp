@@ -1,0 +1,110 @@
+// mayo/core -- debug contract checks for the numeric kernels.
+//
+// The optimizer's credibility rests on numerics: one silent NaN entering
+// the yield accumulation, one dimension mismatch between a Jacobian and a
+// sample vector, invalidates the reproduced paper tables without any test
+// noticing.  These macros make such contracts explicit at the linalg /
+// stats / core API boundaries:
+//
+//   MAYO_ASSERT(cond, msg)                 -- general invariant
+//   MAYO_CHECK_DIM(actual, expected, what) -- dimension agreement
+//   MAYO_CHECK_FINITE(value, what)         -- double or range of doubles
+//
+// In debug builds a violated contract throws mayo::ContractViolation
+// (a std::logic_error) carrying file:line and the violated condition; the
+// gtest suites assert both that the contracts fire and that legal inputs
+// pass.  With NDEBUG (Release) every macro expands to ((void)0): zero
+// instructions on the hot Monte-Carlo path, verified by the benchmarks.
+//
+// This header is deliberately dependency-free (no linalg types) so the
+// lower layers (linalg, stats) can include it without inverting the
+// module layering; tools/lint.py allowlists exactly this header.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace mayo {
+
+/// Thrown by the MAYO_* contract macros in debug builds.  Deriving from
+/// std::logic_error: a violated contract is a programming error, not a
+/// runtime condition callers should handle.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& message)
+      : std::logic_error(message) {}
+};
+
+namespace check_detail {
+
+[[noreturn]] inline void fail(const char* file, int line, const char* kind,
+                              const std::string& detail) {
+  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                          ": contract violation [" + kind + "] " + detail);
+}
+
+inline void assert_true(bool ok, const char* expr, const char* msg,
+                        const char* file, int line) {
+  if (!ok) fail(file, line, "assert", std::string(expr) + " -- " + msg);
+}
+
+inline void check_dim(std::size_t actual, std::size_t expected,
+                      const char* what, const char* file, int line) {
+  if (actual != expected)
+    fail(file, line, "dim",
+         std::string(what) + ": got " + std::to_string(actual) +
+             ", expected " + std::to_string(expected));
+}
+
+inline void check_finite(double value, const char* what, const char* file,
+                         int line) {
+  if (!std::isfinite(value))
+    fail(file, line, "finite",
+         std::string(what) + " = " + std::to_string(value));
+}
+
+/// Range overload: anything iterable over doubles (linalg::Vector,
+/// std::vector<double>, ...).  Reports the offending index.
+template <typename Range>
+inline void check_finite(const Range& values, const char* what,
+                         const char* file, int line) {
+  std::size_t i = 0;
+  for (const double v : values) {
+    if (!std::isfinite(v))
+      fail(file, line, "finite",
+           std::string(what) + "[" + std::to_string(i) +
+               "] = " + std::to_string(v));
+    ++i;
+  }
+}
+
+}  // namespace check_detail
+}  // namespace mayo
+
+// MAYO_FORCE_CHECKS keeps the contracts alive in optimized builds (used by
+// the NDEBUG-behaviour test); otherwise they follow assert(): on unless
+// NDEBUG.
+#if !defined(NDEBUG) || defined(MAYO_FORCE_CHECKS)
+#define MAYO_CHECKS_ENABLED 1
+#else
+#define MAYO_CHECKS_ENABLED 0
+#endif
+
+#if MAYO_CHECKS_ENABLED
+
+#define MAYO_ASSERT(cond, msg) \
+  ::mayo::check_detail::assert_true(static_cast<bool>(cond), #cond, msg, __FILE__, __LINE__)
+#define MAYO_CHECK_DIM(actual, expected, what) \
+  ::mayo::check_detail::check_dim((actual), (expected), what, __FILE__, __LINE__)
+#define MAYO_CHECK_FINITE(value, what) \
+  ::mayo::check_detail::check_finite((value), what, __FILE__, __LINE__)
+
+#else
+
+#define MAYO_ASSERT(cond, msg) ((void)0)
+#define MAYO_CHECK_DIM(actual, expected, what) ((void)0)
+#define MAYO_CHECK_FINITE(value, what) ((void)0)
+
+#endif

@@ -1,40 +1,25 @@
 #include "core/evaluator.hpp"
 
-#include <cstring>
+#include <algorithm>
+#include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "core/check.hpp"
 
 namespace mayo::core {
 
+using linalg::ConstMatrixView;
 using linalg::Matrixd;
+using linalg::MatrixView;
 using linalg::Vector;
 
-namespace {
-/// FNV-1a over the raw bytes of a double sequence.
-std::uint64_t hash_doubles(std::uint64_t h, const Vector& v) {
-  for (double x : v) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &x, sizeof(bits));
-    for (int i = 0; i < 8; ++i) {
-      h ^= (bits >> (8 * i)) & 0xFF;
-      h *= 0x100000001B3ull;
-    }
-  }
-  return h;
-}
+Evaluator::Evaluator(YieldProblem& problem) : Evaluator(problem, CacheOptions{}) {}
 
-std::vector<double> concat_key(const Vector& a, const Vector& b, const Vector& c) {
-  std::vector<double> key;
-  key.reserve(a.size() + b.size() + c.size());
-  key.insert(key.end(), a.begin(), a.end());
-  key.insert(key.end(), b.begin(), b.end());
-  key.insert(key.end(), c.begin(), c.end());
-  return key;
-}
-}  // namespace
-
-Evaluator::Evaluator(YieldProblem& problem) : problem_(problem) {
+Evaluator::Evaluator(YieldProblem& problem, const CacheOptions& cache)
+    : problem_(problem),
+      cache_(cache.capacity, cache.hash),
+      constraint_cache_(0, cache.hash) {
   problem.validate();
 }
 
@@ -43,25 +28,28 @@ void Evaluator::clear_cache() {
   constraint_cache_.clear();
 }
 
-Vector Evaluator::evaluate_physical(const Vector& d, const Vector& s_hat,
-                                    const Vector& theta, Budget budget) {
+void Evaluator::validate_point(const Vector& d, const Vector& theta,
+                               std::size_t s_hat_size) const {
   if (d.size() != num_design())
     throw std::invalid_argument("Evaluator: design vector size mismatch");
-  if (s_hat.size() != num_statistical())
+  if (s_hat_size != num_statistical())
     throw std::invalid_argument("Evaluator: statistical vector size mismatch");
   if (theta.size() != num_operating())
     throw std::invalid_argument("Evaluator: operating vector size mismatch");
+}
 
-  std::vector<double> key = concat_key(d, s_hat, theta);
-  const std::uint64_t h =
-      hash_doubles(hash_doubles(hash_doubles(0xcbf29ce484222325ull, d), s_hat),
-                   theta);
-  auto& bucket = cache_[h];
-  for (const auto& [stored_key, value] : bucket)
-    if (stored_key == key) {
-      ++counts_.cache_hits;
-      return value;
-    }
+Vector Evaluator::evaluate_physical(const Vector& d, const Vector& s_hat,
+                                    const Vector& theta, Budget budget) {
+  validate_point(d, theta, s_hat.size());
+
+  scalar_key_.clear();
+  ProbeCache::append_bits(scalar_key_, d);
+  ProbeCache::append_bits(scalar_key_, s_hat);
+  ProbeCache::append_bits(scalar_key_, theta);
+  if (const Vector* hit = cache_.find(scalar_key_)) {
+    ++counts_.cache_hits;
+    return *hit;
+  }
 
   // Variable-covariance transform: s = G(d) s_hat + s0 (eq. 11).
   const Vector s = problem_.statistical.to_physical(s_hat, d);
@@ -76,13 +64,120 @@ Vector Evaluator::evaluate_physical(const Vector& d, const Vector& s_hat,
     ++counts_.optimization;
   else
     ++counts_.verification;
-  bucket.emplace_back(std::move(key), values);
+  cache_.insert(scalar_key_, values);
   return values;
 }
 
 Vector Evaluator::performances(const Vector& d, const Vector& s_hat,
                                const Vector& theta, Budget budget) {
   return evaluate_physical(d, s_hat, theta, budget);
+}
+
+void Evaluator::performances_batch(const Vector& d,
+                                   ConstMatrixView s_hat_block,
+                                   const Vector& theta, MatrixView out,
+                                   EvalWorkspace& ws, Budget budget) {
+  validate_point(d, theta, s_hat_block.cols());
+  if (out.rows() != s_hat_block.rows() || out.cols() != num_specs())
+    throw std::invalid_argument(
+        "Evaluator::performances_batch: out shape mismatch");
+
+  const std::size_t block = s_hat_block.rows();
+  const std::size_t n_s = num_statistical();
+  const std::size_t n_f = num_specs();
+
+  // Pass 1: probe every row against the cache.  A row equal to an earlier
+  // unresolved row in the same block is a duplicate: the scalar loop would
+  // have inserted the first occurrence before probing the second, so it
+  // counts as a cache hit and shares the single simulation.
+  ws.miss_keys.clear();
+  ws.miss_rows.clear();
+  ws.row_source.assign(block, -1);
+  for (std::size_t j = 0; j < block; ++j) {
+    ws.key.clear();
+    ProbeCache::append_bits(ws.key, d);
+    ProbeCache::append_bits(ws.key, s_hat_block.row(j), n_s);
+    ProbeCache::append_bits(ws.key, theta);
+    if (const Vector* hit = cache_.find(ws.key)) {
+      ++counts_.cache_hits;
+      double* out_row = out.row(j);
+      for (std::size_t i = 0; i < n_f; ++i) out_row[i] = (*hit)[i];
+      continue;
+    }
+    bool duplicate = false;
+    for (std::size_t m = 0; m < ws.miss_keys.size(); ++m) {
+      if (ws.miss_keys[m] == ws.key) {
+        ++counts_.cache_hits;
+        ws.row_source[j] = static_cast<std::ptrdiff_t>(m);
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    ws.row_source[j] = static_cast<std::ptrdiff_t>(ws.miss_keys.size());
+    ws.miss_keys.push_back(ws.key);
+    ws.miss_rows.push_back(j);
+  }
+
+  const std::size_t misses = ws.miss_keys.size();
+  if (misses > 0) {
+    // Grow-only workspace buffers (no allocation once warm).
+    if (ws.s_hat_miss.rows() < misses || ws.s_hat_miss.cols() != n_s)
+      ws.s_hat_miss = Matrixd(std::max(misses, ws.s_hat_miss.rows()), n_s);
+    if (ws.physical.rows() < misses || ws.physical.cols() != n_s)
+      ws.physical = Matrixd(std::max(misses, ws.physical.rows()), n_s);
+    if (ws.values.rows() < misses || ws.values.cols() != n_f)
+      ws.values = Matrixd(std::max(misses, ws.values.rows()), n_f);
+
+    for (std::size_t m = 0; m < misses; ++m) {
+      const double* src = s_hat_block.row(ws.miss_rows[m]);
+      double* dst = ws.s_hat_miss.row(m);
+      for (std::size_t i = 0; i < n_s; ++i) dst[i] = src[i];
+    }
+    const ConstMatrixView s_hat_view =
+        ConstMatrixView(ws.s_hat_miss).middle_rows(0, misses);
+    const MatrixView physical_view =
+        MatrixView(ws.physical).middle_rows(0, misses);
+    const MatrixView values_view = MatrixView(ws.values).middle_rows(0, misses);
+
+    // s = G(d) s_hat + s0, sigmas hoisted once per block (eq. 11).
+    problem_.statistical.to_physical_block(s_hat_view, d, physical_view,
+                                           ws.sigma);
+    problem_.model->evaluate_batch(d, physical_view, theta, values_view);
+
+    for (std::size_t m = 0; m < misses; ++m) {
+      const double* row = ws.values.row(m);
+      MAYO_CHECK_FINITE((std::span<const double>(row, n_f)),
+                        "Evaluator: model performance values");
+      if (budget == Budget::kOptimization)
+        ++counts_.optimization;
+      else
+        ++counts_.verification;
+      Vector stored(n_f);  // hot-ok: ownership moves into the cache
+      for (std::size_t i = 0; i < n_f; ++i) stored[i] = row[i];
+      cache_.insert(std::move(ws.miss_keys[m]), std::move(stored));
+    }
+  }
+
+  // Pass 2: fill the rows that were not served directly from the cache.
+  for (std::size_t j = 0; j < block; ++j) {
+    if (ws.row_source[j] < 0) continue;
+    const double* src =
+        ws.values.row(static_cast<std::size_t>(ws.row_source[j]));
+    double* dst = out.row(j);
+    for (std::size_t i = 0; i < n_f; ++i) dst[i] = src[i];
+  }
+}
+
+void Evaluator::margins_batch(const Vector& d, ConstMatrixView s_hat_block,
+                              const Vector& theta, MatrixView out,
+                              EvalWorkspace& ws, Budget budget) {
+  performances_batch(d, s_hat_block, theta, out, ws, budget);
+  for (std::size_t j = 0; j < out.rows(); ++j) {
+    double* row = out.row(j);
+    for (std::size_t i = 0; i < num_specs(); ++i)
+      row[i] = problem_.specs[i].margin(row[i]);
+  }
 }
 
 Vector Evaluator::margins(const Vector& d, const Vector& s_hat,
@@ -105,19 +200,17 @@ double Evaluator::margin(std::size_t spec, const Vector& d, const Vector& s_hat,
 Vector Evaluator::constraints(const Vector& d) {
   if (d.size() != num_design())
     throw std::invalid_argument("Evaluator::constraints: size mismatch");
-  std::vector<double> key(d.begin(), d.end());
-  const std::uint64_t h = hash_doubles(0xcbf29ce484222325ull, d);
-  auto& bucket = constraint_cache_[h];
-  for (const auto& [stored_key, value] : bucket)
-    if (stored_key == key) {
-      ++counts_.cache_hits;
-      return value;
-    }
+  scalar_key_.clear();
+  ProbeCache::append_bits(scalar_key_, d);
+  if (const Vector* hit = constraint_cache_.find(scalar_key_)) {
+    ++counts_.cache_hits;
+    return *hit;
+  }
   Vector c = problem_.model->constraints(d);
   if (c.size() != problem_.model->num_constraints())
     throw std::runtime_error("Evaluator: model returned wrong constraint count");
   ++counts_.constraint;
-  bucket.emplace_back(std::move(key), c);
+  constraint_cache_.insert(scalar_key_, c);
   return c;
 }
 
@@ -137,14 +230,26 @@ Vector Evaluator::margin_gradient_s(std::size_t spec, const Vector& d,
 
 Matrixd Evaluator::margin_gradients_s(const Vector& d, const Vector& s_hat,
                                       const Vector& theta, double step) {
-  const Vector base = margins(d, s_hat, theta);
-  Matrixd grads(num_specs(), num_statistical());
-  Vector probe = s_hat;
-  for (std::size_t i = 0; i < num_statistical(); ++i) {
-    probe[i] = s_hat[i] + step;
-    const Vector shifted = margins(d, probe, theta);
-    probe[i] = s_hat[i];
-    for (std::size_t k = 0; k < num_specs(); ++k)
+  validate_point(d, theta, s_hat.size());
+  const std::size_t n_s = num_statistical();
+  const std::size_t n_f = num_specs();
+  // One block of n_s + 1 points: the base point plus the forward probes.
+  // The batch path shares per-(d, theta) model setup across all of them.
+  if (grad_points_.rows() != n_s + 1 || grad_points_.cols() != n_s)
+    grad_points_ = Matrixd(n_s + 1, n_s);
+  if (grad_margins_.rows() != n_s + 1 || grad_margins_.cols() != n_f)
+    grad_margins_ = Matrixd(n_s + 1, n_f);
+  for (std::size_t r = 0; r < n_s + 1; ++r) {
+    double* row = grad_points_.row(r);
+    for (std::size_t i = 0; i < n_s; ++i) row[i] = s_hat[i];
+    if (r > 0) row[r - 1] = s_hat[r - 1] + step;
+  }
+  margins_batch(d, grad_points_, theta, grad_margins_, grad_ws_);
+  Matrixd grads(n_f, n_s);
+  const double* base = grad_margins_.row(0);
+  for (std::size_t i = 0; i < n_s; ++i) {
+    const double* shifted = grad_margins_.row(i + 1);
+    for (std::size_t k = 0; k < n_f; ++k)
       grads(k, i) = (shifted[k] - base[k]) / step;
   }
   return grads;
@@ -179,7 +284,7 @@ Matrixd Evaluator::constraint_jacobian(const Vector& d, double step_fraction) {
     double h = step_fraction * (range > 0.0 ? range : std::abs(d[i]) + 1.0);
     if (d[i] + h > space.upper[i]) h = -h;
     probe[i] = d[i] + h;
-    const Vector shifted = constraints(probe);
+    const Vector shifted = constraints(probe);  // hot-ok: cold FD path
     probe[i] = d[i];
     for (std::size_t k = 0; k < base.size(); ++k)
       jac(k, i) = (shifted[k] - base[k]) / h;

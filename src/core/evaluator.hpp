@@ -12,14 +12,23 @@
 //     mismatch analysis reusing worst-case points -- cost nothing, and
 //   * counts true model evaluations, split into optimization and
 //     verification budgets (paper Table 7).
+//
+// Batch path: performances_batch / margins_batch evaluate a whole block of
+// s_hat rows through one PerformanceModel::evaluate_batch call, applying
+// the covariance transform block-wise and reusing caller-owned workspace so
+// the hot path performs no per-sample heap allocation.  Cache and counter
+// semantics are identical to the scalar loop: every row is probed against
+// the cache, duplicate rows within a block count as cache hits and are
+// simulated once, and every distinct miss is charged to the given budget.
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/probe_cache.hpp"
 #include "core/problem.hpp"
+#include "linalg/block.hpp"
+#include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::core {
@@ -36,10 +45,36 @@ struct EvaluationCounts {
 /// Budget a model evaluation is charged to.
 enum class Budget { kOptimization, kVerification };
 
+/// Cache tuning knobs (defaults reproduce the historical behaviour:
+/// unbounded memoization with FNV-1a hashing).  `hash` is injectable for
+/// collision regression tests; `capacity` bounds the evaluation cache with
+/// deterministic FIFO eviction (0 = unlimited).
+struct CacheOptions {
+  std::size_t capacity = 0;
+  ProbeCache::HashFn hash = nullptr;
+};
+
+/// Caller-owned scratch for the batch evaluation path.  Buffers grow on
+/// first use and are reused across blocks; after warm-up a batch call
+/// performs no heap allocation.  A workspace is not thread-safe: use one
+/// per worker (alongside its Evaluator).
+struct EvalWorkspace {
+  linalg::Matrixd s_hat_miss;  ///< distinct cache-miss rows, s_hat space
+  linalg::Matrixd physical;    ///< the same rows after s = G(d) s_hat + s0
+  linalg::Matrixd values;      ///< model performances for the miss rows
+  linalg::Vector sigma;        ///< sigma(d) scratch for to_physical_block
+  ProbeCache::Key key;         ///< reusable key-building buffer
+  std::vector<ProbeCache::Key> miss_keys;   ///< keys of distinct misses
+  std::vector<std::size_t> miss_rows;       ///< block row of each miss
+  std::vector<std::ptrdiff_t> row_source;   ///< per block row: -1 = served
+                                            ///< from cache, else miss index
+};
+
 class Evaluator {
  public:
   /// The problem must outlive the evaluator.  Throws via validate().
   explicit Evaluator(YieldProblem& problem);
+  Evaluator(YieldProblem& problem, const CacheOptions& cache);
 
   const YieldProblem& problem() const { return problem_; }
   std::size_t num_specs() const { return problem_.specs.size(); }
@@ -63,6 +98,24 @@ class Evaluator {
                 const linalg::Vector& s_hat, const linalg::Vector& theta,
                 Budget budget = Budget::kOptimization);
 
+  /// Batch form of performances(): row j of `out` receives
+  /// f_hat(d, s_hat_block.row(j), theta).  `out` must be
+  /// s_hat_block.rows() x num_specs().  Results, cache contents and
+  /// counters end up exactly as if the rows had been evaluated one by one
+  /// through performances() in ascending row order.
+  void performances_batch(const linalg::Vector& d,
+                          linalg::ConstMatrixView s_hat_block,
+                          const linalg::Vector& theta, linalg::MatrixView out,
+                          EvalWorkspace& ws,
+                          Budget budget = Budget::kOptimization);
+
+  /// Batch form of margins(): performances_batch followed by the in-place
+  /// per-spec margin transform of every row.
+  void margins_batch(const linalg::Vector& d,
+                     linalg::ConstMatrixView s_hat_block,
+                     const linalg::Vector& theta, linalg::MatrixView out,
+                     EvalWorkspace& ws, Budget budget = Budget::kOptimization);
+
   /// Functional constraint values c(d) (cached like performances).
   linalg::Vector constraints(const linalg::Vector& d);
 
@@ -74,7 +127,8 @@ class Evaluator {
                                    double step = 5e-2);
 
   /// Gradients of ALL specs' margins w.r.t. s_hat in one pass (shares the
-  /// finite-difference evaluations across specs).  Row i = spec i.
+  /// finite-difference evaluations across specs; the base point and the
+  /// n_s forward probes run as one batch).  Row i = spec i.
   linalg::Matrixd margin_gradients_s(const linalg::Vector& d,
                                      const linalg::Vector& s_hat,
                                      const linalg::Vector& theta,
@@ -107,6 +161,8 @@ class Evaluator {
   void charge_verification(std::size_t evaluations) {
     counts_.verification += evaluations;
   }
+  /// Number of memoized evaluation results currently held.
+  std::size_t cache_size() const { return cache_.size(); }
   /// Drops all memoized results (use between experiments).
   void clear_cache();
 
@@ -114,13 +170,19 @@ class Evaluator {
   linalg::Vector evaluate_physical(const linalg::Vector& d,
                                    const linalg::Vector& s_hat,
                                    const linalg::Vector& theta, Budget budget);
+  void validate_point(const linalg::Vector& d, const linalg::Vector& theta,
+                      std::size_t s_hat_size) const;
 
   YieldProblem& problem_;
   EvaluationCounts counts_;
-  std::unordered_map<std::uint64_t, std::vector<std::pair<std::vector<double>, linalg::Vector>>>
-      cache_;
-  std::unordered_map<std::uint64_t, std::vector<std::pair<std::vector<double>, linalg::Vector>>>
-      constraint_cache_;
+  ProbeCache cache_;
+  ProbeCache constraint_cache_;  ///< keyed by d alone; always unbounded
+  ProbeCache::Key scalar_key_;   ///< scratch for the scalar probe path
+  // Workspace for the shared finite-difference block in
+  // margin_gradients_s (base row + n_s probe rows).
+  EvalWorkspace grad_ws_;
+  linalg::Matrixd grad_points_;
+  linalg::Matrixd grad_margins_;
 };
 
 }  // namespace mayo::core

@@ -1,5 +1,7 @@
 #include "core/linearization.hpp"
 
+#include "core/verification.hpp"
+
 namespace mayo::core {
 
 using linalg::Vector;
@@ -15,6 +17,22 @@ LinearizedModels build_linearizations(Evaluator& evaluator, const Vector& d_f,
   out.operating = find_worst_case_operating(evaluator, d_f, options.operating);
 
   const std::size_t num_specs = evaluator.num_specs();
+
+  // Ablation mode shares the finite-difference block across specs: one
+  // margin_gradients_s batch per distinct operating corner instead of a
+  // per-spec gradient loop (probes the identical point set, so budget
+  // charges are unchanged; each row is bitwise the scalar gradient).
+  CornerGrouping grouping;
+  std::vector<linalg::Matrixd> nominal_grads;
+  if (options.linearize_at_nominal) {
+    grouping = group_corners(out.operating.theta_wc);
+    nominal_grads.reserve(grouping.distinct.size());
+    const Vector s_nominal = evaluator.nominal_s_hat();
+    for (const Vector& theta : grouping.distinct)
+      nominal_grads.push_back(evaluator.margin_gradients_s(
+          d_f, s_nominal, theta, options.wc.gradient_step));
+  }
+
   for (std::size_t i = 0; i < num_specs; ++i) {
     const Vector& theta_wc = out.operating.theta_wc[i];
 
@@ -25,8 +43,10 @@ LinearizedModels build_linearizations(Evaluator& evaluator, const Vector& d_f,
       wc.s_wc = evaluator.nominal_s_hat();
       wc.margin_nominal = evaluator.margin(i, d_f, wc.s_wc, theta_wc);
       wc.margin_at_wc = wc.margin_nominal;
-      wc.gradient = evaluator.margin_gradient_s(i, d_f, wc.s_wc, theta_wc,
-                                                options.wc.gradient_step);
+      const linalg::Matrixd& grads = nominal_grads[grouping.group_of_spec[i]];
+      wc.gradient = Vector(evaluator.num_statistical());
+      for (std::size_t k = 0; k < wc.gradient.size(); ++k)
+        wc.gradient[k] = grads(i, k);
       wc.beta = 0.0;
       wc.converged = true;
     } else {

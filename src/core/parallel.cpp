@@ -5,7 +5,6 @@
 #include <thread>
 #include <vector>
 
-#include "core/check.hpp"
 #include "stats/sampler.hpp"
 #include "stats/summary.hpp"
 
@@ -49,8 +48,10 @@ VerificationResult parallel_monte_carlo_verify(
   const stats::SampleSet samples(options.verification.num_samples,
                                  problem.statistical.dimension(),
                                  options.verification.seed);
+  const std::size_t block_size =
+      std::max<std::size_t>(options.verification.block_size, 1);
 
-  // Per-sample decisions: workers own disjoint strided indices, so writing
+  // Per-sample decisions: workers own disjoint strided blocks, so writing
   // directly into the shared vector is race-free (distinct memory
   // locations; verified under TSan by test_core_parallel_determinism).
   std::vector<std::uint8_t> sample_pass;
@@ -72,32 +73,26 @@ VerificationResult parallel_monte_carlo_verify(
         YieldProblem local = problem;
         local.model = std::shared_ptr<PerformanceModel>(problem.model->clone());
         Evaluator local_evaluator(local);
+        detail::BlockVerifier verifier(local_evaluator, grouping, block_size);
+
+        // Workers pull whole sample blocks (strided round-robin): each
+        // block goes through the same batch path as the serial verifier,
+        // so per-sample decisions are identical by construction.
+        for (std::size_t b = t; b * block_size < samples.count();
+             b += threads) {
+          const std::size_t first = b * block_size;
+          const std::size_t count =
+              std::min(block_size, samples.count() - first);
+          verifier.run_block(d, samples, first, count,
+                             options.verification.record_decisions
+                                 ? &sample_pass
+                                 : nullptr);
+        }
 
         WorkerResult& out = worker_results[t];
-        out.fails_per_spec.assign(num_specs, 0);
-        out.perf_stats.resize(num_specs);
-
-        for (std::size_t j = t; j < samples.count(); j += threads) {
-          const Vector s_hat = samples.sample_vector(j);
-          std::vector<Vector> values(grouping.distinct.size());
-          for (std::size_t g = 0; g < grouping.distinct.size(); ++g)
-            values[g] = local_evaluator.performances(
-                d, s_hat, grouping.distinct[g], Budget::kVerification);
-          bool pass = true;
-          for (std::size_t i = 0; i < num_specs; ++i) {
-            const double value = values[grouping.group_of_spec[i]][i];
-            MAYO_CHECK_FINITE(
-                value, "parallel_monte_carlo_verify: performance sample");
-            out.perf_stats[i].add(value);
-            if (local.specs[i].margin(value) < 0.0) {
-              ++out.fails_per_spec[i];
-              pass = false;
-            }
-          }
-          out.passing += pass ? 1 : 0;
-          if (options.verification.record_decisions)
-            sample_pass[j] = pass ? 1 : 0;
-        }
+        out.passing = verifier.passing();
+        out.fails_per_spec = verifier.fails_per_spec();
+        out.perf_stats = verifier.perf_stats();
         out.evaluations = local_evaluator.counts().verification;
       } catch (...) {
         worker_errors[t] = std::current_exception();

@@ -7,10 +7,14 @@
 // models are stateful: netlists, Newton warm starts) and its own
 // evaluator.
 //
+// Workers pull whole sample blocks (round-robin by block index) and run
+// them through the same detail::BlockVerifier batch engine as the serial
+// verifier.
+//
 // Determinism: the sample set, the per-sample pass/fail decisions and the
 // pass count are identical to the serial monte_carlo_verify (same seed,
-// same per-sample work); only floating-point accumulation order of the
-// reported moments differs.
+// same per-sample work, any block size); only floating-point accumulation
+// order of the reported moments differs.
 #pragma once
 
 #include "core/verification.hpp"

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/block.hpp"
 #include "linalg/vector.hpp"
 #include "stats/covariance.hpp"
 
@@ -95,6 +96,21 @@ class PerformanceModel {
   virtual linalg::Vector evaluate(const linalg::Vector& d,
                                   const linalg::Vector& s,
                                   const linalg::Vector& theta) = 0;
+
+  /// Batched evaluation: row j of `s_block` is a physical statistical
+  /// vector; performance row j is written into `out` (s_block.rows() x
+  /// num_performances()).  One row is counted as one "simulation", exactly
+  /// like one evaluate() call.
+  ///
+  /// Contract: row j of the result is bitwise-identical to
+  /// evaluate(d, s_block.row(j), theta) -- batching is a throughput
+  /// optimization (hoisting d/theta-dependent setup out of the per-sample
+  /// loop), never a semantic change.  The default implementation is the
+  /// scalar loop, so existing models keep working unmodified.
+  virtual void evaluate_batch(const linalg::Vector& d,
+                              linalg::ConstMatrixView s_block,
+                              const linalg::Vector& theta,
+                              linalg::MatrixView out);
 
   /// Evaluates the functional constraints c(d) >= 0 at nominal statistics
   /// and nominal operating conditions (technology sizing rules, Sec. 5.1).

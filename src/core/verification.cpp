@@ -1,5 +1,6 @@
 #include "core/verification.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/check.hpp"
@@ -7,7 +8,61 @@
 
 namespace mayo::core {
 
+using linalg::Matrixd;
+using linalg::MatrixView;
 using linalg::Vector;
+
+namespace detail {
+
+BlockVerifier::BlockVerifier(Evaluator& evaluator,
+                             const CornerGrouping& grouping,
+                             std::size_t block_size)
+    : evaluator_(evaluator), grouping_(grouping) {
+  const std::size_t num_specs = evaluator.num_specs();
+  corner_values_.reserve(grouping.distinct.size());
+  for (std::size_t g = 0; g < grouping.distinct.size(); ++g)
+    corner_values_.emplace_back(std::max<std::size_t>(block_size, 1),
+                                num_specs);
+  fails_per_spec_.assign(num_specs, 0);
+  perf_stats_.resize(num_specs);
+}
+
+void BlockVerifier::run_block(const Vector& d, const stats::SampleSet& samples,
+                              std::size_t first, std::size_t count,
+                              std::vector<std::uint8_t>* sample_pass) {
+  if (count == 0) return;
+  const std::size_t num_specs = evaluator_.num_specs();
+  const linalg::ConstMatrixView block = samples.block(first, count);
+  // Corner-major evaluation: one batch call per distinct operating corner
+  // (eq. 6-7; evaluations shared between specs of a corner group).
+  for (std::size_t g = 0; g < grouping_.distinct.size(); ++g) {
+    Matrixd& values = corner_values_[g];
+    if (values.rows() < count)
+      values = Matrixd(count, num_specs);  // hot-ok: grow-only, reused
+    evaluator_.performances_batch(d, block, grouping_.distinct[g],
+                                  MatrixView(values).middle_rows(0, count),
+                                  ws_, Budget::kVerification);
+  }
+  // Accumulation stays sample-major in ascending order so the running
+  // statistics fold values in exactly the scalar loop's sequence.
+  const auto& specs = evaluator_.problem().specs;
+  for (std::size_t r = 0; r < count; ++r) {
+    bool pass = true;
+    for (std::size_t i = 0; i < num_specs; ++i) {
+      const double value = corner_values_[grouping_.group_of_spec[i]](r, i);
+      MAYO_CHECK_FINITE(value, "monte_carlo_verify: performance sample");
+      perf_stats_[i].add(value);
+      if (specs[i].margin(value) < 0.0) {
+        ++fails_per_spec_[i];
+        pass = false;
+      }
+    }
+    passing_ += pass ? 1 : 0;
+    if (sample_pass != nullptr) (*sample_pass)[first + r] = pass ? 1 : 0;
+  }
+}
+
+}  // namespace detail
 
 CornerGrouping group_corners(const std::vector<Vector>& theta_wc) {
   CornerGrouping grouping;
@@ -37,47 +92,32 @@ VerificationResult monte_carlo_verify(Evaluator& evaluator, const Vector& d,
     throw std::invalid_argument("monte_carlo_verify: theta_wc size mismatch");
 
   const CornerGrouping grouping = group_corners(theta_wc);
-  const std::vector<Vector>& distinct_theta = grouping.distinct;
-  const std::vector<std::size_t>& group_of_spec = grouping.group_of_spec;
 
   const stats::SampleSet samples(options.num_samples,
                                  evaluator.num_statistical(), options.seed);
 
   VerificationResult result;
-  result.fails_per_spec.assign(num_specs, 0);
   if (options.record_decisions) result.sample_pass.assign(samples.count(), 0);
-  std::vector<stats::RunningStats> perf_stats(num_specs);
   const std::size_t evals_before = evaluator.counts().verification;
 
-  std::size_t passing = 0;
-  for (std::size_t j = 0; j < samples.count(); ++j) {
-    const Vector s_hat = samples.sample_vector(j);
-    // One evaluation per distinct operating corner (eq. 6-7).
-    std::vector<Vector> values(distinct_theta.size());
-    for (std::size_t g = 0; g < distinct_theta.size(); ++g)
-      values[g] = evaluator.performances(d, s_hat, distinct_theta[g],
-                                         Budget::kVerification);
-    bool pass = true;
-    for (std::size_t i = 0; i < num_specs; ++i) {
-      const double value = values[group_of_spec[i]][i];
-      MAYO_CHECK_FINITE(value, "monte_carlo_verify: performance sample");
-      perf_stats[i].add(value);
-      if (evaluator.problem().specs[i].margin(value) < 0.0) {
-        ++result.fails_per_spec[i];
-        pass = false;
-      }
-    }
-    passing += pass ? 1 : 0;
-    if (options.record_decisions) result.sample_pass[j] = pass ? 1 : 0;
+  const std::size_t block_size = std::max<std::size_t>(options.block_size, 1);
+  detail::BlockVerifier verifier(evaluator, grouping, block_size);
+  for (std::size_t first = 0; first < samples.count(); first += block_size) {
+    const std::size_t count = std::min(block_size, samples.count() - first);
+    verifier.run_block(d, samples, first, count,
+                       options.record_decisions ? &result.sample_pass
+                                                : nullptr);
   }
 
+  result.fails_per_spec = verifier.fails_per_spec();
+  const std::size_t passing = verifier.passing();
   result.yield = static_cast<double>(passing) / samples.count();
   result.confidence = stats::yield_confidence(passing, samples.count());
   result.performance_mean.resize(num_specs);
   result.performance_stddev.resize(num_specs);
   for (std::size_t i = 0; i < num_specs; ++i) {
-    result.performance_mean[i] = perf_stats[i].mean();
-    result.performance_stddev[i] = perf_stats[i].stddev();
+    result.performance_mean[i] = verifier.perf_stats()[i].mean();
+    result.performance_stddev[i] = verifier.perf_stats()[i].stddev();
   }
   result.evaluations = evaluator.counts().verification - evals_before;
   return result;

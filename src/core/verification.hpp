@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "stats/sampler.hpp"
 #include "stats/summary.hpp"
 
 namespace mayo::core {
@@ -23,6 +24,11 @@ struct VerificationOptions {
   /// VerificationResult::sample_pass (index = sample).  Off by default:
   /// only aggregate counts are kept.
   bool record_decisions = false;
+  /// Samples per batch evaluation.  Purely a throughput knob: results are
+  /// bitwise-identical for every block size (the batch path evaluates each
+  /// row exactly like a scalar probe, and per-sample statistics are always
+  /// accumulated in ascending sample order).
+  std::size_t block_size = 32;
 };
 
 struct VerificationResult {
@@ -53,5 +59,50 @@ VerificationResult monte_carlo_verify(
     Evaluator& evaluator, const linalg::Vector& d,
     const std::vector<linalg::Vector>& theta_wc,
     const VerificationOptions& options = {});
+
+namespace detail {
+
+/// Block-evaluation engine shared by the serial and parallel verifiers:
+/// evaluates sample blocks corner-major through the Evaluator batch path
+/// and folds per-sample pass/fail decisions and performance statistics
+/// into its accumulators in ascending sample order.  Because both
+/// verifiers run the exact same code per sample, their decisions are
+/// identical by construction.  Not thread-safe; parallel workers own one
+/// verifier (plus one Evaluator) each.
+class BlockVerifier {
+ public:
+  /// `evaluator` and `grouping` must outlive the verifier.  `block_size`
+  /// pre-sizes the per-corner value buffers.
+  BlockVerifier(Evaluator& evaluator, const CornerGrouping& grouping,
+                std::size_t block_size);
+
+  /// Evaluates samples [first, first + count) against every distinct
+  /// corner and accumulates them in ascending sample order.  When
+  /// `sample_pass` is non-null, per-sample decisions are written at their
+  /// absolute sample indices.
+  void run_block(const linalg::Vector& d, const stats::SampleSet& samples,
+                 std::size_t first, std::size_t count,
+                 std::vector<std::uint8_t>* sample_pass);
+
+  std::size_t passing() const { return passing_; }
+  const std::vector<std::size_t>& fails_per_spec() const {
+    return fails_per_spec_;
+  }
+  const std::vector<stats::RunningStats>& perf_stats() const {
+    return perf_stats_;
+  }
+
+ private:
+  Evaluator& evaluator_;
+  const CornerGrouping& grouping_;
+  EvalWorkspace ws_;
+  /// Per-corner performance values of the current block (row = sample).
+  std::vector<linalg::Matrixd> corner_values_;
+  std::size_t passing_ = 0;
+  std::vector<std::size_t> fails_per_spec_;
+  std::vector<stats::RunningStats> perf_stats_;
+};
+
+}  // namespace detail
 
 }  // namespace mayo::core

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/check.hpp"
+#include "linalg/kernels.hpp"
 
 namespace mayo::core {
 
@@ -32,12 +33,17 @@ LinearYieldModel::LinearYieldModel(std::vector<SpecLinearization> models,
     MAYO_CHECK_FINITE(model.grad_s, "LinearYieldModel: grad_s");
     MAYO_CHECK_FINITE(model.grad_d, "LinearYieldModel: grad_d");
   }
-  // base[l][j] = m_wc + grad_s^T (s_j - s_wc)
+  // base[l][j] = m_wc + grad_s^T (s_j - s_wc).  One gemv over the sample
+  // matrix per spec model instead of count() scalar dots; gemv_into
+  // accumulates in ascending column order, so each entry is bitwise what
+  // samples.dot(j, grad_s) produced.
+  linalg::MatrixView base_view(base_);
   for (std::size_t l = 0; l < models_.size(); ++l) {
     const auto& model = models_[l];
     const double shift = model.margin_wc - linalg::dot(model.grad_s, model.s_wc);
-    for (std::size_t j = 0; j < samples.count(); ++j)
-      base_(l, j) = shift + samples.dot(j, model.grad_s);
+    double* row = base_view.row(l);
+    linalg::gemv_into(samples.matrix(), model.grad_s.data(), row);
+    for (std::size_t j = 0; j < samples.count(); ++j) row[j] = shift + row[j];
   }
   set_design(models_.front().d_f);
 }

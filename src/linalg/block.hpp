@@ -1,0 +1,102 @@
+// mayo/linalg -- lightweight row-major matrix views for block evaluation.
+//
+// The batched evaluation spine passes sample blocks down the layers without
+// copying: a view is a (pointer, rows, cols, row stride) quadruple over
+// storage owned elsewhere (a Matrixd, a SampleSet, a workspace).  Views are
+// trivially copyable; the viewed storage must outlive them.  `row_stride`
+// permits views over a column subrange of a wider matrix, though the common
+// case is a contiguous row block (stride == cols of the parent).
+#pragma once
+
+#include <cstddef>
+
+#include "core/check.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mayo::linalg {
+
+/// Read-only view of a row-major double matrix.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols,
+                  std::size_t row_stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(row_stride) {
+    MAYO_ASSERT(row_stride >= cols, "ConstMatrixView: stride < cols");
+  }
+  /// Whole-matrix view (implicit: any Matrixd argument becomes a view).
+  ConstMatrixView(const Matrixd& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), stride_(m.cols()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t row_stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  const double* row(std::size_t r) const {
+    MAYO_ASSERT(r < rows_, "ConstMatrixView row index out of range");
+    return data_ + r * stride_;
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    MAYO_ASSERT(r < rows_ && c < cols_, "ConstMatrixView index out of range");
+    return data_[r * stride_ + c];
+  }
+
+  /// Sub-view of `count` consecutive rows starting at `first`.
+  ConstMatrixView middle_rows(std::size_t first, std::size_t count) const {
+    MAYO_ASSERT(first + count <= rows_,
+                "ConstMatrixView::middle_rows out of range");
+    return ConstMatrixView(data_ + first * stride_, count, cols_, stride_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Mutable view of a row-major double matrix.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, std::size_t rows, std::size_t cols,
+             std::size_t row_stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(row_stride) {
+    MAYO_ASSERT(row_stride >= cols, "MatrixView: stride < cols");
+  }
+  MatrixView(Matrixd& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()), stride_(m.cols()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t row_stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double* row(std::size_t r) const {
+    MAYO_ASSERT(r < rows_, "MatrixView row index out of range");
+    return data_ + r * stride_;
+  }
+  double& operator()(std::size_t r, std::size_t c) const {
+    MAYO_ASSERT(r < rows_ && c < cols_, "MatrixView index out of range");
+    return data_[r * stride_ + c];
+  }
+
+  MatrixView middle_rows(std::size_t first, std::size_t count) const {
+    MAYO_ASSERT(first + count <= rows_, "MatrixView::middle_rows out of range");
+    return MatrixView(data_ + first * stride_, count, cols_, stride_);
+  }
+
+  /// Every mutable view also reads.
+  operator ConstMatrixView() const {  // NOLINT(google-explicit-constructor)
+    return ConstMatrixView(data_, rows_, cols_, stride_);
+  }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace mayo::linalg

@@ -20,37 +20,53 @@ double phase_deg(std::complex<double> h) {
 GainBandwidth measure_gain_bandwidth(const Netlist& netlist,
                                      const Vector& operating_point,
                                      const Conditions& conditions, NodeId out,
-                                     double f_low, double f_high) {
+                                     double f_low, double f_high,
+                                     const FtBracket* bracket) {
   GainBandwidth result;
   const auto h_at = [&](double f) {
     return ac_node_voltage(netlist, operating_point, conditions, f, out);
   };
   result.a0_db = to_db(h_at(f_low));
 
-  // Bracket |H| = 1 on a log grid (8 points per decade is plenty for the
-  // -20 dB/dec slope of a compensated opamp).
-  const int per_decade = 8;
-  const double decades = std::log10(f_high / f_low);
-  const int total = static_cast<int>(std::ceil(decades * per_decade)) + 1;
-  double f_prev = f_low;
-  double mag_prev = std::abs(h_at(f_low));
-  if (mag_prev <= 1.0) {
+  const double mag_low = std::abs(h_at(f_low));
+  if (mag_low <= 1.0) {
     // Already below unity at f_low: no meaningful crossing.
     return result;
   }
   double f_lo_bracket = 0.0;
   double f_hi_bracket = 0.0;
-  for (int i = 1; i < total; ++i) {
-    const double f =
-        f_low * std::pow(10.0, decades * static_cast<double>(i) / (total - 1));
-    const double mag = std::abs(h_at(f));
-    if (mag <= 1.0) {
-      f_lo_bracket = f_prev;
-      f_hi_bracket = f;
-      break;
+
+  // Seeded path: verify the caller's bracket with two solves, then go
+  // straight to bisection.  A seed that no longer brackets (the crossing
+  // moved past it) silently falls back to the grid scan below.
+  if (bracket != nullptr && bracket->f_lo > 0.0 &&
+      bracket->f_hi > bracket->f_lo && bracket->f_lo >= f_low &&
+      bracket->f_hi <= f_high) {
+    if (std::abs(h_at(bracket->f_lo)) > 1.0 &&
+        std::abs(h_at(bracket->f_hi)) <= 1.0) {
+      f_lo_bracket = bracket->f_lo;
+      f_hi_bracket = bracket->f_hi;
     }
-    f_prev = f;
-    mag_prev = mag;
+  }
+
+  if (f_hi_bracket == 0.0) {
+    // Bracket |H| = 1 on a log grid (8 points per decade is plenty for the
+    // -20 dB/dec slope of a compensated opamp).
+    const int per_decade = 8;
+    const double decades = std::log10(f_high / f_low);
+    const int total = static_cast<int>(std::ceil(decades * per_decade)) + 1;
+    double f_prev = f_low;
+    for (int i = 1; i < total; ++i) {
+      const double f = f_low * std::pow(10.0, decades * static_cast<double>(i) /
+                                                  (total - 1));
+      const double mag = std::abs(h_at(f));
+      if (mag <= 1.0) {
+        f_lo_bracket = f_prev;
+        f_hi_bracket = f;
+        break;
+      }
+      f_prev = f;
+    }
   }
   if (f_hi_bracket == 0.0) return result;  // never dropped below unity
 

@@ -28,15 +28,29 @@ double to_db(std::complex<double> h);
 /// Phase in degrees in (-180, 180].
 double phase_deg(std::complex<double> h);
 
+/// Seed bracket for the unity-gain crossing.  When a caller already knows
+/// an interval containing |H| = 1 (e.g. from a nominal-design sweep while
+/// evaluating mismatch samples of the same design), passing it skips the
+/// log-grid scan: the bracket is verified with two AC solves and handed
+/// straight to the bisection.  An invalid or non-bracketing seed falls
+/// back to the full scan, so the measurement never fails because of a
+/// stale seed.
+struct FtBracket {
+  double f_lo = 0.0;  ///< |H(f_lo)| must be > 1
+  double f_hi = 0.0;  ///< |H(f_hi)| must be <= 1
+};
+
 /// Measures A0, ft and phase margin of the transfer function seen at
 /// `out` with the currently configured AC excitation.  The unity-gain
-/// crossing is bracketed on a log grid between f_low and f_high and
-/// refined by bisection to ~0.1% accuracy.
+/// crossing is bracketed on a log grid between f_low and f_high (or
+/// seeded from `bracket`, see FtBracket) and refined by bisection to
+/// ~0.1% accuracy.
 GainBandwidth measure_gain_bandwidth(const circuit::Netlist& netlist,
                                      const linalg::Vector& operating_point,
                                      const circuit::Conditions& conditions,
                                      circuit::NodeId out, double f_low = 1.0,
-                                     double f_high = 10e9);
+                                     double f_high = 10e9,
+                                     const FtBracket* bracket = nullptr);
 
 /// DC power drawn from a supply: |branch current| * |V|, summed over the
 /// given voltage sources.

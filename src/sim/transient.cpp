@@ -97,7 +97,17 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
     const bool use_bdf2 = options.method == TranMethod::kBdf2 &&
                           !x_prev2.empty() &&
                           std::abs(h - options.dt) < 1e-15;
-    Vector x = x_prev;
+    // Newton start: the matching point of the seed trajectory when one is
+    // provided (a nearby converged solution), otherwise the previous time
+    // point.  The seed never enters the integration formula itself.
+    const bool seeded = options.seed_trajectory != nullptr &&
+                        static_cast<std::size_t>(k) <
+                            options.seed_trajectory->size() &&
+                        (*options.seed_trajectory)[static_cast<std::size_t>(k)]
+                                .size() == netlist.system_size();
+    Vector x = seeded
+                   ? (*options.seed_trajectory)[static_cast<std::size_t>(k)]
+                   : x_prev;
     if (!newton_step(netlist, conditions, options.newton, x_prev, h, t, x,
                      result.newton_iterations,
                      use_bdf2 ? &x_prev2 : nullptr)) {

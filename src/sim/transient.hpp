@@ -28,6 +28,15 @@ struct TranOptions {
   double dt = 1e-9;        ///< fixed step size [s]
   TranMethod method = TranMethod::kBackwardEuler;
   DcOptions newton;        ///< per-step Newton controls
+  /// Optional Newton warm start: solutions of a previous run of the same
+  /// testbench on the same time grid (e.g. the nominal-design trajectory
+  /// while sweeping mismatch samples).  When entry k exists and matches
+  /// the system size, the step-k Newton iteration starts from it instead
+  /// of the previous time point; the integration history (x_prev, BDF2
+  /// points, half-step retries) is unaffected, so the seed only changes
+  /// the iteration count, not the method.  The pointee must outlive the
+  /// solve_transient call.
+  const std::vector<linalg::Vector>* seed_trajectory = nullptr;
 };
 
 /// Result of a transient run: the solution vector at every accepted time

@@ -1,6 +1,7 @@
 #include "stats/covariance.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "core/check.hpp"
@@ -119,6 +120,48 @@ Vector CovarianceModel::to_physical(const Vector& s_hat, const Vector& d) const 
     s[i] = params_[i].nominal + sig[i] * acc;
   }
   return s;
+}
+
+void CovarianceModel::to_physical_block(linalg::ConstMatrixView s_hat,
+                                        const Vector& d,
+                                        linalg::MatrixView s_out,
+                                        Vector& sigma_scratch) const {
+  const std::size_t n = dimension();
+  if (s_hat.cols() != n)
+    throw std::invalid_argument(
+        "CovarianceModel::to_physical_block: s_hat width mismatch");
+  if (s_out.rows() != s_hat.rows() || s_out.cols() != n)
+    throw std::invalid_argument(
+        "CovarianceModel::to_physical_block: s_out shape mismatch");
+  // Hoisted once per block: the design-dependent sigmas (and their
+  // positivity check, identical to sigmas(d))...
+  sigma_scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sigma_scratch[i] = params_[i].sigma(d);
+    if (!(sigma_scratch[i] > 0.0))
+      throw std::domain_error("CovarianceModel: non-positive sigma for '" +
+                              params_[i].name + "'");
+  }
+  const bool correlated = !correlations_.empty();
+  // ...and the correlation factor (cached across blocks anyway).
+  const linalg::Matrixd* lr =
+      correlated ? &correlation_factor().factor() : nullptr;
+  for (std::size_t r = 0; r < s_hat.rows(); ++r) {
+    const double* in = s_hat.row(r);
+    double* out = s_out.row(r);
+    MAYO_CHECK_FINITE((std::span<const double>(in, n)),
+                      "CovarianceModel::to_physical_block: s_hat");
+    if (!correlated) {
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = params_[i].nominal + sigma_scratch[i] * in[i];
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j <= i; ++j) acc += (*lr)(i, j) * in[j];
+      out[i] = params_[i].nominal + sigma_scratch[i] * acc;
+    }
+  }
 }
 
 Vector CovarianceModel::to_standard(const Vector& s, const Vector& d) const {

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/block.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
@@ -71,6 +72,16 @@ class CovarianceModel {
   /// s = G(d) * s_hat + s0 (paper eq. 11, forward direction).
   linalg::Vector to_physical(const linalg::Vector& s_hat,
                              const linalg::Vector& d) const;
+  /// Block form of to_physical: transforms every row of `s_hat` into the
+  /// corresponding row of `s_out`, hoisting the design-dependent sigmas
+  /// (Pelgrom, one std::function call chain per parameter) and the
+  /// correlation factor out of the per-sample loop.  `sigma_scratch` is
+  /// caller-owned storage (resized to dimension()); no other allocation.
+  /// Per-row arithmetic is identical to to_physical, so results are
+  /// bitwise-equal to the scalar transform.
+  void to_physical_block(linalg::ConstMatrixView s_hat,
+                         const linalg::Vector& d, linalg::MatrixView s_out,
+                         linalg::Vector& sigma_scratch) const;
   /// s_hat = G(d)^-1 (s - s0) (paper eq. 11, inverse direction).
   linalg::Vector to_standard(const linalg::Vector& s,
                              const linalg::Vector& d) const;

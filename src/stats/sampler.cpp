@@ -24,6 +24,13 @@ linalg::Vector SampleSet::sample_vector(std::size_t j) const {
   return v;
 }
 
+linalg::ConstMatrixView SampleSet::block(std::size_t first,
+                                         std::size_t count) const {
+  if (first + count > this->count())
+    throw std::out_of_range("SampleSet::block: range out of bounds");
+  return linalg::ConstMatrixView(samples_).middle_rows(first, count);
+}
+
 double SampleSet::dot(std::size_t j, const linalg::Vector& g) const {
   if (g.size() != dim()) throw std::invalid_argument("SampleSet::dot: size mismatch");
   const double* row = sample(j);

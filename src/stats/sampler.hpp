@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "linalg/block.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
@@ -32,6 +33,13 @@ class SampleSet {
 
   /// Inner product of sample j with `g` (g.size() == dim()).
   double dot(std::size_t j, const linalg::Vector& g) const;
+
+  /// The whole sample matrix (count x dim, row = sample).
+  const linalg::Matrixd& matrix() const { return samples_; }
+
+  /// Zero-copy view of `count` consecutive samples starting at `first`
+  /// (the block fill API of the batched evaluation spine).
+  linalg::ConstMatrixView block(std::size_t first, std::size_t count) const;
 
  private:
   linalg::Matrixd samples_;

@@ -19,22 +19,26 @@ namespace {
 
 using linalg::Vector;
 
-VerificationResult run_serial(std::size_t num_samples) {
+VerificationResult run_serial(std::size_t num_samples,
+                              std::size_t block_size = 32) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   VerificationOptions opts;
   opts.num_samples = num_samples;
   opts.record_decisions = true;
+  opts.block_size = block_size;
   return monte_carlo_verify(ev, problem.design.nominal,
                             {Vector{1.0}, Vector{0.0}}, opts);
 }
 
-VerificationResult run_parallel(std::size_t num_samples, unsigned threads) {
+VerificationResult run_parallel(std::size_t num_samples, unsigned threads,
+                                std::size_t block_size = 32) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   ParallelVerificationOptions opts;
   opts.verification.num_samples = num_samples;
   opts.verification.record_decisions = true;
+  opts.verification.block_size = block_size;
   opts.threads = threads;
   return parallel_monte_carlo_verify(ev, problem.design.nominal,
                                      {Vector{1.0}, Vector{0.0}}, opts);
@@ -53,6 +57,36 @@ TEST(ParallelDeterminism, ThreadCountSweep) {
   for (unsigned threads : {1u, 2u, 8u}) {
     SCOPED_TRACE(threads);
     expect_identical(serial, run_parallel(301, threads));
+  }
+}
+
+TEST(ParallelDeterminism, SerialBlockSizeInvariance) {
+  // Block size 1 is the scalar per-sample loop; every other block size
+  // must reproduce it bit for bit (301 is not divisible by 7 or 64, so
+  // the tail block is exercised too).  Moments are also identical in the
+  // serial case: accumulation order is always ascending sample order.
+  const VerificationResult scalar = run_serial(301, 1);
+  for (std::size_t block_size : {std::size_t{7}, std::size_t{32},
+                                 std::size_t{64}, std::size_t{400}}) {
+    SCOPED_TRACE(block_size);
+    const VerificationResult blocked = run_serial(301, block_size);
+    expect_identical(scalar, blocked);
+    EXPECT_EQ(blocked.performance_mean, scalar.performance_mean);
+    EXPECT_EQ(blocked.performance_stddev, scalar.performance_stddev);
+  }
+}
+
+TEST(ParallelDeterminism, ThreadAndBlockSizeGrid) {
+  // Serial scalar reference vs every (threads, block size) combination,
+  // including block sizes that do not divide the sample count.
+  const VerificationResult scalar = run_serial(301, 1);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    for (std::size_t block_size :
+         {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads << " block=" << block_size);
+      expect_identical(scalar, run_parallel(301, threads, block_size));
+    }
   }
 }
 

@@ -1,0 +1,115 @@
+// ProbeCache contract: keys are raw IEEE-754 bit patterns (so +0.0 and
+// -0.0 are distinct probes), hash collisions are resolved by exact key
+// comparison (regression-tested with a degenerate hash), and a bounded
+// cache evicts in deterministic FIFO order.
+#include "core/probe_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/vector.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::Vector;
+
+ProbeCache::Key key_of(const Vector& v) {
+  ProbeCache::Key key;
+  ProbeCache::append_bits(key, v);
+  return key;
+}
+
+std::uint64_t degenerate_hash(const std::uint64_t*, std::size_t) {
+  return 42;  // every key collides
+}
+
+TEST(ProbeCache, FindsExactKeyAndMissesOthers) {
+  ProbeCache cache;
+  cache.insert(key_of(Vector{1.0, 2.0}), Vector{10.0});
+  ASSERT_NE(cache.find(key_of(Vector{1.0, 2.0})), nullptr);
+  EXPECT_EQ((*cache.find(key_of(Vector{1.0, 2.0})))[0], 10.0);
+  EXPECT_EQ(cache.find(key_of(Vector{1.0, 2.5})), nullptr);
+  EXPECT_EQ(cache.find(key_of(Vector{1.0})), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProbeCache, SignedZerosAreDistinctKeys) {
+  // Raw bit-pattern keys: +0.0 == -0.0 numerically but not bitwise.
+  ProbeCache cache;
+  cache.insert(key_of(Vector{0.0}), Vector{1.0});
+  EXPECT_EQ(cache.find(key_of(Vector{-0.0})), nullptr);
+  cache.insert(key_of(Vector{-0.0}), Vector{2.0});
+  EXPECT_EQ((*cache.find(key_of(Vector{0.0})))[0], 1.0);
+  EXPECT_EQ((*cache.find(key_of(Vector{-0.0})))[0], 2.0);
+}
+
+TEST(ProbeCache, AppendBitsConcatenates) {
+  ProbeCache::Key key;
+  ProbeCache::append_bits(key, Vector{1.0});
+  const double tail[2] = {2.0, 3.0};
+  ProbeCache::append_bits(key, tail, 2);
+  EXPECT_EQ(key, key_of(Vector{1.0, 2.0, 3.0}));
+}
+
+TEST(ProbeCache, CollisionsResolvedByExactComparison) {
+  // With the degenerate hash every key lands in one bucket; lookups must
+  // still return exactly the matching key's value.
+  ProbeCache cache(0, &degenerate_hash);
+  for (double x : {1.0, 2.0, 3.0, 4.0})
+    cache.insert(key_of(Vector{x}), Vector{10.0 * x});
+  EXPECT_EQ(cache.size(), 4u);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    const Vector* hit = cache.find(key_of(Vector{x}));
+    ASSERT_NE(hit, nullptr) << x;
+    EXPECT_EQ((*hit)[0], 10.0 * x);
+  }
+  EXPECT_EQ(cache.find(key_of(Vector{5.0})), nullptr);
+}
+
+TEST(ProbeCache, FifoEvictionIsDeterministic) {
+  ProbeCache cache(3);
+  for (double x : {1.0, 2.0, 3.0})
+    cache.insert(key_of(Vector{x}), Vector{x});
+  EXPECT_EQ(cache.size(), 3u);
+  // Fourth insert evicts the oldest (1.0), regardless of hash layout.
+  cache.insert(key_of(Vector{4.0}), Vector{4.0});
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.find(key_of(Vector{1.0})), nullptr);
+  EXPECT_NE(cache.find(key_of(Vector{2.0})), nullptr);
+  EXPECT_NE(cache.find(key_of(Vector{3.0})), nullptr);
+  EXPECT_NE(cache.find(key_of(Vector{4.0})), nullptr);
+  // And the next one evicts 2.0.
+  cache.insert(key_of(Vector{5.0}), Vector{5.0});
+  EXPECT_EQ(cache.find(key_of(Vector{2.0})), nullptr);
+  EXPECT_NE(cache.find(key_of(Vector{3.0})), nullptr);
+}
+
+TEST(ProbeCache, FifoEvictionUnderFullCollision) {
+  // Eviction picks the oldest *entry*, even when every key shares one
+  // bucket (entries within a bucket are in insertion order).
+  ProbeCache cache(2, &degenerate_hash);
+  cache.insert(key_of(Vector{1.0}), Vector{1.0});
+  cache.insert(key_of(Vector{2.0}), Vector{2.0});
+  cache.insert(key_of(Vector{3.0}), Vector{3.0});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(key_of(Vector{1.0})), nullptr);
+  EXPECT_NE(cache.find(key_of(Vector{2.0})), nullptr);
+  EXPECT_NE(cache.find(key_of(Vector{3.0})), nullptr);
+}
+
+TEST(ProbeCache, ZeroCapacityIsUnlimited) {
+  ProbeCache cache;
+  EXPECT_EQ(cache.capacity(), 0u);
+  for (int i = 0; i < 100; ++i)
+    cache.insert(key_of(Vector{static_cast<double>(i)}), Vector{1.0});
+  EXPECT_EQ(cache.size(), 100u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(key_of(Vector{1.0})), nullptr);
+}
+
+}  // namespace
+}  // namespace mayo::core

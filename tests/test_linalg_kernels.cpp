@@ -1,0 +1,105 @@
+// In-place kernels of the batched hot path: each must be bitwise identical
+// to the scalar code it replaced (ascending-order accumulation for gemv,
+// the exact substitution sequence of Cholesky::solve), because the batch
+// evaluation spine promises bit-identical results at every block size.
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/sampler.hpp"
+
+namespace mayo::linalg {
+namespace {
+
+Matrixd make_matrix(std::size_t rows, std::size_t cols) {
+  Matrixd m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m(r, c) = 0.37 * static_cast<double>(r) -
+                1.21 * static_cast<double>(c) +
+                0.05 * static_cast<double>(r * c);
+  return m;
+}
+
+TEST(Kernels, GemvMatchesAscendingScalarLoop) {
+  const Matrixd m = make_matrix(5, 3);
+  Vector x{0.5, -1.25, 2.0};
+  Vector y(5);
+  gemv_into(ConstMatrixView(m), x, y);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double expect = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) expect += m(r, c) * x[c];
+    EXPECT_EQ(y[r], expect) << "row " << r;
+  }
+}
+
+TEST(Kernels, GemvBitwiseMatchesSampleSetDot) {
+  const stats::SampleSet samples(64, 4, 0xFEEDu);
+  Vector g{1.5, -0.25, 0.75, 2.0};
+  Vector y(samples.count());
+  gemv_into(ConstMatrixView(samples.matrix()), g, y);
+  for (std::size_t j = 0; j < samples.count(); ++j)
+    EXPECT_EQ(y[j], samples.dot(j, g)) << "sample " << j;
+}
+
+TEST(Kernels, GemvCheckedFormRejectsBadSizes) {
+  const Matrixd m = make_matrix(4, 3);
+  Vector x(3);
+  Vector y_short(2);
+  EXPECT_THROW(gemv_into(ConstMatrixView(m), x, y_short), std::exception);
+  Vector x_short(2);
+  Vector y(4);
+  EXPECT_THROW(gemv_into(ConstMatrixView(m), x_short, y), std::exception);
+}
+
+TEST(Kernels, GemvOnStridedSubview) {
+  // A middle_rows sub-view must produce the same rows as the full gemv.
+  const Matrixd m = make_matrix(6, 3);
+  Vector x{1.0, -2.0, 0.5};
+  Vector full(6);
+  gemv_into(ConstMatrixView(m), x, full);
+  Vector part(2);
+  gemv_into(ConstMatrixView(m).middle_rows(3, 2), x, part);
+  EXPECT_EQ(part[0], full[3]);
+  EXPECT_EQ(part[1], full[4]);
+}
+
+TEST(Kernels, AxpyMatchesElementwise) {
+  Vector y{1.0, 2.0, 3.0};
+  const Vector x{0.5, -0.5, 4.0};
+  Vector expect(3);
+  for (std::size_t i = 0; i < 3; ++i) expect[i] = y[i] + 2.5 * x[i];
+  axpy_into(y, 2.5, x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(y[i], expect[i]);
+}
+
+TEST(Kernels, CopyAxpyMatchesTwoStep) {
+  const Vector x{1.0, -2.0, 0.25};
+  const Vector z{3.0, 0.5, -1.5};
+  Vector fused(3);
+  copy_axpy_into(fused, x, -0.75, z);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(fused[i], x[i] + (-0.75) * z[i]);
+}
+
+TEST(Kernels, CholeskySolveBitwiseMatchesAllocatingSolve) {
+  Matrixd a(3, 3);
+  a(0, 0) = 4.0;  a(0, 1) = 1.0;  a(0, 2) = 0.5;
+  a(1, 0) = 1.0;  a(1, 1) = 3.0;  a(1, 2) = -0.25;
+  a(2, 0) = 0.5;  a(2, 1) = -0.25; a(2, 2) = 2.0;
+  const Cholesky chol(a);
+  const Vector b{1.0, -2.0, 0.5};
+  const Vector reference = chol.solve(b);
+  Vector out(3);
+  cholesky_solve_into(chol, b, out);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(out[i], reference[i]);
+}
+
+}  // namespace
+}  // namespace mayo::linalg

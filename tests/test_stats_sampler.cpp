@@ -64,5 +64,33 @@ TEST(SampleSet, InvalidShapeThrows) {
   EXPECT_THROW(SampleSet(3, 0, 1), std::invalid_argument);
 }
 
+TEST(SampleSet, MatrixViewSharesStorageWithSamples) {
+  SampleSet set(8, 3, 11);
+  const linalg::Matrixd& m = set.matrix();
+  EXPECT_EQ(m.rows(), set.count());
+  EXPECT_EQ(m.cols(), set.dim());
+  for (std::size_t j = 0; j < set.count(); ++j)
+    EXPECT_EQ(m.row(j), set.sample(j));  // same pointers, zero copy
+}
+
+TEST(SampleSet, BlockViewIsZeroCopyWindow) {
+  SampleSet set(10, 4, 21);
+  const linalg::ConstMatrixView block = set.block(3, 5);
+  EXPECT_EQ(block.rows(), 5u);
+  EXPECT_EQ(block.cols(), 4u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(block.row(r), set.sample(3 + r));  // row pointers alias
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_EQ(block(r, c), set.sample(3 + r)[c]);
+  }
+}
+
+TEST(SampleSet, BlockOutOfRangeThrows) {
+  SampleSet set(6, 2, 3);
+  EXPECT_THROW(set.block(4, 3), std::exception);
+  EXPECT_NO_THROW(set.block(4, 2));
+  EXPECT_NO_THROW(set.block(6, 0));
+}
+
 }  // namespace
 }  // namespace mayo::stats

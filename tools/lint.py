@@ -24,6 +24,12 @@ one-line diff in RULES below):
                     core < circuits.  The one sanctioned exception is
                     core/check.hpp (dependency-free contract macros,
                     usable from every layer).
+  hot-path-alloc    the batched evaluation hot path (HOT_FILES below)
+                    must not construct linalg::Vector or linalg::Matrixd
+                    inside a loop -- workspaces are allocated once and
+                    reused.  Deliberate exceptions (grow-only buffers,
+                    handing ownership to a cache) carry a
+                    "// hot-ok: <reason>" comment on the same line.
 
 Usage: python3 tools/lint.py [--root REPO_ROOT]
 Exits non-zero and prints file:line: [rule] message for each violation.
@@ -54,6 +60,22 @@ CHECK_HEADER = "core/check.hpp"
 
 # Files in src/ allowed to perform console I/O.
 IO_ALLOWLIST = {"src/core/report.cpp"}
+
+# Files forming the batched evaluation hot path: no per-iteration
+# Vector/Matrixd construction (see hot-path-alloc in the module docstring).
+HOT_FILES = {
+    "src/core/evaluator.cpp",
+    "src/core/verification.cpp",
+    "src/core/parallel.cpp",
+    "src/core/yield_model.cpp",
+}
+
+# A Vector/Matrixd object or temporary being constructed (declarations and
+# functional casts; references, pointers and nested template mentions are
+# not constructions).
+HOT_ALLOC_RE = re.compile(
+    r"\b(?:linalg::)?(?:Vector|Matrixd)\b(?!\s*[&*>,)])(?:\s*[({]|\s+\w)")
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
 
 DETERMINISM_PATTERNS = [
     (re.compile(r"std::random_device"), "std::random_device"),
@@ -154,6 +176,41 @@ class Linter:
                                 f'"{target}" resolves neither locally nor '
                                 "under src/")
 
+    def check_hot_alloc(self, path: Path, code: str, text: str) -> None:
+        """Flags Vector/Matrixd construction inside loops of hot files.
+
+        Brace-tracking heuristic: a loop body is everything between the
+        `{` following a for/while head and its matching `}`.  Allocations
+        on the head line itself (single-statement loops) count too.
+        Suppression: a "hot-ok:" comment on the offending line.
+        """
+        raw_lines = text.splitlines()
+        depth = 0
+        loop_depths: list[int] = []   # brace depth of each open loop body
+        pending_loop = False          # saw a loop head, body brace not yet
+        for lineno, line in enumerate(code.splitlines(), 1):
+            in_loop = bool(loop_depths) or LOOP_RE.search(line)
+            if (in_loop and HOT_ALLOC_RE.search(line)
+                    and "hot-ok:" not in raw_lines[lineno - 1]):
+                self.report(path, lineno, "hot-path-alloc",
+                            "Vector/Matrixd constructed inside a loop "
+                            "(preallocate in the workspace, or annotate "
+                            "with // hot-ok: <reason>)")
+            if LOOP_RE.search(line):
+                pending_loop = True
+            for ch in line:
+                if ch == "{":
+                    depth += 1
+                    if pending_loop:
+                        loop_depths.append(depth)
+                        pending_loop = False
+                elif ch == "}":
+                    if loop_depths and loop_depths[-1] == depth:
+                        loop_depths.pop()
+                    depth -= 1
+            if pending_loop and line.rstrip().endswith(";"):
+                pending_loop = False  # single-statement loop body ended
+
     # -- driver -----------------------------------------------------------
 
     def run(self) -> int:
@@ -182,6 +239,8 @@ class Linter:
                     self.check_patterns(path, code, IO_PATTERNS,
                                         "io-discipline",
                                         "is forbidden outside report.cpp")
+                if rel in HOT_FILES:
+                    self.check_hot_alloc(path, code, text)
         for rel, line, rule, message in self.violations:
             print(f"{rel}:{line}: [{rule}] {message}")
         print(f"lint: {len(files)} files checked, "
