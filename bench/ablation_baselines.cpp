@@ -23,7 +23,7 @@ using namespace mayo;
 
 namespace {
 
-double verify(core::Evaluator& ev, const linalg::Vector& d) {
+double verify(core::Evaluator& ev, const linalg::DesignVec& d) {
   const auto corners = core::find_worst_case_operating(ev, d);
   core::VerificationOptions options;
   options.num_samples = 300;
@@ -61,11 +61,12 @@ int main() {
   //     then pure model-space centering, then a true-constraint check).
   auto p3 = circuits::Miller::make_problem();
   core::Evaluator ev3(p3);
-  const auto lm = core::build_linearizations(ev3, p3.design.nominal);
+  const auto lm =
+      core::build_linearizations(ev3, linalg::DesignVec(p3.design.nominal));
   const auto feasibility =
-      core::linearize_feasibility(ev3, p3.design.nominal);
+      core::linearize_feasibility(ev3, linalg::DesignVec(p3.design.nominal));
   const auto maximin = core::maximize_min_beta(
-      lm.models, p3.design, &feasibility, p3.design.nominal);
+      lm.models, p3.design, &feasibility, linalg::DesignVec(p3.design.nominal));
   const std::size_t maximin_sims = ev3.counts().total();
   const double maximin_yield = verify(ev3, maximin.d);
 

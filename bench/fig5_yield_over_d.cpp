@@ -23,7 +23,8 @@ int main() {
 
   // Build the spec-wise linearizations once at the initial design and
   // evaluate the sampled yield estimate along the reference-current axis.
-  const auto linearized = core::build_linearizations(ev, d0);
+  const auto linearized =
+      core::build_linearizations(ev, linalg::DesignVec(d0));
   const stats::SampleSet samples(4000, ev.num_statistical(), 42);
   core::LinearYieldModel yield_model(linearized.models, samples);
 
@@ -36,7 +37,7 @@ int main() {
   for (int i = 0; i < points; ++i) {
     linalg::Vector d = d0;
     d[Design::kIref] = lo + (hi - lo) * i / (points - 1);
-    yield_model.set_design(d);
+    yield_model.set_design(linalg::DesignVec(d));
     const double y = yield_model.yield();
     yields.push_back(y);
     std::printf("%12.1f %10.4f\n", d[Design::kIref] * 1e6, y);

@@ -60,14 +60,14 @@ struct FoldedCascodeFixture {
   FoldedCascodeFixture()
       : problem(circuits::FoldedCascode::make_problem()),
         model(dynamic_cast<circuits::FoldedCascode*>(problem.model.get())),
-        d(circuits::FoldedCascode::initial_design()),
+        d(linalg::DesignVec(circuits::FoldedCascode::initial_design())),
         s(circuits::FoldedCascodeStats::kCount),
         theta(problem.operating.nominal) {}
   core::YieldProblem problem;
   circuits::FoldedCascode* model;
-  linalg::Vector d;
-  linalg::Vector s;
-  linalg::Vector theta;
+  linalg::DesignVec d;
+  linalg::StatPhysVec s;
+  linalg::OperatingVec theta;
 };
 
 void BM_FoldedCascodeEvaluate(benchmark::State& state) {
@@ -101,11 +101,11 @@ void BM_BatchEvalFoldedCascode(benchmark::State& state) {
   const stats::SampleSet samples(block_size, ev.num_statistical(), 7);
   core::EvalWorkspace ws;
   linalg::Matrixd out(block_size, ev.num_specs());
-  linalg::Vector d = fx.d;
+  linalg::DesignVec d = fx.d;
   for (auto _ : state) {
     d[0] += 1e-9;  // fresh design per block
     ev.performances_batch(d, samples.block(0, block_size), fx.theta,
-                          linalg::MatrixView(out), ws,
+                          linalg::PerfBlockView(linalg::MatrixView(out)), ws,
                           core::Budget::kVerification);
     benchmark::DoNotOptimize(out.data());
   }
@@ -125,7 +125,7 @@ void BM_YieldFullEvaluation(benchmark::State& state) {
   const stats::SampleSet samples(static_cast<std::size_t>(state.range(0)),
                                  ev.num_statistical(), 7);
   core::LinearYieldModel yield_model(linearized.models, samples);
-  linalg::Vector d = fx.d;
+  linalg::DesignVec d = fx.d;
   for (auto _ : state) {
     d[0] += 1e-9;  // force a fresh offset computation
     yield_model.set_design(d);
@@ -180,14 +180,15 @@ void BM_WorstCaseDistanceAnalytic(benchmark::State& state) {
    public:
     std::size_t num_performances() const override { return 1; }
     std::size_t num_constraints() const override { return 1; }
-    linalg::Vector evaluate(const linalg::Vector&, const linalg::Vector& s,
-                            const linalg::Vector&) override {
+    linalg::PerfVec evaluate(const linalg::DesignVec&,
+                             const linalg::StatPhysVec& s,
+                             const linalg::OperatingVec&) override {
       double acc = 2.0;
       for (std::size_t i = 0; i < s.size(); ++i)
         acc -= (i % 3 == 0 ? 1.0 : 0.3) * s[i];
-      return linalg::Vector{acc};
+      return linalg::PerfVec{acc};
     }
-    linalg::Vector constraints(const linalg::Vector&) override {
+    linalg::Vector constraints(const linalg::DesignVec&) override {
       return linalg::Vector(1, 1.0);
     }
   };
@@ -213,7 +214,8 @@ void BM_WorstCaseDistanceAnalytic(benchmark::State& state) {
   for (auto _ : state) {
     ev.clear_cache();
     benchmark::DoNotOptimize(core::find_worst_case_point(
-        ev, 0, problem.design.nominal, problem.operating.nominal));
+        ev, 0, linalg::DesignVec(problem.design.nominal),
+        linalg::OperatingVec(problem.operating.nominal)));
   }
 }
 BENCHMARK(BM_WorstCaseDistanceAnalytic);

@@ -37,7 +37,8 @@ int main() {
   }
 
   // Worst-case operating point per specification (eq. 2).
-  const auto wc = core::find_worst_case_operating(evaluator, d);
+  const auto wc =
+      core::find_worst_case_operating(evaluator, linalg::DesignVec(d));
   const auto names = circuits::Miller::performance_names();
   std::printf("\nper-spec worst-case operating points:\n");
   for (std::size_t i = 0; i < names.size(); ++i)
@@ -50,12 +51,12 @@ int main() {
   // the nominal corner only overestimates the yield (paper Sec. 2).
   core::VerificationOptions options;
   options.num_samples = 400;
-  const std::vector<linalg::Vector> nominal_corners(
-      names.size(), problem.operating.nominal);
-  const auto nominal_only =
-      core::monte_carlo_verify(evaluator, d, nominal_corners, options);
-  const auto operational =
-      core::monte_carlo_verify(evaluator, d, wc.theta_wc, options);
+  const std::vector<linalg::OperatingVec> nominal_corners(
+      names.size(), linalg::OperatingVec(problem.operating.nominal));
+  const auto nominal_only = core::monte_carlo_verify(
+      evaluator, linalg::DesignVec(d), nominal_corners, options);
+  const auto operational = core::monte_carlo_verify(
+      evaluator, linalg::DesignVec(d), wc.theta_wc, options);
   std::printf("\nMonte-Carlo yield, statistical variations only (nominal "
               "corner):  %.1f%%\n",
               100.0 * nominal_only.yield);

@@ -18,7 +18,7 @@ using namespace mayo;
 int main() {
   auto problem = circuits::FoldedCascode::make_problem();
   core::Evaluator evaluator(problem);
-  const linalg::Vector d = circuits::FoldedCascode::initial_design();
+  const linalg::DesignVec d(circuits::FoldedCascode::initial_design());
 
   std::printf("worst-case analysis at the initial design...\n\n");
   const auto linearized = core::build_linearizations(evaluator, d);

@@ -54,7 +54,8 @@ int main() {
   }
 
   std::printf("\nlocal-mismatch sigmas (Pelgrom), initial vs final design:\n");
-  const auto sig0 = problem.statistical.sigmas(problem.design.nominal);
+  const auto sig0 =
+      problem.statistical.sigmas(linalg::DesignVec(problem.design.nominal));
   const auto sig1 = problem.statistical.sigmas(result.final_d);
   const auto stat_names = circuits::FoldedCascode::statistical_names();
   for (std::size_t i = 4; i < stat_names.size(); i += 2)

@@ -22,7 +22,7 @@ using namespace mayo;
 int main() {
   auto problem = circuits::FoldedCascode::make_problem();
   core::Evaluator evaluator(problem);
-  const linalg::Vector d = circuits::FoldedCascode::initial_design();
+  const linalg::DesignVec d(circuits::FoldedCascode::initial_design());
 
   std::printf("building spec-wise linearizations at the initial design...\n");
   const auto linearized = core::build_linearizations(evaluator, d);

@@ -30,15 +30,16 @@ class ToyModel final : public core::PerformanceModel {
   std::vector<std::string> constraint_names() const override {
     return {"order", "budget"};
   }
-  linalg::Vector evaluate(const linalg::Vector& d, const linalg::Vector& s,
-                          const linalg::Vector& theta) override {
-    linalg::Vector f(2);
+  linalg::PerfVec evaluate(const linalg::DesignVec& d,
+                           const linalg::StatPhysVec& s,
+                           const linalg::OperatingVec& theta) override {
+    linalg::PerfVec f(2);
     f[0] = d[0] + d[1] - s[0] - 2.0 * s[1] - theta[0];
     const double mismatch = s[1] - s[2];
     f[1] = d[0] + 4.0 - mismatch * mismatch;
     return f;
   }
-  linalg::Vector constraints(const linalg::Vector& d) override {
+  linalg::Vector constraints(const linalg::DesignVec& d) override {
     return linalg::Vector{d[0] - d[1], 6.0 - d[0] - d[1]};
   }
 };

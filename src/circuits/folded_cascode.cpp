@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/netlist.hpp"
 #include "core/probe_cache.hpp"
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
@@ -441,17 +442,26 @@ void pack_performances(const FoldedCascode::Measurements& m, double* out) {
 }
 }  // namespace
 
-Vector FoldedCascode::evaluate(const Vector& d, const Vector& s,
-                               const Vector& theta) {
-  Vector out(5);
-  pack_performances(measure(d, s, theta), &out[0]);
+linalg::PerfVec FoldedCascode::evaluate(const linalg::DesignVec& d,
+                                        const linalg::StatPhysVec& s,
+                                        const linalg::OperatingVec& theta) {
+  linalg::PerfVec out(5);
+  // Unwrap once: bench internals are untyped numeric code.
+  pack_performances(
+      measure(d.raw(), s.raw(), theta.raw()),  // space-ok: model boundary
+      &out[0]);
   return out;
 }
 
-void FoldedCascode::evaluate_batch(const Vector& d,
-                                   linalg::ConstMatrixView s_block,
-                                   const Vector& theta,
-                                   linalg::MatrixView out) {
+void FoldedCascode::evaluate_batch(const linalg::DesignVec& d_tagged,
+                                   linalg::StatPhysBlock s_tagged,
+                                   const linalg::OperatingVec& theta_tagged,
+                                   linalg::PerfBlockView out_tagged) {
+  // Unwrap once at the model boundary; internals are untyped.
+  const Vector& d = d_tagged.raw();                // space-ok: model boundary
+  const Vector& theta = theta_tagged.raw();        // space-ok: model boundary
+  linalg::ConstMatrixView s_block = s_tagged.raw();  // space-ok: model boundary
+  linalg::MatrixView out = out_tagged.raw();         // space-ok: model boundary
   if (out.rows() != s_block.rows() || out.cols() != num_performances())
     throw std::invalid_argument(
         "FoldedCascode::evaluate_batch: out shape mismatch");
@@ -501,8 +511,8 @@ Vector FoldedCascode::saturation_margins(const Vector& d) {
   return margins;
 }
 
-Vector FoldedCascode::constraints(const Vector& d) {
-  return saturation_margins(d);
+Vector FoldedCascode::constraints(const linalg::DesignVec& d) {
+  return saturation_margins(d.raw());  // space-ok: untyped model-detail helper
 }
 
 std::unique_ptr<core::PerformanceModel> FoldedCascode::clone() const {
@@ -623,7 +633,8 @@ core::YieldProblem FoldedCascode::make_problem(Options options) {
     stats::StatParam param;
     param.name = local.name;
     param.nominal = 0.0;
-    param.sigma = [avt, length, index = local.width_index](const Vector& d) {
+    param.sigma = [avt, length,
+                   index = local.width_index](const linalg::DesignVec& d) {
       return avt / std::sqrt(2.0 * d[index] * length);
     };
     cov.add(std::move(param));

@@ -4,8 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "circuit/netlist.hpp"
 #include "core/probe_cache.hpp"
-#include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
 #include "sim/transient.hpp"
@@ -353,14 +353,26 @@ void pack_performances(const Miller::Measurements& m, double* out) {
 }
 }  // namespace
 
-Vector Miller::evaluate(const Vector& d, const Vector& s, const Vector& theta) {
-  Vector out(5);
-  pack_performances(measure(d, s, theta), &out[0]);
+linalg::PerfVec Miller::evaluate(const linalg::DesignVec& d,
+                                 const linalg::StatPhysVec& s,
+                                 const linalg::OperatingVec& theta) {
+  linalg::PerfVec out(5);
+  // Unwrap once: bench internals are untyped numeric code.
+  pack_performances(
+      measure(d.raw(), s.raw(), theta.raw()),  // space-ok: model boundary
+      &out[0]);
   return out;
 }
 
-void Miller::evaluate_batch(const Vector& d, linalg::ConstMatrixView s_block,
-                            const Vector& theta, linalg::MatrixView out) {
+void Miller::evaluate_batch(const linalg::DesignVec& d_tagged,
+                            linalg::StatPhysBlock s_tagged,
+                            const linalg::OperatingVec& theta_tagged,
+                            linalg::PerfBlockView out_tagged) {
+  // Unwrap once at the model boundary; internals are untyped.
+  const Vector& d = d_tagged.raw();                // space-ok: model boundary
+  const Vector& theta = theta_tagged.raw();        // space-ok: model boundary
+  linalg::ConstMatrixView s_block = s_tagged.raw();  // space-ok: model boundary
+  linalg::MatrixView out = out_tagged.raw();         // space-ok: model boundary
   if (out.rows() != s_block.rows() || out.cols() != num_performances())
     throw std::invalid_argument("Miller::evaluate_batch: out shape mismatch");
   DesignContext& ctx = design_context(d, theta);
@@ -375,7 +387,8 @@ void Miller::evaluate_batch(const Vector& d, linalg::ConstMatrixView s_block,
   }
 }
 
-Vector Miller::constraints(const Vector& d) {
+Vector Miller::constraints(const linalg::DesignVec& d_tagged) {
+  const Vector& d = d_tagged.raw();  // space-ok: untyped bench internals
   const Vector s0(Stats::kCount);
   Vector theta{options_.process.envelope.temp_nom_k,
                options_.process.envelope.vdd_nom};

@@ -20,7 +20,6 @@
 #include <string>
 #include <vector>
 
-#include "circuit/netlist.hpp"
 #include "circuits/process.hpp"
 #include "core/problem.hpp"
 
@@ -73,16 +72,19 @@ class Miller final : public core::PerformanceModel {
   std::size_t num_constraints() const override { return 7; }
   std::vector<std::string> constraint_names() const override;
   std::unique_ptr<core::PerformanceModel> clone() const override;
-  linalg::Vector evaluate(const linalg::Vector& d, const linalg::Vector& s,
-                          const linalg::Vector& theta) override;
+  linalg::PerfVec evaluate(const linalg::DesignVec& d,
+                           const linalg::StatPhysVec& s,
+                           const linalg::OperatingVec& theta) override;
   /// Native batch path: per-(d, theta) nominal solves (bias point, ft
   /// bracket, slew trajectory) are built once; each sample row reuses them
   /// as warm starts and is bitwise-identical to the scalar evaluate().
-  void evaluate_batch(const linalg::Vector& d, linalg::ConstMatrixView s_block,
-                      const linalg::Vector& theta,
-                      linalg::MatrixView out) override;
-  linalg::Vector constraints(const linalg::Vector& d) override;
+  void evaluate_batch(const linalg::DesignVec& d, linalg::StatPhysBlock s_block,
+                      const linalg::OperatingVec& theta,
+                      linalg::PerfBlockView out) override;
+  linalg::Vector constraints(const linalg::DesignVec& d) override;
 
+  /// Detailed measurement access for sweeps and figures.  Deliberately
+  /// untyped (raw vectors): callers sweep arbitrary ad-hoc points.
   struct Measurements {
     double a0_db = 0.0;
     double ft_mhz = 0.0;

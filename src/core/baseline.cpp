@@ -9,17 +9,21 @@
 
 namespace mayo::core {
 
+using linalg::DesignVec;
+using linalg::MarginVec;
+using linalg::OperatingVec;
+using linalg::StatUnitVec;
 using linalg::Vector;
 
 namespace {
 
 /// Simulation-based yield estimate (eq. 6) with a fixed sample set.
 /// Returns -1 when the evaluation budget would be exceeded.
-double mc_yield(Evaluator& evaluator, const Vector& d,
-                const std::vector<Vector>& theta_wc,
+double mc_yield(Evaluator& evaluator, const DesignVec& d,
+                const std::vector<OperatingVec>& theta_wc,
                 const stats::SampleSet& samples, std::size_t max_evaluations) {
   // Distinct operating corners (shared evaluations).
-  std::vector<Vector> distinct;
+  std::vector<OperatingVec> distinct;
   std::vector<std::size_t> group(theta_wc.size());
   for (std::size_t i = 0; i < theta_wc.size(); ++i) {
     bool found = false;
@@ -40,9 +44,9 @@ double mc_yield(Evaluator& evaluator, const Vector& d,
 
   std::size_t passing = 0;
   for (std::size_t j = 0; j < samples.count(); ++j) {
-    const Vector s_hat = samples.sample_vector(j);
+    const StatUnitVec s_hat = samples.sample_vector(j);
     bool pass = true;
-    std::vector<Vector> margins(distinct.size());
+    std::vector<MarginVec> margins(distinct.size());
     for (std::size_t g = 0; g < distinct.size() && pass; ++g)
       margins[g] = evaluator.margins(d, s_hat, distinct[g]);
     for (std::size_t i = 0; i < theta_wc.size() && pass; ++i)
@@ -52,7 +56,7 @@ double mc_yield(Evaluator& evaluator, const Vector& d,
   return static_cast<double>(passing) / samples.count();
 }
 
-bool is_feasible(Evaluator& evaluator, const Vector& d) {
+bool is_feasible(Evaluator& evaluator, const DesignVec& d) {
   const Vector c = evaluator.constraints(d);
   for (double ci : c)
     if (ci < 0.0) return false;
@@ -65,7 +69,7 @@ DirectMcResult optimize_yield_direct_mc(Evaluator& evaluator,
                                         const DirectMcOptions& options) {
   DirectMcResult result;
   const auto& space = evaluator.problem().design;
-  result.d = space.nominal;
+  result.d = DesignVec(space.nominal);
 
   const WcOperatingResult corners =
       find_worst_case_operating(evaluator, result.d);
@@ -89,14 +93,14 @@ DirectMcResult optimize_yield_direct_mc(Evaluator& evaluator,
       const double range = space.upper[k] - space.lower[k];
       const double step = step_fraction * range;
       double best_yield = result.yield;
-      Vector best_d = result.d;
+      DesignVec best_d = result.d;
       for (int c = 1; c <= options.candidates_per_coordinate; ++c) {
         // Alternate positive/negative moves of decreasing size.
         const double magnitude =
             step * static_cast<double>((c + 1) / 2) /
             static_cast<double>((options.candidates_per_coordinate + 1) / 2);
         const double alpha = (c % 2 == 1) ? magnitude : -magnitude;
-        Vector candidate = result.d;
+        DesignVec candidate = result.d;
         candidate[k] = std::clamp(candidate[k] + alpha, space.lower[k],
                                   space.upper[k]);
         if (candidate[k] == result.d[k]) continue;
@@ -126,7 +130,7 @@ DirectMcResult optimize_yield_direct_mc(Evaluator& evaluator,
   return result;
 }
 
-double linearized_beta(const SpecLinearization& model, const Vector& d) {
+double linearized_beta(const SpecLinearization& model, const DesignVec& d) {
   // Under s_hat ~ N(0, I) the linearized margin is Gaussian with
   //   mu    = m_wc - grad_s^T s_wc + grad_d^T (d - d_f),
   //   sigma = ||grad_s||;
@@ -143,12 +147,12 @@ double linearized_beta(const SpecLinearization& model, const Vector& d) {
 MaximinResult maximize_min_beta(const std::vector<SpecLinearization>& models,
                                 const ParameterSpace& design_space,
                                 const FeasibilityModel* feasibility,
-                                const Vector& start,
+                                const DesignVec& start,
                                 const MaximinOptions& options) {
   MaximinResult result;
   result.d = start;
 
-  const auto min_beta_at = [&](const Vector& d) {
+  const auto min_beta_at = [&](const DesignVec& d) {
     double worst = std::numeric_limits<double>::infinity();
     for (const auto& model : models)
       worst = std::min(worst, linearized_beta(model, d));
@@ -173,7 +177,7 @@ MaximinResult maximize_min_beta(const std::vector<SpecLinearization>& models,
       double best = result.min_beta;
       for (int g = 0; g <= options.grid_points; ++g) {
         const double alpha = lo + (hi - lo) * g / options.grid_points;
-        Vector candidate = result.d;
+        DesignVec candidate = result.d;
         candidate[k] += alpha;
         const double value = min_beta_at(candidate);
         if (value > best + 1e-12) {

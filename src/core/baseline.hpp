@@ -43,7 +43,7 @@ struct DirectMcOptions {
 };
 
 struct DirectMcResult {
-  linalg::Vector d;
+  linalg::DesignVec d;
   double yield = 0.0;               ///< MC estimate at the final design
   std::size_t evaluations = 0;      ///< model evaluations consumed
   int sweeps = 0;
@@ -67,7 +67,7 @@ struct MaximinOptions {
 };
 
 struct MaximinResult {
-  linalg::Vector d;
+  linalg::DesignVec d;
   double min_beta = 0.0;            ///< smallest linearized beta at d
   std::vector<double> betas;        ///< per-model linearized beta at d
   int moves = 0;
@@ -76,14 +76,15 @@ struct MaximinResult {
 /// Linearized worst-case distance of one model at design d:
 /// beta_l(d) = (m_wc + grad_d^T (d - d_f)) / ||grad_s||  (sigma of the
 /// linearized margin under s_hat ~ N(0, I)).
-double linearized_beta(const SpecLinearization& model, const linalg::Vector& d);
+double linearized_beta(const SpecLinearization& model,
+                       const linalg::DesignVec& d);
 
 /// Coordinate search maximizing min_l beta_l(d) under the linearized
 /// constraints (nullptr = box only).
 MaximinResult maximize_min_beta(const std::vector<SpecLinearization>& models,
                                 const ParameterSpace& design_space,
                                 const FeasibilityModel* feasibility,
-                                const linalg::Vector& start,
+                                const linalg::DesignVec& start,
                                 const MaximinOptions& options = {});
 
 }  // namespace mayo::core

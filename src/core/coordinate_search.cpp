@@ -4,6 +4,7 @@
 
 namespace mayo::core {
 
+using linalg::DesignVec;
 using linalg::Vector;
 
 CoordinateSearchResult maximize_linear_yield(
@@ -12,14 +13,14 @@ CoordinateSearchResult maximize_linear_yield(
   CoordinateSearchResult result;
   const std::size_t dim = design_space.dimension();
   std::size_t current_passing = model.passing();
-  const Vector start = model.design();
+  const DesignVec start = model.design();
 
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
     result.sweeps = sweep + 1;
     bool any_move = false;
 
     for (std::size_t k = 0; k < dim; ++k) {
-      const Vector& d = model.design();
+      const DesignVec& d = model.design();
       const double range = design_space.upper[k] - design_space.lower[k];
       double alpha_lo = design_space.lower[k] - d[k];
       double alpha_hi = design_space.upper[k] - d[k];

@@ -39,7 +39,7 @@ struct CoordinateSearchOptions {
 };
 
 struct CoordinateSearchResult {
-  linalg::Vector d_star;     ///< maximizing design
+  linalg::DesignVec d_star;  ///< maximizing design
   std::size_t passing = 0;   ///< passing samples at d_star
   double yield = 0.0;        ///< Y_bar at d_star
   int sweeps = 0;

@@ -2,11 +2,12 @@
 
 namespace mayo::core {
 
-using linalg::Vector;
+using linalg::DesignVec;
+using linalg::StatUnitVec;
 
 std::vector<WorstCaseCorner> extract_worst_case_corners(
-    Evaluator& evaluator, const LinearizedModels& linearized, const Vector& d,
-    const CornerOptions& options) {
+    Evaluator& evaluator, const LinearizedModels& linearized,
+    const DesignVec& d, const CornerOptions& options) {
   std::vector<WorstCaseCorner> corners;
   const auto& statistical = evaluator.problem().statistical;
 
@@ -15,7 +16,7 @@ std::vector<WorstCaseCorner> extract_worst_case_corners(
     const double norm = wc.s_wc.norm();
     if (norm <= 0.0) continue;  // spec insensitive to statistics
 
-    const auto emit = [&](const Vector& direction, bool mirrored) {
+    const auto emit = [&](const StatUnitVec& direction, bool mirrored) {
       WorstCaseCorner corner;
       corner.spec = wc.spec;
       corner.mirrored = mirrored;

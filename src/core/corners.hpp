@@ -25,8 +25,8 @@ struct WorstCaseCorner {
   std::size_t spec = 0;
   bool mirrored = false;       ///< the -s_wc corner of a quadratic spec
   double beta_target = 3.0;
-  linalg::Vector s_hat;        ///< corner in standard-normal coordinates
-  linalg::Vector s_physical;   ///< corner in physical parameter units
+  linalg::StatUnitVec s_hat;     ///< corner in standard-normal coordinates
+  linalg::StatPhysVec s_physical;  ///< corner in physical parameter units
   /// True margin at the corner (at theta_wc); only filled when the
   /// extraction is asked to spend the evaluations.
   double margin = 0.0;
@@ -45,6 +45,6 @@ struct CornerOptions {
 /// at design d.
 std::vector<WorstCaseCorner> extract_worst_case_corners(
     Evaluator& evaluator, const LinearizedModels& linearized,
-    const linalg::Vector& d, const CornerOptions& options = {});
+    const linalg::DesignVec& d, const CornerOptions& options = {});
 
 }  // namespace mayo::core

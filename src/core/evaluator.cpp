@@ -7,11 +7,22 @@
 
 #include "core/check.hpp"
 
+// Whitelisted space crossing (see linalg/spaces.hpp): the evaluator owns
+// the s = G(d) s_hat + s0 application and the Performance -> Margin
+// transform, and builds bitwise cache keys from the underlying storage,
+// so it legitimately unwraps tagged vectors via .raw().
+
 namespace mayo::core {
 
 using linalg::ConstMatrixView;
+using linalg::DesignVec;
+using linalg::MarginVec;
 using linalg::Matrixd;
 using linalg::MatrixView;
+using linalg::OperatingVec;
+using linalg::PerfVec;
+using linalg::StatPhysVec;
+using linalg::StatUnitVec;
 using linalg::Vector;
 
 Evaluator::Evaluator(YieldProblem& problem) : Evaluator(problem, CacheOptions{}) {}
@@ -28,7 +39,7 @@ void Evaluator::clear_cache() {
   constraint_cache_.clear();
 }
 
-void Evaluator::validate_point(const Vector& d, const Vector& theta,
+void Evaluator::validate_point(const DesignVec& d, const OperatingVec& theta,
                                std::size_t s_hat_size) const {
   if (d.size() != num_design())
     throw std::invalid_argument("Evaluator: design vector size mismatch");
@@ -38,22 +49,23 @@ void Evaluator::validate_point(const Vector& d, const Vector& theta,
     throw std::invalid_argument("Evaluator: operating vector size mismatch");
 }
 
-Vector Evaluator::evaluate_physical(const Vector& d, const Vector& s_hat,
-                                    const Vector& theta, Budget budget) {
+Vector Evaluator::evaluate_physical(const DesignVec& d,
+                                    const StatUnitVec& s_hat,
+                                    const OperatingVec& theta, Budget budget) {
   validate_point(d, theta, s_hat.size());
 
   scalar_key_.clear();
-  ProbeCache::append_bits(scalar_key_, d);
-  ProbeCache::append_bits(scalar_key_, s_hat);
-  ProbeCache::append_bits(scalar_key_, theta);
+  ProbeCache::append_bits(scalar_key_, d.raw());
+  ProbeCache::append_bits(scalar_key_, s_hat.raw());
+  ProbeCache::append_bits(scalar_key_, theta.raw());
   if (const Vector* hit = cache_.find(scalar_key_)) {
     ++counts_.cache_hits;
     return *hit;
   }
 
   // Variable-covariance transform: s = G(d) s_hat + s0 (eq. 11).
-  const Vector s = problem_.statistical.to_physical(s_hat, d);
-  Vector values = problem_.model->evaluate(d, s, theta);
+  const StatPhysVec s = problem_.statistical.to_physical(s_hat, d);
+  Vector values = problem_.model->evaluate(d, s, theta).raw();
   if (values.size() != num_specs())
     throw std::runtime_error("Evaluator: model returned wrong performance count");
   // Every downstream consumer (worst-case search, linearization, yield
@@ -68,16 +80,21 @@ Vector Evaluator::evaluate_physical(const Vector& d, const Vector& s_hat,
   return values;
 }
 
-Vector Evaluator::performances(const Vector& d, const Vector& s_hat,
-                               const Vector& theta, Budget budget) {
-  return evaluate_physical(d, s_hat, theta, budget);
+PerfVec Evaluator::performances(const DesignVec& d, const StatUnitVec& s_hat,
+                                const OperatingVec& theta, Budget budget) {
+  return PerfVec(evaluate_physical(d, s_hat, theta, budget));
 }
 
-void Evaluator::performances_batch(const Vector& d,
-                                   ConstMatrixView s_hat_block,
-                                   const Vector& theta, MatrixView out,
-                                   EvalWorkspace& ws, Budget budget) {
+void Evaluator::performances_batch(const DesignVec& d,
+                                   linalg::StatUnitBlock s_hat_block,
+                                   const OperatingVec& theta,
+                                   linalg::PerfBlockView out, EvalWorkspace& ws,
+                                   Budget budget) {
   validate_point(d, theta, s_hat_block.cols());
+  MAYO_CHECK_DIM(out.rows(), s_hat_block.rows(),
+                 "Evaluator::performances_batch: out rows");
+  MAYO_CHECK_DIM(out.cols(), num_specs(),
+                 "Evaluator::performances_batch: out cols");
   if (out.rows() != s_hat_block.rows() || out.cols() != num_specs())
     throw std::invalid_argument(
         "Evaluator::performances_batch: out shape mismatch");
@@ -95,9 +112,9 @@ void Evaluator::performances_batch(const Vector& d,
   ws.row_source.assign(block, -1);
   for (std::size_t j = 0; j < block; ++j) {
     ws.key.clear();
-    ProbeCache::append_bits(ws.key, d);
+    ProbeCache::append_bits(ws.key, d.raw());
     ProbeCache::append_bits(ws.key, s_hat_block.row(j), n_s);
-    ProbeCache::append_bits(ws.key, theta);
+    ProbeCache::append_bits(ws.key, theta.raw());
     if (const Vector* hit = cache_.find(ws.key)) {
       ++counts_.cache_hits;
       double* out_row = out.row(j);
@@ -134,11 +151,14 @@ void Evaluator::performances_batch(const Vector& d,
       double* dst = ws.s_hat_miss.row(m);
       for (std::size_t i = 0; i < n_s; ++i) dst[i] = src[i];
     }
-    const ConstMatrixView s_hat_view =
-        ConstMatrixView(ws.s_hat_miss).middle_rows(0, misses);
-    const MatrixView physical_view =
-        MatrixView(ws.physical).middle_rows(0, misses);
-    const MatrixView values_view = MatrixView(ws.values).middle_rows(0, misses);
+    // The workspace matrices carry rows of known spaces; re-tag the views
+    // for the crossing calls below.
+    const linalg::StatUnitBlock s_hat_view(
+        ConstMatrixView(ws.s_hat_miss).middle_rows(0, misses));
+    const linalg::StatPhysBlockView physical_view(
+        MatrixView(ws.physical).middle_rows(0, misses));
+    const linalg::PerfBlockView values_view(
+        MatrixView(ws.values).middle_rows(0, misses));
 
     // s = G(d) s_hat + s0, sigmas hoisted once per block (eq. 11).
     problem_.statistical.to_physical_block(s_hat_view, d, physical_view,
@@ -169,10 +189,18 @@ void Evaluator::performances_batch(const Vector& d,
   }
 }
 
-void Evaluator::margins_batch(const Vector& d, ConstMatrixView s_hat_block,
-                              const Vector& theta, MatrixView out,
-                              EvalWorkspace& ws, Budget budget) {
-  performances_batch(d, s_hat_block, theta, out, ws, budget);
+void Evaluator::margins_batch(const DesignVec& d,
+                              linalg::StatUnitBlock s_hat_block,
+                              const OperatingVec& theta,
+                              linalg::MarginBlockView out, EvalWorkspace& ws,
+                              Budget budget) {
+  MAYO_CHECK_DIM(out.rows(), s_hat_block.rows(),
+                 "Evaluator::margins_batch: out rows");
+  MAYO_CHECK_DIM(out.cols(), num_specs(), "Evaluator::margins_batch: out cols");
+  // Performance values land in the margin buffer first, then the in-place
+  // per-spec transform below is the Performance -> Margin crossing.
+  performances_batch(d, s_hat_block, theta, linalg::PerfBlockView(out.raw()),
+                     ws, budget);
   for (std::size_t j = 0; j < out.rows(); ++j) {
     double* row = out.row(j);
     for (std::size_t i = 0; i < num_specs(); ++i)
@@ -180,28 +208,29 @@ void Evaluator::margins_batch(const Vector& d, ConstMatrixView s_hat_block,
   }
 }
 
-Vector Evaluator::margins(const Vector& d, const Vector& s_hat,
-                          const Vector& theta, Budget budget) {
+MarginVec Evaluator::margins(const DesignVec& d, const StatUnitVec& s_hat,
+                             const OperatingVec& theta, Budget budget) {
   const Vector values = evaluate_physical(d, s_hat, theta, budget);
-  Vector m(num_specs());
+  MarginVec m(num_specs());
   for (std::size_t i = 0; i < num_specs(); ++i)
     m[i] = problem_.specs[i].margin(values[i]);
   return m;
 }
 
-double Evaluator::margin(std::size_t spec, const Vector& d, const Vector& s_hat,
-                         const Vector& theta, Budget budget) {
+double Evaluator::margin(std::size_t spec, const DesignVec& d,
+                         const StatUnitVec& s_hat, const OperatingVec& theta,
+                         Budget budget) {
   if (spec >= num_specs())
     throw std::out_of_range("Evaluator::margin: spec index out of range");
   const Vector values = evaluate_physical(d, s_hat, theta, budget);
   return problem_.specs[spec].margin(values[spec]);
 }
 
-Vector Evaluator::constraints(const Vector& d) {
+Vector Evaluator::constraints(const DesignVec& d) {
   if (d.size() != num_design())
     throw std::invalid_argument("Evaluator::constraints: size mismatch");
   scalar_key_.clear();
-  ProbeCache::append_bits(scalar_key_, d);
+  ProbeCache::append_bits(scalar_key_, d.raw());
   if (const Vector* hit = constraint_cache_.find(scalar_key_)) {
     ++counts_.cache_hits;
     return *hit;
@@ -214,12 +243,13 @@ Vector Evaluator::constraints(const Vector& d) {
   return c;
 }
 
-Vector Evaluator::margin_gradient_s(std::size_t spec, const Vector& d,
-                                    const Vector& s_hat, const Vector& theta,
-                                    double step) {
+StatUnitVec Evaluator::margin_gradient_s(std::size_t spec, const DesignVec& d,
+                                         const StatUnitVec& s_hat,
+                                         const OperatingVec& theta,
+                                         double step) {
   const double base = margin(spec, d, s_hat, theta);
-  Vector grad(num_statistical());
-  Vector probe = s_hat;
+  StatUnitVec grad(num_statistical());
+  StatUnitVec probe = s_hat;
   for (std::size_t i = 0; i < num_statistical(); ++i) {
     probe[i] = s_hat[i] + step;
     grad[i] = (margin(spec, d, probe, theta) - base) / step;
@@ -228,8 +258,9 @@ Vector Evaluator::margin_gradient_s(std::size_t spec, const Vector& d,
   return grad;
 }
 
-Matrixd Evaluator::margin_gradients_s(const Vector& d, const Vector& s_hat,
-                                      const Vector& theta, double step) {
+Matrixd Evaluator::margin_gradients_s(const DesignVec& d,
+                                      const StatUnitVec& s_hat,
+                                      const OperatingVec& theta, double step) {
   validate_point(d, theta, s_hat.size());
   const std::size_t n_s = num_statistical();
   const std::size_t n_f = num_specs();
@@ -244,7 +275,8 @@ Matrixd Evaluator::margin_gradients_s(const Vector& d, const Vector& s_hat,
     for (std::size_t i = 0; i < n_s; ++i) row[i] = s_hat[i];
     if (r > 0) row[r - 1] = s_hat[r - 1] + step;
   }
-  margins_batch(d, grad_points_, theta, grad_margins_, grad_ws_);
+  margins_batch(d, linalg::StatUnitBlock(ConstMatrixView(grad_points_)), theta,
+                linalg::MarginBlockView(MatrixView(grad_margins_)), grad_ws_);
   Matrixd grads(n_f, n_s);
   const double* base = grad_margins_.row(0);
   for (std::size_t i = 0; i < n_s; ++i) {
@@ -255,13 +287,14 @@ Matrixd Evaluator::margin_gradients_s(const Vector& d, const Vector& s_hat,
   return grads;
 }
 
-Vector Evaluator::margin_gradient_d(std::size_t spec, const Vector& d,
-                                    const Vector& s_hat, const Vector& theta,
-                                    double step_fraction) {
+DesignVec Evaluator::margin_gradient_d(std::size_t spec, const DesignVec& d,
+                                       const StatUnitVec& s_hat,
+                                       const OperatingVec& theta,
+                                       double step_fraction) {
   const double base = margin(spec, d, s_hat, theta);
   const auto& space = problem_.design;
-  Vector grad(num_design());
-  Vector probe = d;
+  DesignVec grad(num_design());
+  DesignVec probe = d;
   for (std::size_t i = 0; i < num_design(); ++i) {
     const double range = space.upper[i] - space.lower[i];
     double h = step_fraction * (range > 0.0 ? range : std::abs(d[i]) + 1.0);
@@ -274,11 +307,12 @@ Vector Evaluator::margin_gradient_d(std::size_t spec, const Vector& d,
   return grad;
 }
 
-Matrixd Evaluator::constraint_jacobian(const Vector& d, double step_fraction) {
+Matrixd Evaluator::constraint_jacobian(const DesignVec& d,
+                                       double step_fraction) {
   const Vector base = constraints(d);
   const auto& space = problem_.design;
   Matrixd jac(base.size(), num_design());
-  Vector probe = d;
+  DesignVec probe = d;
   for (std::size_t i = 0; i < num_design(); ++i) {
     const double range = space.upper[i] - space.lower[i];
     double h = step_fraction * (range > 0.0 ? range : std::abs(d[i]) + 1.0);

@@ -27,8 +27,8 @@
 
 #include "core/probe_cache.hpp"
 #include "core/problem.hpp"
-#include "linalg/block.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/spaces.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::core {
@@ -83,19 +83,21 @@ class Evaluator {
   std::size_t num_operating() const { return problem_.operating.dimension(); }
 
   /// Raw performance values f_hat(d, s_hat, theta) (eq. 14).
-  linalg::Vector performances(const linalg::Vector& d,
-                              const linalg::Vector& s_hat,
-                              const linalg::Vector& theta,
-                              Budget budget = Budget::kOptimization);
+  linalg::PerfVec performances(const linalg::DesignVec& d,
+                               const linalg::StatUnitVec& s_hat,
+                               const linalg::OperatingVec& theta,
+                               Budget budget = Budget::kOptimization);
 
   /// All specification margins at (d, s_hat, theta).
-  linalg::Vector margins(const linalg::Vector& d, const linalg::Vector& s_hat,
-                         const linalg::Vector& theta,
-                         Budget budget = Budget::kOptimization);
+  linalg::MarginVec margins(const linalg::DesignVec& d,
+                            const linalg::StatUnitVec& s_hat,
+                            const linalg::OperatingVec& theta,
+                            Budget budget = Budget::kOptimization);
 
   /// Margin of one specification.
-  double margin(std::size_t spec, const linalg::Vector& d,
-                const linalg::Vector& s_hat, const linalg::Vector& theta,
+  double margin(std::size_t spec, const linalg::DesignVec& d,
+                const linalg::StatUnitVec& s_hat,
+                const linalg::OperatingVec& theta,
                 Budget budget = Budget::kOptimization);
 
   /// Batch form of performances(): row j of `out` receives
@@ -103,55 +105,61 @@ class Evaluator {
   /// s_hat_block.rows() x num_specs().  Results, cache contents and
   /// counters end up exactly as if the rows had been evaluated one by one
   /// through performances() in ascending row order.
-  void performances_batch(const linalg::Vector& d,
-                          linalg::ConstMatrixView s_hat_block,
-                          const linalg::Vector& theta, linalg::MatrixView out,
-                          EvalWorkspace& ws,
+  void performances_batch(const linalg::DesignVec& d,
+                          linalg::StatUnitBlock s_hat_block,
+                          const linalg::OperatingVec& theta,
+                          linalg::PerfBlockView out, EvalWorkspace& ws,
                           Budget budget = Budget::kOptimization);
 
   /// Batch form of margins(): performances_batch followed by the in-place
   /// per-spec margin transform of every row.
-  void margins_batch(const linalg::Vector& d,
-                     linalg::ConstMatrixView s_hat_block,
-                     const linalg::Vector& theta, linalg::MatrixView out,
-                     EvalWorkspace& ws, Budget budget = Budget::kOptimization);
+  void margins_batch(const linalg::DesignVec& d,
+                     linalg::StatUnitBlock s_hat_block,
+                     const linalg::OperatingVec& theta,
+                     linalg::MarginBlockView out, EvalWorkspace& ws,
+                     Budget budget = Budget::kOptimization);
 
   /// Functional constraint values c(d) (cached like performances).
-  linalg::Vector constraints(const linalg::Vector& d);
+  linalg::Vector constraints(const linalg::DesignVec& d);
 
   /// Gradient of one spec's margin w.r.t. s_hat (forward differences,
-  /// reusing the base evaluation; n_s extra evaluations).
-  linalg::Vector margin_gradient_s(std::size_t spec, const linalg::Vector& d,
-                                   const linalg::Vector& s_hat,
-                                   const linalg::Vector& theta,
-                                   double step = 5e-2);
+  /// reusing the base evaluation; n_s extra evaluations).  A gradient
+  /// w.r.t. s_hat is itself a direction in StatUnit space.
+  linalg::StatUnitVec margin_gradient_s(std::size_t spec,
+                                        const linalg::DesignVec& d,
+                                        const linalg::StatUnitVec& s_hat,
+                                        const linalg::OperatingVec& theta,
+                                        double step = 5e-2);
 
   /// Gradients of ALL specs' margins w.r.t. s_hat in one pass (shares the
   /// finite-difference evaluations across specs; the base point and the
-  /// n_s forward probes run as one batch).  Row i = spec i.
-  linalg::Matrixd margin_gradients_s(const linalg::Vector& d,
-                                     const linalg::Vector& s_hat,
-                                     const linalg::Vector& theta,
+  /// n_s forward probes run as one batch).  Row i = spec i (each row a
+  /// StatUnit direction; returned untyped for linalg interop).
+  linalg::Matrixd margin_gradients_s(const linalg::DesignVec& d,
+                                     const linalg::StatUnitVec& s_hat,
+                                     const linalg::OperatingVec& theta,
                                      double step = 5e-2);
 
   /// Gradient of one spec's margin w.r.t. d.  Steps are relative to the
   /// design-space ranges (step_fraction * (upper - lower)).
-  linalg::Vector margin_gradient_d(std::size_t spec, const linalg::Vector& d,
-                                   const linalg::Vector& s_hat,
-                                   const linalg::Vector& theta,
-                                   double step_fraction = 1e-3);
-
-  /// Jacobian of the constraints w.r.t. d (forward differences).
-  linalg::Matrixd constraint_jacobian(const linalg::Vector& d,
+  linalg::DesignVec margin_gradient_d(std::size_t spec,
+                                      const linalg::DesignVec& d,
+                                      const linalg::StatUnitVec& s_hat,
+                                      const linalg::OperatingVec& theta,
                                       double step_fraction = 1e-3);
 
-  /// Zero vector in s_hat space (the nominal statistical point).
-  linalg::Vector nominal_s_hat() const {
-    return linalg::Vector(num_statistical());
+  /// Jacobian of the constraints w.r.t. d (forward differences).
+  linalg::Matrixd constraint_jacobian(const linalg::DesignVec& d,
+                                      double step_fraction = 1e-3);
+
+  /// Zero vector in s_hat space (the nominal statistical point).  With the
+  /// sampler, one of the two places allowed to mint StatUnit values.
+  linalg::StatUnitVec nominal_s_hat() const {
+    return linalg::StatUnitVec(num_statistical());
   }
   /// Nominal operating point.
-  const linalg::Vector& nominal_theta() const {
-    return problem_.operating.nominal;
+  linalg::OperatingVec nominal_theta() const {
+    return linalg::OperatingVec(problem_.operating.nominal);
   }
 
   const EvaluationCounts& counts() const { return counts_; }
@@ -167,10 +175,12 @@ class Evaluator {
   void clear_cache();
 
  private:
-  linalg::Vector evaluate_physical(const linalg::Vector& d,
-                                   const linalg::Vector& s_hat,
-                                   const linalg::Vector& theta, Budget budget);
-  void validate_point(const linalg::Vector& d, const linalg::Vector& theta,
+  linalg::Vector evaluate_physical(const linalg::DesignVec& d,
+                                   const linalg::StatUnitVec& s_hat,
+                                   const linalg::OperatingVec& theta,
+                                   Budget budget);
+  void validate_point(const linalg::DesignVec& d,
+                      const linalg::OperatingVec& theta,
                       std::size_t s_hat_size) const;
 
   YieldProblem& problem_;

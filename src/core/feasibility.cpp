@@ -8,14 +8,15 @@
 
 namespace mayo::core {
 
+using linalg::DesignVec;
 using linalg::Matrixd;
 using linalg::Vector;
 
-Vector FeasibilityModel::values(const Vector& d) const {
-  return c0 + jacobian * (d - d_f);
+Vector FeasibilityModel::values(const DesignVec& d) const {
+  return c0 + jacobian * (d - d_f).raw();  // space-ok: linalg interop J*(d-d_f)
 }
 
-bool FeasibilityModel::feasible(const Vector& d, double tol) const {
+bool FeasibilityModel::feasible(const DesignVec& d, double tol) const {
   const Vector v = values(d);
   for (double c : v)
     if (c < -tol) return false;
@@ -46,7 +47,8 @@ std::pair<double, double> FeasibilityModel::coordinate_interval(
   return {lo, hi};
 }
 
-FeasibilityModel linearize_feasibility(Evaluator& evaluator, const Vector& d_f,
+FeasibilityModel linearize_feasibility(Evaluator& evaluator,
+                                       const DesignVec& d_f,
                                        double step_fraction) {
   FeasibilityModel model;
   model.d_f = d_f;
@@ -98,7 +100,8 @@ Vector min_norm_step(const Matrixd& a, const Vector& b) {
 }
 }  // namespace
 
-FeasibleStartResult find_feasible_start(Evaluator& evaluator, const Vector& d0,
+FeasibleStartResult find_feasible_start(Evaluator& evaluator,
+                                        const DesignVec& d0,
                                         const FeasibleStartOptions& options) {
   const auto& space = evaluator.problem().design;
   FeasibleStartResult result;
@@ -131,9 +134,9 @@ FeasibleStartResult find_feasible_start(Evaluator& evaluator, const Vector& d0,
       b[r] = options.target_margin - c[active[r]];
     }
 
-    Vector step;
+    DesignVec step;
     try {
-      step = min_norm_step(a, b);
+      step = DesignVec(min_norm_step(a, b));
     } catch (const std::exception&) {
       break;  // degenerate Jacobian; keep the best point found
     }
@@ -141,7 +144,7 @@ FeasibleStartResult find_feasible_start(Evaluator& evaluator, const Vector& d0,
     // Backtracking on the true violation.
     bool improved = false;
     for (double scale : {1.0, 0.5, 0.25, 0.1}) {
-      const Vector candidate = space.clamp(result.d + step * scale);
+      const DesignVec candidate = space.clamp(result.d + step * scale);
       const Vector c_candidate = evaluator.constraints(candidate);
       const double v = violation(c_candidate, options.target_margin);
       if (v < current_violation * (1.0 - 1e-6)) {

@@ -14,21 +14,22 @@
 
 #include "core/evaluator.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/spaces.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::core {
 
 /// Linearized constraints c_bar(d) = c0 + J (d - d_f) (paper eq. 15).
 struct FeasibilityModel {
-  linalg::Vector d_f;        ///< expansion point
+  linalg::DesignVec d_f;     ///< expansion point
   linalg::Vector c0;         ///< c(d_f)
   linalg::Matrixd jacobian;  ///< dc/dd at d_f
 
   std::size_t num_constraints() const { return c0.size(); }
   /// Linearized constraint values at d.
-  linalg::Vector values(const linalg::Vector& d) const;
+  linalg::Vector values(const linalg::DesignVec& d) const;
   /// True if all linearized constraints are >= -tol at d.
-  bool feasible(const linalg::Vector& d, double tol = 0.0) const;
+  bool feasible(const linalg::DesignVec& d, double tol = 0.0) const;
 
   /// Feasible interval of the coordinate move d + alpha * e_k, starting
   /// from the box-derived interval [alpha_lo, alpha_hi].  `current` are the
@@ -41,7 +42,7 @@ struct FeasibilityModel {
 
 /// Builds the constraint linearization at a (feasible) point d_f.
 FeasibilityModel linearize_feasibility(Evaluator& evaluator,
-                                       const linalg::Vector& d_f,
+                                       const linalg::DesignVec& d_f,
                                        double step_fraction = 1e-3);
 
 /// Controls for the feasible-start search of Sec. 5.5.
@@ -56,7 +57,7 @@ struct FeasibleStartOptions {
 
 /// Result of the feasible-start search.
 struct FeasibleStartResult {
-  linalg::Vector d;          ///< final (hopefully feasible) point
+  linalg::DesignVec d;       ///< final (hopefully feasible) point
   bool feasible = false;
   double worst_constraint = 0.0;  ///< min_i c_i(d)
   int iterations = 0;
@@ -66,7 +67,7 @@ struct FeasibleStartResult {
 /// constraints with backtracking, clamped to the design box).  If d0 is
 /// already feasible it is returned unchanged.
 FeasibleStartResult find_feasible_start(Evaluator& evaluator,
-                                        const linalg::Vector& d0,
+                                        const linalg::DesignVec& d0,
                                         const FeasibleStartOptions& options = {});
 
 }  // namespace mayo::core

@@ -4,6 +4,7 @@
 
 namespace mayo::core {
 
+using linalg::DesignVec;
 using linalg::Vector;
 
 namespace {
@@ -14,15 +15,16 @@ bool all_nonnegative(const Vector& c, double tol) {
 }
 }  // namespace
 
-LineSearchResult feasibility_line_search(Evaluator& evaluator, const Vector& d_f,
-                                         const Vector& d_star,
+LineSearchResult feasibility_line_search(Evaluator& evaluator,
+                                         const DesignVec& d_f,
+                                         const DesignVec& d_star,
                                          const LineSearchOptions& options) {
   LineSearchResult result;
-  const Vector direction = d_star - d_f;
+  const DesignVec direction = d_star - d_f;
 
   const auto feasible_at = [&](double gamma) {
     ++result.evaluations;
-    const Vector d = d_f + direction * gamma;
+    const DesignVec d = d_f + direction * gamma;
     return all_nonnegative(evaluator.constraints(d), options.tolerance);
   };
 

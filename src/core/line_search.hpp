@@ -7,7 +7,7 @@
 #pragma once
 
 #include "core/evaluator.hpp"
-#include "linalg/vector.hpp"
+#include "linalg/spaces.hpp"
 
 namespace mayo::core {
 
@@ -18,7 +18,7 @@ struct LineSearchOptions {
 
 struct LineSearchResult {
   double gamma = 0.0;        ///< accepted step fraction
-  linalg::Vector d_new;      ///< d_f + gamma * (d_star - d_f)
+  linalg::DesignVec d_new;   ///< d_f + gamma * (d_star - d_f)
   int evaluations = 0;       ///< constraint evaluations spent
   bool full_step = false;    ///< gamma == 1 accepted immediately
 };
@@ -27,8 +27,8 @@ struct LineSearchResult {
 /// if even gamma = 0 violates the constraints the result has gamma = 0 and
 /// d_new = d_f.
 LineSearchResult feasibility_line_search(Evaluator& evaluator,
-                                         const linalg::Vector& d_f,
-                                         const linalg::Vector& d_star,
+                                         const linalg::DesignVec& d_f,
+                                         const linalg::DesignVec& d_star,
                                          const LineSearchOptions& options = {});
 
 }  // namespace mayo::core

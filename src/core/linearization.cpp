@@ -4,14 +4,18 @@
 
 namespace mayo::core {
 
-using linalg::Vector;
+using linalg::DesignVec;
+using linalg::OperatingVec;
+using linalg::StatUnitVec;
 
-double SpecLinearization::value(const Vector& d, const Vector& s_hat) const {
+double SpecLinearization::value(const DesignVec& d,
+                                const StatUnitVec& s_hat) const {
   return margin_wc + linalg::dot(grad_s, s_hat - s_wc) +
          linalg::dot(grad_d, d - d_f);
 }
 
-LinearizedModels build_linearizations(Evaluator& evaluator, const Vector& d_f,
+LinearizedModels build_linearizations(Evaluator& evaluator,
+                                      const DesignVec& d_f,
                                       const LinearizationOptions& options) {
   LinearizedModels out;
   out.operating = find_worst_case_operating(evaluator, d_f, options.operating);
@@ -27,14 +31,14 @@ LinearizedModels build_linearizations(Evaluator& evaluator, const Vector& d_f,
   if (options.linearize_at_nominal) {
     grouping = group_corners(out.operating.theta_wc);
     nominal_grads.reserve(grouping.distinct.size());
-    const Vector s_nominal = evaluator.nominal_s_hat();
-    for (const Vector& theta : grouping.distinct)
+    const StatUnitVec s_nominal = evaluator.nominal_s_hat();
+    for (const OperatingVec& theta : grouping.distinct)
       nominal_grads.push_back(evaluator.margin_gradients_s(
           d_f, s_nominal, theta, options.wc.gradient_step));
   }
 
   for (std::size_t i = 0; i < num_specs; ++i) {
-    const Vector& theta_wc = out.operating.theta_wc[i];
+    const OperatingVec& theta_wc = out.operating.theta_wc[i];
 
     WorstCasePoint wc;
     if (options.linearize_at_nominal) {
@@ -44,7 +48,7 @@ LinearizedModels build_linearizations(Evaluator& evaluator, const Vector& d_f,
       wc.margin_nominal = evaluator.margin(i, d_f, wc.s_wc, theta_wc);
       wc.margin_at_wc = wc.margin_nominal;
       const linalg::Matrixd& grads = nominal_grads[grouping.group_of_spec[i]];
-      wc.gradient = Vector(evaluator.num_statistical());
+      wc.gradient = StatUnitVec(evaluator.num_statistical());
       for (std::size_t k = 0; k < wc.gradient.size(); ++k)
         wc.gradient[k] = grads(i, k);
       wc.beta = 0.0;

@@ -20,7 +20,7 @@
 #include "core/evaluator.hpp"
 #include "core/wc_distance.hpp"
 #include "core/wc_operating.hpp"
-#include "linalg/vector.hpp"
+#include "linalg/spaces.hpp"
 
 namespace mayo::core {
 
@@ -28,16 +28,17 @@ namespace mayo::core {
 struct SpecLinearization {
   std::size_t spec = 0;        ///< specification index
   bool is_mirror = false;      ///< mirrored model of a quadratic performance
-  linalg::Vector theta_wc;     ///< worst-case operating point of the spec
-  linalg::Vector s_wc;         ///< expansion point in s_hat space
-  linalg::Vector d_f;          ///< design expansion point
+  linalg::OperatingVec theta_wc;  ///< worst-case operating point of the spec
+  linalg::StatUnitVec s_wc;    ///< expansion point in s_hat space
+  linalg::DesignVec d_f;       ///< design expansion point
   double margin_wc = 0.0;      ///< margin at (d_f, s_wc, theta_wc)
-  linalg::Vector grad_s;       ///< margin gradient w.r.t. s_hat
-  linalg::Vector grad_d;       ///< margin gradient w.r.t. d
+  linalg::StatUnitVec grad_s;  ///< margin gradient w.r.t. s_hat
+  linalg::DesignVec grad_d;    ///< margin gradient w.r.t. d
   double beta = 0.0;           ///< worst-case distance of the underlying point
 
   /// Model evaluation m_bar(d, s_hat).
-  double value(const linalg::Vector& d, const linalg::Vector& s_hat) const;
+  double value(const linalg::DesignVec& d,
+               const linalg::StatUnitVec& s_hat) const;
 };
 
 /// Controls for building the full set of linearizations at one iterate.
@@ -61,7 +62,7 @@ struct LinearizedModels {
 
 /// Builds theta_wc, the worst-case points and the linear models at d_f.
 LinearizedModels build_linearizations(Evaluator& evaluator,
-                                      const linalg::Vector& d_f,
+                                      const linalg::DesignVec& d_f,
                                       const LinearizationOptions& options = {});
 
 }  // namespace mayo::core

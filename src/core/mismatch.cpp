@@ -18,7 +18,8 @@ double mismatch_robustness_weight(double beta) {
   return 1.0 / (2.0 * (beta + 1.0));
 }
 
-double mismatch_measure(const linalg::Vector& s_wc, double beta, std::size_t k,
+double mismatch_measure(const linalg::StatUnitVec& s_wc, double beta,
+                        std::size_t k,
                         std::size_t l, const MismatchOptions& options) {
   const double sk = s_wc.at(k);
   const double sl = s_wc.at(l);

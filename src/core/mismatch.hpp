@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "core/wc_distance.hpp"
-#include "linalg/vector.hpp"
+#include "linalg/spaces.hpp"
 
 namespace mayo::core {
 
@@ -45,7 +45,7 @@ double mismatch_robustness_weight(double beta);
 /// Mismatch measure of one statistical-parameter pair (k, l) for a
 /// worst-case point s_wc with signed distance beta.  Returns 0 when either
 /// component is exactly zero.
-double mismatch_measure(const linalg::Vector& s_wc, double beta,
+double mismatch_measure(const linalg::StatUnitVec& s_wc, double beta,
                         std::size_t k, std::size_t l,
                         const MismatchOptions& options = {});
 

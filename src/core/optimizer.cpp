@@ -1,17 +1,19 @@
 #include "core/optimizer.hpp"
 
+#include "core/yield_model.hpp"
+
 #include <chrono>
 
 #include "stats/sampler.hpp"
 
 namespace mayo::core {
 
-using linalg::Vector;
+using linalg::DesignVec;
 
 namespace {
 
 /// Builds the trace row at iterate d from freshly built linearizations.
-IterationRecord make_record(Evaluator& evaluator, const Vector& d,
+IterationRecord make_record(Evaluator& evaluator, const DesignVec& d,
                             const LinearizedModels& linearized,
                             const stats::SampleSet& samples,
                             int iteration) {
@@ -57,7 +59,7 @@ YieldOptimizationResult optimize_yield(Evaluator& evaluator,
   const auto& design_space = evaluator.problem().design;
 
   // Step 1: feasible starting point (Sec. 5.5).
-  Vector d_f = design_space.nominal;
+  DesignVec d_f(design_space.nominal);
   if (options.use_constraints) {
     const FeasibleStartResult start =
         find_feasible_start(evaluator, d_f, options.feasible_start);
@@ -106,7 +108,7 @@ YieldOptimizationResult optimize_yield(Evaluator& evaluator,
 
       // Step 4: feasibility line search on true constraints (eq. 23).
       double gamma = 1.0;
-      Vector d_new = search.d_star;
+      DesignVec d_new = search.d_star;
       if (options.use_constraints) {
         const LineSearchResult line = feasibility_line_search(
             evaluator, d_f, search.d_star, options.line_search);

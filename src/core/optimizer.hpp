@@ -23,7 +23,6 @@
 #include "core/line_search.hpp"
 #include "core/linearization.hpp"
 #include "core/verification.hpp"
-#include "core/yield_model.hpp"
 
 namespace mayo::core {
 
@@ -57,7 +56,7 @@ struct SpecSnapshot {
 /// One row of the optimization trace (paper Tables 1/3/4/6).
 struct IterationRecord {
   int iteration = 0;  ///< 0 = initial design
-  linalg::Vector d;
+  linalg::DesignVec d;
   std::vector<SpecSnapshot> specs;
   double linear_yield = 0.0;    ///< Y_bar on the linear models at d
   double verified_yield = -1.0; ///< simulation MC (-1 if not run)
@@ -68,7 +67,7 @@ struct IterationRecord {
 
 struct YieldOptimizationResult {
   std::vector<IterationRecord> trace;  ///< [0] = initial, then per iteration
-  linalg::Vector final_d;
+  linalg::DesignVec final_d;
   bool feasible_start_found = false;
   /// Linearizations (worst-case points included) built at each trace point;
   /// index matches `trace`.  Mismatch analysis reuses these at no extra

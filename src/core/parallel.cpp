@@ -10,7 +10,8 @@
 
 namespace mayo::core {
 
-using linalg::Vector;
+using linalg::DesignVec;
+using linalg::OperatingVec;
 
 namespace {
 
@@ -25,8 +26,8 @@ struct WorkerResult {
 }  // namespace
 
 VerificationResult parallel_monte_carlo_verify(
-    Evaluator& evaluator, const Vector& d,
-    const std::vector<Vector>& theta_wc,
+    Evaluator& evaluator, const DesignVec& d,
+    const std::vector<OperatingVec>& theta_wc,
     const ParallelVerificationOptions& options) {
   const YieldProblem& problem = evaluator.problem();
   const std::size_t num_specs = problem.specs.size();

@@ -32,8 +32,8 @@ struct ParallelVerificationOptions {
 /// when it does not.  Evaluation counts from the workers are added to
 /// `evaluator`'s verification counter so budget reporting stays correct.
 VerificationResult parallel_monte_carlo_verify(
-    Evaluator& evaluator, const linalg::Vector& d,
-    const std::vector<linalg::Vector>& theta_wc,
+    Evaluator& evaluator, const linalg::DesignVec& d,
+    const std::vector<linalg::OperatingVec>& theta_wc,
     const ParallelVerificationOptions& options = {});
 
 }  // namespace mayo::core

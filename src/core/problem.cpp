@@ -40,20 +40,20 @@ std::size_t ParameterSpace::index_of(const std::string& name) const {
   throw std::out_of_range("ParameterSpace: no parameter named '" + name + "'");
 }
 
-void PerformanceModel::evaluate_batch(const linalg::Vector& d,
-                                      linalg::ConstMatrixView s_block,
-                                      const linalg::Vector& theta,
-                                      linalg::MatrixView out) {
+void PerformanceModel::evaluate_batch(const linalg::DesignVec& d,
+                                      linalg::StatPhysBlock s_block,
+                                      const linalg::OperatingVec& theta,
+                                      linalg::PerfBlockView out) {
   if (out.rows() != s_block.rows() || out.cols() != num_performances())
     throw std::invalid_argument(
         "PerformanceModel::evaluate_batch: out shape mismatch");
   // Default fallback: the scalar loop.  Native implementations override
   // this to hoist per-(d, theta) setup out of the loop.
-  linalg::Vector s(s_block.cols());
+  linalg::StatPhysVec s(s_block.cols());
   for (std::size_t j = 0; j < s_block.rows(); ++j) {
     const double* row = s_block.row(j);
     for (std::size_t i = 0; i < s.size(); ++i) s[i] = row[i];
-    const linalg::Vector values = evaluate(d, s, theta);
+    const linalg::PerfVec values = evaluate(d, s, theta);
     if (values.size() != num_performances())
       throw std::runtime_error(
           "PerformanceModel::evaluate_batch: wrong performance count");

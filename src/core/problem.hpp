@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "linalg/block.hpp"
+#include "linalg/spaces.hpp"
 #include "linalg/vector.hpp"
 #include "stats/covariance.hpp"
 
@@ -69,6 +69,23 @@ struct ParameterSpace {
   linalg::Vector clamp(linalg::Vector x) const;
   /// True if x lies inside the box (within tol * range per coordinate).
   bool contains(const linalg::Vector& x, double tol = 0.0) const;
+  /// Tagged overloads: the space a box clamps stays the space it was
+  /// (element-wise, so no untagging needed).
+  template <class Space>
+  linalg::Tagged<Space> clamp(linalg::Tagged<Space> x) const {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = x[i] < lower[i] ? lower[i] : (x[i] > upper[i] ? upper[i] : x[i]);
+    return x;
+  }
+  template <class Space>
+  bool contains(const linalg::Tagged<Space>& x, double tol = 0.0) const {
+    if (x.size() != dimension()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double slack = tol * (upper[i] - lower[i]);
+      if (x[i] < lower[i] - slack || x[i] > upper[i] + slack) return false;
+    }
+    return true;
+  }
   /// Index of a named parameter; throws std::out_of_range if absent.
   std::size_t index_of(const std::string& name) const;
 };
@@ -92,10 +109,14 @@ class PerformanceModel {
   virtual std::vector<std::string> constraint_names() const;
 
   /// Evaluates all performances at design d, physical statistical
-  /// parameters s and operating point theta.
-  virtual linalg::Vector evaluate(const linalg::Vector& d,
-                                  const linalg::Vector& s,
-                                  const linalg::Vector& theta) = 0;
+  /// parameters s and operating point theta.  The tagged signature is the
+  /// StatPhysical -> Performance crossing of the space layer: a model can
+  /// only be fed physical parameters, so handing it raw sampler output
+  /// (s_hat, unit-normal) without Covariance::to_physical refuses to
+  /// compile.
+  virtual linalg::PerfVec evaluate(const linalg::DesignVec& d,
+                                   const linalg::StatPhysVec& s,
+                                   const linalg::OperatingVec& theta) = 0;
 
   /// Batched evaluation: row j of `s_block` is a physical statistical
   /// vector; performance row j is written into `out` (s_block.rows() x
@@ -107,14 +128,15 @@ class PerformanceModel {
   /// optimization (hoisting d/theta-dependent setup out of the per-sample
   /// loop), never a semantic change.  The default implementation is the
   /// scalar loop, so existing models keep working unmodified.
-  virtual void evaluate_batch(const linalg::Vector& d,
-                              linalg::ConstMatrixView s_block,
-                              const linalg::Vector& theta,
-                              linalg::MatrixView out);
+  virtual void evaluate_batch(const linalg::DesignVec& d,
+                              linalg::StatPhysBlock s_block,
+                              const linalg::OperatingVec& theta,
+                              linalg::PerfBlockView out);
 
   /// Evaluates the functional constraints c(d) >= 0 at nominal statistics
   /// and nominal operating conditions (technology sizing rules, Sec. 5.1).
-  virtual linalg::Vector constraints(const linalg::Vector& d) = 0;
+  /// Constraint values are their own (untagged) quantity.
+  virtual linalg::Vector constraints(const linalg::DesignVec& d) = 0;
 
   /// Deep copy for thread isolation (models are stateful: netlists, warm
   /// starts).  Returning nullptr (the default) opts out of parallel

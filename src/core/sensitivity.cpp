@@ -5,8 +5,10 @@
 
 namespace mayo::core {
 
+using linalg::DesignVec;
 using linalg::Matrixd;
-using linalg::Vector;
+using linalg::OperatingVec;
+using linalg::StatUnitVec;
 
 namespace {
 std::vector<std::size_t> top_indices(const Matrixd& matrix, std::size_t row,
@@ -32,7 +34,7 @@ std::vector<std::size_t> SensitivityReport::top_statistical_parameters(
 }
 
 SensitivityReport analyze_sensitivities(Evaluator& evaluator,
-                                        const Vector& d) {
+                                        const DesignVec& d) {
   const auto& problem = evaluator.problem();
   const std::size_t num_specs = evaluator.num_specs();
   const std::size_t num_design = evaluator.num_design();
@@ -43,16 +45,16 @@ SensitivityReport analyze_sensitivities(Evaluator& evaluator,
   report.design = Matrixd(num_specs, num_design);
   report.statistical = Matrixd(num_specs, num_stat);
 
-  const Vector s0 = evaluator.nominal_s_hat();
+  const StatUnitVec s0 = evaluator.nominal_s_hat();
   for (std::size_t i = 0; i < num_specs; ++i) {
-    const Vector& theta = report.operating.theta_wc[i];
+    const OperatingVec& theta = report.operating.theta_wc[i];
     const double scale = problem.specs[i].scale;
-    const Vector grad_d = evaluator.margin_gradient_d(i, d, s0, theta);
+    const DesignVec grad_d = evaluator.margin_gradient_d(i, d, s0, theta);
     for (std::size_t j = 0; j < num_design; ++j) {
       const double range = problem.design.upper[j] - problem.design.lower[j];
       report.design(i, j) = grad_d[j] * range / scale;
     }
-    const Vector grad_s = evaluator.margin_gradient_s(i, d, s0, theta);
+    const StatUnitVec grad_s = evaluator.margin_gradient_s(i, d, s0, theta);
     for (std::size_t j = 0; j < num_stat; ++j)
       report.statistical(i, j) = grad_s[j] / scale;
   }

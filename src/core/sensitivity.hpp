@@ -38,6 +38,6 @@ struct SensitivityReport {
 /// Builds the report at design d (finite differences; ~(n_d + n_s + 1) *
 /// n_corners evaluations).
 SensitivityReport analyze_sensitivities(Evaluator& evaluator,
-                                        const linalg::Vector& d);
+                                        const linalg::DesignVec& d);
 
 }  // namespace mayo::core

@@ -8,8 +8,10 @@
 
 namespace mayo::core {
 
+using linalg::DesignVec;
 using linalg::Matrixd;
 using linalg::MatrixView;
+using linalg::OperatingVec;
 using linalg::Vector;
 
 namespace detail {
@@ -27,21 +29,23 @@ BlockVerifier::BlockVerifier(Evaluator& evaluator,
   perf_stats_.resize(num_specs);
 }
 
-void BlockVerifier::run_block(const Vector& d, const stats::SampleSet& samples,
+void BlockVerifier::run_block(const DesignVec& d,
+                              const stats::SampleSet& samples,
                               std::size_t first, std::size_t count,
                               std::vector<std::uint8_t>* sample_pass) {
   if (count == 0) return;
   const std::size_t num_specs = evaluator_.num_specs();
-  const linalg::ConstMatrixView block = samples.block(first, count);
+  const linalg::StatUnitBlock block = samples.block(first, count);
   // Corner-major evaluation: one batch call per distinct operating corner
   // (eq. 6-7; evaluations shared between specs of a corner group).
   for (std::size_t g = 0; g < grouping_.distinct.size(); ++g) {
     Matrixd& values = corner_values_[g];
     if (values.rows() < count)
       values = Matrixd(count, num_specs);  // hot-ok: grow-only, reused
-    evaluator_.performances_batch(d, block, grouping_.distinct[g],
-                                  MatrixView(values).middle_rows(0, count),
-                                  ws_, Budget::kVerification);
+    evaluator_.performances_batch(
+        d, block, grouping_.distinct[g],
+        linalg::PerfBlockView(MatrixView(values).middle_rows(0, count)), ws_,
+        Budget::kVerification);
   }
   // Accumulation stays sample-major in ascending order so the running
   // statistics fold values in exactly the scalar loop's sequence.
@@ -64,7 +68,7 @@ void BlockVerifier::run_block(const Vector& d, const stats::SampleSet& samples,
 
 }  // namespace detail
 
-CornerGrouping group_corners(const std::vector<Vector>& theta_wc) {
+CornerGrouping group_corners(const std::vector<OperatingVec>& theta_wc) {
   CornerGrouping grouping;
   grouping.group_of_spec.resize(theta_wc.size());
   for (std::size_t i = 0; i < theta_wc.size(); ++i) {
@@ -84,9 +88,10 @@ CornerGrouping group_corners(const std::vector<Vector>& theta_wc) {
   return grouping;
 }
 
-VerificationResult monte_carlo_verify(Evaluator& evaluator, const Vector& d,
-                                      const std::vector<Vector>& theta_wc,
-                                      const VerificationOptions& options) {
+VerificationResult monte_carlo_verify(
+    Evaluator& evaluator, const DesignVec& d,
+    const std::vector<OperatingVec>& theta_wc,
+    const VerificationOptions& options) {
   const std::size_t num_specs = evaluator.num_specs();
   if (theta_wc.size() != num_specs)
     throw std::invalid_argument("monte_carlo_verify: theta_wc size mismatch");

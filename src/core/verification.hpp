@@ -48,16 +48,16 @@ struct VerificationResult {
 /// Groups specifications by identical worst-case operating point so one
 /// evaluation serves all specs of a group (the paper's N* discussion).
 struct CornerGrouping {
-  std::vector<linalg::Vector> distinct;     ///< unique operating points
-  std::vector<std::size_t> group_of_spec;   ///< spec -> index into distinct
+  std::vector<linalg::OperatingVec> distinct;  ///< unique operating points
+  std::vector<std::size_t> group_of_spec;      ///< spec -> index into distinct
 };
-CornerGrouping group_corners(const std::vector<linalg::Vector>& theta_wc);
+CornerGrouping group_corners(const std::vector<linalg::OperatingVec>& theta_wc);
 
 /// Runs the verification at design d with the given per-spec worst-case
 /// operating points (index = spec).
 VerificationResult monte_carlo_verify(
-    Evaluator& evaluator, const linalg::Vector& d,
-    const std::vector<linalg::Vector>& theta_wc,
+    Evaluator& evaluator, const linalg::DesignVec& d,
+    const std::vector<linalg::OperatingVec>& theta_wc,
     const VerificationOptions& options = {});
 
 namespace detail {
@@ -80,7 +80,7 @@ class BlockVerifier {
   /// corner and accumulates them in ascending sample order.  When
   /// `sample_pass` is non-null, per-sample decisions are written at their
   /// absolute sample indices.
-  void run_block(const linalg::Vector& d, const stats::SampleSet& samples,
+  void run_block(const linalg::DesignVec& d, const stats::SampleSet& samples,
                  std::size_t first, std::size_t count,
                  std::vector<std::uint8_t>* sample_pass);
 

@@ -8,22 +8,24 @@
 
 namespace mayo::core {
 
-using linalg::Vector;
+using linalg::DesignVec;
+using linalg::OperatingVec;
+using linalg::StatUnitVec;
 
 namespace {
 
 struct SearchOutcome {
-  Vector s;
+  StatUnitVec s;
   double margin = 0.0;
-  Vector gradient;
+  StatUnitVec gradient;
   bool converged = false;
   int iterations = 0;
 };
 
 /// One sequential-linearization run from a given start point.
 SearchOutcome run_search(Evaluator& evaluator, std::size_t spec,
-                         const Vector& d, const Vector& theta_wc,
-                         const Vector& start, double scale,
+                         const DesignVec& d, const OperatingVec& theta_wc,
+                         const StatUnitVec& start, double scale,
                          const WcDistanceOptions& options) {
   SearchOutcome out;
   out.s = start;
@@ -40,8 +42,8 @@ SearchOutcome run_search(Evaluator& evaluator, std::size_t spec,
 
     // Min-norm point of the linearized level set {s | m + g^T(s - s_k) = 0}.
     const double rhs = linalg::dot(out.gradient, out.s) - out.margin;
-    Vector target = out.gradient * (rhs / g2);
-    Vector step = target - out.s;
+    StatUnitVec target = out.gradient * (rhs / g2);
+    StatUnitVec step = target - out.s;
 
     // Adaptive damping: back off when the margin residual grew.
     if (std::abs(out.margin) > prev_abs_margin)
@@ -50,7 +52,7 @@ SearchOutcome run_search(Evaluator& evaluator, std::size_t spec,
       damping = std::min(1.0, 1.3 * damping);
     prev_abs_margin = std::abs(out.margin);
 
-    Vector s_new = out.s + step * damping;
+    StatUnitVec s_new = out.s + step * damping;
     const double radius = s_new.norm();
     if (radius > options.max_radius) s_new *= options.max_radius / radius;
 
@@ -71,11 +73,12 @@ SearchOutcome run_search(Evaluator& evaluator, std::size_t spec,
 }  // namespace
 
 WorstCasePoint find_worst_case_point(Evaluator& evaluator, std::size_t spec,
-                                     const Vector& d, const Vector& theta_wc,
+                                     const DesignVec& d,
+                                     const OperatingVec& theta_wc,
                                      const WcDistanceOptions& options) {
   const std::size_t n = evaluator.num_statistical();
   const double scale = evaluator.problem().specs.at(spec).scale;
-  const Vector origin(n);
+  const StatUnitVec origin(n);
 
   WorstCasePoint result;
   result.spec = spec;
@@ -83,7 +86,7 @@ WorstCasePoint find_worst_case_point(Evaluator& evaluator, std::size_t spec,
 
   // Collect start points: the nominal point plus curvature-seeded starts
   // along quadratic (mismatch-type) axes.
-  std::vector<Vector> starts;
+  std::vector<StatUnitVec> starts;
   starts.push_back(origin);
 
   if (options.curvature_starts && result.margin_nominal > 0.0) {
@@ -94,7 +97,7 @@ WorstCasePoint find_worst_case_point(Evaluator& evaluator, std::size_t spec,
       double radius;
     };
     std::vector<Axis> axes;
-    Vector probe(n);
+    StatUnitVec probe(n);
     for (std::size_t i = 0; i < n; ++i) {
       probe[i] = h;
       const double m_plus = evaluator.margin(spec, d, probe, theta_wc);
@@ -119,12 +122,12 @@ WorstCasePoint find_worst_case_point(Evaluator& evaluator, std::size_t spec,
     int budget = options.max_extra_starts;
     for (const Axis& axis : axes) {
       if (budget <= 0) break;
-      Vector plus(n);
+      StatUnitVec plus(n);
       plus[axis.index] = axis.radius;
       starts.push_back(plus);
       --budget;
       if (budget <= 0) break;
-      Vector minus(n);
+      StatUnitVec minus(n);
       minus[axis.index] = -axis.radius;
       starts.push_back(minus);
       --budget;
@@ -136,7 +139,7 @@ WorstCasePoint find_worst_case_point(Evaluator& evaluator, std::size_t spec,
   bool have_best = false;
   SearchOutcome fallback;
   bool have_fallback = false;
-  for (const Vector& start : starts) {
+  for (const StatUnitVec& start : starts) {
     SearchOutcome outcome =
         run_search(evaluator, spec, d, theta_wc, start, scale, options);
     result.iterations += outcome.iterations;

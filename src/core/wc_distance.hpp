@@ -37,7 +37,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
-#include "linalg/vector.hpp"
+#include "linalg/spaces.hpp"
 
 namespace mayo::core {
 
@@ -57,11 +57,11 @@ struct WcDistanceOptions {
 /// Result of the search for one specification.
 struct WorstCasePoint {
   std::size_t spec = 0;
-  linalg::Vector s_wc;      ///< worst-case point in s_hat coordinates
-  double beta = 0.0;        ///< signed worst-case distance
+  linalg::StatUnitVec s_wc;  ///< worst-case point in s_hat coordinates
+  double beta = 0.0;         ///< signed worst-case distance
   double margin_nominal = 0.0;  ///< margin at s_hat = 0
   double margin_at_wc = 0.0;    ///< residual margin at s_wc (~0 when converged)
-  linalg::Vector gradient;  ///< margin gradient w.r.t. s_hat at s_wc
+  linalg::StatUnitVec gradient;  ///< margin gradient w.r.t. s_hat at s_wc
   bool converged = false;
   bool mirrored = false;    ///< quadratic behaviour detected (eq. 21)
   double margin_at_mirror = 0.0;  ///< margin at -s_wc
@@ -70,8 +70,8 @@ struct WorstCasePoint {
 
 /// Runs the search for one specification.
 WorstCasePoint find_worst_case_point(Evaluator& evaluator, std::size_t spec,
-                                     const linalg::Vector& d,
-                                     const linalg::Vector& theta_wc,
+                                     const linalg::DesignVec& d,
+                                     const linalg::OperatingVec& theta_wc,
                                      const WcDistanceOptions& options = {});
 
 /// Convenience: per-spec yield estimate Phi(beta) of a worst-case point.

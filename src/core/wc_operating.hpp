@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
-#include "linalg/vector.hpp"
+#include "linalg/spaces.hpp"
 
 namespace mayo::core {
 
@@ -27,14 +27,14 @@ struct WcOperatingOptions {
 /// Result for all specifications.
 struct WcOperatingResult {
   /// theta_wc per specification (index = spec index).
-  std::vector<linalg::Vector> theta_wc;
+  std::vector<linalg::OperatingVec> theta_wc;
   /// Margin of each spec at its worst-case operating point (at s_hat = 0).
   std::vector<double> worst_margin;
 };
 
 /// Finds theta_wc for every specification at design d, nominal statistics.
 WcOperatingResult find_worst_case_operating(
-    Evaluator& evaluator, const linalg::Vector& d,
+    Evaluator& evaluator, const linalg::DesignVec& d,
     const WcOperatingOptions& options = {});
 
 }  // namespace mayo::core

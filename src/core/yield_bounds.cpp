@@ -9,7 +9,7 @@
 namespace mayo::core {
 
 YieldBounds analytic_yield_bounds(const std::vector<SpecLinearization>& models,
-                                  const linalg::Vector& d) {
+                                  const linalg::DesignVec& d) {
   YieldBounds bounds;
   double miss_sum = 0.0;
   double product = 1.0;

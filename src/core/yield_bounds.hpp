@@ -29,6 +29,6 @@ struct YieldBounds {
 /// Bounds from the linearized models at design d (uses the linearized
 /// beta of core/baseline.hpp for every model, mirrors included).
 YieldBounds analytic_yield_bounds(const std::vector<SpecLinearization>& models,
-                                  const linalg::Vector& d);
+                                  const linalg::DesignVec& d);
 
 }  // namespace mayo::core

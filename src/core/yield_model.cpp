@@ -10,7 +10,7 @@
 
 namespace mayo::core {
 
-using linalg::Vector;
+using linalg::DesignVec;
 
 LinearYieldModel::LinearYieldModel(std::vector<SpecLinearization> models,
                                    const stats::SampleSet& samples)
@@ -48,7 +48,7 @@ LinearYieldModel::LinearYieldModel(std::vector<SpecLinearization> models,
   set_design(models_.front().d_f);
 }
 
-void LinearYieldModel::set_design(const Vector& d) {
+void LinearYieldModel::set_design(const DesignVec& d) {
   MAYO_CHECK_DIM(d.size(), models_.front().d_f.size(),
                  "LinearYieldModel::set_design: design dimension");
   d_ = d;

@@ -24,6 +24,7 @@
 
 #include "core/linearization.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/spaces.hpp"
 #include "linalg/vector.hpp"
 #include "stats/sampler.hpp"
 
@@ -41,8 +42,8 @@ class LinearYieldModel {
   const std::vector<SpecLinearization>& models() const { return models_; }
 
   /// Sets the current design point (recomputes all offsets).
-  void set_design(const linalg::Vector& d);
-  const linalg::Vector& design() const { return d_; }
+  void set_design(const linalg::DesignVec& d);
+  const linalg::DesignVec& design() const { return d_; }
 
   /// Moves one coordinate by alpha and updates the offsets incrementally.
   void apply_coordinate(std::size_t k, double alpha);
@@ -78,7 +79,7 @@ class LinearYieldModel {
   const stats::SampleSet& samples_;
   linalg::Matrixd base_;     // models x samples
   linalg::Vector offsets_;   // per model: grad_d^T (d - d_f)
-  linalg::Vector d_;
+  linalg::DesignVec d_;
 };
 
 }  // namespace mayo::core

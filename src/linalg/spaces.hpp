@@ -1,0 +1,269 @@
+// mayo/linalg -- compile-time tagged vector spaces (paper eq. 11-12).
+//
+// The whole optimizer rests on the discipline that four different vector
+// spaces never mix:
+//
+//   Design        d      -- sizing parameters, box-bounded
+//   StatUnit      s_hat  -- standard-normal statistical coordinates N(0, I)
+//   StatPhysical  s      -- physical statistical parameters, s = G(d) s_hat + s0
+//   Operating     theta  -- operating conditions (temperature, supply)
+//
+// plus the two output spaces `Performance` (raw f values) and `Margin`
+// (+/-(f - f_b), the sign-normalized form every algorithm consumes).  All
+// of them used to travel as bare linalg::Vector, so swapping s_hat for s
+// (or d for theta) compiled silently and surfaced only as a wrong yield
+// number.  Tagged<Space> makes each space a distinct type: the wrapper
+// stores a plain Vector (zero-cost, verified by static_assert below) and
+// forwards the arithmetic that is closed within one space, while any
+// cross-space operation refuses to compile.
+//
+// Allowed crossings are named functions, not casts:
+//
+//   StatUnit -> StatPhysical   CovarianceModel::to_physical{,_block} (eq. 11)
+//   StatPhysical -> StatUnit   CovarianceModel::to_standard
+//   (fresh) -> StatUnit        stats::SampleSet / Evaluator::nominal_s_hat
+//   StatPhysical -> Performance  PerformanceModel::evaluate{,_batch} (eq. 14)
+//   Performance -> Margin      Specification::margin via the Evaluator
+//
+// Escape hatch: .raw() exposes the underlying Vector (or matrix view) for
+// linalg interop.  tools/lint.py rule `space-discipline` restricts .raw()
+// to the whitelisted crossing sites above plus lines annotated with
+// "// space-ok: <reason>", so every untagging is explicit and greppable.
+// tests/compile_fail/ proves the forbidden mixings actually fail to
+// compile.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <utility>
+
+#include "linalg/block.hpp"
+#include "linalg/vector.hpp"
+
+namespace mayo::space {
+
+// Tag types.  Adding a space = adding a tag here plus an alias below (see
+// README "Adding a space or crossing").
+struct Design {};        ///< d
+struct StatUnit {};      ///< s_hat, distributed N(0, I) by construction
+struct StatPhysical {};  ///< s = G(d) s_hat + s0
+struct Operating {};     ///< theta
+struct Performance {};   ///< f(d, s, theta)
+struct Margin {};        ///< +/-(f - f_b) >= 0 iff the spec holds
+
+}  // namespace mayo::space
+
+namespace mayo::linalg {
+
+/// Strong typedef of Vector for one vector space.  Everything that stays
+/// inside the space (element access, norms, +, -, scaling) is forwarded;
+/// there is deliberately NO conversion between different Tagged<> types
+/// and NO implicit conversion from or to Vector.
+template <class Space>
+class Tagged {
+ public:
+  using space_type = Space;
+
+  Tagged() = default;
+  /// Zero vector of dimension `n`.
+  explicit Tagged(std::size_t n) : v_(n) {}
+  Tagged(std::size_t n, double value) : v_(n, value) {}
+  Tagged(std::initializer_list<double> init) : v_(init) {}
+  /// Tags an untyped vector.  Explicit on purpose: minting a space value
+  /// from raw storage must be visible at the call site.
+  explicit Tagged(Vector v) : v_(std::move(v)) {}
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  double& operator[](std::size_t i) { return v_[i]; }
+  double operator[](std::size_t i) const { return v_[i]; }
+  double& at(std::size_t i) { return v_.at(i); }
+  double at(std::size_t i) const { return v_.at(i); }
+
+  double* data() { return v_.data(); }
+  const double* data() const { return v_.data(); }
+
+  auto begin() { return v_.begin(); }
+  auto end() { return v_.end(); }
+  auto begin() const { return v_.begin(); }
+  auto end() const { return v_.end(); }
+
+  void resize(std::size_t n, double value = 0.0) { v_.resize(n, value); }
+  void fill(double value) { v_.fill(value); }
+
+  Tagged& operator+=(const Tagged& rhs) { v_ += rhs.v_; return *this; }
+  Tagged& operator-=(const Tagged& rhs) { v_ -= rhs.v_; return *this; }
+  Tagged& operator*=(double scale) { v_ *= scale; return *this; }
+  Tagged& operator/=(double scale) { v_ /= scale; return *this; }
+
+  double norm() const { return v_.norm(); }
+  double norm2() const { return v_.norm2(); }
+  double max_abs() const { return v_.max_abs(); }
+  double sum() const { return v_.sum(); }
+
+  /// Unit vector e_k of this space.
+  static Tagged unit(std::size_t n, std::size_t k) {
+    return Tagged(linalg::unit(n, k));
+  }
+
+  friend bool operator==(const Tagged&, const Tagged&) = default;
+
+  /// The underlying storage -- the ONLY way out of the type system.
+  /// Restricted by the `space-discipline` lint rule (see module docstring).
+  Vector& raw() & { return v_; }
+  const Vector& raw() const& { return v_; }
+  Vector&& raw() && { return std::move(v_); }
+
+ private:
+  Vector v_;
+};
+
+// Zero-cost: a tagged vector is layout-identical to the vector it wraps.
+static_assert(sizeof(Tagged<space::Design>) == sizeof(Vector),
+              "Tagged<> must add no storage");
+
+// In-space arithmetic (dimensions must agree, as for Vector).
+template <class S>
+inline Tagged<S> operator+(Tagged<S> lhs, const Tagged<S>& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+template <class S>
+inline Tagged<S> operator-(Tagged<S> lhs, const Tagged<S>& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+template <class S>
+inline Tagged<S> operator*(Tagged<S> lhs, double scale) {
+  lhs *= scale;
+  return lhs;
+}
+template <class S>
+inline Tagged<S> operator*(double scale, Tagged<S> rhs) {
+  rhs *= scale;
+  return rhs;
+}
+template <class S>
+inline Tagged<S> operator/(Tagged<S> lhs, double scale) {
+  lhs /= scale;
+  return lhs;
+}
+template <class S>
+inline Tagged<S> operator-(Tagged<S> v) {
+  v *= -1.0;
+  return v;
+}
+
+/// Inner product within one space.
+template <class S>
+inline double dot(const Tagged<S>& a, const Tagged<S>& b) {
+  return dot(a.raw(), b.raw());
+}
+/// Euclidean distance within one space.
+template <class S>
+inline double distance(const Tagged<S>& a, const Tagged<S>& b) {
+  return distance(a.raw(), b.raw());
+}
+/// `a + scale * b` within one space.
+template <class S>
+inline Tagged<S> axpy(const Tagged<S>& a, double scale, const Tagged<S>& b) {
+  return Tagged<S>(axpy(a.raw(), scale, b.raw()));
+}
+
+template <class S>
+inline std::ostream& operator<<(std::ostream& os, const Tagged<S>& v) {
+  return os << v.raw();
+}
+
+/// Read-only row-block view whose rows are vectors of one space (the
+/// tagged face of ConstMatrixView for the batched evaluation spine).
+template <class Space>
+class TaggedConstView {
+ public:
+  using space_type = Space;
+
+  TaggedConstView() = default;
+  /// Tags an untyped view; explicit for the same reason as Tagged(Vector).
+  explicit TaggedConstView(ConstMatrixView view) : view_(view) {}
+
+  std::size_t rows() const { return view_.rows(); }
+  std::size_t cols() const { return view_.cols(); }
+  std::size_t row_stride() const { return view_.row_stride(); }
+  bool empty() const { return view_.empty(); }
+
+  const double* row(std::size_t r) const { return view_.row(r); }
+  double operator()(std::size_t r, std::size_t c) const { return view_(r, c); }
+
+  TaggedConstView middle_rows(std::size_t first, std::size_t count) const {
+    return TaggedConstView(view_.middle_rows(first, count));
+  }
+
+  /// Row r as a tagged vector (copies; rows are cheap in this library).
+  Tagged<Space> row_vector(std::size_t r) const {
+    Tagged<Space> v(cols());
+    const double* src = row(r);
+    for (std::size_t i = 0; i < cols(); ++i) v[i] = src[i];
+    return v;
+  }
+
+  /// Untyped view; restricted by the `space-discipline` lint rule.
+  ConstMatrixView raw() const { return view_; }
+
+ private:
+  ConstMatrixView view_;
+};
+
+/// Mutable row-block view whose rows are vectors of one space.
+template <class Space>
+class TaggedView {
+ public:
+  using space_type = Space;
+
+  TaggedView() = default;
+  explicit TaggedView(MatrixView view) : view_(view) {}
+
+  std::size_t rows() const { return view_.rows(); }
+  std::size_t cols() const { return view_.cols(); }
+  std::size_t row_stride() const { return view_.row_stride(); }
+  bool empty() const { return view_.empty(); }
+
+  double* row(std::size_t r) const { return view_.row(r); }
+  double& operator()(std::size_t r, std::size_t c) const { return view_(r, c); }
+
+  TaggedView middle_rows(std::size_t first, std::size_t count) const {
+    return TaggedView(view_.middle_rows(first, count));
+  }
+
+  /// Every mutable view also reads.
+  operator TaggedConstView<Space>() const {  // NOLINT(google-explicit-constructor)
+    return TaggedConstView<Space>(ConstMatrixView(view_));
+  }
+
+  /// Untyped view; restricted by the `space-discipline` lint rule.
+  MatrixView raw() const { return view_; }
+
+ private:
+  MatrixView view_;
+};
+
+static_assert(sizeof(TaggedConstView<space::StatUnit>) ==
+                  sizeof(ConstMatrixView),
+              "TaggedConstView<> must add no storage");
+
+// The canonical spellings used across the library.
+using DesignVec = Tagged<space::Design>;          ///< d
+using StatUnitVec = Tagged<space::StatUnit>;      ///< s_hat
+using StatPhysVec = Tagged<space::StatPhysical>;  ///< s
+using OperatingVec = Tagged<space::Operating>;    ///< theta
+using PerfVec = Tagged<space::Performance>;       ///< f
+using MarginVec = Tagged<space::Margin>;          ///< m
+
+using StatUnitBlock = TaggedConstView<space::StatUnit>;
+using StatPhysBlock = TaggedConstView<space::StatPhysical>;
+using StatPhysBlockView = TaggedView<space::StatPhysical>;
+using PerfBlockView = TaggedView<space::Performance>;
+using MarginBlockView = TaggedView<space::Margin>;
+
+}  // namespace mayo::linalg

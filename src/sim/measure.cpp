@@ -1,5 +1,7 @@
 #include "sim/measure.hpp"
 
+#include "sim/ac.hpp"
+
 #include <cmath>
 #include <numbers>
 #include <stdexcept>

@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
-#include "sim/ac.hpp"
 
 namespace mayo::sim {
 

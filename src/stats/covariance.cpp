@@ -6,10 +6,17 @@
 
 #include "core/check.hpp"
 
+// This file is one of the whitelisted space crossings (see
+// linalg/spaces.hpp): it owns the StatUnit <-> StatPhysical transform of
+// paper eq. (11), so it legitimately unwraps tagged vectors via .raw().
+
 namespace mayo::stats {
 
 using linalg::Cholesky;
+using linalg::DesignVec;
 using linalg::Matrixd;
+using linalg::StatPhysVec;
+using linalg::StatUnitVec;
 using linalg::Vector;
 
 StatParam StatParam::global(std::string name, double nominal, double sigma) {
@@ -18,7 +25,7 @@ StatParam StatParam::global(std::string name, double nominal, double sigma) {
   StatParam p;
   p.name = std::move(name);
   p.nominal = nominal;
-  p.sigma = [sigma](const Vector&) { return sigma; };
+  p.sigma = [sigma](const DesignVec&) { return sigma; };
   return p;
 }
 
@@ -45,13 +52,13 @@ std::size_t CovarianceModel::index_of(const std::string& name) const {
   throw std::out_of_range("CovarianceModel: no parameter named '" + name + "'");
 }
 
-Vector CovarianceModel::nominal() const {
-  Vector s0(dimension());
+StatPhysVec CovarianceModel::nominal() const {
+  StatPhysVec s0(dimension());
   for (std::size_t i = 0; i < dimension(); ++i) s0[i] = params_[i].nominal;
   return s0;
 }
 
-Vector CovarianceModel::sigmas(const Vector& d) const {
+Vector CovarianceModel::sigmas(const DesignVec& d) const {
   Vector sig(dimension());
   for (std::size_t i = 0; i < dimension(); ++i) {
     sig[i] = params_[i].sigma(d);
@@ -74,7 +81,7 @@ const Cholesky& CovarianceModel::correlation_factor() const {
   return *corr_factor_;
 }
 
-Matrixd CovarianceModel::covariance(const Vector& d) const {
+Matrixd CovarianceModel::covariance(const DesignVec& d) const {
   const Vector sig = sigmas(d);
   Matrixd r = Matrixd::identity(dimension());
   for (const auto& e : correlations_) {
@@ -88,7 +95,7 @@ Matrixd CovarianceModel::covariance(const Vector& d) const {
   return c;
 }
 
-Matrixd CovarianceModel::factor(const Vector& d) const {
+Matrixd CovarianceModel::factor(const DesignVec& d) const {
   const Vector sig = sigmas(d);
   if (correlations_.empty()) {
     Matrixd g(dimension(), dimension());
@@ -102,12 +109,13 @@ Matrixd CovarianceModel::factor(const Vector& d) const {
   return g;
 }
 
-Vector CovarianceModel::to_physical(const Vector& s_hat, const Vector& d) const {
+StatPhysVec CovarianceModel::to_physical(const StatUnitVec& s_hat,
+                                         const DesignVec& d) const {
   if (s_hat.size() != dimension())
     throw std::invalid_argument("CovarianceModel::to_physical: size mismatch");
   MAYO_CHECK_FINITE(s_hat, "CovarianceModel::to_physical: s_hat");
   const Vector sig = sigmas(d);
-  Vector s(dimension());
+  StatPhysVec s(dimension());
   if (correlations_.empty()) {
     for (std::size_t i = 0; i < dimension(); ++i)
       s[i] = params_[i].nominal + sig[i] * s_hat[i];
@@ -122,11 +130,15 @@ Vector CovarianceModel::to_physical(const Vector& s_hat, const Vector& d) const 
   return s;
 }
 
-void CovarianceModel::to_physical_block(linalg::ConstMatrixView s_hat,
-                                        const Vector& d,
-                                        linalg::MatrixView s_out,
+void CovarianceModel::to_physical_block(linalg::StatUnitBlock s_hat,
+                                        const DesignVec& d,
+                                        linalg::StatPhysBlockView s_out,
                                         Vector& sigma_scratch) const {
   const std::size_t n = dimension();
+  MAYO_CHECK_DIM(s_hat.cols(), n, "CovarianceModel::to_physical_block: s_hat");
+  MAYO_CHECK_DIM(s_out.cols(), n, "CovarianceModel::to_physical_block: s_out");
+  MAYO_CHECK_DIM(s_out.rows(), s_hat.rows(),
+                 "CovarianceModel::to_physical_block: row counts");
   if (s_hat.cols() != n)
     throw std::invalid_argument(
         "CovarianceModel::to_physical_block: s_hat width mismatch");
@@ -164,16 +176,17 @@ void CovarianceModel::to_physical_block(linalg::ConstMatrixView s_hat,
   }
 }
 
-Vector CovarianceModel::to_standard(const Vector& s, const Vector& d) const {
+StatUnitVec CovarianceModel::to_standard(const StatPhysVec& s,
+                                         const DesignVec& d) const {
   if (s.size() != dimension())
     throw std::invalid_argument("CovarianceModel::to_standard: size mismatch");
   const Vector sig = sigmas(d);
   Vector centered(dimension());
   for (std::size_t i = 0; i < dimension(); ++i)
     centered[i] = (s[i] - params_[i].nominal) / sig[i];
-  if (correlations_.empty()) return centered;
+  if (correlations_.empty()) return StatUnitVec(std::move(centered));
   // Solve L_R y = centered (forward substitution on the correlation factor).
-  return correlation_factor().apply_factor_inverse(centered);
+  return StatUnitVec(correlation_factor().apply_factor_inverse(centered));
 }
 
 }  // namespace mayo::stats

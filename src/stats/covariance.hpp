@@ -15,6 +15,11 @@
 // maps standard-normal s_hat to physical parameters; the optimizer only
 // ever works in s_hat space where the distribution is N(0, I) regardless
 // of d.
+//
+// Space discipline: to_physical / to_physical_block are the ONLY
+// StatUnit -> StatPhysical crossings in the library (and to_standard the
+// only inverse); both are expressed in the tagged types of
+// linalg/spaces.hpp so a mixed-up caller fails to compile.
 #pragma once
 
 #include <functional>
@@ -25,6 +30,7 @@
 #include "linalg/block.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/spaces.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::stats {
@@ -36,7 +42,7 @@ struct StatParam {
   double nominal = 0.0;
   /// Standard deviation as a function of the design vector d.  Must return
   /// a strictly positive value.
-  std::function<double(const linalg::Vector&)> sigma;
+  std::function<double(const linalg::DesignVec&)> sigma;
 
   /// Convenience factory for a constant-sigma (global) parameter.
   static StatParam global(std::string name, double nominal, double sigma);
@@ -60,18 +66,19 @@ class CovarianceModel {
   /// Index of the parameter with the given name; throws if absent.
   std::size_t index_of(const std::string& name) const;
 
-  /// Vector of nominal values s0.
-  linalg::Vector nominal() const;
-  /// Vector of standard deviations at design d.
-  linalg::Vector sigmas(const linalg::Vector& d) const;
+  /// Vector of nominal values s0 (a point in physical parameter space).
+  linalg::StatPhysVec nominal() const;
+  /// Vector of standard deviations at design d (physical units).
+  linalg::Vector sigmas(const linalg::DesignVec& d) const;
   /// Full covariance matrix C(d).
-  linalg::Matrixd covariance(const linalg::Vector& d) const;
+  linalg::Matrixd covariance(const linalg::DesignVec& d) const;
   /// Factor G(d) with G G^T = C(d) (lower triangular).
-  linalg::Matrixd factor(const linalg::Vector& d) const;
+  linalg::Matrixd factor(const linalg::DesignVec& d) const;
 
-  /// s = G(d) * s_hat + s0 (paper eq. 11, forward direction).
-  linalg::Vector to_physical(const linalg::Vector& s_hat,
-                             const linalg::Vector& d) const;
+  /// s = G(d) * s_hat + s0 (paper eq. 11, forward direction).  The sole
+  /// StatUnit -> StatPhysical crossing.
+  linalg::StatPhysVec to_physical(const linalg::StatUnitVec& s_hat,
+                                  const linalg::DesignVec& d) const;
   /// Block form of to_physical: transforms every row of `s_hat` into the
   /// corresponding row of `s_out`, hoisting the design-dependent sigmas
   /// (Pelgrom, one std::function call chain per parameter) and the
@@ -79,12 +86,13 @@ class CovarianceModel {
   /// caller-owned storage (resized to dimension()); no other allocation.
   /// Per-row arithmetic is identical to to_physical, so results are
   /// bitwise-equal to the scalar transform.
-  void to_physical_block(linalg::ConstMatrixView s_hat,
-                         const linalg::Vector& d, linalg::MatrixView s_out,
+  void to_physical_block(linalg::StatUnitBlock s_hat,
+                         const linalg::DesignVec& d,
+                         linalg::StatPhysBlockView s_out,
                          linalg::Vector& sigma_scratch) const;
   /// s_hat = G(d)^-1 (s - s0) (paper eq. 11, inverse direction).
-  linalg::Vector to_standard(const linalg::Vector& s,
-                             const linalg::Vector& d) const;
+  linalg::StatUnitVec to_standard(const linalg::StatPhysVec& s,
+                                  const linalg::DesignVec& d) const;
 
   /// True if any correlation entry has been set.
   bool has_correlation() const { return !correlations_.empty(); }

@@ -4,6 +4,9 @@
 
 #include "stats/rng.hpp"
 
+// Whitelisted space crossing (see linalg/spaces.hpp): this file mints
+// StatUnit values -- the samples are N(0, I) by construction.
+
 namespace mayo::stats {
 
 SampleSet::SampleSet(std::size_t count, std::size_t dim, std::uint64_t seed)
@@ -17,21 +20,22 @@ SampleSet::SampleSet(std::size_t count, std::size_t dim, std::uint64_t seed)
   }
 }
 
-linalg::Vector SampleSet::sample_vector(std::size_t j) const {
-  linalg::Vector v(dim());
+linalg::StatUnitVec SampleSet::sample_vector(std::size_t j) const {
+  linalg::StatUnitVec v(dim());
   const double* row = sample(j);
   for (std::size_t i = 0; i < dim(); ++i) v[i] = row[i];
   return v;
 }
 
-linalg::ConstMatrixView SampleSet::block(std::size_t first,
-                                         std::size_t count) const {
+linalg::StatUnitBlock SampleSet::block(std::size_t first,
+                                       std::size_t count) const {
   if (first + count > this->count())
     throw std::out_of_range("SampleSet::block: range out of bounds");
-  return linalg::ConstMatrixView(samples_).middle_rows(first, count);
+  return linalg::StatUnitBlock(
+      linalg::ConstMatrixView(samples_).middle_rows(first, count));
 }
 
-double SampleSet::dot(std::size_t j, const linalg::Vector& g) const {
+double SampleSet::dot(std::size_t j, const linalg::StatUnitVec& g) const {
   if (g.size() != dim()) throw std::invalid_argument("SampleSet::dot: size mismatch");
   const double* row = sample(j);
   double acc = 0.0;

@@ -13,11 +13,16 @@
 
 #include "linalg/block.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/spaces.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::stats {
 
 /// An immutable block of N standard-normal sample vectors of dimension n.
+/// Space discipline: this is one of the two places that may MINT StatUnit
+/// values (the other being Evaluator::nominal_s_hat) -- samples are
+/// standard normal by construction, which is exactly what the StatUnit
+/// tag asserts.
 class SampleSet {
  public:
   /// Draws `count` samples of dimension `dim` from N(0, I) with the given seed.
@@ -28,18 +33,19 @@ class SampleSet {
 
   /// Row pointer for sample j (length dim()).
   const double* sample(std::size_t j) const { return samples_.row(j); }
-  /// Copy of sample j as a Vector.
-  linalg::Vector sample_vector(std::size_t j) const;
+  /// Copy of sample j as a unit-normal vector.
+  linalg::StatUnitVec sample_vector(std::size_t j) const;
 
   /// Inner product of sample j with `g` (g.size() == dim()).
-  double dot(std::size_t j, const linalg::Vector& g) const;
+  double dot(std::size_t j, const linalg::StatUnitVec& g) const;
 
-  /// The whole sample matrix (count x dim, row = sample).
+  /// The whole sample matrix (count x dim, row = sample), untyped for
+  /// linalg interop (gemv in the yield model).
   const linalg::Matrixd& matrix() const { return samples_; }
 
   /// Zero-copy view of `count` consecutive samples starting at `first`
   /// (the block fill API of the batched evaluation spine).
-  linalg::ConstMatrixView block(std::size_t first, std::size_t count) const;
+  linalg::StatUnitBlock block(std::size_t first, std::size_t count) const;
 
  private:
   linalg::Matrixd samples_;

@@ -1,0 +1,32 @@
+// Positive control: the tagged API itself must compile cleanly, so a
+// harness failure on the cases above means "mixing rejected", not
+// "header broken".
+#include "linalg/matrix.hpp"
+#include "linalg/spaces.hpp"
+
+namespace {
+double consume_physical(const mayo::linalg::StatPhysVec& s) { return s[0]; }
+double beta_norm(const mayo::linalg::StatUnitVec& s_hat) {
+  return s_hat.norm();
+}
+}  // namespace
+
+int main() {
+  const mayo::linalg::StatUnitVec s_hat{0.5, -1.0};
+  const mayo::linalg::StatPhysVec s{1.5, 0.5};
+  const mayo::linalg::DesignVec d{1.0, 2.0};
+  const mayo::linalg::DesignVec step{0.1, -0.1};
+
+  double acc = beta_norm(s_hat) + consume_physical(s);
+  acc += (d + step).norm();                 // in-space arithmetic is fine
+  acc += mayo::linalg::dot(s_hat, s_hat);   // in-space inner product
+  const mayo::linalg::Vector& v = d.raw();  // space-ok: explicit escape hatch
+  acc += v[0];
+
+  mayo::linalg::Matrixd storage(4, 2);
+  const mayo::linalg::StatUnitBlock block{
+      mayo::linalg::ConstMatrixView(storage)};
+  const mayo::linalg::StatUnitVec row = block.row_vector(1);
+  acc += row.norm();
+  return acc > 1e300 ? 1 : 0;
+}

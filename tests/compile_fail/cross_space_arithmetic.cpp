@@ -1,0 +1,11 @@
+// Forbidden: arithmetic across spaces.  Adding a design displacement to a
+// statistical vector (or any other cross-space combination) is
+// geometrically meaningless; operator+ is only defined within one space.
+#include "linalg/spaces.hpp"
+
+int main() {
+  const mayo::linalg::DesignVec d{1.0, 2.0};
+  const mayo::linalg::StatUnitVec s_hat{0.5, -0.5};
+  const auto sum = d + s_hat;  // must not compile
+  return static_cast<int>(sum[0]);
+}

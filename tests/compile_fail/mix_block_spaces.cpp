@@ -1,0 +1,18 @@
+// Forbidden: block views are tagged too.  A block of physical samples
+// cannot stand in for a block of unit-normal samples (the batch face of
+// the s_hat / s distinction).
+#include "linalg/matrix.hpp"
+#include "linalg/spaces.hpp"
+
+namespace {
+std::size_t count_rows(mayo::linalg::StatUnitBlock block) {
+  return block.rows();
+}
+}  // namespace
+
+int main() {
+  const mayo::linalg::Matrixd storage(4, 3);
+  const mayo::linalg::StatPhysBlock physical{
+      mayo::linalg::ConstMatrixView(storage)};
+  return static_cast<int>(count_rows(physical));  // must not compile
+}

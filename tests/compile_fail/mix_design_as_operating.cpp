@@ -1,0 +1,12 @@
+// Forbidden: passing the design vector d where an operating point theta is
+// expected.
+#include "linalg/spaces.hpp"
+
+namespace {
+double hottest(const mayo::linalg::OperatingVec& theta) { return theta[0]; }
+}  // namespace
+
+int main() {
+  const mayo::linalg::DesignVec d{1.0, 2.0};
+  return static_cast<int>(hottest(d));  // must not compile
+}

@@ -1,0 +1,12 @@
+// Forbidden: passing an operating point theta where the design vector d is
+// expected.
+#include "linalg/spaces.hpp"
+
+namespace {
+double first_width(const mayo::linalg::DesignVec& d) { return d[0]; }
+}  // namespace
+
+int main() {
+  const mayo::linalg::OperatingVec theta{300.15, 5.0};
+  return static_cast<int>(first_width(theta));  // must not compile
+}

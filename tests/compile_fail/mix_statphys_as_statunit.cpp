@@ -1,0 +1,16 @@
+// Forbidden: passing physical parameters s where unit-normal coordinates
+// s_hat are expected (the optimizer's whole geometry -- norms, betas --
+// assumes N(0, I)).  The only legal route back is
+// CovarianceModel::to_standard.
+#include "linalg/spaces.hpp"
+
+namespace {
+double beta_norm(const mayo::linalg::StatUnitVec& s_hat) {
+  return s_hat.norm();
+}
+}  // namespace
+
+int main() {
+  const mayo::linalg::StatPhysVec s{0.5, -1.0};
+  return static_cast<int>(beta_norm(s));  // must not compile
+}

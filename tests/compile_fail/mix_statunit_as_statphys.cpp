@@ -1,0 +1,13 @@
+// Forbidden: passing unit-normal coordinates s_hat where physical
+// parameters s are expected.  The only legal route is
+// CovarianceModel::to_physical (paper eq. 11).
+#include "linalg/spaces.hpp"
+
+namespace {
+double consume_physical(const mayo::linalg::StatPhysVec& s) { return s[0]; }
+}  // namespace
+
+int main() {
+  const mayo::linalg::StatUnitVec s_hat{0.5, -1.0};
+  return static_cast<int>(consume_physical(s_hat));  // must not compile
+}

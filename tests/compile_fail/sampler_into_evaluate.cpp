@@ -1,0 +1,17 @@
+// Forbidden: feeding sampler output (StatUnit space) straight into
+// PerformanceModel::evaluate, which consumes physical parameters.  The
+// evaluator must route every sample through CovarianceModel::to_physical
+// first (paper eq. 11); skipping the transform used to compile silently
+// and only show up as a wrong yield number.
+#include "core/problem.hpp"
+#include "stats/sampler.hpp"
+
+int main() {
+  const mayo::stats::SampleSet samples(4, 3, 42);
+  const mayo::linalg::StatUnitVec s_hat = samples.sample_vector(0);
+  mayo::core::PerformanceModel* model = nullptr;
+  const mayo::linalg::DesignVec d{1.0};
+  const mayo::linalg::OperatingVec theta{0.0};
+  model->evaluate(d, s_hat, theta);  // must not compile
+  return 0;
+}

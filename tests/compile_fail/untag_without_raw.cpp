@@ -1,0 +1,11 @@
+// Forbidden: implicit untagging.  A tagged vector must never convert to a
+// bare linalg::Vector on its own; the only way out of the type system is
+// the explicit .raw() escape hatch, which the `space-discipline` lint rule
+// keeps confined to whitelisted crossing sites.
+#include "linalg/spaces.hpp"
+
+int main() {
+  const mayo::linalg::DesignVec d{1.0, 2.0};
+  const mayo::linalg::Vector v = d;  // must not compile
+  return static_cast<int>(v[0]);
+}

@@ -33,17 +33,18 @@ class SyntheticModel final : public core::PerformanceModel {
   std::size_t num_performances() const override { return 2; }
   std::size_t num_constraints() const override { return 2; }
 
-  linalg::Vector evaluate(const linalg::Vector& d, const linalg::Vector& s,
-                          const linalg::Vector& theta) override {
+  linalg::PerfVec evaluate(const linalg::DesignVec& d,
+                           const linalg::StatPhysVec& s,
+                           const linalg::OperatingVec& theta) override {
     ++evaluations;
-    linalg::Vector f(2);
+    linalg::PerfVec f(2);
     f[0] = d[0] + d[1] - s[0] - 2.0 * s[1] - theta[0];
     const double u = s[1] - s[2];
     f[1] = d[0] + 4.0 - u * u;
     return f;
   }
 
-  linalg::Vector constraints(const linalg::Vector& d) override {
+  linalg::Vector constraints(const linalg::DesignVec& d) override {
     ++constraint_evaluations;
     linalg::Vector c(2);
     c[0] = d[0] - d[1];

@@ -60,7 +60,7 @@ TEST_F(FoldedCascodeTest, InitialSpecSignatureMatchesPaperStory) {
   // ft must fail at the worst-case operating corner, A0 and power must
   // pass comfortably (paper Table 1 initial row).
   core::Evaluator ev(problem);
-  const auto wc = core::find_worst_case_operating(ev, d0);
+  const auto wc = core::find_worst_case_operating(ev, linalg::DesignVec(d0));
   EXPECT_GT(wc.worst_margin[0], 5.0);    // A0 comfortable
   EXPECT_LT(wc.worst_margin[1], 0.0);    // ft fails
   EXPECT_GT(wc.worst_margin[2], 0.0);    // CMRR nominal passes (ridge top)
@@ -121,8 +121,8 @@ TEST_F(FoldedCascodeTest, PelgromSigmaShrinksWithWidth) {
   const std::size_t mirror_local = cov.index_of("dvth_M9");
   Vector d_wide = d0;
   d_wide[Design::kWMir] *= 4.0;
-  EXPECT_NEAR(cov.sigmas(d_wide)[mirror_local],
-              0.5 * cov.sigmas(d0)[mirror_local], 1e-9);
+  EXPECT_NEAR(cov.sigmas(linalg::DesignVec(d_wide))[mirror_local],
+              0.5 * cov.sigmas(linalg::DesignVec(d0))[mirror_local], 1e-9);
 }
 
 TEST_F(FoldedCascodeTest, EvaluatePenalizesNonConvergence) {
@@ -132,7 +132,9 @@ TEST_F(FoldedCascodeTest, EvaluatePenalizesNonConvergence) {
   for (std::size_t i = 0; i < Design::kCount; ++i)
     d_bad[i] = problem.design.lower[i];
   d_bad[Design::kIref] = problem.design.upper[Design::kIref];
-  const Vector f = model->evaluate(d_bad, s0, theta0);
+  const linalg::PerfVec f = model->evaluate(
+      linalg::DesignVec(d_bad), linalg::StatPhysVec(s0),
+      linalg::OperatingVec(theta0));
   ASSERT_EQ(f.size(), 5u);
   for (double v : f) EXPECT_TRUE(std::isfinite(v));
 }
@@ -162,11 +164,16 @@ TEST_F(FoldedCascodeTest, NamesAreConsistent) {
 }
 
 TEST_F(FoldedCascodeTest, RejectsWrongVectorSizes) {
-  EXPECT_THROW(model->evaluate(Vector{1.0}, s0, theta0),
+  const linalg::StatPhysVec s_tag(s0);
+  const linalg::OperatingVec theta_tag(theta0);
+  EXPECT_THROW(model->evaluate(linalg::DesignVec{1.0}, s_tag, theta_tag),
                std::invalid_argument);
-  EXPECT_THROW(model->evaluate(d0, Vector{1.0}, theta0),
+  EXPECT_THROW(model->evaluate(linalg::DesignVec(d0), linalg::StatPhysVec{1.0},
+                               theta_tag),
                std::invalid_argument);
-  EXPECT_THROW(model->evaluate(d0, s0, Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(model->evaluate(linalg::DesignVec(d0), s_tag,
+                               linalg::OperatingVec{1.0}),
+               std::invalid_argument);
 }
 
 }  // namespace

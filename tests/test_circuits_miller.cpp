@@ -49,7 +49,7 @@ TEST_F(MillerTest, NominalMeasurementsAreHealthy) {
 }
 
 TEST_F(MillerTest, InitialDesignIsFeasible) {
-  const Vector c = model->constraints(d0);
+  const Vector c = model->constraints(linalg::DesignVec(d0));
   ASSERT_EQ(c.size(), 7u);
   for (std::size_t i = 0; i < c.size(); ++i)
     EXPECT_GT(c[i], 0.0) << model->constraint_names()[i];
@@ -58,7 +58,7 @@ TEST_F(MillerTest, InitialDesignIsFeasible) {
 TEST_F(MillerTest, InitialSignatureMatchesTable6) {
   // SR marginal/failing, PM marginal, ft comfortable (paper Table 6).
   core::Evaluator ev(problem);
-  const auto wc = core::find_worst_case_operating(ev, d0);
+  const auto wc = core::find_worst_case_operating(ev, linalg::DesignVec(d0));
   EXPECT_GT(wc.worst_margin[1], 0.5);   // ft
   EXPECT_LT(wc.worst_margin[3], 0.05);  // SR marginal or failing
   EXPECT_LT(wc.worst_margin[2], 2.0);   // PM not comfortable
@@ -104,7 +104,9 @@ TEST_F(MillerTest, EvaluateNeverThrowsOnExtremeDesigns) {
   Vector d_bad(Design::kCount);
   for (std::size_t i = 0; i < Design::kCount; ++i)
     d_bad[i] = problem.design.lower[i];
-  const Vector f = model->evaluate(d_bad, s0, theta0);
+  const linalg::PerfVec f = model->evaluate(
+      linalg::DesignVec(d_bad), linalg::StatPhysVec(s0),
+      linalg::OperatingVec(theta0));
   ASSERT_EQ(f.size(), 5u);
   for (double v : f) EXPECT_TRUE(std::isfinite(v));
 }
@@ -116,11 +118,16 @@ TEST_F(MillerTest, NamesConsistent) {
 }
 
 TEST_F(MillerTest, RejectsWrongVectorSizes) {
-  EXPECT_THROW(model->evaluate(Vector{1.0}, s0, theta0),
+  const linalg::StatPhysVec s_tag(s0);
+  const linalg::OperatingVec theta_tag(theta0);
+  EXPECT_THROW(model->evaluate(linalg::DesignVec{1.0}, s_tag, theta_tag),
                std::invalid_argument);
-  EXPECT_THROW(model->evaluate(d0, Vector{1.0}, theta0),
+  EXPECT_THROW(model->evaluate(linalg::DesignVec(d0), linalg::StatPhysVec{1.0},
+                               theta_tag),
                std::invalid_argument);
-  EXPECT_THROW(model->evaluate(d0, s0, Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(model->evaluate(linalg::DesignVec(d0), s_tag,
+                               linalg::OperatingVec{1.0}),
+               std::invalid_argument);
 }
 
 }  // namespace

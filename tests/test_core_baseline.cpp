@@ -11,6 +11,9 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+using linalg::OperatingVec;
+using linalg::StatUnitVec;
 using linalg::Vector;
 
 TEST(DirectMc, ImprovesSyntheticYield) {
@@ -65,13 +68,13 @@ TEST(DirectMc, RespectsEvaluationBudget) {
 TEST(LinearizedBeta, MatchesAnalyticForLinearSpec) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
-  const auto lm = build_linearizations(ev, problem.design.nominal);
+  const auto lm = build_linearizations(ev, DesignVec(problem.design.nominal));
   // Linear spec: beta = (d0 + d1 - 1)/sqrt(5) at theta_wc = 1.
   const double beta =
-      linearized_beta(lm.models[0], problem.design.nominal);
+      linearized_beta(lm.models[0], DesignVec(problem.design.nominal));
   EXPECT_NEAR(beta, testing::linear_beta(2.0, 1.0), 1e-4);
   // Moving d shifts beta linearly: +1 on d0 adds 1/sqrt(5).
-  Vector d = problem.design.nominal;
+  DesignVec d(problem.design.nominal);
   d[0] += 1.0;
   EXPECT_NEAR(linearized_beta(lm.models[0], d),
               testing::linear_beta(3.0, 1.0), 1e-4);
@@ -82,16 +85,16 @@ TEST(Maximin, CentersBetweenOpposingSpecs) {
   // beta_0 = 1 + d0, beta_1 = 1 - d0 (unit sigma).  Maximin optimum d0 = 0.
   SpecLinearization a;
   a.spec = 0;
-  a.s_wc = Vector(1);
+  a.s_wc = StatUnitVec(1);
   a.margin_wc = 1.0;
-  a.grad_s = Vector{1.0};
-  a.grad_d = Vector{1.0};
-  a.d_f = Vector{0.5};
-  a.theta_wc = Vector{0.0};
+  a.grad_s = StatUnitVec{1.0};
+  a.grad_d = DesignVec{1.0};
+  a.d_f = DesignVec{0.5};
+  a.theta_wc = OperatingVec{0.0};
   SpecLinearization b = a;
   b.spec = 1;
   b.margin_wc = 0.0;
-  b.grad_d = Vector{-1.0};
+  b.grad_d = DesignVec{-1.0};
   // beta_a(d) = 1 + (d - 0.5);  beta_b(d) = 0 - (d - 0.5).
   // Maximin: 1 + x = -x -> x = -0.5 -> d* = 0.
   ParameterSpace space;
@@ -101,7 +104,7 @@ TEST(Maximin, CentersBetweenOpposingSpecs) {
   space.nominal = Vector{0.5};
 
   const MaximinResult result =
-      maximize_min_beta({a, b}, space, nullptr, Vector{0.5});
+      maximize_min_beta({a, b}, space, nullptr, DesignVec{0.5});
   EXPECT_NEAR(result.d[0], 0.0, 0.1);
   EXPECT_NEAR(result.min_beta, 0.5, 0.1);
   ASSERT_EQ(result.betas.size(), 2u);
@@ -112,25 +115,25 @@ TEST(Maximin, RespectsLinearConstraints) {
   // One model wanting d as large as possible, a constraint capping d <= 1.
   SpecLinearization m;
   m.spec = 0;
-  m.s_wc = Vector(1);
+  m.s_wc = StatUnitVec(1);
   m.margin_wc = 0.0;
-  m.grad_s = Vector{1.0};
-  m.grad_d = Vector{1.0};
-  m.d_f = Vector{0.0};
-  m.theta_wc = Vector{0.0};
+  m.grad_s = StatUnitVec{1.0};
+  m.grad_d = DesignVec{1.0};
+  m.d_f = DesignVec{0.0};
+  m.theta_wc = OperatingVec{0.0};
   ParameterSpace space;
   space.names = {"d"};
   space.lower = Vector{-5.0};
   space.upper = Vector{5.0};
   space.nominal = Vector{0.0};
   FeasibilityModel feasibility;
-  feasibility.d_f = Vector{0.0};
+  feasibility.d_f = DesignVec{0.0};
   feasibility.c0 = Vector{1.0};  // c = 1 - d
   feasibility.jacobian = linalg::Matrixd(1, 1);
   feasibility.jacobian(0, 0) = -1.0;
 
   const MaximinResult result =
-      maximize_min_beta({m}, space, &feasibility, Vector{0.0});
+      maximize_min_beta({m}, space, &feasibility, DesignVec{0.0});
   EXPECT_LE(result.d[0], 1.0 + 1e-9);
   EXPECT_NEAR(result.d[0], 1.0, 0.05);
 }
@@ -138,28 +141,30 @@ TEST(Maximin, RespectsLinearConstraints) {
 TEST(Maximin, ImprovesSyntheticProblem) {
   auto problem = testing::make_synthetic_problem(0.2, 0.1);
   Evaluator ev(problem);
-  const auto lm = build_linearizations(ev, problem.design.nominal);
-  const auto feasibility = linearize_feasibility(ev, problem.design.nominal);
-  const MaximinResult result = maximize_min_beta(
-      lm.models, problem.design, &feasibility, problem.design.nominal);
+  const auto lm = build_linearizations(ev, DesignVec(problem.design.nominal));
+  const auto feasibility = linearize_feasibility(ev, DesignVec(problem.design.nominal));
+  const MaximinResult result =
+      maximize_min_beta(lm.models, problem.design, &feasibility,
+                        DesignVec(problem.design.nominal));
   double start_min = 1e9;
   for (const auto& model : lm.models)
     start_min =
-        std::min(start_min, linearized_beta(model, problem.design.nominal));
+        std::min(start_min,
+                 linearized_beta(model, DesignVec(problem.design.nominal)));
   EXPECT_GT(result.min_beta, start_min + 0.5);
 }
 
 TEST(Maximin, InfiniteBetaForZeroGradient) {
   SpecLinearization m;
-  m.s_wc = Vector(1);
+  m.s_wc = StatUnitVec(1);
   m.margin_wc = 1.0;
-  m.grad_s = Vector{0.0};
-  m.grad_d = Vector{0.0};
-  m.d_f = Vector{0.0};
-  EXPECT_TRUE(std::isinf(linearized_beta(m, Vector{0.0})));
+  m.grad_s = StatUnitVec{0.0};
+  m.grad_d = DesignVec{0.0};
+  m.d_f = DesignVec{0.0};
+  EXPECT_TRUE(std::isinf(linearized_beta(m, DesignVec{0.0})));
   m.margin_wc = -1.0;
-  EXPECT_TRUE(std::isinf(linearized_beta(m, Vector{0.0})));
-  EXPECT_LT(linearized_beta(m, Vector{0.0}), 0.0);
+  EXPECT_TRUE(std::isinf(linearized_beta(m, DesignVec{0.0})));
+  EXPECT_LT(linearized_beta(m, DesignVec{0.0}), 0.0);
 }
 
 }  // namespace

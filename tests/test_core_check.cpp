@@ -116,11 +116,12 @@ TEST(DeployedContracts, EvaluatorRejectsNaNPerformance) {
    public:
     std::size_t num_performances() const override { return 1; }
     std::size_t num_constraints() const override { return 0; }
-    linalg::Vector evaluate(const linalg::Vector&, const linalg::Vector&,
-                            const linalg::Vector&) override {
-      return linalg::Vector{kNaN};
+    linalg::PerfVec evaluate(const linalg::DesignVec&,
+                             const linalg::StatPhysVec&,
+                             const linalg::OperatingVec&) override {
+      return linalg::PerfVec{kNaN};
     }
-    linalg::Vector constraints(const linalg::Vector&) override {
+    linalg::Vector constraints(const linalg::DesignVec&) override {
       return linalg::Vector{};
     }
   };
@@ -137,9 +138,111 @@ TEST(DeployedContracts, EvaluatorRejectsNaNPerformance) {
   problem.operating.nominal = linalg::Vector{0.5};
   problem.statistical.add(stats::StatParam::global("s", 0.0, 1.0));
   core::Evaluator ev(problem);
-  EXPECT_THROW(ev.performances(problem.design.nominal, linalg::Vector(1),
-                               problem.operating.nominal),
+  EXPECT_THROW(ev.performances(linalg::DesignVec(problem.design.nominal),
+                               linalg::StatUnitVec(1),
+                               linalg::OperatingVec(problem.operating.nominal)),
                ContractViolation);
+}
+
+// -- dimension contracts on the batch evaluation spine ---------------------
+
+core::YieldProblem tiny_problem() {
+  class SumModel final : public core::PerformanceModel {
+   public:
+    std::size_t num_performances() const override { return 2; }
+    std::size_t num_constraints() const override { return 0; }
+    linalg::PerfVec evaluate(const linalg::DesignVec& d,
+                             const linalg::StatPhysVec& s,
+                             const linalg::OperatingVec& theta) override {
+      return linalg::PerfVec{d[0] + s[0], theta[0] - s[0]};
+    }
+    linalg::Vector constraints(const linalg::DesignVec&) override {
+      return linalg::Vector{};
+    }
+  };
+  core::YieldProblem problem;
+  problem.model = std::make_shared<SumModel>();
+  problem.specs = {{"a", core::SpecKind::kLowerBound, 0.0, "u", 1.0},
+                   {"b", core::SpecKind::kLowerBound, 0.0, "u", 1.0}};
+  problem.design.names = {"d"};
+  problem.design.lower = linalg::Vector{0.0};
+  problem.design.upper = linalg::Vector{1.0};
+  problem.design.nominal = linalg::Vector{0.5};
+  problem.operating.names = {"t"};
+  problem.operating.lower = linalg::Vector{0.0};
+  problem.operating.upper = linalg::Vector{1.0};
+  problem.operating.nominal = linalg::Vector{0.5};
+  problem.statistical.add(stats::StatParam::global("s", 0.0, 1.0));
+  return problem;
+}
+
+TEST(DeployedContracts, PerformancesBatchRejectsWrongOutputShape) {
+  auto problem = tiny_problem();
+  core::Evaluator ev(problem);
+  linalg::Matrixd block(3, 1);  // 3 samples, 1 statistical parameter
+  const linalg::StatUnitBlock s_hat{linalg::ConstMatrixView(block)};
+  const linalg::DesignVec d(problem.design.nominal);
+  const linalg::OperatingVec theta(problem.operating.nominal);
+  core::EvalWorkspace ws;
+
+  linalg::Matrixd short_rows(2, 2);  // rows != samples
+  EXPECT_THROW(ev.performances_batch(
+                   d, s_hat, theta,
+                   linalg::PerfBlockView(linalg::MatrixView(short_rows)), ws),
+               ContractViolation);
+  linalg::Matrixd narrow(3, 1);  // cols != num_specs
+  EXPECT_THROW(ev.performances_batch(
+                   d, s_hat, theta,
+                   linalg::PerfBlockView(linalg::MatrixView(narrow)), ws),
+               ContractViolation);
+  linalg::Matrixd ok(3, 2);
+  EXPECT_NO_THROW(ev.performances_batch(
+      d, s_hat, theta, linalg::PerfBlockView(linalg::MatrixView(ok)), ws));
+}
+
+TEST(DeployedContracts, MarginsBatchRejectsWrongOutputShape) {
+  auto problem = tiny_problem();
+  core::Evaluator ev(problem);
+  linalg::Matrixd block(2, 1);
+  const linalg::StatUnitBlock s_hat{linalg::ConstMatrixView(block)};
+  const linalg::DesignVec d(problem.design.nominal);
+  const linalg::OperatingVec theta(problem.operating.nominal);
+  core::EvalWorkspace ws;
+
+  linalg::Matrixd wrong(1, 2);
+  EXPECT_THROW(
+      ev.margins_batch(d, s_hat, theta,
+                       linalg::MarginBlockView(linalg::MatrixView(wrong)), ws),
+      ContractViolation);
+  linalg::Matrixd ok(2, 2);
+  EXPECT_NO_THROW(ev.margins_batch(
+      d, s_hat, theta, linalg::MarginBlockView(linalg::MatrixView(ok)), ws));
+}
+
+TEST(DeployedContracts, ToPhysicalBlockRejectsMismatchedShapes) {
+  stats::CovarianceModel cov;
+  cov.add(stats::StatParam::global("s0", 0.0, 1.0));
+  cov.add(stats::StatParam::global("s1", 0.0, 2.0));
+  const linalg::DesignVec d{0.5};
+  linalg::Vector scratch;
+
+  linalg::Matrixd in(4, 2);
+  linalg::Matrixd narrow(4, 1);  // cols != dimension()
+  EXPECT_THROW(
+      cov.to_physical_block(
+          linalg::StatUnitBlock(linalg::ConstMatrixView(in)), d,
+          linalg::StatPhysBlockView(linalg::MatrixView(narrow)), scratch),
+      ContractViolation);
+  linalg::Matrixd short_rows(3, 2);  // rows != input rows
+  EXPECT_THROW(
+      cov.to_physical_block(
+          linalg::StatUnitBlock(linalg::ConstMatrixView(in)), d,
+          linalg::StatPhysBlockView(linalg::MatrixView(short_rows)), scratch),
+      ContractViolation);
+  linalg::Matrixd ok(4, 2);
+  EXPECT_NO_THROW(cov.to_physical_block(
+      linalg::StatUnitBlock(linalg::ConstMatrixView(in)), d,
+      linalg::StatPhysBlockView(linalg::MatrixView(ok)), scratch));
 }
 
 #else  // !MAYO_CHECKS_ENABLED: Release -- every macro is a no-op.

@@ -14,12 +14,12 @@ SpecLinearization make_model(std::size_t spec, double m0, Vector g_s,
                              Vector g_d, Vector d_f) {
   SpecLinearization lin;
   lin.spec = spec;
-  lin.s_wc = Vector(g_s.size());
+  lin.s_wc = linalg::StatUnitVec(g_s.size());
   lin.margin_wc = m0;
-  lin.grad_s = std::move(g_s);
-  lin.grad_d = std::move(g_d);
-  lin.d_f = std::move(d_f);
-  lin.theta_wc = Vector{0.0};
+  lin.grad_s = linalg::StatUnitVec(std::move(g_s));
+  lin.grad_d = linalg::DesignVec(std::move(g_d));
+  lin.d_f = linalg::DesignVec(std::move(d_f));
+  lin.theta_wc = linalg::OperatingVec{0.0};
   return lin;
 }
 
@@ -83,7 +83,7 @@ TEST(CoordinateSearch, RespectsLinearConstraints) {
   ParameterSpace space = box2(-10.0, 10.0);
 
   FeasibilityModel feasibility;
-  feasibility.d_f = Vector{0.0, 0.0};
+  feasibility.d_f = linalg::DesignVec{0.0, 0.0};
   feasibility.c0 = Vector{1.5};  // c = 1.5 - d0
   feasibility.jacobian = linalg::Matrixd(1, 2);
   feasibility.jacobian(0, 0) = -1.0;

@@ -9,13 +9,14 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
 using linalg::Vector;
 
 class CornerTest : public ::testing::Test {
  protected:
   CornerTest()
       : problem(testing::make_synthetic_problem(2.0, 1.0)), ev(problem) {
-    linearized = build_linearizations(ev, problem.design.nominal);
+    linearized = build_linearizations(ev, DesignVec(problem.design.nominal));
   }
   YieldProblem problem;
   Evaluator ev;
@@ -24,7 +25,7 @@ class CornerTest : public ::testing::Test {
 
 TEST_F(CornerTest, CornersHaveTargetNorm) {
   const auto corners =
-      extract_worst_case_corners(ev, linearized, problem.design.nominal);
+      extract_worst_case_corners(ev, linearized, DesignVec(problem.design.nominal));
   ASSERT_FALSE(corners.empty());
   for (const auto& corner : corners)
     EXPECT_NEAR(corner.s_hat.norm(), 3.0, 1e-9);
@@ -32,7 +33,7 @@ TEST_F(CornerTest, CornersHaveTargetNorm) {
 
 TEST_F(CornerTest, DirectionMatchesWorstCasePoint) {
   const auto corners =
-      extract_worst_case_corners(ev, linearized, problem.design.nominal);
+      extract_worst_case_corners(ev, linearized, DesignVec(problem.design.nominal));
   // Corner of the linear spec is parallel to its worst-case point.
   const auto& wc = linearized.worst_cases[0];
   const auto& corner = corners.front();
@@ -44,9 +45,9 @@ TEST_F(CornerTest, DirectionMatchesWorstCasePoint) {
 
 TEST_F(CornerTest, MirroredSpecGetsBothSigns) {
   const auto corners =
-      extract_worst_case_corners(ev, linearized, problem.design.nominal);
+      extract_worst_case_corners(ev, linearized, DesignVec(problem.design.nominal));
   int quad_corners = 0;
-  Vector first;
+  linalg::StatUnitVec first;
   for (const auto& corner : corners) {
     if (corner.spec != 1) continue;
     ++quad_corners;
@@ -68,9 +69,9 @@ TEST_F(CornerTest, PhysicalConversionUsesSigmas) {
   cov.add(stats::StatParam::global("s2", 0.0, 1.0));
   scaled.statistical = std::move(cov);
   Evaluator ev2(scaled);
-  const auto lm2 = build_linearizations(ev2, scaled.design.nominal);
+  const auto lm2 = build_linearizations(ev2, DesignVec(scaled.design.nominal));
   const auto corners =
-      extract_worst_case_corners(ev2, lm2, scaled.design.nominal);
+      extract_worst_case_corners(ev2, lm2, DesignVec(scaled.design.nominal));
   ASSERT_FALSE(corners.empty());
   const auto& corner = corners.front();
   EXPECT_NEAR(corner.s_physical[0], 2.0 * corner.s_hat[0], 1e-9);
@@ -83,7 +84,7 @@ TEST_F(CornerTest, MarginEvaluationCostsOneSimEach) {
   CornerOptions options;
   options.evaluate_margins = true;
   const auto corners = extract_worst_case_corners(
-      ev, linearized, problem.design.nominal, options);
+      ev, linearized, DesignVec(problem.design.nominal), options);
   EXPECT_EQ(ev.counts().optimization - before, corners.size());
   for (const auto& corner : corners) {
     EXPECT_TRUE(corner.margin_evaluated);
@@ -100,7 +101,7 @@ TEST_F(CornerTest, LinearSpecCornerMarginMatchesModel) {
   options.evaluate_margins = true;
   options.beta_target = testing::linear_beta(2.0, 1.0);  // exactly on the boundary
   const auto corners = extract_worst_case_corners(
-      ev, linearized, problem.design.nominal, options);
+      ev, linearized, DesignVec(problem.design.nominal), options);
   ASSERT_FALSE(corners.empty());
   EXPECT_NEAR(corners.front().margin, 0.0, 1e-4);
 }
@@ -111,12 +112,12 @@ TEST_F(CornerTest, ConvergedOnlyFilter) {
   LinearizedModels tweaked = linearized;
   tweaked.worst_cases[0].converged = false;
   const auto strict = extract_worst_case_corners(
-      ev, tweaked, problem.design.nominal);
+      ev, tweaked, DesignVec(problem.design.nominal));
   for (const auto& corner : strict) EXPECT_NE(corner.spec, 0u);
   CornerOptions keep;
   keep.converged_only = false;
   const auto lenient = extract_worst_case_corners(
-      ev, tweaked, problem.design.nominal, keep);
+      ev, tweaked, DesignVec(problem.design.nominal), keep);
   bool has_spec0 = false;
   for (const auto& corner : lenient) has_spec0 |= corner.spec == 0;
   EXPECT_TRUE(has_spec0);

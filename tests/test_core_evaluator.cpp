@@ -9,18 +9,21 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+using linalg::MarginVec;
+using linalg::OperatingVec;
+using linalg::StatUnitVec;
 using linalg::Vector;
 using testing::SyntheticModel;
 
 TEST(Evaluator, MarginsMatchModel) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
-  const Vector m = ev.margins(problem.design.nominal, ev.nominal_s_hat(),
-                              Vector{0.0});
+  const DesignVec d(problem.design.nominal);
+  const MarginVec m = ev.margins(d, ev.nominal_s_hat(), OperatingVec{0.0});
   EXPECT_NEAR(m[0], 3.0, 1e-12);          // d0 + d1 at s=0, theta=0
   EXPECT_NEAR(m[1], 6.0, 1e-12);          // d0 + 4
-  EXPECT_NEAR(ev.margin(1, problem.design.nominal, ev.nominal_s_hat(),
-                        Vector{0.0}),
+  EXPECT_NEAR(ev.margin(1, d, ev.nominal_s_hat(), OperatingVec{0.0}),
               6.0, 1e-12);
 }
 
@@ -28,9 +31,9 @@ TEST(Evaluator, CountsAndCaches) {
   auto problem = testing::make_synthetic_problem();
   auto* model = dynamic_cast<SyntheticModel*>(problem.model.get());
   Evaluator ev(problem);
-  const Vector d = problem.design.nominal;
-  const Vector s = ev.nominal_s_hat();
-  const Vector theta{0.0};
+  const DesignVec d(problem.design.nominal);
+  const StatUnitVec s = ev.nominal_s_hat();
+  const OperatingVec theta{0.0};
 
   ev.performances(d, s, theta);
   EXPECT_EQ(ev.counts().optimization, 1u);
@@ -44,7 +47,7 @@ TEST(Evaluator, CountsAndCaches) {
   EXPECT_EQ(model->evaluations, 1);
 
   // Different budget attribution.
-  Vector theta2{0.5};
+  OperatingVec theta2{0.5};
   ev.performances(d, s, theta2, Budget::kVerification);
   EXPECT_EQ(ev.counts().verification, 1u);
   EXPECT_EQ(ev.counts().total(), 2u);
@@ -58,10 +61,11 @@ TEST(Evaluator, ConstraintCaching) {
   auto problem = testing::make_synthetic_problem();
   auto* model = dynamic_cast<SyntheticModel*>(problem.model.get());
   Evaluator ev(problem);
-  const Vector c = ev.constraints(problem.design.nominal);
+  const DesignVec d(problem.design.nominal);
+  const Vector c = ev.constraints(d);
   EXPECT_NEAR(c[0], 1.0, 1e-12);  // d0 - d1 = 1
   EXPECT_NEAR(c[1], 3.0, 1e-12);  // 6 - 3
-  ev.constraints(problem.design.nominal);
+  ev.constraints(d);
   EXPECT_EQ(model->constraint_evaluations, 1);
   EXPECT_EQ(ev.counts().constraint, 1u);
 }
@@ -69,27 +73,26 @@ TEST(Evaluator, ConstraintCaching) {
 TEST(Evaluator, SizeValidation) {
   auto problem = testing::make_synthetic_problem();
   Evaluator ev(problem);
-  EXPECT_THROW(ev.performances(Vector{1.0}, ev.nominal_s_hat(), Vector{0.0}),
+  const DesignVec d(problem.design.nominal);
+  EXPECT_THROW(ev.performances(DesignVec{1.0}, ev.nominal_s_hat(),
+                               OperatingVec{0.0}),
                std::invalid_argument);
-  EXPECT_THROW(ev.performances(problem.design.nominal, Vector{1.0},
-                               Vector{0.0}),
+  EXPECT_THROW(ev.performances(d, StatUnitVec{1.0}, OperatingVec{0.0}),
                std::invalid_argument);
-  EXPECT_THROW(ev.performances(problem.design.nominal, ev.nominal_s_hat(),
-                               Vector{}),
+  EXPECT_THROW(ev.performances(d, ev.nominal_s_hat(), OperatingVec{}),
                std::invalid_argument);
-  EXPECT_THROW(ev.margin(5, problem.design.nominal, ev.nominal_s_hat(),
-                         Vector{0.0}),
+  EXPECT_THROW(ev.margin(5, d, ev.nominal_s_hat(), OperatingVec{0.0}),
                std::out_of_range);
 }
 
 TEST(Evaluator, GradientSMatchesAnalytic) {
   auto problem = testing::make_synthetic_problem();
   Evaluator ev(problem);
-  const Vector d = problem.design.nominal;
-  const Vector theta{0.0};
+  const DesignVec d(problem.design.nominal);
+  const OperatingVec theta{0.0};
   // Linear spec: grad_s = (-1, -2, 0) exactly (forward differences exact
   // for linear functions).
-  const Vector g = ev.margin_gradient_s(0, d, ev.nominal_s_hat(), theta);
+  const StatUnitVec g = ev.margin_gradient_s(0, d, ev.nominal_s_hat(), theta);
   EXPECT_NEAR(g[0], -1.0, 1e-9);
   EXPECT_NEAR(g[1], -2.0, 1e-9);
   EXPECT_NEAR(g[2], 0.0, 1e-9);
@@ -99,8 +102,8 @@ TEST(Evaluator, GradientsSharedAcrossSpecs) {
   auto problem = testing::make_synthetic_problem();
   auto* model = dynamic_cast<SyntheticModel*>(problem.model.get());
   Evaluator ev(problem);
-  const Vector d = problem.design.nominal;
-  const Vector theta{0.0};
+  const DesignVec d(problem.design.nominal);
+  const OperatingVec theta{0.0};
   model->evaluations = 0;
   ev.clear_cache();
   const linalg::Matrixd grads =
@@ -117,12 +120,12 @@ TEST(Evaluator, GradientsSharedAcrossSpecs) {
 TEST(Evaluator, GradientDMatchesAnalytic) {
   auto problem = testing::make_synthetic_problem();
   Evaluator ev(problem);
-  const Vector d = problem.design.nominal;
-  const Vector theta{0.0};
-  const Vector g = ev.margin_gradient_d(0, d, ev.nominal_s_hat(), theta);
+  const DesignVec d(problem.design.nominal);
+  const OperatingVec theta{0.0};
+  const DesignVec g = ev.margin_gradient_d(0, d, ev.nominal_s_hat(), theta);
   EXPECT_NEAR(g[0], 1.0, 1e-6);
   EXPECT_NEAR(g[1], 1.0, 1e-6);
-  const Vector g1 = ev.margin_gradient_d(1, d, ev.nominal_s_hat(), theta);
+  const DesignVec g1 = ev.margin_gradient_d(1, d, ev.nominal_s_hat(), theta);
   EXPECT_NEAR(g1[0], 1.0, 1e-6);
   EXPECT_NEAR(g1[1], 0.0, 1e-6);
 }
@@ -131,7 +134,7 @@ TEST(Evaluator, ConstraintJacobian) {
   auto problem = testing::make_synthetic_problem();
   Evaluator ev(problem);
   const linalg::Matrixd jac =
-      ev.constraint_jacobian(problem.design.nominal);
+      ev.constraint_jacobian(DesignVec(problem.design.nominal));
   EXPECT_NEAR(jac(0, 0), 1.0, 1e-6);
   EXPECT_NEAR(jac(0, 1), -1.0, 1e-6);
   EXPECT_NEAR(jac(1, 0), -1.0, 1e-6);
@@ -148,9 +151,10 @@ TEST(Evaluator, AppliesCovarianceTransform) {
   cov.add(stats::StatParam::global("s2", 0.0, 1.0));
   problem.statistical = std::move(cov);
   Evaluator ev(problem);
-  Vector s_hat(3);
+  StatUnitVec s_hat(3);
   s_hat[0] = 1.0;  // physical s0 = 2
-  const double m = ev.margin(0, problem.design.nominal, s_hat, Vector{0.0});
+  const double m = ev.margin(0, DesignVec(problem.design.nominal), s_hat,
+                             OperatingVec{0.0});
   // margin = d0 + d1 - s0_phys = 3 - 2 = 1.
   EXPECT_NEAR(m, 1.0, 1e-12);
 }
@@ -163,16 +167,16 @@ TEST(Evaluator, DesignDependentSigmaEntersGradientD) {
   stats::CovarianceModel cov;
   stats::StatParam p0;
   p0.name = "s0";
-  p0.sigma = [](const Vector& d) { return d[0]; };
+  p0.sigma = [](const DesignVec& d) { return d[0]; };
   cov.add(std::move(p0));
   cov.add(stats::StatParam::global("s1", 0.0, 1.0));
   cov.add(stats::StatParam::global("s2", 0.0, 1.0));
   problem.statistical = std::move(cov);
   Evaluator ev(problem);
-  Vector s_hat(3);
+  StatUnitVec s_hat(3);
   s_hat[0] = 1.0;
-  const Vector g =
-      ev.margin_gradient_d(0, problem.design.nominal, s_hat, Vector{0.0});
+  const DesignVec g = ev.margin_gradient_d(
+      0, DesignVec(problem.design.nominal), s_hat, OperatingVec{0.0});
   EXPECT_NEAR(g[0], 0.0, 1e-6);
   EXPECT_NEAR(g[1], 1.0, 1e-6);
 }

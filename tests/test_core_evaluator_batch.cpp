@@ -22,9 +22,23 @@ namespace mayo::core {
 namespace {
 
 using linalg::ConstMatrixView;
-using linalg::Matrixd;
+using linalg::DesignVec;
+using linalg::MarginVec;
 using linalg::MatrixView;
+using linalg::Matrixd;
+using linalg::OperatingVec;
+using linalg::PerfVec;
+using linalg::StatUnitBlock;
+using linalg::StatUnitVec;
 using linalg::Vector;
+
+StatUnitBlock unit_block(const Matrixd& m) {
+  return StatUnitBlock(ConstMatrixView(m));
+}
+
+linalg::PerfBlockView perf_view(Matrixd& m) {
+  return linalg::PerfBlockView(MatrixView(m));
+}
 
 Matrixd sample_block(std::size_t rows, std::size_t dim, std::uint64_t seed) {
   const stats::SampleSet samples(rows, dim, seed);
@@ -34,8 +48,8 @@ Matrixd sample_block(std::size_t rows, std::size_t dim, std::uint64_t seed) {
   return block;
 }
 
-Vector row_vector(const Matrixd& m, std::size_t r) {
-  Vector v(m.cols());
+StatUnitVec row_vector(const Matrixd& m, std::size_t r) {
+  StatUnitVec v(m.cols());
   for (std::size_t c = 0; c < m.cols(); ++c) v[c] = m(r, c);
   return v;
 }
@@ -58,16 +72,15 @@ TEST(EvaluatorBatch, FallbackModelBitwiseMatchesScalar) {
   Evaluator scalar(scalar_problem);
   Evaluator batch(batch_problem);
 
-  const Vector d = scalar_problem.design.nominal;
-  const Vector theta{0.25};
+  const DesignVec d(scalar_problem.design.nominal);
+  const OperatingVec theta{0.25};
   const Matrixd block = sample_block(17, 3, 0xABCDu);
 
   Matrixd out(block.rows(), scalar.num_specs());
   EvalWorkspace ws;
-  batch.performances_batch(d, ConstMatrixView(block), theta, MatrixView(out),
-                           ws);
+  batch.performances_batch(d, unit_block(block), theta, perf_view(out), ws);
   for (std::size_t r = 0; r < block.rows(); ++r) {
-    const Vector reference =
+    const PerfVec reference =
         scalar.performances(d, row_vector(block, r), theta);
     for (std::size_t i = 0; i < reference.size(); ++i)
       EXPECT_EQ(out(r, i), reference[i]) << "row " << r << " perf " << i;
@@ -82,17 +95,18 @@ TEST(EvaluatorBatch, MarginsBatchMatchesScalarMargins) {
   auto problem2 = testing::make_synthetic_problem();
   Evaluator scalar(problem);
   Evaluator batch(problem2);
-  const Vector d = problem.design.nominal;
-  const Vector theta{-0.5};
+  const DesignVec d(problem.design.nominal);
+  const OperatingVec theta{-0.5};
   const Matrixd block = sample_block(9, 3, 0x1234u);
 
   Matrixd out(block.rows(), batch.num_specs());
   EvalWorkspace ws;
-  batch.margins_batch(d, ConstMatrixView(block), theta, MatrixView(out), ws,
+  batch.margins_batch(d, unit_block(block), theta,
+                      linalg::MarginBlockView(MatrixView(out)), ws,
                       Budget::kVerification);
   for (std::size_t r = 0; r < block.rows(); ++r) {
-    const Vector reference = scalar.margins(d, row_vector(block, r), theta,
-                                            Budget::kVerification);
+    const MarginVec reference = scalar.margins(d, row_vector(block, r), theta,
+                                               Budget::kVerification);
     for (std::size_t i = 0; i < reference.size(); ++i)
       EXPECT_EQ(out(r, i), reference[i]);
   }
@@ -104,8 +118,8 @@ TEST(EvaluatorBatch, DuplicateRowsSimulatedOnceAndCountedAsHits) {
   auto problem = testing::make_synthetic_problem();
   auto* model = static_cast<testing::SyntheticModel*>(problem.model.get());
   Evaluator evaluator(problem);
-  const Vector d = problem.design.nominal;
-  const Vector theta{0.0};
+  const DesignVec d(problem.design.nominal);
+  const OperatingVec theta{0.0};
 
   Matrixd block(4, 3);
   for (std::size_t c = 0; c < 3; ++c) {
@@ -116,8 +130,8 @@ TEST(EvaluatorBatch, DuplicateRowsSimulatedOnceAndCountedAsHits) {
   }
   Matrixd out(4, 2);
   EvalWorkspace ws;
-  evaluator.performances_batch(d, ConstMatrixView(block), theta,
-                               MatrixView(out), ws);
+  evaluator.performances_batch(d, unit_block(block), theta, perf_view(out),
+                               ws);
   EXPECT_EQ(model->evaluations, 2);  // two distinct rows
   EXPECT_EQ(evaluator.counts().optimization, 2u);
   EXPECT_EQ(evaluator.counts().cache_hits, 2u);  // the two duplicates
@@ -131,8 +145,8 @@ TEST(EvaluatorBatch, WarmCacheServesBatchWithoutEvaluations) {
   auto problem = testing::make_synthetic_problem();
   auto* model = static_cast<testing::SyntheticModel*>(problem.model.get());
   Evaluator evaluator(problem);
-  const Vector d = problem.design.nominal;
-  const Vector theta{0.0};
+  const DesignVec d(problem.design.nominal);
+  const OperatingVec theta{0.0};
   const Matrixd block = sample_block(6, 3, 0x77u);
 
   for (std::size_t r = 0; r < block.rows(); ++r)
@@ -141,13 +155,13 @@ TEST(EvaluatorBatch, WarmCacheServesBatchWithoutEvaluations) {
 
   Matrixd out(block.rows(), 2);
   EvalWorkspace ws;
-  evaluator.performances_batch(d, ConstMatrixView(block), theta,
-                               MatrixView(out), ws);
+  evaluator.performances_batch(d, unit_block(block), theta, perf_view(out),
+                               ws);
   EXPECT_EQ(model->evaluations, evals_after_warmup);
   EXPECT_EQ(evaluator.counts().cache_hits, block.rows());
   for (std::size_t r = 0; r < block.rows(); ++r) {
-    const Vector reference = evaluator.performances(d, row_vector(block, r),
-                                                    theta);
+    const PerfVec reference = evaluator.performances(d, row_vector(block, r),
+                                                     theta);
     for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(out(r, i), reference[i]);
   }
 }
@@ -157,17 +171,17 @@ TEST(EvaluatorBatch, WorkspaceReuseAcrossShrinkingAndGrowingBlocks) {
   Evaluator evaluator(problem);
   auto reference_problem = testing::make_synthetic_problem();
   Evaluator reference(reference_problem);
-  const Vector d = problem.design.nominal;
-  const Vector theta{0.1};
+  const DesignVec d(problem.design.nominal);
+  const OperatingVec theta{0.1};
   EvalWorkspace ws;
   for (std::size_t rows : {8u, 2u, 16u, 1u}) {
     const Matrixd block = sample_block(rows, 3, 0x1000u + rows);
     Matrixd out(rows, 2);
-    evaluator.performances_batch(d, ConstMatrixView(block), theta,
-                                 MatrixView(out), ws);
+    evaluator.performances_batch(d, unit_block(block), theta, perf_view(out),
+                                 ws);
     for (std::size_t r = 0; r < rows; ++r) {
-      const Vector expect = reference.performances(d, row_vector(block, r),
-                                                   theta);
+      const PerfVec expect = reference.performances(d, row_vector(block, r),
+                                                    theta);
       for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(out(r, i), expect[i]);
     }
   }
@@ -178,18 +192,21 @@ TEST(EvaluatorBatch, RejectsMisshapenOutput) {
   Evaluator evaluator(problem);
   const Matrixd block = sample_block(4, 3, 0x2u);
   EvalWorkspace ws;
+  // std::logic_error covers both layers of the shape check: with
+  // contracts live (Debug) MAYO_CHECK_DIM throws ContractViolation
+  // first; under NDEBUG the always-on guard throws invalid_argument.
   Matrixd bad_rows(3, 2);
-  EXPECT_THROW(evaluator.performances_batch(problem.design.nominal,
-                                            ConstMatrixView(block),
-                                            Vector{0.0}, MatrixView(bad_rows),
-                                            ws),
-               std::invalid_argument);
+  EXPECT_THROW(evaluator.performances_batch(DesignVec(problem.design.nominal),
+                                            unit_block(block),
+                                            OperatingVec{0.0},
+                                            perf_view(bad_rows), ws),
+               std::logic_error);
   Matrixd bad_cols(4, 3);
-  EXPECT_THROW(evaluator.performances_batch(problem.design.nominal,
-                                            ConstMatrixView(block),
-                                            Vector{0.0}, MatrixView(bad_cols),
-                                            ws),
-               std::invalid_argument);
+  EXPECT_THROW(evaluator.performances_batch(DesignVec(problem.design.nominal),
+                                            unit_block(block),
+                                            OperatingVec{0.0},
+                                            perf_view(bad_cols), ws),
+               std::logic_error);
 }
 
 TEST(EvaluatorBatch, BoundedCacheStillBitwiseIdentical) {
@@ -200,16 +217,16 @@ TEST(EvaluatorBatch, BoundedCacheStillBitwiseIdentical) {
   cache.capacity = 2;
   Evaluator evaluator(problem, cache);
   Evaluator reference(reference_problem);
-  const Vector d = problem.design.nominal;
-  const Vector theta{0.0};
+  const DesignVec d(problem.design.nominal);
+  const OperatingVec theta{0.0};
   const Matrixd block = sample_block(12, 3, 0x99u);
   Matrixd out(block.rows(), 2);
   EvalWorkspace ws;
-  evaluator.performances_batch(d, ConstMatrixView(block), theta,
-                               MatrixView(out), ws);
+  evaluator.performances_batch(d, unit_block(block), theta, perf_view(out),
+                               ws);
   for (std::size_t r = 0; r < block.rows(); ++r) {
-    const Vector expect = reference.performances(d, row_vector(block, r),
-                                                 theta);
+    const PerfVec expect = reference.performances(d, row_vector(block, r),
+                                                  theta);
     for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(out(r, i), expect[i]);
   }
 }
@@ -224,8 +241,8 @@ void expect_circuit_batch_matches_scalar(MakeProblem make_problem,
   auto batch_problem = make_problem();
   Evaluator scalar(scalar_problem);
   Evaluator batch(batch_problem);
-  const Vector d = scalar_problem.design.nominal;
-  const Vector theta = scalar_problem.operating.nominal;
+  const DesignVec d(scalar_problem.design.nominal);
+  const OperatingVec theta(scalar_problem.operating.nominal);
   const std::size_t dim = scalar_problem.statistical.dimension();
   // Quarter-sigma deviations: enough to move every performance, small
   // enough to stay on the nominal bias branch.
@@ -235,11 +252,11 @@ void expect_circuit_batch_matches_scalar(MakeProblem make_problem,
 
   Matrixd out(block.rows(), scalar.num_specs());
   EvalWorkspace ws;
-  batch.performances_batch(d, ConstMatrixView(block), theta, MatrixView(out),
-                           ws, Budget::kVerification);
+  batch.performances_batch(d, unit_block(block), theta, perf_view(out), ws,
+                           Budget::kVerification);
   for (std::size_t r = 0; r < block.rows(); ++r) {
-    const Vector reference = scalar.performances(d, row_vector(block, r),
-                                                 theta, Budget::kVerification);
+    const PerfVec reference = scalar.performances(d, row_vector(block, r),
+                                                  theta, Budget::kVerification);
     for (std::size_t i = 0; i < reference.size(); ++i)
       EXPECT_EQ(out(r, i), reference[i]) << "row " << r << " perf " << i;
   }

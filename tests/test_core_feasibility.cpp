@@ -7,18 +7,19 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
 using linalg::Vector;
 
 TEST(FeasibilityModel, LinearizesExactlyForLinearConstraints) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const FeasibilityModel model =
-      linearize_feasibility(ev, problem.design.nominal);
+      linearize_feasibility(ev, DesignVec(problem.design.nominal));
   // c0 = d0 - d1 = 1, c1 = 6 - d0 - d1 = 3 at (2, 1).
   EXPECT_NEAR(model.c0[0], 1.0, 1e-12);
   EXPECT_NEAR(model.c0[1], 3.0, 1e-12);
   // Constraints are linear, so the model is exact everywhere.
-  const Vector d{4.0, -1.0};
+  const DesignVec d{4.0, -1.0};
   const Vector predicted = model.values(d);
   EXPECT_NEAR(predicted[0], 5.0, 1e-5);
   EXPECT_NEAR(predicted[1], 3.0, 1e-5);
@@ -28,19 +29,19 @@ TEST(FeasibilityModel, FeasibleCheck) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const FeasibilityModel model =
-      linearize_feasibility(ev, problem.design.nominal);
-  EXPECT_TRUE(model.feasible(Vector{2.0, 1.0}));
-  EXPECT_FALSE(model.feasible(Vector{0.0, 1.0}));     // c0 < 0
-  EXPECT_FALSE(model.feasible(Vector{4.0, 3.0}));     // c1 < 0
-  EXPECT_TRUE(model.feasible(Vector{0.0, 0.05}, 0.1));  // tolerance
+      linearize_feasibility(ev, DesignVec(problem.design.nominal));
+  EXPECT_TRUE(model.feasible(DesignVec{2.0, 1.0}));
+  EXPECT_FALSE(model.feasible(DesignVec{0.0, 1.0}));     // c0 < 0
+  EXPECT_FALSE(model.feasible(DesignVec{4.0, 3.0}));     // c1 < 0
+  EXPECT_TRUE(model.feasible(DesignVec{0.0, 0.05}, 0.1));  // tolerance
 }
 
 TEST(FeasibilityModel, CoordinateInterval) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const FeasibilityModel model =
-      linearize_feasibility(ev, problem.design.nominal);
-  const Vector current = model.values(problem.design.nominal);
+      linearize_feasibility(ev, DesignVec(problem.design.nominal));
+  const Vector current = model.values(DesignVec(problem.design.nominal));
   // Moving d0: c0 = 1 + alpha >= 0 -> alpha >= -1; c1 = 3 - alpha >= 0 ->
   // alpha <= 3.
   const auto [lo, hi] = model.coordinate_interval(current, 0, -10.0, 10.0);
@@ -52,8 +53,8 @@ TEST(FeasibilityModel, CoordinateIntervalRespectsBoxBounds) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const FeasibilityModel model =
-      linearize_feasibility(ev, problem.design.nominal);
-  const Vector current = model.values(problem.design.nominal);
+      linearize_feasibility(ev, DesignVec(problem.design.nominal));
+  const Vector current = model.values(DesignVec(problem.design.nominal));
   const auto [lo, hi] = model.coordinate_interval(current, 0, -0.5, 0.5);
   EXPECT_NEAR(lo, -0.5, 1e-9);
   EXPECT_NEAR(hi, 0.5, 1e-9);
@@ -63,9 +64,9 @@ TEST(FeasibleStart, AlreadyFeasibleReturnsUnchanged) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const FeasibleStartResult result =
-      find_feasible_start(ev, problem.design.nominal);
+      find_feasible_start(ev, DesignVec(problem.design.nominal));
   EXPECT_TRUE(result.feasible);
-  EXPECT_EQ(result.d, problem.design.nominal);
+  EXPECT_EQ(result.d, DesignVec(problem.design.nominal));
   EXPECT_EQ(result.iterations, 0);
 }
 
@@ -74,7 +75,7 @@ TEST(FeasibleStart, RepairsInfeasiblePoint) {
   auto problem = testing::make_synthetic_problem(0.0, 2.0);
   Evaluator ev(problem);
   const FeasibleStartResult result =
-      find_feasible_start(ev, Vector{0.0, 2.0});
+      find_feasible_start(ev, DesignVec{0.0, 2.0});
   EXPECT_TRUE(result.feasible);
   EXPECT_GE(result.worst_constraint, -1e-9);
   // The Gauss-Newton step is minimum-norm: expected projection onto
@@ -87,7 +88,7 @@ TEST(FeasibleStart, RepairsTwoActiveConstraints) {
   // Start at (6, 6): c0 = 0 (ok), c1 = -6 violated.
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
-  const FeasibleStartResult result = find_feasible_start(ev, Vector{6.0, 6.0});
+  const FeasibleStartResult result = find_feasible_start(ev, DesignVec{6.0, 6.0});
   EXPECT_TRUE(result.feasible);
   const Vector c = ev.constraints(result.d);
   EXPECT_GE(c[0], -1e-9);
@@ -100,7 +101,7 @@ TEST(FeasibleStart, TargetMarginLeavesSlack) {
   FeasibleStartOptions options;
   options.target_margin = 0.5;
   const FeasibleStartResult result =
-      find_feasible_start(ev, Vector{0.0, 2.0}, options);
+      find_feasible_start(ev, DesignVec{0.0, 2.0}, options);
   const Vector c = ev.constraints(result.d);
   EXPECT_GE(c[0], 0.5 - 1e-6);
 }
@@ -109,7 +110,7 @@ TEST(FeasibleStart, ClampsToDesignBox) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const FeasibleStartResult result =
-      find_feasible_start(ev, Vector{20.0, -20.0});
+      find_feasible_start(ev, DesignVec{20.0, -20.0});
   EXPECT_TRUE(problem.design.contains(result.d, 1e-9));
 }
 

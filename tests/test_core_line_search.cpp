@@ -7,16 +7,17 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
 using linalg::Vector;
 
 TEST(LineSearch, FullStepWhenTargetFeasible) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const LineSearchResult result = feasibility_line_search(
-      ev, Vector{2.0, 1.0}, Vector{3.0, 1.0});  // both feasible
+      ev, DesignVec{2.0, 1.0}, DesignVec{3.0, 1.0});  // both feasible
   EXPECT_TRUE(result.full_step);
   EXPECT_EQ(result.gamma, 1.0);
-  EXPECT_EQ(result.d_new, (Vector{3.0, 1.0}));
+  EXPECT_EQ(result.d_new, (DesignVec{3.0, 1.0}));
   EXPECT_EQ(result.evaluations, 1);
 }
 
@@ -28,7 +29,8 @@ TEST(LineSearch, BisectsToBoundary) {
   LineSearchOptions options;
   options.max_evaluations = 20;
   const LineSearchResult result =
-      feasibility_line_search(ev, Vector{2.0, 1.0}, Vector{6.0, 6.0}, options);
+      feasibility_line_search(
+      ev, DesignVec{2.0, 1.0}, DesignVec{6.0, 6.0}, options);
   EXPECT_FALSE(result.full_step);
   EXPECT_NEAR(result.gamma, 1.0 / 3.0, 1e-4);
   // Returned point is feasible.
@@ -44,7 +46,8 @@ TEST(LineSearch, RespectsEvaluationBudget) {
   LineSearchOptions options;
   options.max_evaluations = 10;  // the paper's ~10 simulations
   model->constraint_evaluations = 0;
-  feasibility_line_search(ev, Vector{2.0, 1.0}, Vector{6.0, 6.0}, options);
+  feasibility_line_search(
+      ev, DesignVec{2.0, 1.0}, DesignVec{6.0, 6.0}, options);
   EXPECT_LE(model->constraint_evaluations, 10);
 }
 
@@ -56,7 +59,8 @@ TEST(LineSearch, GammaZeroWhenNoMovePossible) {
   LineSearchOptions options;
   options.max_evaluations = 12;
   const LineSearchResult result =
-      feasibility_line_search(ev, Vector{1.0, 1.0}, Vector{1.0, 3.0}, options);
+      feasibility_line_search(
+      ev, DesignVec{1.0, 1.0}, DesignVec{1.0, 3.0}, options);
   EXPECT_LT(result.gamma, 1e-2);
   EXPECT_NEAR(result.d_new[1], 1.0, 0.05);
 }
@@ -67,7 +71,8 @@ TEST(LineSearch, ToleranceAllowsSlightViolation) {
   LineSearchOptions options;
   options.tolerance = 10.0;  // everything counts as feasible
   const LineSearchResult result =
-      feasibility_line_search(ev, Vector{2.0, 1.0}, Vector{6.0, 6.0}, options);
+      feasibility_line_search(
+      ev, DesignVec{2.0, 1.0}, DesignVec{6.0, 6.0}, options);
   EXPECT_EQ(result.gamma, 1.0);
 }
 

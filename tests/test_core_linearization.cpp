@@ -9,13 +9,16 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+using linalg::OperatingVec;
+using linalg::StatUnitVec;
 using linalg::Vector;
 
 TEST(Linearization, BuildsOneModelPerLinearSpecPlusMirror) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const LinearizedModels lm =
-      build_linearizations(ev, problem.design.nominal);
+      build_linearizations(ev, DesignVec(problem.design.nominal));
   // Linear spec -> 1 model; quadratic spec -> primary + mirror.
   ASSERT_EQ(lm.models.size(), 3u);
   EXPECT_EQ(lm.worst_cases.size(), 2u);
@@ -29,7 +32,7 @@ TEST(Linearization, MirrorNegatesExpansion) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const LinearizedModels lm =
-      build_linearizations(ev, problem.design.nominal);
+      build_linearizations(ev, DesignVec(problem.design.nominal));
   const SpecLinearization& primary = lm.models[1];
   const SpecLinearization& mirror = lm.models[2];
   for (std::size_t i = 0; i < 3; ++i) {
@@ -43,11 +46,11 @@ TEST(Linearization, ModelValueExactForLinearSpec) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const LinearizedModels lm =
-      build_linearizations(ev, problem.design.nominal);
+      build_linearizations(ev, DesignVec(problem.design.nominal));
   const SpecLinearization& lin = lm.models[0];
   // The model must reproduce the true margin of the linear spec anywhere.
-  const Vector d{3.0, 0.5};
-  Vector s{0.7, -0.3, 0.2};
+  const DesignVec d{3.0, 0.5};
+  StatUnitVec s{0.7, -0.3, 0.2};
   const double predicted = lin.value(d, s);
   const double truth = ev.margin(0, d, s, lin.theta_wc);
   EXPECT_NEAR(predicted, truth, 1e-5);
@@ -57,8 +60,8 @@ TEST(Linearization, UsesWorstCaseOperatingPoint) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const LinearizedModels lm =
-      build_linearizations(ev, problem.design.nominal);
-  EXPECT_EQ(lm.models[0].theta_wc, (Vector{1.0}));
+      build_linearizations(ev, DesignVec(problem.design.nominal));
+  EXPECT_EQ(lm.models[0].theta_wc, (OperatingVec{1.0}));
   EXPECT_NEAR(lm.operating.worst_margin[0], 2.0, 1e-12);
 }
 
@@ -68,15 +71,15 @@ TEST(Linearization, NominalAblationExpandsAtZero) {
   LinearizationOptions options;
   options.linearize_at_nominal = true;
   const LinearizedModels lm =
-      build_linearizations(ev, problem.design.nominal, options);
+      build_linearizations(ev, DesignVec(problem.design.nominal), options);
   // No mirrors in the ablation, expansion at s = 0.
   ASSERT_EQ(lm.models.size(), 2u);
-  EXPECT_EQ(lm.models[1].s_wc, Vector(3));
+  EXPECT_EQ(lm.models[1].s_wc, StatUnitVec(3));
   // The quadratic spec's gradient at the nominal is ~0: the model wrongly
   // predicts total insensitivity -- the Table-4 failure mechanism.
   EXPECT_LT(lm.models[1].grad_s.norm(), 0.1);
-  const Vector d = problem.design.nominal;
-  Vector far(3);
+  const DesignVec d(problem.design.nominal);
+  StatUnitVec far(3);
   far[1] = 3.0;
   far[2] = -3.0;
   const double predicted = lm.models[1].value(d, far);
@@ -90,7 +93,7 @@ TEST(Linearization, MirrorCanBeDisabled) {
   LinearizationOptions options;
   options.enable_mirror = false;
   const LinearizedModels lm =
-      build_linearizations(ev, problem.design.nominal, options);
+      build_linearizations(ev, DesignVec(problem.design.nominal), options);
   EXPECT_EQ(lm.models.size(), 2u);
 }
 
@@ -98,7 +101,7 @@ TEST(Linearization, DGradientAtWcPoint) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const LinearizedModels lm =
-      build_linearizations(ev, problem.design.nominal);
+      build_linearizations(ev, DesignVec(problem.design.nominal));
   // d-gradient of the linear margin is (1, 1).
   EXPECT_NEAR(lm.models[0].grad_d[0], 1.0, 1e-5);
   EXPECT_NEAR(lm.models[0].grad_d[1], 1.0, 1e-5);

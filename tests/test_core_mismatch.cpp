@@ -8,6 +8,7 @@
 namespace mayo::core {
 namespace {
 
+using linalg::StatUnitVec;
 using linalg::Vector;
 
 constexpr double kPi = std::numbers::pi;
@@ -69,7 +70,7 @@ TEST(RobustnessWeight, ContinuouslyDifferentiableAtZero) {
 TEST(MismatchMeasure, PerfectMismatchPair) {
   // Components of equal magnitude and opposite sign dominate the point:
   // measure = eta(beta) * 1 * 1.
-  Vector s_wc{0.0, 1.5, -1.5};
+  StatUnitVec s_wc{0.0, 1.5, -1.5};
   const double beta = s_wc.norm();
   const double m = mismatch_measure(s_wc, beta, 1, 2);
   EXPECT_NEAR(m, mismatch_robustness_weight(beta), 1e-12);
@@ -77,7 +78,7 @@ TEST(MismatchMeasure, PerfectMismatchPair) {
 
 TEST(MismatchMeasure, RangeZeroToOne) {
   // Requirement 2 of Sec. 3.1.
-  Vector s_wc{0.3, 1.5, -1.4};
+  StatUnitVec s_wc{0.3, 1.5, -1.4};
   for (double beta : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
     for (std::size_t k = 0; k < 3; ++k)
       for (std::size_t l = k + 1; l < 3; ++l) {
@@ -89,25 +90,25 @@ TEST(MismatchMeasure, RangeZeroToOne) {
 }
 
 TEST(MismatchMeasure, SameSignPairIsZero) {
-  Vector s_wc{1.0, 1.0, 0.5};
+  StatUnitVec s_wc{1.0, 1.0, 0.5};
   EXPECT_EQ(mismatch_measure(s_wc, 1.0, 0, 1), 0.0);
 }
 
 TEST(MismatchMeasure, ZeroComponentIsZero) {
-  Vector s_wc{0.0, 1.0, -1.0};
+  StatUnitVec s_wc{0.0, 1.0, -1.0};
   EXPECT_EQ(mismatch_measure(s_wc, 1.0, 0, 1), 0.0);
-  EXPECT_EQ(mismatch_measure(Vector(3), 1.0, 1, 2), 0.0);
+  EXPECT_EQ(mismatch_measure(StatUnitVec(3), 1.0, 1, 2), 0.0);
 }
 
 TEST(MismatchMeasure, SymmetricInPairOrder) {
-  Vector s_wc{0.2, 1.2, -0.9};
+  StatUnitVec s_wc{0.2, 1.2, -0.9};
   EXPECT_NEAR(mismatch_measure(s_wc, 1.0, 1, 2),
               mismatch_measure(s_wc, 1.0, 2, 1), 1e-12);
 }
 
 TEST(MismatchMeasure, SmallerDeviationsWeighLess) {
   // Requirement: pairs with larger worst-case deviation matter more.
-  Vector s_wc{2.0, -2.0, 0.5, -0.5};
+  StatUnitVec s_wc{2.0, -2.0, 0.5, -0.5};
   const double big = mismatch_measure(s_wc, 1.0, 0, 1);
   const double small = mismatch_measure(s_wc, 1.0, 2, 3);
   EXPECT_GT(big, small);
@@ -116,7 +117,7 @@ TEST(MismatchMeasure, SmallerDeviationsWeighLess) {
 
 TEST(MismatchMeasure, RobustSpecScoresLower) {
   // Requirement 4: more robust performance -> lower measure.
-  Vector s_wc{1.0, -1.0};
+  StatUnitVec s_wc{1.0, -1.0};
   EXPECT_GT(mismatch_measure(s_wc, 0.5, 0, 1),
             mismatch_measure(s_wc, 3.0, 0, 1));
 }
@@ -124,7 +125,7 @@ TEST(MismatchMeasure, RobustSpecScoresLower) {
 TEST(RankMismatchPairs, SortsAndFilters) {
   WorstCasePoint wc;
   wc.spec = 7;
-  wc.s_wc = Vector{2.0, -2.0, 0.4, -0.4, 0.001};
+  wc.s_wc = StatUnitVec{2.0, -2.0, 0.4, -0.4, 0.001};
   wc.beta = 1.0;
   const auto pairs = rank_mismatch_pairs(wc, 1e-3);
   ASSERT_GE(pairs.size(), 2u);
@@ -141,7 +142,7 @@ TEST(RankMismatchPairs, SortsAndFilters) {
 TEST(RankMismatchPairs, MixedMagnitudePairStillDetected) {
   // Deviations of opposite sign but unequal magnitude inside the window.
   WorstCasePoint wc;
-  wc.s_wc = Vector{1.0, -0.8};
+  wc.s_wc = StatUnitVec{1.0, -0.8};
   wc.beta = 1.0;
   const auto pairs = rank_mismatch_pairs(wc, 1e-6);
   ASSERT_EQ(pairs.size(), 1u);
@@ -150,7 +151,7 @@ TEST(RankMismatchPairs, MixedMagnitudePairStillDetected) {
 
 TEST(RankMismatchPairs, EmptyForNeutralPoint) {
   WorstCasePoint wc;
-  wc.s_wc = Vector{1.0, 1.0, 1.0};
+  wc.s_wc = StatUnitVec{1.0, 1.0, 1.0};
   wc.beta = 2.0;
   EXPECT_TRUE(rank_mismatch_pairs(wc).empty());
 }

@@ -10,6 +10,8 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+using linalg::OperatingVec;
 using linalg::Vector;
 
 TEST(RunningStatsMerge, MatchesSequential) {
@@ -46,11 +48,13 @@ TEST(RunningStatsMerge, EmptyCases) {
 TEST(ParallelVerify, MatchesSerialExactly) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator serial_ev(problem);
-  const std::vector<Vector> theta_wc = {Vector{1.0}, Vector{0.0}};
+  const std::vector<OperatingVec> theta_wc = {OperatingVec{1.0},
+                                              OperatingVec{0.0}};
   VerificationOptions vopts;
   vopts.num_samples = 500;
   const VerificationResult serial =
-      monte_carlo_verify(serial_ev, problem.design.nominal, theta_wc, vopts);
+      monte_carlo_verify(serial_ev, DesignVec(problem.design.nominal),
+                         theta_wc, vopts);
 
   auto problem2 = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator parallel_ev(problem2);
@@ -58,7 +62,7 @@ TEST(ParallelVerify, MatchesSerialExactly) {
   popts.verification = vopts;
   popts.threads = 4;
   const VerificationResult parallel = parallel_monte_carlo_verify(
-      parallel_ev, problem2.design.nominal, theta_wc, popts);
+      parallel_ev, DesignVec(problem2.design.nominal), theta_wc, popts);
 
   // Pass/fail decisions are identical; only moment accumulation order
   // differs (exact integer counts must match).
@@ -80,7 +84,8 @@ TEST(ParallelVerify, ChargesVerificationBudget) {
   popts.verification.num_samples = 100;
   popts.threads = 3;
   const VerificationResult result = parallel_monte_carlo_verify(
-      ev, problem.design.nominal, {Vector{1.0}, Vector{1.0}}, popts);
+      ev, DesignVec(problem.design.nominal),
+      {OperatingVec{1.0}, OperatingVec{1.0}}, popts);
   EXPECT_EQ(ev.counts().verification, result.evaluations);
   EXPECT_EQ(result.evaluations, 100u);  // shared corners: 1 eval per sample
 }
@@ -92,7 +97,8 @@ TEST(ParallelVerify, SingleThreadFallsBackToSerial) {
   popts.verification.num_samples = 50;
   popts.threads = 1;
   const VerificationResult result = parallel_monte_carlo_verify(
-      ev, problem.design.nominal, {Vector{1.0}, Vector{1.0}}, popts);
+      ev, DesignVec(problem.design.nominal),
+      {OperatingVec{1.0}, OperatingVec{1.0}}, popts);
   EXPECT_EQ(result.evaluations, 50u);
 }
 
@@ -101,11 +107,11 @@ TEST(ParallelVerify, NonClonableModelFallsBackToSerial) {
    public:
     std::size_t num_performances() const override { return 1; }
     std::size_t num_constraints() const override { return 1; }
-    linalg::Vector evaluate(const linalg::Vector&, const linalg::Vector& s,
-                            const linalg::Vector&) override {
-      return linalg::Vector{1.0 - s[0]};
+    linalg::PerfVec evaluate(const DesignVec&, const linalg::StatPhysVec& s,
+                             const OperatingVec&) override {
+      return linalg::PerfVec{1.0 - s[0]};
     }
-    linalg::Vector constraints(const linalg::Vector&) override {
+    linalg::Vector constraints(const DesignVec&) override {
       return linalg::Vector(1, 1.0);
     }
     // clone() deliberately not overridden.
@@ -127,7 +133,7 @@ TEST(ParallelVerify, NonClonableModelFallsBackToSerial) {
   popts.verification.num_samples = 64;
   popts.threads = 4;
   const VerificationResult result = parallel_monte_carlo_verify(
-      ev, problem.design.nominal, {Vector{0.5}}, popts);
+      ev, DesignVec(problem.design.nominal), {OperatingVec{0.5}}, popts);
   EXPECT_GT(result.yield, 0.7);  // Phi(1) ~ 0.84
   EXPECT_EQ(result.evaluations, 64u);
 }
@@ -136,19 +142,19 @@ TEST(ParallelVerify, WorksOnRealCircuit) {
   auto problem = circuits::Miller::make_problem();
   Evaluator ev(problem);
   const auto corners =
-      find_worst_case_operating(ev, problem.design.nominal);
+      find_worst_case_operating(ev, DesignVec(problem.design.nominal));
 
   ParallelVerificationOptions popts;
   popts.verification.num_samples = 60;
   popts.threads = 4;
   const VerificationResult parallel = parallel_monte_carlo_verify(
-      ev, problem.design.nominal, corners.theta_wc, popts);
+      ev, DesignVec(problem.design.nominal), corners.theta_wc, popts);
 
   auto problem2 = circuits::Miller::make_problem();
   Evaluator ev2(problem2);
   VerificationOptions vopts = popts.verification;
   const VerificationResult serial = monte_carlo_verify(
-      ev2, problem2.design.nominal, corners.theta_wc, vopts);
+      ev2, DesignVec(problem2.design.nominal), corners.theta_wc, vopts);
 
   EXPECT_EQ(parallel.fails_per_spec, serial.fails_per_spec);
   EXPECT_EQ(parallel.yield, serial.yield);

@@ -17,6 +17,8 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+using linalg::OperatingVec;
 using linalg::Vector;
 
 VerificationResult run_serial(std::size_t num_samples,
@@ -27,8 +29,8 @@ VerificationResult run_serial(std::size_t num_samples,
   opts.num_samples = num_samples;
   opts.record_decisions = true;
   opts.block_size = block_size;
-  return monte_carlo_verify(ev, problem.design.nominal,
-                            {Vector{1.0}, Vector{0.0}}, opts);
+  return monte_carlo_verify(ev, DesignVec(problem.design.nominal),
+                            {OperatingVec{1.0}, OperatingVec{0.0}}, opts);
 }
 
 VerificationResult run_parallel(std::size_t num_samples, unsigned threads,
@@ -40,8 +42,9 @@ VerificationResult run_parallel(std::size_t num_samples, unsigned threads,
   opts.verification.record_decisions = true;
   opts.verification.block_size = block_size;
   opts.threads = threads;
-  return parallel_monte_carlo_verify(ev, problem.design.nominal,
-                                     {Vector{1.0}, Vector{0.0}}, opts);
+  return parallel_monte_carlo_verify(
+      ev, DesignVec(problem.design.nominal),
+      {OperatingVec{1.0}, OperatingVec{0.0}}, opts);
 }
 
 void expect_identical(const VerificationResult& serial,
@@ -128,7 +131,8 @@ TEST(ParallelDeterminism, DecisionsOffByDefault) {
   opts.verification.num_samples = 16;
   opts.threads = 2;
   const VerificationResult result = parallel_monte_carlo_verify(
-      ev, problem.design.nominal, {Vector{1.0}, Vector{0.0}}, opts);
+      ev, DesignVec(problem.design.nominal),
+      {OperatingVec{1.0}, OperatingVec{0.0}}, opts);
   EXPECT_TRUE(result.sample_pass.empty());
 }
 

@@ -7,11 +7,13 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+
 TEST(Sensitivity, MatchesAnalyticGradients) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const SensitivityReport report =
-      analyze_sensitivities(ev, problem.design.nominal);
+      analyze_sensitivities(ev, DesignVec(problem.design.nominal));
   // Linear spec margin = d0 + d1 - ...: dm/dd = (1, 1); design ranges are
   // 10 wide and the scale is 1 -> normalized entries = 10.
   EXPECT_NEAR(report.design(0, 0), 10.0, 1e-3);
@@ -25,7 +27,7 @@ TEST(Sensitivity, StatisticalRowPerSigma) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const SensitivityReport report =
-      analyze_sensitivities(ev, problem.design.nominal);
+      analyze_sensitivities(ev, DesignVec(problem.design.nominal));
   // Linear spec: dm/ds = (-1, -2, 0).
   EXPECT_NEAR(report.statistical(0, 0), -1.0, 1e-6);
   EXPECT_NEAR(report.statistical(0, 1), -2.0, 1e-6);
@@ -36,15 +38,15 @@ TEST(Sensitivity, UsesWorstCaseOperatingCorner) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const SensitivityReport report =
-      analyze_sensitivities(ev, problem.design.nominal);
-  EXPECT_EQ(report.operating.theta_wc[0], (linalg::Vector{1.0}));
+      analyze_sensitivities(ev, DesignVec(problem.design.nominal));
+  EXPECT_EQ(report.operating.theta_wc[0], (linalg::OperatingVec{1.0}));
 }
 
 TEST(Sensitivity, TopParameterRanking) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const SensitivityReport report =
-      analyze_sensitivities(ev, problem.design.nominal);
+      analyze_sensitivities(ev, DesignVec(problem.design.nominal));
   const auto top_stat = report.top_statistical_parameters(0, 2);
   ASSERT_EQ(top_stat.size(), 2u);
   EXPECT_EQ(top_stat[0], 1u);  // |-2| largest
@@ -59,7 +61,7 @@ TEST(Sensitivity, ScaleNormalization) {
   problem.specs[0].scale = 5.0;
   Evaluator ev(problem);
   const SensitivityReport report =
-      analyze_sensitivities(ev, problem.design.nominal);
+      analyze_sensitivities(ev, DesignVec(problem.design.nominal));
   EXPECT_NEAR(report.design(0, 0), 10.0 / 5.0, 1e-3);
   EXPECT_NEAR(report.statistical(0, 1), -2.0 / 5.0, 1e-6);
 }

@@ -10,6 +10,8 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+using linalg::OperatingVec;
 using linalg::Vector;
 using testing::SyntheticModel;
 
@@ -21,9 +23,11 @@ TEST(Verification, MatchesAnalyticYieldForLinearSpec) {
   Evaluator ev(problem);
   VerificationOptions options;
   options.num_samples = 4000;
-  const std::vector<Vector> theta_wc = {Vector{1.0}, Vector{1.0}};
+  const std::vector<OperatingVec> theta_wc = {OperatingVec{1.0},
+                                              OperatingVec{1.0}};
   const VerificationResult result =
-      monte_carlo_verify(ev, problem.design.nominal, theta_wc, options);
+      monte_carlo_verify(ev, DesignVec(problem.design.nominal), theta_wc,
+                         options);
   const double expected =
       stats::yield_from_beta(testing::linear_beta(2.0, 1.0));
   EXPECT_NEAR(result.yield, expected, 0.02);
@@ -39,15 +43,15 @@ TEST(Verification, SharesEvaluationsForEqualTheta) {
   options.num_samples = 50;
   model->evaluations = 0;
   // Both specs share theta_wc -> one evaluation per sample.
-  monte_carlo_verify(ev, problem.design.nominal,
-                     {Vector{1.0}, Vector{1.0}}, options);
+  monte_carlo_verify(ev, DesignVec(problem.design.nominal),
+                     {OperatingVec{1.0}, OperatingVec{1.0}}, options);
   EXPECT_EQ(model->evaluations, 50);
 
   model->evaluations = 0;
   ev.clear_cache();
   // Distinct theta_wc -> two evaluations per sample (the N* bound).
-  monte_carlo_verify(ev, problem.design.nominal,
-                     {Vector{1.0}, Vector{-1.0}}, options);
+  monte_carlo_verify(ev, DesignVec(problem.design.nominal),
+                     {OperatingVec{1.0}, OperatingVec{-1.0}}, options);
   EXPECT_EQ(model->evaluations, 100);
 }
 
@@ -59,7 +63,7 @@ TEST(Verification, PerSpecFailCounts) {
   VerificationOptions options;
   options.num_samples = 3000;
   const VerificationResult result = monte_carlo_verify(
-      ev, problem.design.nominal, {Vector{1.0}, Vector{0.0}}, options);
+      ev, DesignVec(problem.design.nominal), {OperatingVec{1.0}, OperatingVec{0.0}}, options);
   // u = s1 - s2 ~ N(0, 2): P(|u| > 1) = 2(1 - Phi(1/sqrt(2))) ~ 0.4795.
   const double expected_fail = 2.0 * (1.0 - stats::normal_cdf(1.0 / std::sqrt(2.0)));
   EXPECT_NEAR(static_cast<double>(result.fails_per_spec[1]) / 3000.0,
@@ -77,7 +81,7 @@ TEST(Verification, PerformanceMomentsReported) {
   VerificationOptions options;
   options.num_samples = 4000;
   const VerificationResult result = monte_carlo_verify(
-      ev, problem.design.nominal, {Vector{0.0}, Vector{0.0}}, options);
+      ev, DesignVec(problem.design.nominal), {OperatingVec{0.0}, OperatingVec{0.0}}, options);
   // f0 = 3 - s0 - 2 s1 at theta 0: mean 3, sigma sqrt(5).
   EXPECT_NEAR(result.performance_mean[0], 3.0, 0.1);
   EXPECT_NEAR(result.performance_stddev[0], std::sqrt(5.0), 0.1);
@@ -89,7 +93,7 @@ TEST(Verification, ThetaSizeMismatchThrows) {
   auto problem = testing::make_synthetic_problem();
   Evaluator ev(problem);
   EXPECT_THROW(
-      monte_carlo_verify(ev, problem.design.nominal, {Vector{1.0}}, {}),
+      monte_carlo_verify(ev, DesignVec(problem.design.nominal), {OperatingVec{1.0}}, {}),
       std::invalid_argument);
 }
 
@@ -99,7 +103,7 @@ TEST(Verification, CountsChargedToVerificationBudget) {
   VerificationOptions options;
   options.num_samples = 20;
   const VerificationResult result = monte_carlo_verify(
-      ev, problem.design.nominal, {Vector{1.0}, Vector{1.0}}, options);
+      ev, DesignVec(problem.design.nominal), {OperatingVec{1.0}, OperatingVec{1.0}}, options);
   EXPECT_EQ(result.evaluations, 20u);
   EXPECT_EQ(ev.counts().verification, 20u);
   EXPECT_EQ(ev.counts().optimization, 0u);

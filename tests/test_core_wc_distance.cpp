@@ -10,6 +10,8 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+using linalg::OperatingVec;
 using linalg::Vector;
 
 TEST(WcDistance, LinearSpecClosedForm) {
@@ -17,9 +19,9 @@ TEST(WcDistance, LinearSpecClosedForm) {
   // m0 = 2, g = (-1, -2, 0), beta = 2/sqrt(5).
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
-  const Vector theta_wc{1.0};
+  const OperatingVec theta_wc{1.0};
   const WorstCasePoint wc =
-      find_worst_case_point(ev, 0, problem.design.nominal, theta_wc);
+      find_worst_case_point(ev, 0, DesignVec(problem.design.nominal), theta_wc);
   EXPECT_TRUE(wc.converged);
   EXPECT_NEAR(wc.beta, testing::linear_beta(2.0, 1.0), 1e-6);
   EXPECT_NEAR(wc.margin_at_wc, 0.0, 1e-6);
@@ -35,7 +37,7 @@ TEST(WcDistance, ViolatedSpecHasNegativeBeta) {
   auto problem = testing::make_synthetic_problem(-2.0, 1.0);
   Evaluator ev(problem);
   const WorstCasePoint wc =
-      find_worst_case_point(ev, 0, problem.design.nominal, Vector{1.0});
+      find_worst_case_point(ev, 0, DesignVec(problem.design.nominal), OperatingVec{1.0});
   EXPECT_TRUE(wc.converged);
   EXPECT_LT(wc.margin_nominal, 0.0);
   EXPECT_NEAR(wc.beta, testing::linear_beta(-2.0, 1.0), 1e-6);
@@ -50,7 +52,7 @@ TEST(WcDistance, QuadraticMismatchSpec) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const WorstCasePoint wc =
-      find_worst_case_point(ev, 1, problem.design.nominal, Vector{0.0});
+      find_worst_case_point(ev, 1, DesignVec(problem.design.nominal), OperatingVec{0.0});
   EXPECT_TRUE(wc.converged);
   EXPECT_NEAR(wc.beta, testing::quad_beta(2.0), 1e-3);
   // Pure pair signature: s1 and s2 equal magnitude, opposite sign; s0 ~ 0.
@@ -73,7 +75,7 @@ TEST(WcDistance, QuadraticWithoutCurvatureStartsFails) {
   WcDistanceOptions options;
   options.curvature_starts = false;
   const WorstCasePoint wc = find_worst_case_point(
-      ev, 1, problem.design.nominal, Vector{0.0}, options);
+      ev, 1, DesignVec(problem.design.nominal), OperatingVec{0.0}, options);
   EXPECT_FALSE(wc.converged);
 }
 
@@ -90,7 +92,7 @@ TEST(WcDistance, BetaScalesWithMargin) {
     auto problem = testing::make_synthetic_problem(d0, 1.0);
     Evaluator ev(problem);
     const WorstCasePoint wc =
-        find_worst_case_point(ev, 0, problem.design.nominal, Vector{1.0});
+        find_worst_case_point(ev, 0, DesignVec(problem.design.nominal), OperatingVec{1.0});
     EXPECT_TRUE(wc.converged) << d0;
     EXPECT_GT(wc.beta, prev_beta);
     prev_beta = wc.beta;
@@ -101,7 +103,7 @@ TEST(WcDistance, GradientReportedAtWcPoint) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const WorstCasePoint wc =
-      find_worst_case_point(ev, 0, problem.design.nominal, Vector{1.0});
+      find_worst_case_point(ev, 0, DesignVec(problem.design.nominal), OperatingVec{1.0});
   ASSERT_EQ(wc.gradient.size(), 3u);
   EXPECT_NEAR(wc.gradient[0], -1.0, 1e-6);
   EXPECT_NEAR(wc.gradient[1], -2.0, 1e-6);
@@ -114,7 +116,7 @@ TEST(WcDistance, StationarityOfSolution) {
   Evaluator ev(problem);
   for (std::size_t spec : {std::size_t{0}, std::size_t{1}}) {
     const WorstCasePoint wc = find_worst_case_point(
-        ev, spec, problem.design.nominal, Vector{spec == 0 ? 1.0 : 0.0});
+        ev, spec, DesignVec(problem.design.nominal), OperatingVec{spec == 0 ? 1.0 : 0.0});
     ASSERT_TRUE(wc.converged);
     const double cosine =
         linalg::dot(wc.s_wc, wc.gradient) /
@@ -132,7 +134,7 @@ TEST(WcDistance, MaxRadiusClampsHopelessSearch) {
   WcDistanceOptions options;
   options.max_radius = 5.0;
   const WorstCasePoint wc = find_worst_case_point(
-      ev, 0, problem.design.nominal, Vector{1.0}, options);
+      ev, 0, DesignVec(problem.design.nominal), OperatingVec{1.0}, options);
   EXPECT_LE(wc.s_wc.norm(), 5.0 + 1e-9);
   EXPECT_FALSE(wc.converged);
 }

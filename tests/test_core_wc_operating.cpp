@@ -7,16 +7,18 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
+using linalg::OperatingVec;
 using linalg::Vector;
 
 TEST(WcOperating, FindsWorstCorner) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
   const WcOperatingResult result =
-      find_worst_case_operating(ev, problem.design.nominal);
+      find_worst_case_operating(ev, DesignVec(problem.design.nominal));
   ASSERT_EQ(result.theta_wc.size(), 2u);
   // Linear spec margin = d0+d1 - theta: worst at theta = +1.
-  EXPECT_EQ(result.theta_wc[0], (Vector{1.0}));
+  EXPECT_EQ(result.theta_wc[0], (OperatingVec{1.0}));
   EXPECT_NEAR(result.worst_margin[0], 2.0, 1e-12);
   // Quadratic spec does not depend on theta; margin is d0+4 everywhere.
   EXPECT_NEAR(result.worst_margin[1], 6.0, 1e-12);
@@ -26,7 +28,7 @@ TEST(WcOperating, SharesEvaluationsAcrossSpecs) {
   auto problem = testing::make_synthetic_problem();
   auto* model = dynamic_cast<testing::SyntheticModel*>(problem.model.get());
   Evaluator ev(problem);
-  find_worst_case_operating(ev, problem.design.nominal);
+  find_worst_case_operating(ev, DesignVec(problem.design.nominal));
   // 2 corners + nominal = 3 evaluations for BOTH specs together.
   EXPECT_EQ(model->evaluations, 3);
 }
@@ -38,10 +40,10 @@ TEST(WcOperating, CoordinateRefinementProbesMidpoints) {
   WcOperatingOptions options;
   options.coordinate_refinement = true;
   const WcOperatingResult result =
-      find_worst_case_operating(ev, problem.design.nominal, options);
+      find_worst_case_operating(ev, DesignVec(problem.design.nominal), options);
   // Midpoint (0) coincides with the nominal -- cached, so still 3 model
   // evaluations, and the corner result is unchanged.
-  EXPECT_EQ(result.theta_wc[0], (Vector{1.0}));
+  EXPECT_EQ(result.theta_wc[0], (OperatingVec{1.0}));
   EXPECT_LE(model->evaluations, 4);
 }
 
@@ -50,14 +52,14 @@ class TwoThetaModel final : public PerformanceModel {
  public:
   std::size_t num_performances() const override { return 2; }
   std::size_t num_constraints() const override { return 1; }
-  linalg::Vector evaluate(const linalg::Vector&, const linalg::Vector&,
-                          const linalg::Vector& theta) override {
-    linalg::Vector f(2);
+  linalg::PerfVec evaluate(const DesignVec&, const linalg::StatPhysVec&,
+                           const OperatingVec& theta) override {
+    linalg::PerfVec f(2);
     f[0] = 1.0 + theta[0] - 2.0 * theta[1];  // worst at (lo, hi)
     f[1] = 5.0 - theta[0] - theta[1];        // worst at (hi, hi)
     return f;
   }
-  linalg::Vector constraints(const linalg::Vector&) override {
+  linalg::Vector constraints(const DesignVec&) override {
     return linalg::Vector(1, 1.0);
   }
 };
@@ -78,9 +80,9 @@ TEST(WcOperating, PerSpecCornersDiffer) {
   problem.statistical.add(stats::StatParam::global("s", 0.0, 1.0));
   Evaluator ev(problem);
   const WcOperatingResult result =
-      find_worst_case_operating(ev, problem.design.nominal);
-  EXPECT_EQ(result.theta_wc[0], (Vector{-1.0, 1.0}));
-  EXPECT_EQ(result.theta_wc[1], (Vector{1.0, 1.0}));
+      find_worst_case_operating(ev, DesignVec(problem.design.nominal));
+  EXPECT_EQ(result.theta_wc[0], (OperatingVec{-1.0, 1.0}));
+  EXPECT_EQ(result.theta_wc[1], (OperatingVec{1.0, 1.0}));
   EXPECT_NEAR(result.worst_margin[0], -2.0, 1e-12);
   EXPECT_NEAR(result.worst_margin[1], 3.0, 1e-12);
 }

@@ -12,24 +12,25 @@
 namespace mayo::core {
 namespace {
 
+using linalg::DesignVec;
 using linalg::Vector;
 
 SpecLinearization make_model(std::size_t spec, double m0, Vector g_s) {
   SpecLinearization lin;
   lin.spec = spec;
-  lin.s_wc = Vector(g_s.size());
+  lin.s_wc = linalg::StatUnitVec(g_s.size());
   lin.margin_wc = m0;
-  lin.grad_s = std::move(g_s);
-  lin.grad_d = Vector{0.0};
-  lin.d_f = Vector{0.0};
-  lin.theta_wc = Vector{0.0};
+  lin.grad_s = linalg::StatUnitVec(std::move(g_s));
+  lin.grad_d = DesignVec{0.0};
+  lin.d_f = DesignVec{0.0};
+  lin.theta_wc = linalg::OperatingVec{0.0};
   return lin;
 }
 
 TEST(YieldBounds, SingleSpecAllBoundsCoincide) {
   const auto models = std::vector<SpecLinearization>{
       make_model(0, 2.0, Vector{-1.0, 0.0})};
-  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  const YieldBounds bounds = analytic_yield_bounds(models, DesignVec{0.0});
   const double expected = stats::yield_from_beta(2.0);
   EXPECT_NEAR(bounds.lower, expected, 1e-12);
   EXPECT_NEAR(bounds.independent, expected, 1e-12);
@@ -43,7 +44,7 @@ TEST(YieldBounds, OrderingHolds) {
       make_model(0, 1.0, Vector{-1.0, 0.0}),
       make_model(1, 1.5, Vector{0.0, 1.0}),
   };
-  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  const YieldBounds bounds = analytic_yield_bounds(models, DesignVec{0.0});
   EXPECT_LE(bounds.lower, bounds.independent);
   EXPECT_LE(bounds.independent, bounds.upper);
 }
@@ -54,7 +55,7 @@ TEST(YieldBounds, IndependentSpecsMatchProduct) {
       make_model(0, 1.0, Vector{-1.0, 0.0}),
       make_model(1, 1.0, Vector{0.0, -1.0}),
   };
-  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  const YieldBounds bounds = analytic_yield_bounds(models, DesignVec{0.0});
   const stats::SampleSet samples(40000, 2, 77);
   LinearYieldModel sampled(models, samples);
   EXPECT_NEAR(sampled.yield(), bounds.independent, 0.01);
@@ -69,7 +70,7 @@ TEST(YieldBounds, CorrelatedSpecsExceedProduct) {
       make_model(0, 1.0, Vector{-1.0, 0.0}),
       make_model(1, 2.0, Vector{-1.0, 0.0}),
   };
-  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  const YieldBounds bounds = analytic_yield_bounds(models, DesignVec{0.0});
   const stats::SampleSet samples(40000, 2, 78);
   LinearYieldModel sampled(models, samples);
   EXPECT_NEAR(sampled.yield(), bounds.upper, 0.01);
@@ -81,7 +82,7 @@ TEST(YieldBounds, BonferroniClampsAtZero) {
       make_model(0, -2.0, Vector{-1.0, 0.0}),
       make_model(1, -2.0, Vector{0.0, -1.0}),
   };
-  const YieldBounds bounds = analytic_yield_bounds(models, Vector{0.0});
+  const YieldBounds bounds = analytic_yield_bounds(models, DesignVec{0.0});
   EXPECT_EQ(bounds.lower, 0.0);
   EXPECT_LT(bounds.upper, 0.05);
 }
@@ -89,12 +90,12 @@ TEST(YieldBounds, BonferroniClampsAtZero) {
 TEST(YieldBounds, BracketsSampledEstimateOnSyntheticProblem) {
   auto problem = testing::make_synthetic_problem(2.0, 1.0);
   Evaluator ev(problem);
-  const auto lm = build_linearizations(ev, problem.design.nominal);
+  const auto lm = build_linearizations(ev, DesignVec(problem.design.nominal));
   const YieldBounds bounds =
-      analytic_yield_bounds(lm.models, problem.design.nominal);
+      analytic_yield_bounds(lm.models, DesignVec(problem.design.nominal));
   const stats::SampleSet samples(20000, 3, 41);
   LinearYieldModel sampled(lm.models, samples);
-  sampled.set_design(problem.design.nominal);
+  sampled.set_design(DesignVec(problem.design.nominal));
   EXPECT_GE(sampled.yield() + 0.02, bounds.lower);
   EXPECT_LE(sampled.yield() - 0.02, bounds.upper);
 }

@@ -17,12 +17,12 @@ SpecLinearization make_model(std::size_t spec, double m0, Vector g_s,
                              Vector g_d, Vector d_f) {
   SpecLinearization lin;
   lin.spec = spec;
-  lin.s_wc = Vector(g_s.size());
+  lin.s_wc = linalg::StatUnitVec(g_s.size());
   lin.margin_wc = m0;
-  lin.grad_s = std::move(g_s);
-  lin.grad_d = std::move(g_d);
-  lin.d_f = std::move(d_f);
-  lin.theta_wc = Vector{0.0};
+  lin.grad_s = linalg::StatUnitVec(std::move(g_s));
+  lin.grad_d = linalg::DesignVec(std::move(g_d));
+  lin.d_f = linalg::DesignVec(std::move(d_f));
+  lin.theta_wc = linalg::OperatingVec{0.0};
   return lin;
 }
 
@@ -52,7 +52,7 @@ TEST(LinearYieldModel, DesignOffsetShiftsYield) {
   std::vector<SpecLinearization> models = {
       make_model(0, 1.0, Vector{-1.0}, Vector{1.0}, Vector{0.0})};
   LinearYieldModel model(models, samples);
-  model.set_design(Vector{1.0});
+  model.set_design(linalg::DesignVec{1.0});
   EXPECT_NEAR(model.yield(), stats::yield_from_beta(2.0), 0.01);
 }
 
@@ -66,7 +66,7 @@ TEST(LinearYieldModel, ApplyCoordinateMatchesSetDesign) {
   incremental.apply_coordinate(0, 0.8);
   incremental.apply_coordinate(1, -0.4);
   incremental.apply_coordinate(0, 0.1);
-  reference.set_design(Vector{0.9, -0.4});
+  reference.set_design(linalg::DesignVec{0.9, -0.4});
   EXPECT_EQ(incremental.passing(), reference.passing());
   for (std::size_t l = 0; l < 2; ++l)
     EXPECT_NEAR(incremental.sample_margin(l, 17),
@@ -80,10 +80,10 @@ TEST(LinearYieldModel, BadSamplesPerSpecCombinesMirrors) {
   std::vector<SpecLinearization> models = {
       make_model(0, 1.0, Vector{-1.0}, Vector{}, Vector{}),
       make_model(0, 1.0, Vector{1.0}, Vector{}, Vector{})};
-  models[0].d_f = Vector{0.0};
-  models[0].grad_d = Vector{0.0};
-  models[1].d_f = Vector{0.0};
-  models[1].grad_d = Vector{0.0};
+  models[0].d_f = linalg::DesignVec{0.0};
+  models[0].grad_d = linalg::DesignVec{0.0};
+  models[1].d_f = linalg::DesignVec{0.0};
+  models[1].grad_d = linalg::DesignVec{0.0};
   models[1].is_mirror = true;
   LinearYieldModel model(models, samples);
   const auto bad = model.bad_samples_per_spec(1);
@@ -107,14 +107,14 @@ TEST(LinearYieldModel, BestAlphaFindsExactOptimum) {
   std::size_t best_count = 0;
   for (double alpha = -3.0; alpha <= 3.0; alpha += 0.001) {
     LinearYieldModel probe(models, samples);
-    probe.set_design(Vector{alpha});
+    probe.set_design(linalg::DesignVec{alpha});
     best_count = std::max(best_count, probe.passing());
   }
   EXPECT_EQ(scan.passing, best_count);
 
   // The returned alpha actually achieves the count.
   LinearYieldModel check(models, samples);
-  check.set_design(Vector{scan.alpha});
+  check.set_design(linalg::DesignVec{scan.alpha});
   EXPECT_EQ(check.passing(), best_count);
 }
 

@@ -41,9 +41,9 @@ TEST(Kernels, GemvMatchesAscendingScalarLoop) {
 
 TEST(Kernels, GemvBitwiseMatchesSampleSetDot) {
   const stats::SampleSet samples(64, 4, 0xFEEDu);
-  Vector g{1.5, -0.25, 0.75, 2.0};
+  const mayo::linalg::StatUnitVec g{1.5, -0.25, 0.75, 2.0};
   Vector y(samples.count());
-  gemv_into(ConstMatrixView(samples.matrix()), g, y);
+  gemv_into(ConstMatrixView(samples.matrix()), g.raw(), y);  // space-ok: kernel test
   for (std::size_t j = 0; j < samples.count(); ++j)
     EXPECT_EQ(y[j], samples.dot(j, g)) << "sample " << j;
 }

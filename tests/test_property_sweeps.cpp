@@ -72,8 +72,8 @@ TEST_P(WcDistanceSweep, LinearSpecMatchesClosedForm) {
   auto problem = testing::make_synthetic_problem(d0, 1.0);
   problem.specs[0].bound = bound;
   core::Evaluator ev(problem);
-  const auto wc = core::find_worst_case_point(ev, 0, problem.design.nominal,
-                                              linalg::Vector{1.0});
+  const auto wc = core::find_worst_case_point(ev, 0, linalg::DesignVec(problem.design.nominal),
+                                              linalg::OperatingVec{1.0});
   ASSERT_TRUE(wc.converged);
   // margin at nominal: d0 + 1 - 1 - bound; beta = margin / sqrt(5).
   const double expected = (d0 + 1.0 - 1.0 - bound) / std::sqrt(5.0);
@@ -91,8 +91,8 @@ TEST_P(QuadraticWcSweep, QuadraticSpecMatchesClosedForm) {
   const double d0 = GetParam();
   auto problem = testing::make_synthetic_problem(d0, 1.0);
   core::Evaluator ev(problem);
-  const auto wc = core::find_worst_case_point(ev, 1, problem.design.nominal,
-                                              linalg::Vector{0.0});
+  const auto wc = core::find_worst_case_point(ev, 1, linalg::DesignVec(problem.design.nominal),
+                                              linalg::OperatingVec{0.0});
   ASSERT_TRUE(wc.converged);
   EXPECT_NEAR(wc.beta, testing::quad_beta(d0), 5e-3);
   EXPECT_TRUE(wc.mirrored);
@@ -112,12 +112,12 @@ TEST_P(YieldPhiSweep, SampledYieldMatchesPhi) {
   const stats::SampleSet samples(40000, 1, 123);
   core::SpecLinearization model;
   model.spec = 0;
-  model.s_wc = linalg::Vector(1);
+  model.s_wc = linalg::StatUnitVec(1);
   model.margin_wc = beta;          // margin = beta - s0
-  model.grad_s = linalg::Vector{-1.0};
-  model.grad_d = linalg::Vector{0.0};
-  model.d_f = linalg::Vector{0.0};
-  model.theta_wc = linalg::Vector{0.0};
+  model.grad_s = linalg::StatUnitVec{-1.0};
+  model.grad_d = linalg::DesignVec{0.0};
+  model.d_f = linalg::DesignVec{0.0};
+  model.theta_wc = linalg::OperatingVec{0.0};
   core::LinearYieldModel yield_model({model}, samples);
   EXPECT_NEAR(yield_model.yield(), stats::yield_from_beta(beta), 0.008)
       << "beta = " << beta;
@@ -196,7 +196,7 @@ TEST_P(MismatchGeometrySweep, MeasureInUnitRangeAndAngleConsistent) {
   const auto [ratio, beta] = GetParam();
   // Pair (1, ratio): the angle moves from the mismatch line (ratio -> -1)
   // toward the axes.
-  linalg::Vector s_wc{1.0, ratio, 0.1};
+  linalg::StatUnitVec s_wc{1.0, ratio, 0.1};
   const double m = core::mismatch_measure(s_wc, beta, 0, 1);
   EXPECT_GE(m, 0.0);
   EXPECT_LE(m, 1.0);

@@ -11,7 +11,10 @@
 namespace mayo::stats {
 namespace {
 
+using linalg::DesignVec;
 using linalg::Matrixd;
+using linalg::StatPhysVec;
+using linalg::StatUnitVec;
 using linalg::Vector;
 
 TEST(Pelgrom, PairSigmaAreaLaw) {
@@ -45,15 +48,15 @@ CovarianceModel two_param_model() {
 TEST(CovarianceModel, NominalAndSigmas) {
   CovarianceModel cov = two_param_model();
   EXPECT_EQ(cov.dimension(), 2u);
-  EXPECT_EQ(cov.nominal(), (Vector{1.0, -1.0}));
-  EXPECT_EQ(cov.sigmas(Vector{}), (Vector{2.0, 0.5}));
+  EXPECT_EQ(cov.nominal(), (StatPhysVec{1.0, -1.0}));
+  EXPECT_EQ(cov.sigmas(DesignVec{}), (Vector{2.0, 0.5}));
   EXPECT_EQ(cov.index_of("b"), 1u);
   EXPECT_THROW(cov.index_of("zz"), std::out_of_range);
 }
 
 TEST(CovarianceModel, DiagonalCovariance) {
   CovarianceModel cov = two_param_model();
-  const Matrixd c = cov.covariance(Vector{});
+  const Matrixd c = cov.covariance(DesignVec{});
   EXPECT_EQ(c(0, 0), 4.0);
   EXPECT_EQ(c(1, 1), 0.25);
   EXPECT_EQ(c(0, 1), 0.0);
@@ -61,10 +64,10 @@ TEST(CovarianceModel, DiagonalCovariance) {
 
 TEST(CovarianceModel, ToPhysicalRoundTrip) {
   CovarianceModel cov = two_param_model();
-  const Vector s_hat{0.5, -2.0};
-  const Vector s = cov.to_physical(s_hat, Vector{});
-  EXPECT_EQ(s, (Vector{1.0 + 2.0 * 0.5, -1.0 + 0.5 * -2.0}));
-  const Vector back = cov.to_standard(s, Vector{});
+  const StatUnitVec s_hat{0.5, -2.0};
+  const StatPhysVec s = cov.to_physical(s_hat, DesignVec{});
+  EXPECT_EQ(s, (StatPhysVec{1.0 + 2.0 * 0.5, -1.0 + 0.5 * -2.0}));
+  const StatUnitVec back = cov.to_standard(s, DesignVec{});
   EXPECT_NEAR(back[0], s_hat[0], 1e-12);
   EXPECT_NEAR(back[1], s_hat[1], 1e-12);
 }
@@ -72,9 +75,9 @@ TEST(CovarianceModel, ToPhysicalRoundTrip) {
 TEST(CovarianceModel, FactorSquaresToCovariance) {
   CovarianceModel cov = two_param_model();
   cov.set_correlation(0, 1, 0.6);
-  const Matrixd g = cov.factor(Vector{});
+  const Matrixd g = cov.factor(DesignVec{});
   const Matrixd c = g * g.transposed();
-  const Matrixd expected = cov.covariance(Vector{});
+  const Matrixd expected = cov.covariance(DesignVec{});
   for (std::size_t i = 0; i < 2; ++i)
     for (std::size_t j = 0; j < 2; ++j)
       EXPECT_NEAR(c(i, j), expected(i, j), 1e-12);
@@ -83,7 +86,7 @@ TEST(CovarianceModel, FactorSquaresToCovariance) {
 TEST(CovarianceModel, CorrelatedCovarianceEntries) {
   CovarianceModel cov = two_param_model();
   cov.set_correlation(0, 1, 0.5);
-  const Matrixd c = cov.covariance(Vector{});
+  const Matrixd c = cov.covariance(DesignVec{});
   EXPECT_NEAR(c(0, 1), 0.5 * 2.0 * 0.5, 1e-12);
   EXPECT_EQ(c(0, 1), c(1, 0));
 }
@@ -91,9 +94,9 @@ TEST(CovarianceModel, CorrelatedCovarianceEntries) {
 TEST(CovarianceModel, CorrelatedRoundTrip) {
   CovarianceModel cov = two_param_model();
   cov.set_correlation(0, 1, -0.4);
-  const Vector s_hat{1.2, 0.7};
-  const Vector s = cov.to_physical(s_hat, Vector{});
-  const Vector back = cov.to_standard(s, Vector{});
+  const StatUnitVec s_hat{1.2, 0.7};
+  const StatPhysVec s = cov.to_physical(s_hat, DesignVec{});
+  const StatUnitVec back = cov.to_standard(s, DesignVec{});
   EXPECT_NEAR(back[0], s_hat[0], 1e-12);
   EXPECT_NEAR(back[1], s_hat[1], 1e-12);
 }
@@ -110,16 +113,16 @@ TEST(CovarianceModel, DesignDependentSigma) {
   CovarianceModel cov;
   StatParam local;
   local.name = "dvth";
-  local.sigma = [](const Vector& d) { return 1e-3 / std::sqrt(d[0]); };
+  local.sigma = [](const DesignVec& d) { return 1e-3 / std::sqrt(d[0]); };
   cov.add(std::move(local));
 
-  const Vector d_small{1.0};
-  const Vector d_large{4.0};
+  const DesignVec d_small{1.0};
+  const DesignVec d_large{4.0};
   EXPECT_NEAR(cov.sigmas(d_small)[0], 1e-3, 1e-15);
   EXPECT_NEAR(cov.sigmas(d_large)[0], 0.5e-3, 1e-15);
   // Same s_hat maps to a smaller physical deviation at the larger design --
   // this is how the optimizer "sees" variance reduction (paper Sec. 4).
-  const Vector s_hat{2.0};
+  const StatUnitVec s_hat{2.0};
   EXPECT_GT(std::abs(cov.to_physical(s_hat, d_small)[0]),
             std::abs(cov.to_physical(s_hat, d_large)[0]));
 }
@@ -128,9 +131,9 @@ TEST(CovarianceModel, NonPositiveSigmaRejected) {
   CovarianceModel cov;
   StatParam bad;
   bad.name = "bad";
-  bad.sigma = [](const Vector&) { return 0.0; };
+  bad.sigma = [](const DesignVec&) { return 0.0; };
   cov.add(std::move(bad));
-  EXPECT_THROW(cov.sigmas(Vector{}), std::domain_error);
+  EXPECT_THROW(cov.sigmas(DesignVec{}), std::domain_error);
 }
 
 TEST(CovarianceModel, MissingSigmaRejectedAtAdd) {
@@ -150,8 +153,8 @@ TEST(CovarianceModel, SampledCorrelationMatchesRho) {
   RunningStats sx;
   RunningStats sy;
   for (int i = 0; i < n; ++i) {
-    const Vector s_hat{rng.normal(), rng.normal()};
-    const Vector s = cov.to_physical(s_hat, Vector{});
+    const StatUnitVec s_hat{rng.normal(), rng.normal()};
+    const StatPhysVec s = cov.to_physical(s_hat, DesignVec{});
     sum_xy += s[0] * s[1];
     sx.add(s[0]);
     sy.add(s[1]);

@@ -39,7 +39,7 @@ TEST(SampleSet, StandardNormalMoments) {
 
 TEST(SampleSet, DotMatchesManual) {
   SampleSet set(10, 3, 5);
-  const Vector g{1.0, -2.0, 0.5};
+  const linalg::StatUnitVec g{1.0, -2.0, 0.5};
   for (std::size_t j = 0; j < 10; ++j) {
     double manual = 0.0;
     for (std::size_t i = 0; i < 3; ++i) manual += set.sample(j)[i] * g[i];
@@ -49,12 +49,12 @@ TEST(SampleSet, DotMatchesManual) {
 
 TEST(SampleSet, DotSizeMismatchThrows) {
   SampleSet set(4, 3, 5);
-  EXPECT_THROW(set.dot(0, Vector{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(set.dot(0, linalg::StatUnitVec{1.0, 2.0}), std::invalid_argument);
 }
 
 TEST(SampleSet, SampleVectorCopies) {
   SampleSet set(4, 3, 5);
-  const Vector v = set.sample_vector(2);
+  const linalg::StatUnitVec v = set.sample_vector(2);
   EXPECT_EQ(v.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(v[i], set.sample(2)[i]);
 }
@@ -75,7 +75,7 @@ TEST(SampleSet, MatrixViewSharesStorageWithSamples) {
 
 TEST(SampleSet, BlockViewIsZeroCopyWindow) {
   SampleSet set(10, 4, 21);
-  const linalg::ConstMatrixView block = set.block(3, 5);
+  const linalg::StatUnitBlock block = set.block(3, 5);
   EXPECT_EQ(block.rows(), 5u);
   EXPECT_EQ(block.cols(), 4u);
   for (std::size_t r = 0; r < 5; ++r) {

@@ -61,13 +61,14 @@ int main() {
 
   // quick MC at hot corner for sigmas
   core::Evaluator ev(problem);
-  linalg::Vector hot{358.15, 5.25};
+  const linalg::DesignVec d_tag(d);
+  linalg::OperatingVec hot{358.15, 5.25};
   stats::RunningStats st[5];
   stats::Rng rng(7);
   for (int i = 0; i < 80; ++i) {
-    linalg::Vector sh(St::kCount);
+    linalg::StatUnitVec sh(St::kCount);
     for (std::size_t k = 0; k < sh.size(); ++k) sh[k] = rng.normal();
-    auto vals = ev.performances(d, sh, hot);
+    auto vals = ev.performances(d_tag, sh, hot);
     for (int k = 0; k < 5; ++k) st[k].add(vals[k]);
   }
   const char* names[] = {"A0", "ft", "CMRR", "SR", "P"};

@@ -20,18 +20,19 @@ int main() {
     std::printf("T=%3.0fC V=%.2f: A0=%.2f ft=%.3f PM=%.2f SR=%.3f P=%.4f (valid %d)\n",
                 t-273.15, v, c.a0_db, c.ft_mhz, c.pm_deg, c.sr_v_per_us, c.power_mw, c.valid);
   }
-  auto cons = mm->constraints(d);
+  auto cons = mm->constraints(linalg::DesignVec(d));
   std::printf("sat margins:");
   for (auto x : cons) std::printf(" %.3f", x);
   std::printf("\n");
   core::Evaluator ev(problem);
-  linalg::Vector hot{358.15, 4.75};
+  const linalg::DesignVec d_tag(d);
+  linalg::OperatingVec hot{358.15, 4.75};
   stats::RunningStats st[5];
   stats::Rng rng(9);
   for (int i = 0; i < 80; ++i) {
-    linalg::Vector sh(4);
+    linalg::StatUnitVec sh(4);
     for (int k = 0; k < 4; ++k) sh[k] = rng.normal();
-    auto vals = ev.performances(d, sh, hot);
+    auto vals = ev.performances(d_tag, sh, hot);
     for (int k = 0; k < 5; ++k) st[k].add(vals[k]);
   }
   const char* names[] = {"A0","ft","PM","SR","P"};

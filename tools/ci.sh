@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Local fallback for .github/workflows/ci.yml: runs the same three
-# hardening configurations sequentially.
+# Local fallback for .github/workflows/ci.yml: the fast static gate
+# first, then the same three hardening configurations sequentially.
 #
+#   0. lint + lint self-test + compile-fail harness  (seconds, fail fast)
 #   1. Release + -Werror
 #   2. Debug + AddressSanitizer + UndefinedBehaviorSanitizer
 #   3. Debug + ThreadSanitizer
@@ -31,11 +32,16 @@ run_config() {
   ctest --test-dir "build-ci-${name}" --output-on-failure -j"${JOBS}"
 }
 
+echo "=== [static] project lint ==="
+python3 tools/lint.py
+echo "=== [static] lint self-test ==="
+python3 tools/test_lint.py
+echo "=== [static] compile-fail harness (tagged spaces) ==="
+cmake --fresh -S tests/compile_fail -B build-ci-compile-fail >/dev/null
+
 run_config release-werror Release ""
 run_config asan-ubsan Debug "address,undefined"
 run_config tsan Debug "thread"
-
-python3 tools/lint.py
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== clang-tidy ==="

@@ -1,8 +1,18 @@
 #!/usr/bin/env python3
 """Project lint: mechanical repo invariants, run as a ctest.
 
+The analyzer is token-aware: every file is first split into CODE /
+COMMENT / STRING tokens by a character-level C++ scanner (line and block
+comments, string / char / raw-string literals, digit separators), and
+each rule then works on the view it needs.  Pattern rules see only real
+code -- a "rand(" inside a string literal or a comment can no longer
+trip them -- and rule suppressions (``// hot-ok:``, ``// space-ok:``,
+``// include-ok:``) count only when they come from a genuine comment
+token on the offending line: a marker quoted inside a raw string, or
+buried on a different line of a block comment, does not suppress.
+
 Checks (each with a rule id, so suppressing or extending one is a
-one-line diff in RULES below):
+one-line diff below):
 
   pragma-once       every header starts guard-free with #pragma once
                     (and no .cpp file carries one)
@@ -30,6 +40,17 @@ one-line diff in RULES below):
                     reused.  Deliberate exceptions (grow-only buffers,
                     handing ownership to a cache) carry a
                     "// hot-ok: <reason>" comment on the same line.
+  space-discipline  .raw() -- the only way out of the tagged vector-space
+                    layer (src/linalg/spaces.hpp) -- is confined to the
+                    whitelisted crossing sites (SPACE_CROSSING_FILES) the
+                    paper defines; anywhere else an untagging needs a
+                    "// space-ok: <reason>" comment on the same line, so
+                    every escape from the type system stays greppable.
+  include-graph     the project include DAG must be acyclic, and every
+                    quoted src/ include of a src/ file must be used: some
+                    name the header declares has to appear in the
+                    including file.  Umbrella includes kept on purpose
+                    carry "// include-ok: <reason>".
 
 Usage: python3 tools/lint.py [--root REPO_ROOT]
 Exits non-zero and prints file:line: [rule] message for each violation.
@@ -40,6 +61,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 SOURCE_DIRS = ("src", "tests", "bench", "tools", "examples")
@@ -70,12 +92,25 @@ HOT_FILES = {
     "src/core/yield_model.cpp",
 }
 
+# The sanctioned .raw() sites of the tagged-space layer: the wrapper
+# itself plus the named crossings of paper eq. (11)/(14) -- the
+# covariance transform, the sampler (mints StatUnit), and the evaluator
+# (drives models and owns the batch kernels).  Everywhere else .raw()
+# needs a same-line "// space-ok: <reason>".
+SPACE_CROSSING_FILES = {
+    "src/linalg/spaces.hpp",
+    "src/core/evaluator.cpp",
+    "src/stats/covariance.cpp",
+    "src/stats/sampler.cpp",
+}
+
 # A Vector/Matrixd object or temporary being constructed (declarations and
 # functional casts; references, pointers and nested template mentions are
 # not constructions).
 HOT_ALLOC_RE = re.compile(
     r"\b(?:linalg::)?(?:Vector|Matrixd)\b(?!\s*[&*>,)])(?:\s*[({]|\s+\w)")
 LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+RAW_CALL_RE = re.compile(r"(?:\.|->)\s*raw\s*\(")
 
 DETERMINISM_PATTERNS = [
     (re.compile(r"std::random_device"), "std::random_device"),
@@ -95,15 +130,211 @@ IO_PATTERNS = [
 ]
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(<[^>]+>|"[^"]+")')
-COMMENT_RE = re.compile(r"//.*?$|/\*.*?\*/", re.DOTALL | re.MULTILINE)
 
 
-def strip_comments(text: str) -> str:
-    """Blank out comments, preserving line numbers."""
-    def repl(m: re.Match) -> str:
-        return re.sub(r"[^\n]", " ", m.group(0))
-    return COMMENT_RE.sub(repl, text)
+# ---------------------------------------------------------------------------
+# Tokenizer: a character-level scanner for the lexical shape of C++.
+# ---------------------------------------------------------------------------
 
+CODE = "code"
+LINE_COMMENT = "line_comment"
+BLOCK_COMMENT = "block_comment"
+STRING = "string"
+CHAR = "char"
+RAW_STRING = "raw_string"
+
+COMMENT_KINDS = {LINE_COMMENT, BLOCK_COMMENT}
+LITERAL_KINDS = {STRING, CHAR, RAW_STRING}
+
+
+@dataclass
+class Token:
+    kind: str
+    start: int  # offset into the file text
+    end: int    # one past the last character
+
+
+def tokenize(text: str) -> list[Token]:
+    """Splits C++ source into code / comment / literal tokens.
+
+    Handles line and block comments, string and char literals with
+    escapes, raw strings R"delim(...)delim" (with encoding prefixes),
+    and digit separators (1'000'000 is one number, not a char literal).
+    Unterminated constructs extend to end of file rather than raising:
+    lint must keep going on malformed input.
+    """
+    tokens: list[Token] = []
+    n = len(text)
+    i = 0
+    code_start = 0
+
+    def flush_code(upto: int) -> None:
+        if upto > code_start:
+            tokens.append(Token(CODE, code_start, upto))
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            flush_code(i)
+            j = text.find("\n", i)
+            j = n if j < 0 else j  # the newline stays code
+            tokens.append(Token(LINE_COMMENT, i, j))
+            i = code_start = j
+        elif c == "/" and nxt == "*":
+            flush_code(i)
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            tokens.append(Token(BLOCK_COMMENT, i, j))
+            i = code_start = j
+        elif c == '"':
+            # Raw string?  Scan back over the encoding prefix for R.
+            k = i - 1
+            while k >= 0 and text[k] in "uU8L":
+                k -= 1
+            is_raw = (k >= 0 and text[k] == "R"
+                      and (k == 0 or not (text[k - 1].isalnum()
+                                          or text[k - 1] == "_")))
+            if is_raw:
+                flush_code(k)
+                delim_end = text.find("(", i + 1)
+                if delim_end < 0:
+                    tokens.append(Token(RAW_STRING, k, n))
+                    i = code_start = n
+                    continue
+                closer = ")" + text[i + 1:delim_end] + '"'
+                j = text.find(closer, delim_end + 1)
+                j = n if j < 0 else j + len(closer)
+                tokens.append(Token(RAW_STRING, k, j))
+                i = code_start = j
+            else:
+                flush_code(i)
+                j = i + 1
+                while j < n and text[j] != '"':
+                    if text[j] == "\\":
+                        j += 1
+                    if text[j] == "\n":
+                        break  # unterminated on this line; stop the literal
+                    j += 1
+                j = min(j + 1, n)
+                tokens.append(Token(STRING, i, j))
+                i = code_start = j
+        elif c == "'":
+            prev = text[i - 1] if i > 0 else ""
+            if prev.isalnum() or prev == "_":
+                # Digit separator (1'000'000) or suffix context: plain code.
+                i += 1
+            else:
+                flush_code(i)
+                j = i + 1
+                while j < n and text[j] != "'":
+                    if text[j] == "\\":
+                        j += 1
+                    if text[j] == "\n":
+                        break
+                    j += 1
+                j = min(j + 1, n)
+                tokens.append(Token(CHAR, i, j))
+                i = code_start = j
+        else:
+            i += 1
+    flush_code(n)
+    return tokens
+
+
+def _blank(text: str) -> str:
+    """Replaces every non-newline character with a space."""
+    return re.sub(r"[^\n]", " ", text)
+
+
+class SourceFile:
+    """One tokenized file and the per-rule views into it."""
+
+    def __init__(self, path: Path, text: str):
+        self.path = path
+        self.text = text
+        self.tokens = tokenize(text)
+        # code: comments and literal *contents* blanked, positions kept.
+        # Include directives keep their quoted path (re-inserted below)
+        # because #include "..." is lexically a string.
+        parts: list[str] = []
+        for tok in self.tokens:
+            chunk = text[tok.start:tok.end]
+            parts.append(chunk if tok.kind == CODE else _blank(chunk))
+        self.code = "".join(parts)
+        # comments_by_line: physical line -> comment text present there.
+        self.comments_by_line: dict[int, str] = {}
+        for tok in self.tokens:
+            if tok.kind not in COMMENT_KINDS:
+                continue
+            line = text.count("\n", 0, tok.start) + 1
+            for piece in text[tok.start:tok.end].split("\n"):
+                self.comments_by_line[line] = (
+                    self.comments_by_line.get(line, "") + piece)
+                line += 1
+        self.code_lines = self.code.splitlines()
+        self.include_lines: list[tuple[int, str]] = []  # (lineno, "x"|<x>)
+        for lineno, line in enumerate(self.text.splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if m and not self.in_comment(lineno, m.start(1)):
+                self.include_lines.append((lineno, m.group(1)))
+
+    def in_comment(self, lineno: int, col: int) -> bool:
+        """True if (lineno, col) falls inside a comment token."""
+        offset = sum(len(l) + 1 for l in self.text.split("\n")[:lineno - 1])
+        offset += col
+        for tok in self.tokens:
+            if tok.start <= offset < tok.end:
+                return tok.kind in COMMENT_KINDS
+        return False
+
+    def suppressed(self, lineno: int, marker: str) -> bool:
+        """True if a genuine comment on this line carries the marker."""
+        return marker in self.comments_by_line.get(lineno, "")
+
+
+# ---------------------------------------------------------------------------
+# Declared-name extraction for the unused-include heuristic.
+# ---------------------------------------------------------------------------
+
+CPP_KEYWORDS = {
+    "alignas", "alignof", "asm", "auto", "bool", "break", "case", "catch",
+    "char", "class", "const", "consteval", "constexpr", "constinit",
+    "continue", "decltype", "default", "delete", "do", "double", "else",
+    "enum", "explicit", "export", "extern", "false", "float", "for",
+    "friend", "goto", "if", "inline", "int", "long", "mutable", "namespace",
+    "new", "noexcept", "nullptr", "operator", "private", "protected",
+    "public", "register", "requires", "return", "short", "signed", "sizeof",
+    "static", "struct", "switch", "template", "this", "throw", "true", "try",
+    "typedef", "typeid", "typename", "union", "unsigned", "using", "virtual",
+    "void", "volatile", "while", "static_assert", "static_cast",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "defined",
+}
+
+DECL_PATTERNS = [
+    re.compile(r"\b(?:class|struct|union)\s+([A-Za-z_]\w*)"),
+    re.compile(r"\benum\s+(?:class\s+|struct\s+)?([A-Za-z_]\w*)"),
+    re.compile(r"#\s*define\s+([A-Za-z_]\w*)"),
+    re.compile(r"\busing\s+([A-Za-z_]\w*)\s*="),
+    re.compile(r"\btypedef\b[^;]*?\b([A-Za-z_]\w*)\s*;"),
+    # Functions -- declared, defined or called in inline code; extra
+    # names only make the heuristic more conservative.
+    re.compile(r"\b([A-Za-z_]\w*)\s*\("),
+    # Namespace-scope constants.
+    re.compile(r"\bconstexpr\b[^=;{]*?\b([A-Za-z_]\w*)\s*[={]"),
+]
+
+
+def declared_names(code: str) -> set[str]:
+    names: set[str] = set()
+    for pattern in DECL_PATTERNS:
+        names.update(pattern.findall(code))
+    return names - CPP_KEYWORDS
+
+
+# ---------------------------------------------------------------------------
+# The linter.
+# ---------------------------------------------------------------------------
 
 class Linter:
     def __init__(self, root: Path):
@@ -114,85 +345,81 @@ class Linter:
         rel = path.relative_to(self.root).as_posix()
         self.violations.append((rel, line, rule, message))
 
-    # -- rules ------------------------------------------------------------
+    # -- per-file rules ----------------------------------------------------
 
-    def check_pragma_once(self, path: Path, text: str) -> None:
-        has_pragma = re.search(r"^#pragma once\s*$", text, re.MULTILINE)
-        if path.suffix == ".hpp" and not has_pragma:
-            self.report(path, 1, "pragma-once", "header missing #pragma once")
-        if path.suffix == ".cpp" and has_pragma:
-            line = text[: has_pragma.start()].count("\n") + 1
-            self.report(path, line, "pragma-once",
+    def check_pragma_once(self, sf: SourceFile) -> None:
+        has_pragma = re.search(r"^#pragma once\s*$", sf.code, re.MULTILINE)
+        if sf.path.suffix == ".hpp" and not has_pragma:
+            self.report(sf.path, 1, "pragma-once",
+                        "header missing #pragma once")
+        if sf.path.suffix == ".cpp" and has_pragma:
+            line = sf.code[: has_pragma.start()].count("\n") + 1
+            self.report(sf.path, line, "pragma-once",
                         "#pragma once in a .cpp file")
 
-    def check_patterns(self, path: Path, code: str, patterns, rule: str,
+    def check_patterns(self, sf: SourceFile, patterns, rule: str,
                        what: str) -> None:
-        for lineno, line in enumerate(code.splitlines(), 1):
+        for lineno, line in enumerate(sf.code_lines, 1):
             for pattern, name in patterns:
                 if pattern.search(line):
-                    self.report(path, lineno, rule, f"{name} {what}")
+                    self.report(sf.path, lineno, rule, f"{name} {what}")
 
-    def check_includes(self, path: Path, code: str) -> None:
-        rel = path.relative_to(self.root).as_posix()
+    def check_includes(self, sf: SourceFile) -> None:
+        rel = sf.path.relative_to(self.root).as_posix()
         in_src = rel.startswith("src/")
         module = rel.split("/")[1] if in_src and "/" in rel[4:] else None
-        for lineno, line in enumerate(code.splitlines(), 1):
-            m = INCLUDE_RE.match(line)
-            if not m:
-                continue
-            inc = m.group(1)
+        for lineno, inc in sf.include_lines:
             if inc.startswith("<"):
                 # Angle includes must not name project headers.
                 if (self.root / "src" / inc[1:-1]).exists():
-                    self.report(path, lineno, "include-hygiene",
+                    self.report(sf.path, lineno, "include-hygiene",
                                 f"project header {inc} included with <>")
                 continue
             target = inc[1:-1]
             if target.startswith("../") or "/../" in target:
-                self.report(path, lineno, "include-hygiene",
+                self.report(sf.path, lineno, "include-hygiene",
                             f'relative include "{target}"')
                 continue
             if in_src:
                 if not (self.root / "src" / target).exists():
-                    self.report(path, lineno, "include-hygiene",
+                    self.report(sf.path, lineno, "include-hygiene",
                                 f'"{target}" does not resolve under src/')
                     continue
                 if "/" not in target:
-                    self.report(path, lineno, "include-hygiene",
+                    self.report(sf.path, lineno, "include-hygiene",
                                 f'"{target}" is not module-qualified')
                     continue
                 dep = target.split("/")[0]
                 if (module in LAYERS and target != CHECK_HEADER
                         and dep not in LAYERS[module]):
-                    self.report(path, lineno, "layering",
+                    self.report(sf.path, lineno, "layering",
                                 f"module '{module}' must not include "
                                 f"'{dep}/' headers")
             else:
                 # Outside src/: local headers (same dir) or src/ headers.
-                local = (path.parent / target).exists()
+                local = (sf.path.parent / target).exists()
                 in_tree = (self.root / "src" / target).exists()
                 if not local and not in_tree:
-                    self.report(path, lineno, "include-hygiene",
+                    self.report(sf.path, lineno, "include-hygiene",
                                 f'"{target}" resolves neither locally nor '
                                 "under src/")
 
-    def check_hot_alloc(self, path: Path, code: str, text: str) -> None:
+    def check_hot_alloc(self, sf: SourceFile) -> None:
         """Flags Vector/Matrixd construction inside loops of hot files.
 
         Brace-tracking heuristic: a loop body is everything between the
         `{` following a for/while head and its matching `}`.  Allocations
         on the head line itself (single-statement loops) count too.
-        Suppression: a "hot-ok:" comment on the offending line.
+        Suppression: a "// hot-ok:" comment on the offending line.
         """
-        raw_lines = text.splitlines()
         depth = 0
         loop_depths: list[int] = []   # brace depth of each open loop body
         pending_loop = False          # saw a loop head, body brace not yet
-        for lineno, line in enumerate(code.splitlines(), 1):
+        for lineno, line in enumerate(sf.code_lines, 1):
             in_loop = bool(loop_depths) or LOOP_RE.search(line)
             if (in_loop and HOT_ALLOC_RE.search(line)
-                    and "hot-ok:" not in raw_lines[lineno - 1]):
-                self.report(path, lineno, "hot-path-alloc",
+                    and not sf.suppressed(lineno, "hot-ok:")):
+                self.report(sf.path, lineno, "hot-path-alloc",
                             "Vector/Matrixd constructed inside a loop "
                             "(preallocate in the workspace, or annotate "
                             "with // hot-ok: <reason>)")
@@ -211,6 +438,105 @@ class Linter:
             if pending_loop and line.rstrip().endswith(";"):
                 pending_loop = False  # single-statement loop body ended
 
+    def check_space_discipline(self, sf: SourceFile) -> None:
+        rel = sf.path.relative_to(self.root).as_posix()
+        if rel in SPACE_CROSSING_FILES:
+            return
+        for lineno, line in enumerate(sf.code_lines, 1):
+            if (RAW_CALL_RE.search(line)
+                    and not sf.suppressed(lineno, "space-ok:")):
+                self.report(sf.path, lineno, "space-discipline",
+                            ".raw() outside the whitelisted crossing sites "
+                            "(tag the value end-to-end, or annotate with "
+                            "// space-ok: <reason>)")
+
+    # -- whole-project rule: the include graph -----------------------------
+
+    def check_include_graph(self, sources: dict[str, SourceFile]) -> None:
+        """Cycle detection plus the unused-include heuristic over src/."""
+        # Edges: src-relative path -> [(lineno, src-relative target)].
+        edges: dict[str, list[tuple[int, str]]] = {}
+        for rel, sf in sources.items():
+            if not rel.startswith("src/"):
+                continue
+            targets = []
+            for lineno, inc in sf.include_lines:
+                if inc.startswith('"'):
+                    target = inc[1:-1]
+                    if (self.root / "src" / target).exists():
+                        targets.append((lineno, "src/" + target))
+            edges[rel] = targets
+
+        # Cycles (only headers can participate: .cpp files are never
+        # included).  Iterative DFS with an explicit color map.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {rel: WHITE for rel in edges}
+        def dfs(start: str) -> list[str] | None:
+            stack: list[tuple[str, int]] = [(start, 0)]
+            trail = [start]
+            color[start] = GRAY
+            while stack:
+                node, idx = stack[-1]
+                deps = [t for _, t in edges.get(node, []) if t in edges]
+                if idx < len(deps):
+                    stack[-1] = (node, idx + 1)
+                    dep = deps[idx]
+                    if color.get(dep, WHITE) == GRAY:
+                        return trail[trail.index(dep):] + [dep]
+                    if color.get(dep, WHITE) == WHITE:
+                        color[dep] = GRAY
+                        stack.append((dep, 0))
+                        trail.append(dep)
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+                    trail.pop()
+            return None
+
+        for rel in sorted(edges):
+            if color[rel] == WHITE and rel.endswith(".hpp"):
+                cycle = dfs(rel)
+                if cycle:
+                    self.report(sources[cycle[0]].path, 1, "include-graph",
+                                "include cycle: " + " -> ".join(cycle))
+                    return  # one report per run; fix and rerun
+
+        # Unused includes: the header must contribute at least one name.
+        names_cache: dict[str, set[str]] = {}
+        for rel in sorted(edges):
+            sf = sources[rel]
+            # Blank the include directives themselves so a header is never
+            # "used" by its own #include line.
+            lines = sf.code.splitlines()
+            for lineno, _ in sf.include_lines:
+                lines[lineno - 1] = ""
+            body = "\n".join(lines)
+            own_header = rel[:-len(".cpp")] + ".hpp" if rel.endswith(".cpp") \
+                else None
+            for lineno, target in edges[rel]:
+                if target == "src/" + CHECK_HEADER:
+                    continue  # contract macros may be deployed later
+                if own_header and target == own_header:
+                    continue  # a .cpp always includes its own header
+                if sf.suppressed(lineno, "include-ok:"):
+                    continue
+                if target not in names_cache:
+                    tsf = sources.get(target)
+                    names_cache[target] = declared_names(tsf.code) if tsf \
+                        else set()
+                names = names_cache[target]
+                if not names:
+                    continue  # nothing extractable; stay conservative
+                pattern = re.compile(
+                    r"\b(?:" + "|".join(map(re.escape, sorted(names)))
+                    + r")\b")
+                if not pattern.search(body):
+                    self.report(
+                        sf.path, lineno, "include-graph",
+                        f'"{target[4:]}" appears unused: none of its '
+                        "declared names occur in this file (drop the "
+                        "include, or annotate with // include-ok: <reason>)")
+
     # -- driver -----------------------------------------------------------
 
     def run(self) -> int:
@@ -225,23 +551,24 @@ class Linter:
             print(f"lint: error: no C++ sources found under {self.root} "
                   f"(checked {', '.join(SOURCE_DIRS)})", file=sys.stderr)
             return 2
+        sources: dict[str, SourceFile] = {}
         for path in files:
-            text = path.read_text(encoding="utf-8")
-            code = strip_comments(text)
+            sf = SourceFile(path, path.read_text(encoding="utf-8"))
             rel = path.relative_to(self.root).as_posix()
-            self.check_pragma_once(path, text)
-            self.check_includes(path, code)
+            sources[rel] = sf
+            self.check_pragma_once(sf)
+            self.check_includes(sf)
+            self.check_space_discipline(sf)
             if rel.startswith("src/"):
-                self.check_patterns(path, code, DETERMINISM_PATTERNS,
-                                    "determinism",
+                self.check_patterns(sf, DETERMINISM_PATTERNS, "determinism",
                                     "is forbidden in library code")
                 if rel not in IO_ALLOWLIST:
-                    self.check_patterns(path, code, IO_PATTERNS,
-                                        "io-discipline",
+                    self.check_patterns(sf, IO_PATTERNS, "io-discipline",
                                         "is forbidden outside report.cpp")
                 if rel in HOT_FILES:
-                    self.check_hot_alloc(path, code, text)
-        for rel, line, rule, message in self.violations:
+                    self.check_hot_alloc(sf)
+        self.check_include_graph(sources)
+        for rel, line, rule, message in sorted(self.violations):
             print(f"{rel}:{line}: [{rule}] {message}")
         print(f"lint: {len(files)} files checked, "
               f"{len(self.violations)} violation(s)")
