@@ -18,6 +18,7 @@
 #include "linalg/lu.hpp"
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
+#include "sim/measure.hpp"
 #include "stats/rng.hpp"
 #include "stats/sampler.hpp"
 
@@ -55,6 +56,72 @@ void BM_Cholesky(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Cholesky)->Arg(8)->Arg(20)->Arg(50);
+
+/// Synthetic ~20-node small-signal bench: an ideal gain stage into a
+/// dominant RC pole plus a parasitic RC ladder, mirroring the system size
+/// and pole structure of the opamp AC benches without their DC solve.
+struct AcLadderFixture {
+  AcLadderFixture() {
+    using namespace circuit;
+    const NodeId in = nl.add_node("in");
+    auto& v = nl.add<VoltageSource>("Vin", in, kGround, 0.0);
+    v.set_ac_value({1.0, 0.0});
+    const NodeId amp = nl.add_node("amp");
+    nl.add<Vcvs>("E1", amp, kGround, in, kGround, 1000.0);
+    // Dominant pole ~1.6 kHz -> unity crossing ~1.6 MHz at gain 1000.
+    const NodeId pole = nl.add_node("pole");
+    nl.add<Resistor>("Rdom", amp, pole, 1e5);
+    nl.add<Capacitor>("Cdom", pole, kGround, 1e-9);
+    NodeId prev = pole;
+    for (int i = 0; i < 15; ++i) {
+      std::string name = "n";
+      name += std::to_string(i);
+      const NodeId node = nl.add_node(name);
+      nl.add<Resistor>("R" + name, prev, node, 50.0 + 10.0 * i);
+      nl.add<Capacitor>("C" + name, node, kGround, 1e-13);
+      prev = node;
+    }
+    out = prev;
+    op = linalg::Vector(nl.system_size());
+  }
+  circuit::Netlist nl;
+  circuit::NodeId out{};
+  linalg::Vector op;
+};
+
+void BM_AcProbe(benchmark::State& state) {
+  // One frequency probe on a stamped session: assemble G + j omega C into
+  // the complex workspace, refactor in place, substitute.  The frequency
+  // walks a log grid so every probe refactors a genuinely new system.
+  AcLadderFixture fx;
+  sim::AcSession session(fx.nl, fx.op, circuit::Conditions{});
+  double f = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.solve(f));
+    f = f < 1e9 ? f * 1.7 : 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AcProbe);
+
+void BM_MeasureFt(benchmark::State& state) {
+  // Full A0/ft/phase-margin measurement on a stamped session: arg 0 scans
+  // the log grid from scratch, arg 1 starts from a seeded bracket around
+  // the known crossing (the mismatch-sample path of the opamp models).
+  AcLadderFixture fx;
+  sim::AcSession session(fx.nl, fx.op, circuit::Conditions{});
+  const sim::GainBandwidth nominal =
+      sim::measure_gain_bandwidth(session, fx.out);
+  sim::FtBracket bracket{nominal.ft_hz / 1.6, nominal.ft_hz * 1.6};
+  const sim::FtBracket* seed = state.range(0) != 0 ? &bracket : nullptr;
+  for (auto _ : state) {
+    sim::GainBandwidth gb =
+        sim::measure_gain_bandwidth(session, fx.out, 1.0, 10e9, seed);
+    benchmark::DoNotOptimize(gb);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeasureFt)->Arg(0)->Arg(1);
 
 struct FoldedCascodeFixture {
   FoldedCascodeFixture()

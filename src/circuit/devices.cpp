@@ -155,13 +155,14 @@ void Inductor::stamp_dc(DcStamp& stamp) const {
 }
 
 void Inductor::stamp_ac(AcStamp& stamp) const {
-  // Branch equation: v(a) - v(b) - j omega L i = 0.
+  // Branch equation: v(a) - v(b) - j omega L i = 0; the reactive branch
+  // term goes to the C matrix as -L (assembled as -j omega L).
   const int brow = stamp.branch_index(first_branch());
   stamp.add(stamp.node_index(a_), brow, 1.0);
   stamp.add(stamp.node_index(b_), brow, -1.0);
   stamp.add(brow, stamp.node_index(a_), 1.0);
   stamp.add(brow, stamp.node_index(b_), -1.0);
-  stamp.add(brow, brow, std::complex<double>(0.0, -stamp.omega() * inductance_));
+  stamp.add_jomega(brow, brow, -inductance_);
 }
 
 void Inductor::stamp_tran(TranStamp& stamp) const {

@@ -87,17 +87,22 @@ class DcStamp {
   const Conditions& conditions_;
 };
 
-/// View for stamping the complex AC system (G + j omega C) x = b.
+/// View for stamping the AC system (G + j omega C) x = b in split form:
+/// devices write their frequency-independent real conductance entries into
+/// G, their capacitance-like entries into C (assembled as j omega C at
+/// solve time), and the complex source excitations into b.  No omega is
+/// visible here — a single stamp per operating point serves every
+/// frequency probe (see sim::AcSession).
 class AcStamp {
  public:
-  AcStamp(const linalg::Vector& op, linalg::Matrixc& system,
-          linalg::VectorC& rhs, std::size_t num_nodes, double omega,
-          const Conditions& conditions)
+  AcStamp(const linalg::Vector& op, linalg::Matrixd& conductance,
+          linalg::Matrixd& capacitance, linalg::VectorC& rhs,
+          std::size_t num_nodes, const Conditions& conditions)
       : op_(op),
-        system_(system),
+        g_(conductance),
+        c_(capacitance),
         rhs_(rhs),
         num_nodes_(num_nodes),
-        omega_(omega),
         conditions_(conditions) {}
 
   /// DC operating-point voltage of a node.
@@ -105,23 +110,33 @@ class AcStamp {
   double branch(int b) const { return op_[num_nodes_ - 1 + b]; }
   int node_index(NodeId n) const { return n == kGround ? -1 : n - 1; }
   int branch_index(int b) const { return static_cast<int>(num_nodes_) - 1 + b; }
-  double omega() const { return omega_; }
 
-  void add(int row, int col, std::complex<double> value) {
-    if (row >= 0 && col >= 0) system_(row, col) += value;
+  /// Adds a frequency-independent (real) entry to G.
+  void add(int row, int col, double value) {
+    if (row >= 0 && col >= 0) g_(row, col) += value;
   }
-  /// Two-terminal admittance stamp.
-  void add_admittance(NodeId a, NodeId b, std::complex<double> y) {
+  /// Adds an entry to C: contributes j * omega * value at frequency omega.
+  /// The inductor's branch term -j omega L stamps value = -L here.
+  void add_jomega(int row, int col, double value) {
+    if (row >= 0 && col >= 0) c_(row, col) += value;
+  }
+  /// Two-terminal conductance stamp.
+  void add_admittance(NodeId a, NodeId b, double g) {
     const int ia = node_index(a);
     const int ib = node_index(b);
-    add(ia, ia, y);
-    add(ib, ib, y);
-    add(ia, ib, -y);
-    add(ib, ia, -y);
+    add(ia, ia, g);
+    add(ib, ib, g);
+    add(ia, ib, -g);
+    add(ib, ia, -g);
   }
-  /// Capacitance between two nodes (stamped as j omega C).
+  /// Capacitance between two nodes (assembled as j omega C).
   void add_capacitance(NodeId a, NodeId b, double c) {
-    add_admittance(a, b, std::complex<double>(0.0, omega_ * c));
+    const int ia = node_index(a);
+    const int ib = node_index(b);
+    add_jomega(ia, ia, c);
+    add_jomega(ib, ib, c);
+    add_jomega(ia, ib, -c);
+    add_jomega(ib, ia, -c);
   }
   void add_rhs(int row, std::complex<double> value) {
     if (row >= 0) rhs_[row] += value;
@@ -132,10 +147,10 @@ class AcStamp {
 
  private:
   const linalg::Vector& op_;
-  linalg::Matrixc& system_;
+  linalg::Matrixd& g_;
+  linalg::Matrixd& c_;
   linalg::VectorC& rhs_;
   std::size_t num_nodes_;
-  double omega_;
   const Conditions& conditions_;
 };
 

@@ -314,8 +314,9 @@ void FoldedCascode::ensure_ft_section(DesignContext& ctx, const Vector& d,
   const Conditions conditions{theta[0]};
   ac.vinp->set_ac_value({0.5, 0.0});
   ac.vinn->set_ac_value({-0.5, 0.0});
-  const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
-      ac.netlist, ctx.op_ac, conditions, ac.out, kFtLow, kFtHigh);
+  ac_session_.stamp(ac.netlist, ctx.op_ac, conditions);
+  const sim::GainBandwidth gb =
+      sim::measure_gain_bandwidth(ac_session_, ac.out, kFtLow, kFtHigh);
   if (!gb.ft_found) return;
   ctx.ft_bracket.f_lo = std::max(kFtLow, gb.ft_hz / kFtWiden);
   ctx.ft_bracket.f_hi = std::min(kFtHigh, gb.ft_hz * kFtWiden);
@@ -372,19 +373,22 @@ FoldedCascode::Measurements FoldedCascode::measure_with_context(
       1e3 * sim::measure_supply_power(ac.netlist, op.solution, {ac.vdd});
 
   // Differential excitation; the nominal crossing seeds the ft search.
+  // One session stamp serves the whole A0/ft measurement.
   ac.vinp->set_ac_value({0.5, 0.0});
   ac.vinn->set_ac_value({-0.5, 0.0});
-  const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
-      ac.netlist, op.solution, conditions, ac.out, kFtLow, kFtHigh,
-      ctx.ft_valid ? &ctx.ft_bracket : nullptr);
+  ac_session_.stamp(ac.netlist, op.solution, conditions);
+  const sim::GainBandwidth gb =
+      sim::measure_gain_bandwidth(ac_session_, ac.out, kFtLow, kFtHigh,
+                                  ctx.ft_valid ? &ctx.ft_bracket : nullptr);
   out.a0_db = gb.a0_db;
   out.ft_mhz = gb.ft_found ? gb.ft_hz / 1e6 : 0.0;
 
-  // Common-mode excitation for CMRR.
+  // Common-mode excitation for CMRR: only the excitation vector changed,
+  // but a re-stamp is one device sweep -- far cheaper than a solve.
   ac.vinp->set_ac_value({1.0, 0.0});
   ac.vinn->set_ac_value({1.0, 0.0});
-  const double acm_db = sim::to_db(
-      sim::ac_node_voltage(ac.netlist, op.solution, conditions, 1.0, ac.out));
+  ac_session_.stamp(ac.netlist, op.solution, conditions);
+  const double acm_db = sim::to_db(ac_session_.node_voltage(1.0, ac.out));
   out.cmrr_db = out.a0_db - acm_db;
 
   // --- unity-gain transient bench: positive slew rate -------------------

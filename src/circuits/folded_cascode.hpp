@@ -30,6 +30,7 @@
 
 #include "circuits/process.hpp"
 #include "core/problem.hpp"
+#include "sim/ac.hpp"
 
 namespace mayo::circuits {
 
@@ -160,6 +161,9 @@ class FoldedCascode final : public core::PerformanceModel {
   std::vector<std::unique_ptr<DesignContext>> contexts_;  ///< FIFO cache
   std::vector<std::uint64_t> context_key_;  ///< key-building scratch
   linalg::Vector batch_s_;                  ///< row scratch for batches
+  /// Reusable small-signal workspace.  Every use fully re-stamps it, so it
+  /// carries cost (buffers, factors) but never results between calls.
+  sim::AcSession ac_session_;
 };
 
 }  // namespace mayo::circuits

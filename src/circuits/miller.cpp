@@ -216,8 +216,9 @@ void Miller::ensure_ft_section(DesignContext& ctx, const Vector& d,
   const Conditions conditions{theta[0]};
   ac.vinp->set_ac_value({0.5, 0.0});
   ac.vinn->set_ac_value({-0.5, 0.0});
-  const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
-      ac.netlist, ctx.op_ac, conditions, ac.out, kFtLow, kFtHigh);
+  ac_session_.stamp(ac.netlist, ctx.op_ac, conditions);
+  const sim::GainBandwidth gb =
+      sim::measure_gain_bandwidth(ac_session_, ac.out, kFtLow, kFtHigh);
   if (!gb.ft_found) return;
   ctx.ft_bracket.f_lo = std::max(kFtLow, gb.ft_hz / kFtWiden);
   ctx.ft_bracket.f_hi = std::min(kFtHigh, gb.ft_hz * kFtWiden);
@@ -270,11 +271,13 @@ Miller::Measurements Miller::measure_with_context(DesignContext& ctx,
   out.power_mw =
       1e3 * sim::measure_supply_power(ac.netlist, op.solution, {ac.vdd});
 
+  // One session stamp serves the whole A0/ft/PM measurement.
   ac.vinp->set_ac_value({0.5, 0.0});
   ac.vinn->set_ac_value({-0.5, 0.0});
-  const sim::GainBandwidth gb = sim::measure_gain_bandwidth(
-      ac.netlist, op.solution, conditions, ac.out, kFtLow, kFtHigh,
-      ctx.ft_valid ? &ctx.ft_bracket : nullptr);
+  ac_session_.stamp(ac.netlist, op.solution, conditions);
+  const sim::GainBandwidth gb =
+      sim::measure_gain_bandwidth(ac_session_, ac.out, kFtLow, kFtHigh,
+                                  ctx.ft_valid ? &ctx.ft_bracket : nullptr);
   out.a0_db = gb.a0_db;
   out.ft_mhz = gb.ft_found ? gb.ft_hz / 1e6 : 0.0;
   out.pm_deg = gb.ft_found ? gb.phase_margin_deg : 0.0;

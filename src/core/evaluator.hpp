@@ -20,6 +20,15 @@
 // semantics are identical to the scalar loop: every row is probed against
 // the cache, duplicate rows within a block count as cache hits and are
 // simulated once, and every distinct miss is charged to the given budget.
+//
+// Purity contract: a model evaluation must be a pure function of
+// (d, s, theta).  Models may keep reusable state -- per-(d, theta) design
+// contexts with warm-start seeds, the stamp-once AC session of
+// sim::AcSession, the in-place LU workspaces of the Newton loops -- but
+// all of it is either a pure function of the arguments or pure cost
+// (buffers that are fully rewritten before use).  That is what lets the
+// cache, the batch spine and the parallel map return bitwise-identical
+// results regardless of evaluation order, block size or thread count.
 #pragma once
 
 #include <cstddef>

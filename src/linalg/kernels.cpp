@@ -61,4 +61,19 @@ void cholesky_solve_into(const Cholesky& chol, const Vector& b, Vector& out) {
   }
 }
 
+void assemble_complex_into(const double* g, const double* c, double omega,
+                           std::complex<double>* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    a[i] = std::complex<double>(g[i], omega * c[i]);
+}
+
+void assemble_complex_into(const Matrixd& g, const Matrixd& c, double omega,
+                           Matrixc& a) {
+  if (g.rows() != c.rows() || g.cols() != c.cols() || g.rows() != a.rows() ||
+      g.cols() != a.cols())
+    throw std::invalid_argument("assemble_complex_into: shape mismatch");
+  assemble_complex_into(g.data(), c.data(), omega, a.data(),
+                        g.rows() * g.cols());
+}
+
 }  // namespace mayo::linalg

@@ -35,4 +35,15 @@ void copy_axpy_into(Vector& y, const Vector& x, double alpha, const Vector& z);
 /// L^T x = y in place.  `out` must be pre-sized to chol.size().
 void cholesky_solve_into(const Cholesky& chol, const Vector& b, Vector& out);
 
+/// a[i] = complex(g[i], omega * c[i]) for `n` entries: assembles the AC
+/// system A = G + j omega C from the session's frequency-independent real
+/// stamps in one pass over caller storage.  Works on raw buffers so the
+/// same kernel serves matrices (n = rows * cols) and vectors.
+void assemble_complex_into(const double* g, const double* c, double omega,
+                           std::complex<double>* a, std::size_t n);
+
+/// Checked matrix form: a = g + j omega c; all three must share one shape.
+void assemble_complex_into(const Matrixd& g, const Matrixd& c, double omega,
+                           Matrixc& a);
+
 }  // namespace mayo::linalg

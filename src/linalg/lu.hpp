@@ -4,6 +4,13 @@
 // (complex) AC small-signal systems.  The factorization is stored in-place;
 // `solve` reuses it for multiple right-hand sides, which the AC sweep and
 // finite-difference code paths exploit.
+//
+// Hot loops (Newton iterations, AC frequency probes) factor thousands of
+// same-sized systems, so the class doubles as a reusable workspace: fill
+// `workspace(n)` (or assemble into it) and call `refactor()` — no
+// allocation after the first system of a given size, and the pivoting and
+// elimination sequence is identical to the factorizing constructor, so a
+// ported caller cannot change a single result bit.
 #pragma once
 
 #include <cmath>
@@ -34,14 +41,81 @@ class SingularMatrixError : public std::runtime_error {
 template <typename T>
 class Lu {
  public:
+  /// Empty workspace; fill `workspace(n)` and call `refactor()`.
+  Lu() = default;
+
   /// Factorizes `a`; throws SingularMatrixError if a pivot is exactly zero
   /// or below `pivot_tolerance` relative to the largest entry.
-  explicit Lu(Matrix<T> a, double pivot_tolerance = 0.0)
-      : lu_(std::move(a)), perm_(lu_.rows()) {
+  explicit Lu(Matrix<T> a, double pivot_tolerance = 0.0) : lu_(std::move(a)) {
+    factor(pivot_tolerance);
+  }
+
+  /// Reshapes the internal matrix to n x n and returns it for the caller
+  /// to fill (stamp or assemble), then factor with `refactor()`.  The
+  /// matrix is zeroed unless `zero` is false (for callers that overwrite
+  /// every entry).  No allocation when the previous system had the same
+  /// size.
+  Matrix<T>& workspace(std::size_t n, bool zero = true) {
+    if (lu_.rows() != n || lu_.cols() != n)
+      lu_ = Matrix<T>(n, n);
+    else if (zero)
+      lu_.set_zero();
+    return lu_;
+  }
+
+  /// Factors the current workspace contents in place.  Same pivoting and
+  /// elimination sequence (and SingularMatrixError behavior) as the
+  /// factorizing constructor; only the permutation buffer is reused.
+  void refactor(double pivot_tolerance = 0.0) { factor(pivot_tolerance); }
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b for one right-hand side.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const std::size_t n = size();
+    if (b.size() != n) throw std::invalid_argument("Lu::solve: rhs size mismatch");
+    std::vector<T> x(n);
+    solve_into(b.data(), x.data());
+    return x;
+  }
+
+  /// Allocation-free solve: permutation + forward/back substitution
+  /// writing into `x`.  Both buffers must hold size() entries and must
+  /// not alias (the substitution reads permuted entries of `b` after the
+  /// first elements of `x` are written).
+  void solve_into(const T* b, T* x) const {
+    const std::size_t n = size();
+    // Apply permutation and forward-substitute L (unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm_[i]];
+      const T* row_i = lu_.row(i);
+      for (std::size_t j = 0; j < i; ++j) acc -= row_i[j] * x[j];
+      x[i] = acc;
+    }
+    // Back-substitute U.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = x[ii];
+      const T* row_ii = lu_.row(ii);
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= row_ii[j] * x[j];
+      x[ii] = acc / row_ii[ii];
+    }
+  }
+
+  /// Determinant of the factorized matrix.
+  T determinant() const {
+    T det = static_cast<T>(sign_);
+    for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+    return det;
+  }
+
+ private:
+  void factor(double pivot_tolerance) {
     if (lu_.rows() != lu_.cols())
       throw std::invalid_argument("Lu: matrix must be square");
     const std::size_t n = lu_.rows();
+    perm_.resize(n);
     for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+    sign_ = 1;
     const double scale = lu_.max_abs();
     const double tol = pivot_tolerance * scale;
 
@@ -63,45 +137,21 @@ class Lu {
         sign_ = -sign_;
       }
       const T pivot = lu_(k, k);
+      // Distinct rows of the same matrix never overlap; telling the
+      // compiler lets it vectorize the rank-1 update without a runtime
+      // overlap check (the update itself is elementwise, so the result
+      // bits do not depend on the vector width).
+      const T* __restrict__ row_k = lu_.row(k);
       for (std::size_t r = k + 1; r < n; ++r) {
-        const T factor = lu_(r, k) / pivot;
-        lu_(r, k) = factor;
+        T* __restrict__ row_r = lu_.row(r);
+        const T factor = row_r[k] / pivot;
+        row_r[k] = factor;
         if (factor == T{}) continue;
-        for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+        for (std::size_t c = k + 1; c < n; ++c) row_r[c] -= factor * row_k[c];
       }
     }
   }
 
-  std::size_t size() const { return lu_.rows(); }
-
-  /// Solves A x = b for one right-hand side.
-  std::vector<T> solve(const std::vector<T>& b) const {
-    const std::size_t n = size();
-    if (b.size() != n) throw std::invalid_argument("Lu::solve: rhs size mismatch");
-    std::vector<T> x(n);
-    // Apply permutation and forward-substitute L (unit diagonal).
-    for (std::size_t i = 0; i < n; ++i) {
-      T acc = b[perm_[i]];
-      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
-      x[i] = acc;
-    }
-    // Back-substitute U.
-    for (std::size_t ii = n; ii-- > 0;) {
-      T acc = x[ii];
-      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
-      x[ii] = acc / lu_(ii, ii);
-    }
-    return x;
-  }
-
-  /// Determinant of the factorized matrix.
-  T determinant() const {
-    T det = static_cast<T>(sign_);
-    for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
-    return det;
-  }
-
- private:
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
   int sign_ = 1;

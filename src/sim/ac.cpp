@@ -4,8 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
-#include "linalg/lu.hpp"
-#include "linalg/matrix.hpp"
+#include "linalg/kernels.hpp"
 
 namespace mayo::sim {
 
@@ -14,25 +13,54 @@ using circuit::Conditions;
 using circuit::Netlist;
 using circuit::NodeId;
 using linalg::Matrixc;
+using linalg::Matrixd;
 using linalg::Vector;
 using linalg::VectorC;
 
-VectorC solve_ac(const Netlist& netlist, const Vector& operating_point,
-                 const Conditions& conditions, double frequency_hz) {
+void AcSession::stamp(const Netlist& netlist, const Vector& operating_point,
+                      const Conditions& conditions) {
   if (operating_point.size() != netlist.system_size())
-    throw std::invalid_argument("solve_ac: operating point size mismatch");
-  const std::size_t n = netlist.system_size();
-  const double omega = 2.0 * std::numbers::pi * frequency_hz;
-  Matrixc system(n, n);
-  VectorC rhs(n);
-  AcStamp stamp(operating_point, system, rhs, netlist.num_nodes(), omega,
-                conditions);
+    throw std::invalid_argument("AcSession::stamp: operating point size mismatch");
+  n_ = netlist.system_size();
+  num_nodes_ = netlist.num_nodes();
+  if (g_.rows() != n_ || g_.cols() != n_) {
+    g_ = Matrixd(n_, n_);  // hot-ok: first stamp of this size only
+    c_ = Matrixd(n_, n_);  // hot-ok: first stamp of this size only
+  } else {
+    g_.set_zero();
+    c_.set_zero();
+  }
+  rhs_.assign(n_, std::complex<double>{});
+  AcStamp stamp(operating_point, g_, c_, rhs_, num_nodes_, conditions);
   for (const auto& device : netlist) device->stamp_ac(stamp);
   // Tiny shunt keeps floating small-signal nodes well-posed.
-  for (std::size_t k = 0; k + 1 < netlist.num_nodes(); ++k)
-    system(k, k) += 1e-12;
-  linalg::Luc lu(std::move(system));
-  return lu.solve(rhs);
+  for (std::size_t k = 0; k + 1 < num_nodes_; ++k) g_(k, k) += 1e-12;
+}
+
+const VectorC& AcSession::solve(double frequency_hz) {
+  if (!stamped())
+    throw std::logic_error("AcSession::solve: stamp() a netlist first");
+  const double omega = 2.0 * std::numbers::pi * frequency_hz;
+  // Assemble overwrites every entry, so skip the workspace zeroing.
+  Matrixc& a = lu_.workspace(n_, /*zero=*/false);
+  linalg::assemble_complex_into(g_.data(), c_.data(), omega, a.data(),
+                                n_ * n_);
+  lu_.refactor();
+  solution_.resize(n_);
+  lu_.solve_into(rhs_.data(), solution_.data());
+  return solution_;
+}
+
+std::complex<double> AcSession::node_voltage(double frequency_hz,
+                                             NodeId node) {
+  if (node == circuit::kGround) return {0.0, 0.0};
+  return solve(frequency_hz)[static_cast<std::size_t>(node - 1)];
+}
+
+VectorC solve_ac(const Netlist& netlist, const Vector& operating_point,
+                 const Conditions& conditions, double frequency_hz) {
+  AcSession session(netlist, operating_point, conditions);
+  return session.solve(frequency_hz);
 }
 
 std::complex<double> ac_node_voltage(const Netlist& netlist,
@@ -40,9 +68,8 @@ std::complex<double> ac_node_voltage(const Netlist& netlist,
                                      const Conditions& conditions,
                                      double frequency_hz, NodeId node) {
   if (node == circuit::kGround) return {0.0, 0.0};
-  const VectorC solution =
-      solve_ac(netlist, operating_point, conditions, frequency_hz);
-  return solution[static_cast<std::size_t>(node - 1)];
+  AcSession session(netlist, operating_point, conditions);
+  return session.node_voltage(frequency_hz, node);
 }
 
 FrequencyResponse sweep_ac(const Netlist& netlist, const Vector& operating_point,
@@ -56,12 +83,15 @@ FrequencyResponse sweep_ac(const Netlist& netlist, const Vector& operating_point
   FrequencyResponse out;
   const double decades = std::log10(f_stop / f_start);
   const int total = std::max(2, static_cast<int>(std::ceil(decades * points_per_decade)) + 1);
+  out.frequency_hz.reserve(static_cast<std::size_t>(total));
+  out.response.reserve(static_cast<std::size_t>(total));
+  // One stamp serves the whole grid.
+  AcSession session(netlist, operating_point, conditions);
   for (int i = 0; i < total; ++i) {
     const double frac = static_cast<double>(i) / (total - 1);
     const double f = f_start * std::pow(10.0, frac * decades);
     out.frequency_hz.push_back(f);
-    out.response.push_back(
-        ac_node_voltage(netlist, operating_point, conditions, f, node));
+    out.response.push_back(session.node_voltage(f, node));
   }
   return out;
 }

@@ -1,23 +1,77 @@
 // mayo/sim -- small-signal AC analysis.
 //
-// Builds the complex system (G + j omega C) x = b at a previously computed
-// DC operating point, where G is the device linearization and b carries the
-// AC excitations of the independent sources.  One complex LU solve per
-// frequency point.
+// The AC system at a DC operating point is (G + j omega C) x = b with G
+// the device linearization, C the capacitance/reactance pattern and b the
+// AC excitations — G, C and b do not depend on frequency.  AcSession
+// exploits that split: the netlist is stamped once per (operating point,
+// conditions), then every frequency probe assembles A = G + j omega C
+// into a reusable complex LU workspace and solves in place.  No virtual
+// dispatch, no allocation per probe.
+//
+// The free functions below are thin conveniences over a fresh session.
 #pragma once
 
 #include <complex>
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::sim {
 
-/// Solves the AC system at a single frequency [Hz].  Returns the full
-/// complex solution vector (node phasors + branch currents).
-/// Throws linalg::SingularMatrixError if the small-signal system is
-/// singular at this operating point.
+/// Stamp-once / solve-many small-signal pipeline.
+///
+/// The stamped state is a pure function of (netlist device state,
+/// operating point, conditions): `stamp` fully rewrites G, C and b, so a
+/// session object reused across samples (or cached next to a design
+/// context) can only change evaluation cost, never a result bit.
+class AcSession {
+ public:
+  /// Empty session; call stamp() before solving.
+  AcSession() = default;
+  /// Stamps immediately (convenience).
+  AcSession(const circuit::Netlist& netlist,
+            const linalg::Vector& operating_point,
+            const circuit::Conditions& conditions) {
+    stamp(netlist, operating_point, conditions);
+  }
+
+  /// (Re)stamps G, C and b at the given operating point.  All buffers are
+  /// reused when the system size is unchanged.
+  /// Throws std::invalid_argument on an operating-point size mismatch.
+  void stamp(const circuit::Netlist& netlist,
+             const linalg::Vector& operating_point,
+             const circuit::Conditions& conditions);
+
+  bool stamped() const { return n_ > 0; }
+  std::size_t size() const { return n_; }
+
+  /// Assembles A = G + j omega C, refactors the complex workspace in
+  /// place and solves A x = b.  Returns the internal solution vector
+  /// (node phasors + branch currents), valid until the next solve or
+  /// stamp.  Throws linalg::SingularMatrixError if the small-signal
+  /// system is singular at this operating point.
+  const linalg::VectorC& solve(double frequency_hz);
+
+  /// Phasor of one node at `frequency_hz` (ground -> 0).
+  std::complex<double> node_voltage(double frequency_hz, circuit::NodeId node);
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t num_nodes_ = 0;
+  linalg::Matrixd g_;        ///< real (frequency-independent) part
+  linalg::Matrixd c_;        ///< j-omega-scaled part
+  linalg::VectorC rhs_;      ///< complex excitation
+  linalg::Luc lu_;           ///< reusable complex factor workspace
+  linalg::VectorC solution_;
+};
+
+/// Solves the AC system at a single frequency [Hz] with a fresh session.
+/// Returns the full complex solution vector (node phasors + branch
+/// currents).  Throws linalg::SingularMatrixError if the small-signal
+/// system is singular at this operating point.
 linalg::VectorC solve_ac(const circuit::Netlist& netlist,
                          const linalg::Vector& operating_point,
                          const circuit::Conditions& conditions,
@@ -37,6 +91,7 @@ struct FrequencyResponse {
 };
 
 /// Sweeps `points_per_decade` log-spaced points from f_start to f_stop.
+/// Stamps once and reuses the session across the whole grid.
 FrequencyResponse sweep_ac(const circuit::Netlist& netlist,
                            const linalg::Vector& operating_point,
                            const circuit::Conditions& conditions,

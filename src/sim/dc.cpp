@@ -17,19 +17,30 @@ using linalg::Vector;
 
 namespace {
 
+/// Reusable buffers for the Newton iterations of one solve_dc call: the
+/// Jacobian is stamped straight into the LU workspace and factored in
+/// place, so an iteration allocates nothing after the first.
+struct NewtonScratch {
+  linalg::Lud lu;
+  Vector residual;
+  Vector step;
+};
+
 /// One damped Newton solve with a fixed extra shunt gmin.  Returns true on
 /// convergence; `x` holds the final iterate either way.
 bool newton(Netlist& netlist, const Conditions& conditions,
             const DcOptions& options, double gmin, Vector& x,
-            int& iteration_counter) {
+            int& iteration_counter, NewtonScratch& scratch) {
   const std::size_t n = netlist.system_size();
   const std::size_t num_nodes = netlist.num_nodes();
-  Matrixd jacobian(n, n);
-  Vector residual(n);
+  scratch.residual.resize(n);
+  scratch.step.resize(n);
+  Vector& residual = scratch.residual;
+  Vector& step = scratch.step;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++iteration_counter;
-    jacobian.set_zero();
+    Matrixd& jacobian = scratch.lu.workspace(n);
     residual.fill(0.0);
     DcStamp stamp(x, jacobian, residual, num_nodes, conditions);
     for (const auto& device : netlist) device->stamp_dc(stamp);
@@ -40,14 +51,12 @@ bool newton(Netlist& netlist, const Conditions& conditions,
       residual[k] += gmin * x[k];
     }
 
-    Vector step;
     try {
-      linalg::Lud lu(jacobian);
-      std::vector<double> rhs(residual.begin(), residual.end());
-      step = Vector(lu.solve(rhs));
+      scratch.lu.refactor();
     } catch (const linalg::SingularMatrixError&) {
       return false;
     }
+    scratch.lu.solve_into(residual.data(), step.data());
 
     // Damping: clamp the node-voltage part of the update.
     double scale = 1.0;
@@ -103,10 +112,12 @@ DcResult solve_dc(Netlist& netlist, const Conditions& conditions,
   result.solution = (initial != nullptr && initial->size() == netlist.system_size())
                         ? *initial
                         : Vector(netlist.system_size());
+  // One Jacobian/LU workspace serves every Newton attempt of this solve.
+  NewtonScratch scratch;
 
   // Attempt 1: plain Newton from the seed.
   if (newton(netlist, conditions, options, options.gmin_floor, result.solution,
-             result.newton_iterations)) {
+             result.newton_iterations, scratch)) {
     result.converged = true;
     return result;
   }
@@ -118,13 +129,13 @@ DcResult solve_dc(Netlist& netlist, const Conditions& conditions,
     for (double gmin = 1e-2; gmin >= options.gmin_floor / 2.0; gmin *= 0.01) {
       ++result.continuation_steps;
       if (!newton(netlist, conditions, options, std::max(gmin, options.gmin_floor),
-                  x, result.newton_iterations)) {
+                  x, result.newton_iterations, scratch)) {
         ok = false;
         break;
       }
     }
     if (ok && newton(netlist, conditions, options, options.gmin_floor, x,
-                     result.newton_iterations)) {
+                     result.newton_iterations, scratch)) {
       result.solution = x;
       result.converged = true;
       return result;
@@ -140,7 +151,7 @@ DcResult solve_dc(Netlist& netlist, const Conditions& conditions,
       ++result.continuation_steps;
       scaler.apply(factor);
       if (!newton(netlist, conditions, options, options.gmin_floor, x,
-                  result.newton_iterations)) {
+                  result.newton_iterations, scratch)) {
         ok = false;
         break;
       }

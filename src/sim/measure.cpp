@@ -19,75 +19,148 @@ double phase_deg(std::complex<double> h) {
   return std::arg(h) * 180.0 / std::numbers::pi;
 }
 
-GainBandwidth measure_gain_bandwidth(const Netlist& netlist,
-                                     const Vector& operating_point,
-                                     const Conditions& conditions, NodeId out,
+namespace {
+/// log |h| clamped away from -inf so a notch-exact zero cannot poison the
+/// Ridders update with non-finite arithmetic.
+double log_mag(std::complex<double> h) {
+  const double mag = std::abs(h);
+  return std::log(mag > 1e-300 ? mag : 1e-300);
+}
+}  // namespace
+
+GainBandwidth measure_gain_bandwidth(AcSession& session, NodeId out,
                                      double f_low, double f_high,
                                      const FtBracket* bracket) {
   GainBandwidth result;
-  const auto h_at = [&](double f) {
-    return ac_node_voltage(netlist, operating_point, conditions, f, out);
-  };
-  result.a0_db = to_db(h_at(f_low));
+  const auto h_at = [&](double f) { return session.node_voltage(f, out); };
 
-  const double mag_low = std::abs(h_at(f_low));
+  const std::complex<double> h_low = h_at(f_low);
+  result.a0_db = to_db(h_low);
+  const double mag_low = std::abs(h_low);
   if (mag_low <= 1.0) {
     // Already below unity at f_low: no meaningful crossing.
     return result;
   }
+
   double f_lo_bracket = 0.0;
   double f_hi_bracket = 0.0;
+  double mag_lo_bracket = 0.0;
+  std::complex<double> h_hi_bracket;
 
   // Seeded path: verify the caller's bracket with two solves, then go
-  // straight to bisection.  A seed that no longer brackets (the crossing
-  // moved past it) silently falls back to the grid scan below.
+  // straight to the refinement.  A seed that no longer brackets (the
+  // crossing moved past it) silently falls back to the grid scan below.
   if (bracket != nullptr && bracket->f_lo > 0.0 &&
       bracket->f_hi > bracket->f_lo && bracket->f_lo >= f_low &&
       bracket->f_hi <= f_high) {
-    if (std::abs(h_at(bracket->f_lo)) > 1.0 &&
-        std::abs(h_at(bracket->f_hi)) <= 1.0) {
-      f_lo_bracket = bracket->f_lo;
-      f_hi_bracket = bracket->f_hi;
+    const double seed_mag_lo = std::abs(h_at(bracket->f_lo));
+    if (seed_mag_lo > 1.0) {
+      const std::complex<double> seed_h_hi = h_at(bracket->f_hi);
+      if (std::abs(seed_h_hi) <= 1.0) {
+        f_lo_bracket = bracket->f_lo;
+        f_hi_bracket = bracket->f_hi;
+        mag_lo_bracket = seed_mag_lo;
+        h_hi_bracket = seed_h_hi;
+      }
     }
   }
 
   if (f_hi_bracket == 0.0) {
     // Bracket |H| = 1 on a log grid (8 points per decade is plenty for the
-    // -20 dB/dec slope of a compensated opamp).
+    // -20 dB/dec slope of a compensated opamp).  The f_low endpoint reuses
+    // the magnitude already computed for a0.
     const int per_decade = 8;
     const double decades = std::log10(f_high / f_low);
     const int total = static_cast<int>(std::ceil(decades * per_decade)) + 1;
     double f_prev = f_low;
+    double mag_prev = mag_low;
     for (int i = 1; i < total; ++i) {
       const double f = f_low * std::pow(10.0, decades * static_cast<double>(i) /
                                                   (total - 1));
-      const double mag = std::abs(h_at(f));
-      if (mag <= 1.0) {
+      const std::complex<double> h = h_at(f);
+      if (std::abs(h) <= 1.0) {
         f_lo_bracket = f_prev;
         f_hi_bracket = f;
+        mag_lo_bracket = mag_prev;
+        h_hi_bracket = h;
         break;
       }
       f_prev = f;
+      mag_prev = std::abs(h);
     }
   }
   if (f_hi_bracket == 0.0) return result;  // never dropped below unity
 
-  // Bisection on log f.
-  for (int iter = 0; iter < 40; ++iter) {
-    const double f_mid = std::sqrt(f_lo_bracket * f_hi_bracket);
-    if (std::abs(h_at(f_mid)) > 1.0)
-      f_lo_bracket = f_mid;
-    else
-      f_hi_bracket = f_mid;
-    if (f_hi_bracket / f_lo_bracket < 1.0005) break;
+  // Ridders refinement on x = log f, g(x) = log |H|: the transfer
+  // magnitude of a compensated amplifier is near-linear in these
+  // coordinates around the crossing, so the exponentially-fitted false
+  // position converges in two or three iterations where the former fixed
+  // bisection spent a dozen solves.  Every evaluated point keeps its full
+  // phasor, so the final refinement solve is also the phase-margin probe.
+  double x_lo = std::log(f_lo_bracket);
+  double x_hi = std::log(f_hi_bracket);
+  double g_lo = std::log(mag_lo_bracket);  // > 0 by construction
+  double g_hi = log_mag(h_hi_bracket);     // <= 0 by construction
+  // Fallbacks when the loop cannot improve: the upper bracket endpoint is
+  // the nearest point with a solved phasor.
+  double f_best = f_hi_bracket;
+  std::complex<double> h_best = h_hi_bracket;
+  const double x_tol = std::log(1.0005);
+  for (int iter = 0; iter < 20 && x_hi - x_lo >= x_tol && g_hi < 0.0;
+       ++iter) {
+    const double x_mid = 0.5 * (x_lo + x_hi);
+    const std::complex<double> h_mid = h_at(std::exp(x_mid));
+    const double g_mid = log_mag(h_mid);
+    f_best = std::exp(x_mid);
+    h_best = h_mid;
+    if (g_mid == 0.0) break;  // exact crossing
+    const double s = std::sqrt(g_mid * g_mid - g_lo * g_hi);
+    if (!(s > 0.0)) break;
+    // g_lo > 0 > g_hi, so the update moves from x_mid toward the root.
+    const double x_new = x_mid + (x_mid - x_lo) * g_mid / s;
+    const std::complex<double> h_new = h_at(std::exp(x_new));
+    const double g_new = log_mag(h_new);
+    f_best = std::exp(x_new);
+    h_best = h_new;
+    if (g_new == 0.0) break;  // exact crossing
+    // Re-bracket from the two fresh evaluations; the ordering x_lo < x_hi
+    // is preserved because x_new lands on the root side of x_mid.
+    if ((g_mid > 0.0) != (g_new > 0.0)) {
+      if (g_mid > 0.0) {
+        x_lo = x_mid;
+        g_lo = g_mid;
+        x_hi = x_new;
+        g_hi = g_new;
+      } else {
+        x_lo = x_new;
+        g_lo = g_new;
+        x_hi = x_mid;
+        g_hi = g_mid;
+      }
+    } else if (g_new > 0.0) {
+      x_lo = x_new;
+      g_lo = g_new;
+    } else {
+      x_hi = x_new;
+      g_hi = g_new;
+    }
   }
-  result.ft_hz = std::sqrt(f_lo_bracket * f_hi_bracket);
+  result.ft_hz = f_best;
   result.ft_found = true;
-  result.phase_margin_deg = 180.0 + phase_deg(h_at(result.ft_hz));
+  result.phase_margin_deg = 180.0 + phase_deg(h_best);
   // Wrap into a sane range: phases slightly past -180 deg should map to a
   // small negative margin, not +360.
   if (result.phase_margin_deg > 360.0) result.phase_margin_deg -= 360.0;
   return result;
+}
+
+GainBandwidth measure_gain_bandwidth(const Netlist& netlist,
+                                     const Vector& operating_point,
+                                     const Conditions& conditions, NodeId out,
+                                     double f_low, double f_high,
+                                     const FtBracket* bracket) {
+  AcSession session(netlist, operating_point, conditions);
+  return measure_gain_bandwidth(session, out, f_low, f_high, bracket);
 }
 
 double measure_supply_power(

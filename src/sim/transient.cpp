@@ -24,20 +24,31 @@ std::vector<double> TranResult::node_voltage(circuit::NodeId node) const {
 }
 
 namespace {
+/// Reusable buffers for every Newton step of one solve_transient call: the
+/// Jacobian is stamped straight into the LU workspace and factored in
+/// place, so a time step allocates nothing after the first.
+struct NewtonScratch {
+  linalg::Lud lu;
+  Vector residual;
+  Vector step;
+};
+
 /// Newton solve of one implicit step (BE, or BDF2 when `x_prev2` is given).
 /// `x` is seeded with the previous time point and holds the converged
 /// solution on success.
 bool newton_step(Netlist& netlist, const Conditions& conditions,
                  const DcOptions& options, const Vector& x_prev, double h,
                  double t, Vector& x, int& iteration_counter,
-                 const Vector* x_prev2 = nullptr) {
+                 NewtonScratch& scratch, const Vector* x_prev2 = nullptr) {
   const std::size_t n = netlist.system_size();
   const std::size_t num_nodes = netlist.num_nodes();
-  Matrixd jacobian(n, n);
-  Vector residual(n);
+  scratch.residual.resize(n);
+  scratch.step.resize(n);
+  Vector& residual = scratch.residual;
+  Vector& step = scratch.step;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++iteration_counter;
-    jacobian.set_zero();
+    Matrixd& jacobian = scratch.lu.workspace(n);
     residual.fill(0.0);
     TranStamp stamp(x, jacobian, residual, num_nodes, conditions, x_prev, h, t,
                     x_prev2);
@@ -47,14 +58,12 @@ bool newton_step(Netlist& netlist, const Conditions& conditions,
       residual[k] += options.gmin_floor * x[k];
     }
 
-    Vector step;
     try {
-      linalg::Lud lu(jacobian);
-      std::vector<double> rhs(residual.begin(), residual.end());
-      step = Vector(lu.solve(rhs));
+      scratch.lu.refactor();
     } catch (const linalg::SingularMatrixError&) {
       return false;
     }
+    scratch.lu.solve_into(residual.data(), step.data());
 
     double scale = 1.0;
     for (std::size_t k = 0; k + 1 < num_nodes; ++k) {
@@ -88,7 +97,11 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
 
   Vector x_prev = initial;
   Vector x_prev2;  // two steps back; empty until two equal steps accepted
+  // One Jacobian/LU workspace serves every Newton step of this run.
+  NewtonScratch scratch;
   const int steps = static_cast<int>(std::ceil(options.t_stop / options.dt));
+  result.time.reserve(static_cast<std::size_t>(steps) + 1);
+  result.solutions.reserve(static_cast<std::size_t>(steps) + 1);
   for (int k = 1; k <= steps; ++k) {
     const double t = std::min(static_cast<double>(k) * options.dt, options.t_stop);
     const double h = t - result.time.back();
@@ -97,30 +110,44 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
     const bool use_bdf2 = options.method == TranMethod::kBdf2 &&
                           !x_prev2.empty() &&
                           std::abs(h - options.dt) < 1e-15;
-    // Newton start: the matching point of the seed trajectory when one is
-    // provided (a nearby converged solution), otherwise the previous time
-    // point.  The seed never enters the integration formula itself.
-    const bool seeded = options.seed_trajectory != nullptr &&
-                        static_cast<std::size_t>(k) <
-                            options.seed_trajectory->size() &&
-                        (*options.seed_trajectory)[static_cast<std::size_t>(k)]
-                                .size() == netlist.system_size();
-    Vector x = seeded
-                   ? (*options.seed_trajectory)[static_cast<std::size_t>(k)]
-                   : x_prev;
+    // Newton start: previous point plus the seed trajectory's increment
+    // when one is provided, otherwise the previous time point alone.  The
+    // delta form carries the solution's standing offset from the seed
+    // (e.g. a mismatch sample's DC shift against a nominal-trajectory
+    // seed) forward into the start, which typically lands an iteration
+    // closer to convergence than the raw seed point.  The seed never
+    // enters the integration formula itself, so it affects the iteration
+    // count and the last-bit Newton endpoint, never the method.
+    const bool seeded =
+        options.seed_trajectory != nullptr &&
+        static_cast<std::size_t>(k) < options.seed_trajectory->size() &&
+        (*options.seed_trajectory)[static_cast<std::size_t>(k)].size() ==
+            netlist.system_size() &&
+        (*options.seed_trajectory)[static_cast<std::size_t>(k) - 1].size() ==
+            netlist.system_size();
+    Vector x = x_prev;  // hot-ok: becomes the stored trajectory point
+    if (seeded) {
+      const Vector& seed_now =
+          (*options.seed_trajectory)[static_cast<std::size_t>(k)];
+      const Vector& seed_prev =
+          (*options.seed_trajectory)[static_cast<std::size_t>(k) - 1];
+      for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] += seed_now[i] - seed_prev[i];
+    }
     if (!newton_step(netlist, conditions, options.newton, x_prev, h, t, x,
-                     result.newton_iterations,
+                     result.newton_iterations, scratch,
                      use_bdf2 ? &x_prev2 : nullptr)) {
       // Retry once with half steps to get through sharp source edges.
-      Vector x_half = x_prev;
+      Vector x_half = x_prev;  // hot-ok: rare non-convergence retry path
       const double t_mid = result.time.back() + 0.5 * h;
       const bool first_half = newton_step(netlist, conditions, options.newton,
                                           x_prev, 0.5 * h, t_mid, x_half,
-                                          result.newton_iterations);
+                                          result.newton_iterations, scratch);
       x = x_half;
       const bool second_half =
           first_half && newton_step(netlist, conditions, options.newton, x_half,
-                                    0.5 * h, t, x, result.newton_iterations);
+                                    0.5 * h, t, x, result.newton_iterations,
+                                    scratch);
       if (!second_half) {
         result.converged = false;
         return result;
@@ -133,7 +160,7 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
     if (std::abs(h - options.dt) < 1e-15)
       x_prev2 = x_prev;
     else
-      x_prev2 = Vector();
+      x_prev2.resize(0);  // drops BDF2 history without reallocating
     x_prev = std::move(x);
   }
   result.converged = true;

@@ -64,15 +64,16 @@ TEST(Resistor, RejectsNonPositive) {
 }
 
 TEST(Resistor, AcStampIsConductance) {
-  Matrixc sys(1, 1);
+  Matrixd g(1, 1);
+  Matrixd c(1, 1);
   VectorC rhs(1);
   Vector op(1);
   Conditions cond;
-  AcStamp stamp(op, sys, rhs, 2, 1.0, cond);
+  AcStamp stamp(op, g, c, rhs, 2, cond);
   Resistor r("R", 1, kGround, 50.0);
   r.stamp_ac(stamp);
-  EXPECT_NEAR(sys(0, 0).real(), 0.02, 1e-15);
-  EXPECT_EQ(sys(0, 0).imag(), 0.0);
+  EXPECT_NEAR(g(0, 0), 0.02, 1e-15);
+  EXPECT_EQ(c(0, 0), 0.0);
 }
 
 TEST(Capacitor, OpenAtDc) {
@@ -86,16 +87,16 @@ TEST(Capacitor, OpenAtDc) {
 }
 
 TEST(Capacitor, AcAdmittance) {
-  Matrixc sys(1, 1);
+  Matrixd g(1, 1);
+  Matrixd c(1, 1);
   VectorC rhs(1);
   Vector op(1);
   Conditions cond;
-  const double omega = 2.0 * 3.14159265358979 * 1e6;
-  AcStamp stamp(op, sys, rhs, 2, omega, cond);
-  Capacitor c("C1", 1, kGround, 1e-9);
-  c.stamp_ac(stamp);
-  EXPECT_EQ(sys(0, 0).real(), 0.0);
-  EXPECT_NEAR(sys(0, 0).imag(), omega * 1e-9, 1e-12);
+  AcStamp stamp(op, g, c, rhs, 2, cond);
+  Capacitor cap("C1", 1, kGround, 1e-9);
+  cap.stamp_ac(stamp);
+  EXPECT_EQ(g(0, 0), 0.0);
+  EXPECT_NEAR(c(0, 0), 1e-9, 1e-24);
 }
 
 TEST(Capacitor, TransientCompanion) {

@@ -101,5 +101,33 @@ TEST(Kernels, CholeskySolveBitwiseMatchesAllocatingSolve) {
   for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(out[i], reference[i]);
 }
 
+TEST(Kernels, AssembleComplexWritesGPlusJOmegaC) {
+  const Matrixd g = make_matrix(3, 3);
+  const Matrixd c = make_matrix(3, 3);
+  const double omega = 2.5e6;
+  Matrixc a(3, 3);
+  // Pre-poison to prove every entry is overwritten.
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t col = 0; col < 3; ++col) a(r, col) = {1e99, -1e99};
+  assemble_complex_into(g, c, omega, a);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t col = 0; col < 3; ++col) {
+      EXPECT_EQ(a(r, col).real(), g(r, col));
+      EXPECT_EQ(a(r, col).imag(), omega * c(r, col));
+    }
+}
+
+TEST(Kernels, AssembleComplexValidatesShapes) {
+  Matrixc a(3, 3);
+  EXPECT_THROW(assemble_complex_into(make_matrix(2, 3), make_matrix(3, 3), 1.0, a),
+               std::invalid_argument);
+  EXPECT_THROW(assemble_complex_into(make_matrix(3, 3), make_matrix(2, 2), 1.0, a),
+               std::invalid_argument);
+  Matrixc small(2, 2);
+  EXPECT_THROW(
+      assemble_complex_into(make_matrix(3, 3), make_matrix(3, 3), 1.0, small),
+      std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mayo::linalg

@@ -122,5 +122,80 @@ TEST(Lu, RhsSizeMismatchThrows) {
   EXPECT_THROW(lu.solve(std::vector<double>(3, 0.0)), std::invalid_argument);
 }
 
+Matrixd lu_test_matrix(std::size_t n, double shift) {
+  Matrixd a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      a(r, c) = 0.31 * static_cast<double>(r) - 0.77 * static_cast<double>(c) +
+                shift + (r == c ? 3.5 : std::sin(0.1 * static_cast<double>(r * c)));
+  return a;
+}
+
+TEST(Lu, RefactorBitwiseMatchesFactoringConstructor) {
+  // The workspace/refactor path promises the exact pivoting and
+  // elimination sequence of the constructor, so every factor entry, the
+  // determinant and every solve result must agree bit for bit.
+  Lud reused;
+  for (double shift : {0.0, 1.3, -2.1}) {
+    const Matrixd a = lu_test_matrix(5, shift);
+    const Lud fresh(a);
+    Matrixd& w = reused.workspace(5, /*zero=*/false);
+    for (std::size_t r = 0; r < 5; ++r)
+      for (std::size_t c = 0; c < 5; ++c) w(r, c) = a(r, c);
+    reused.refactor();
+    EXPECT_EQ(fresh.determinant(), reused.determinant());
+    std::vector<double> b(5);
+    for (std::size_t i = 0; i < 5; ++i) b[i] = 0.7 - 0.3 * static_cast<double>(i);
+    const std::vector<double> x_fresh = fresh.solve(b);
+    std::vector<double> x_reused(5);
+    reused.solve_into(b.data(), x_reused.data());
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(x_fresh[i], x_reused[i]);
+  }
+}
+
+TEST(Lu, WorkspaceResizesAndZeroes) {
+  Lud lu;
+  Matrixd& w3 = lu.workspace(3);
+  EXPECT_EQ(w3.rows(), 3u);
+  w3(1, 2) = 7.0;
+  // Same size: zeroed by default...
+  EXPECT_EQ(lu.workspace(3)(1, 2), 0.0);
+  // ...kept when the caller overwrites everything anyway.
+  lu.workspace(3, /*zero=*/false)(1, 2) = 9.0;
+  EXPECT_EQ(lu.workspace(3, /*zero=*/false)(1, 2), 9.0);
+  // Different size: reallocated.
+  EXPECT_EQ(lu.workspace(4).rows(), 4u);
+}
+
+TEST(Lu, RefactorSingularThrowsAndRecovers) {
+  Lud lu;
+  lu.workspace(2);  // all zeros -> singular
+  EXPECT_THROW(lu.refactor(), SingularMatrixError);
+  Matrixd& w = lu.workspace(2);
+  w(0, 0) = 1.0;
+  w(1, 1) = 2.0;
+  lu.refactor();
+  EXPECT_EQ(lu.determinant(), 2.0);
+}
+
+TEST(Lu, ComplexRefactorBitwiseMatchesConstructor) {
+  Matrixc a(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      a(r, c) = {0.4 * static_cast<double>(r) + (r == c ? 2.0 : 0.3),
+                 0.9 - 0.2 * static_cast<double>(c)};
+  const Luc fresh(a);
+  Luc reused;
+  Matrixc& w = reused.workspace(3, /*zero=*/false);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) w(r, c) = a(r, c);
+  reused.refactor();
+  VectorC b{{1.0, 0.5}, {-0.25, 2.0}, {0.0, -1.0}};
+  const VectorC x_fresh = fresh.solve(b);
+  VectorC x_reused(3);
+  reused.solve_into(b.data(), x_reused.data());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(x_fresh[i], x_reused[i]);
+}
+
 }  // namespace
 }  // namespace mayo::linalg

@@ -40,6 +40,13 @@ echo "=== [static] compile-fail harness (tagged spaces) ==="
 cmake --fresh -S tests/compile_fail -B build-ci-compile-fail >/dev/null
 
 run_config release-werror Release ""
+
+# Explicit microbenchmark smoke on the optimized build: the bench_* ctest
+# entries (batch evaluation, AC session probes) must run and exit cleanly
+# even when a full ctest pass above was filtered or cached.
+echo "=== [release-werror] microbenchmark smoke ==="
+ctest --test-dir build-ci-release-werror -R '^bench_' --output-on-failure
+
 run_config asan-ubsan Debug "address,undefined"
 run_config tsan Debug "thread"
 

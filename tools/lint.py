@@ -34,10 +34,11 @@ one-line diff below):
                     core < circuits.  The one sanctioned exception is
                     core/check.hpp (dependency-free contract macros,
                     usable from every layer).
-  hot-path-alloc    the batched evaluation hot path (HOT_FILES below)
-                    must not construct linalg::Vector or linalg::Matrixd
-                    inside a loop -- workspaces are allocated once and
-                    reused.  Deliberate exceptions (grow-only buffers,
+  hot-path-alloc    the batched evaluation hot path (HOT_FILES below,
+                    including the simulator kernels under src/sim/) must
+                    not construct linalg::Vector, Matrixd, Matrixc or
+                    VectorC inside a loop -- workspaces are allocated
+                    once and reused.  Deliberate exceptions (grow-only buffers,
                     handing ownership to a cache) carry a
                     "// hot-ok: <reason>" comment on the same line.
   space-discipline  .raw() -- the only way out of the tagged vector-space
@@ -90,6 +91,12 @@ HOT_FILES = {
     "src/core/verification.cpp",
     "src/core/parallel.cpp",
     "src/core/yield_model.cpp",
+    # Simulator kernels under the per-sample loop: every Newton iteration
+    # and AC frequency probe runs through these.
+    "src/sim/ac.cpp",
+    "src/sim/dc.cpp",
+    "src/sim/measure.cpp",
+    "src/sim/transient.cpp",
 }
 
 # The sanctioned .raw() sites of the tagged-space layer: the wrapper
@@ -104,11 +111,13 @@ SPACE_CROSSING_FILES = {
     "src/stats/sampler.cpp",
 }
 
-# A Vector/Matrixd object or temporary being constructed (declarations and
-# functional casts; references, pointers and nested template mentions are
-# not constructions).
+# A Vector/Matrixd/Matrixc/VectorC object or temporary being constructed
+# (declarations and functional casts; references, pointers and nested
+# template mentions are not constructions).  VectorC/Matrixc are listed
+# before their prefixes so the alternation matches the full name.
 HOT_ALLOC_RE = re.compile(
-    r"\b(?:linalg::)?(?:Vector|Matrixd)\b(?!\s*[&*>,)])(?:\s*[({]|\s+\w)")
+    r"\b(?:linalg::)?(?:VectorC|Vector|Matrixd|Matrixc)\b"
+    r"(?!\s*[&*>,)])(?:\s*[({]|\s+\w)")
 LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
 RAW_CALL_RE = re.compile(r"(?:\.|->)\s*raw\s*\(")
 

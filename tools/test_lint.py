@@ -221,6 +221,30 @@ class LintRepoTest(unittest.TestCase):
         self.assertIn(("hot-path-alloc", self.HOT),
                       rules_in(run_lint(self.root)))
 
+    def test_hot_alloc_covers_sim_session_files(self):
+        # The simulator kernels joined HOT_FILES with the stamp-once AC
+        # session; complex buffers (VectorC/Matrixc) count as allocations.
+        self.write("src/sim/ac.cpp",
+                   "void f() {\n"
+                   "  while (g()) {\n"
+                   "    linalg::VectorC rhs(8);\n"
+                   "    linalg::Matrixc a(8, 8);\n"
+                   "  }\n"
+                   "}\n")
+        self.assertIn(("hot-path-alloc", "src/sim/ac.cpp"),
+                      rules_in(run_lint(self.root)))
+
+    def test_hot_alloc_complex_references_not_flagged(self):
+        self.write("src/sim/ac.cpp",
+                   "void f(linalg::Matrixc& a) {\n"
+                   "  while (g()) {\n"
+                   "    linalg::Matrixc& w = a;\n"
+                   "    linalg::VectorC* p = nullptr;\n"
+                   "    use(w, p);\n"
+                   "  }\n"
+                   "}\n")
+        self.assertEqual(run_lint(self.root), [])
+
     def test_hot_alloc_not_suppressed_by_marker_in_string(self):
         self.write(self.HOT,
                    "void f() {\n"
