@@ -4,10 +4,15 @@
 // confidence-intervalled verification Monte Carlo.
 //
 // Build & run:  ./build/examples/opamp_yield
+//
+// The run ends with a structured RunReport (mayo.run_report/1 JSON):
+// per-phase wall time of the Fig. 6 loop, cache hit/miss tallies, Newton
+// iteration counts, and the optimizer headline numbers.
 #include <cstdio>
 
 #include "circuits/folded_cascode.hpp"
 #include "core/optimizer.hpp"
+#include "core/run_report.hpp"
 
 using namespace mayo;
 
@@ -66,5 +71,9 @@ int main() {
               "%.1f s wall clock\n",
               result.counts.optimization, result.counts.verification,
               result.wall_seconds);
+
+  core::RunReport report = core::snapshot_run_report("opamp_yield");
+  core::attach_optimizer(report, result);
+  std::printf("\n%s", core::to_json(report).c_str());
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "circuit/netlist.hpp"
 #include "core/probe_cache.hpp"
+#include "obs/obs.hpp"
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/measure.hpp"
@@ -278,10 +279,18 @@ FoldedCascode::DesignContext& FoldedCascode::design_context(
   context_key_.clear();
   core::ProbeCache::append_bits(context_key_, d);
   core::ProbeCache::append_bits(context_key_, theta);
-  for (auto& ctx : contexts_)
-    if (ctx->key == context_key_) return *ctx;
-  if (contexts_.size() >= kContextCapacity)
+  obs::CacheCounters& stats = obs::registry().counters.design_context;
+  for (auto& ctx : contexts_) {
+    if (ctx->key == context_key_) {
+      stats.hits.add();
+      return *ctx;
+    }
+  }
+  stats.misses.add();
+  if (contexts_.size() >= kContextCapacity) {
     contexts_.erase(contexts_.begin());
+    stats.evictions.add();
+  }
   contexts_.push_back(std::make_unique<DesignContext>());
   contexts_.back()->key = context_key_;
   return *contexts_.back();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace mayo::core {
 
 using linalg::DesignVec;
@@ -10,6 +12,7 @@ using linalg::Vector;
 CoordinateSearchResult maximize_linear_yield(
     LinearYieldModel& model, const FeasibilityModel* feasibility,
     const ParameterSpace& design_space, const CoordinateSearchOptions& options) {
+  const obs::Span span(obs::registry().phases.coordinate_search);
   CoordinateSearchResult result;
   const std::size_t dim = design_space.dimension();
   std::size_t current_passing = model.passing();

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 
 // Whitelisted space crossing (see linalg/spaces.hpp): the evaluator owns
 // the s = G(d) s_hat + s0 application and the Performance -> Margin
@@ -30,7 +31,11 @@ Evaluator::Evaluator(YieldProblem& problem) : Evaluator(problem, CacheOptions{})
 Evaluator::Evaluator(YieldProblem& problem, const CacheOptions& cache)
     : problem_(problem),
       cache_(cache.capacity, cache.hash),
-      constraint_cache_(0, cache.hash) {
+      // The c(d) cache reports into its own obs group: constraint reuse
+      // and performance-probe reuse are different signals when reading a
+      // run report.
+      constraint_cache_(0, cache.hash,
+                        &obs::registry().counters.constraint_cache) {
   problem.validate();
 }
 

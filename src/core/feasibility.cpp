@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/cholesky.hpp"
+#include "obs/obs.hpp"
 
 namespace mayo::core {
 
@@ -50,6 +51,7 @@ std::pair<double, double> FeasibilityModel::coordinate_interval(
 FeasibilityModel linearize_feasibility(Evaluator& evaluator,
                                        const DesignVec& d_f,
                                        double step_fraction) {
+  const obs::Span span(obs::registry().phases.feasibility);
   FeasibilityModel model;
   model.d_f = d_f;
   model.c0 = evaluator.constraints(d_f);
@@ -103,6 +105,7 @@ Vector min_norm_step(const Matrixd& a, const Vector& b) {
 FeasibleStartResult find_feasible_start(Evaluator& evaluator,
                                         const DesignVec& d0,
                                         const FeasibleStartOptions& options) {
+  const obs::Span span(obs::registry().phases.feasibility);
   const auto& space = evaluator.problem().design;
   FeasibleStartResult result;
   result.d = space.clamp(d0);

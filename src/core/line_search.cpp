@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace mayo::core {
 
 using linalg::DesignVec;
@@ -19,6 +21,7 @@ LineSearchResult feasibility_line_search(Evaluator& evaluator,
                                          const DesignVec& d_f,
                                          const DesignVec& d_star,
                                          const LineSearchOptions& options) {
+  const obs::Span span(obs::registry().phases.line_search);
   LineSearchResult result;
   const DesignVec direction = d_star - d_f;
 

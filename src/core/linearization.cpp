@@ -1,6 +1,7 @@
 #include "core/linearization.hpp"
 
 #include "core/verification.hpp"
+#include "obs/obs.hpp"
 
 namespace mayo::core {
 
@@ -17,8 +18,15 @@ double SpecLinearization::value(const DesignVec& d,
 LinearizedModels build_linearizations(Evaluator& evaluator,
                                       const DesignVec& d_f,
                                       const LinearizationOptions& options) {
+  // Phase accounting: the worst-case searches (operating corners, then the
+  // per-spec statistical distance searches) and the model building proper
+  // record into disjoint spans, so worst_case_search + linearization
+  // partition this function's wall time.
   LinearizedModels out;
-  out.operating = find_worst_case_operating(evaluator, d_f, options.operating);
+  {
+    const obs::Span span(obs::registry().phases.worst_case_search);
+    out.operating = find_worst_case_operating(evaluator, d_f, options.operating);
+  }
 
   const std::size_t num_specs = evaluator.num_specs();
 
@@ -29,6 +37,7 @@ LinearizedModels build_linearizations(Evaluator& evaluator,
   CornerGrouping grouping;
   std::vector<linalg::Matrixd> nominal_grads;
   if (options.linearize_at_nominal) {
+    const obs::Span span(obs::registry().phases.linearization);
     grouping = group_corners(out.operating.theta_wc);
     nominal_grads.reserve(grouping.distinct.size());
     const StatUnitVec s_nominal = evaluator.nominal_s_hat();
@@ -42,6 +51,7 @@ LinearizedModels build_linearizations(Evaluator& evaluator,
 
     WorstCasePoint wc;
     if (options.linearize_at_nominal) {
+      const obs::Span span(obs::registry().phases.linearization);
       // Ablation: pretend the worst case sits at the nominal point.
       wc.spec = i;
       wc.s_wc = evaluator.nominal_s_hat();
@@ -54,9 +64,11 @@ LinearizedModels build_linearizations(Evaluator& evaluator,
       wc.beta = 0.0;
       wc.converged = true;
     } else {
+      const obs::Span span(obs::registry().phases.worst_case_search);
       wc = find_worst_case_point(evaluator, i, d_f, theta_wc, options.wc);
     }
 
+    const obs::Span assembly_span(obs::registry().phases.linearization);
     SpecLinearization model;
     model.spec = i;
     model.theta_wc = theta_wc;

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "stats/sampler.hpp"
 #include "stats/summary.hpp"
 
@@ -41,9 +42,12 @@ VerificationResult parallel_monte_carlo_verify(
   threads = static_cast<unsigned>(std::min<std::size_t>(
       threads, options.verification.num_samples));
 
-  // Serial fallback: single worker requested or model not clonable.
+  // Serial fallback: single worker requested or model not clonable.  The
+  // fallback records its own verification span inside monte_carlo_verify,
+  // so the span here starts only on the threaded path (no double count).
   if (threads <= 1 || problem.model->clone() == nullptr)
     return monte_carlo_verify(evaluator, d, theta_wc, options.verification);
+  const obs::Span span(obs::registry().phases.verification);
 
   const CornerGrouping grouping = group_corners(theta_wc);
   const stats::SampleSet samples(options.verification.num_samples,

@@ -2,8 +2,11 @@
 //
 // Keys are the raw IEEE-754 bit patterns of the probed argument vectors
 // (d, s_hat, theta), concatenated as uint64 words: bitwise-identical
-// arguments hit, everything else (including +0.0 vs -0.0) misses.  Hashing
-// the words directly replaces the previous scheme of re-concatenating all
+// arguments hit, everything else misses.  The one canonicalization is
+// -0.0 -> +0.0: the two zeros compare equal and every model evaluates
+// identically at them, so raw-bit keys would split one semantic probe
+// into two cache entries (and charge the simulation twice).  Hashing the
+// words directly replaces the previous scheme of re-concatenating all
 // arguments into a fresh std::vector<double> per probe -- key construction
 // for a lookup now reuses one scratch buffer and touches no heap.
 //
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "linalg/vector.hpp"
+#include "obs/obs.hpp"
 
 namespace mayo::core {
 
@@ -47,38 +51,50 @@ class ProbeCache {
     return h;
   }
 
-  explicit ProbeCache(std::size_t capacity = 0, HashFn hash = nullptr)
-      : capacity_(capacity), hash_(hash ? hash : &fnv1a) {}
+  /// `counters` receives this cache's hit/miss/eviction events; nullptr
+  /// routes to the shared probe-cache group of the global obs registry.
+  explicit ProbeCache(std::size_t capacity = 0, HashFn hash = nullptr,
+                      obs::CacheCounters* counters = nullptr)
+      : capacity_(capacity),
+        hash_(hash ? hash : &fnv1a),
+        counters_(counters ? counters
+                           : &obs::registry().counters.probe_cache) {}
 
-  /// Appends the raw bit patterns of `v` to `key`.
+  /// Key word of one double: the raw bit pattern, with -0.0 canonicalized
+  /// to +0.0 (the zeros are semantically one probe point; see the module
+  /// comment).
+  static std::uint64_t word_of(double x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    return bits == 0x8000000000000000ull ? 0 : bits;
+  }
+
+  /// Appends the key words of `v` to `key`.
   static void append_bits(Key& key, const linalg::Vector& v) {
     const std::size_t base = key.size();
     key.resize(base + v.size());
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      const double x = v[i];
-      std::uint64_t bits;
-      std::memcpy(&bits, &x, sizeof(bits));
-      key[base + i] = bits;
-    }
+    for (std::size_t i = 0; i < v.size(); ++i) key[base + i] = word_of(v[i]);
   }
-  /// Appends the raw bit patterns of `count` doubles at `p`.
+  /// Appends the key words of `count` doubles at `p`.
   static void append_bits(Key& key, const double* p, std::size_t count) {
     const std::size_t base = key.size();
     key.resize(base + count);
-    for (std::size_t i = 0; i < count; ++i) {
-      std::uint64_t bits;
-      std::memcpy(&bits, p + i, sizeof(bits));
-      key[base + i] = bits;
-    }
+    for (std::size_t i = 0; i < count; ++i) key[base + i] = word_of(p[i]);
   }
 
   /// Stored value for `key`, or nullptr.  The pointer is invalidated by the
   /// next insert() or clear().
   const linalg::Vector* find(const Key& key) const {
     const auto it = buckets_.find(hash_(key.data(), key.size()));
-    if (it == buckets_.end()) return nullptr;
-    for (const auto& [stored, value] : it->second)
-      if (stored == key) return &value;
+    if (it != buckets_.end()) {
+      for (const auto& [stored, value] : it->second) {
+        if (stored == key) {
+          counters_->hits.add();
+          return &value;
+        }
+      }
+    }
+    counters_->misses.add();
     return nullptr;
   }
 
@@ -110,10 +126,12 @@ class ProbeCache {
     it->second.erase(it->second.begin());
     if (it->second.empty()) buckets_.erase(it);
     --size_;
+    counters_->evictions.add();
   }
 
   std::size_t capacity_;
   HashFn hash_;
+  obs::CacheCounters* counters_;
   std::unordered_map<std::uint64_t,
                      std::vector<std::pair<Key, linalg::Vector>>>
       buckets_;

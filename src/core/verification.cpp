@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 #include "stats/sampler.hpp"
 
 namespace mayo::core {
@@ -64,6 +65,9 @@ void BlockVerifier::run_block(const DesignVec& d,
     passing_ += pass ? 1 : 0;
     if (sample_pass != nullptr) (*sample_pass)[first + r] = pass ? 1 : 0;
   }
+  obs::Counters& tallies = obs::registry().counters;
+  tallies.mc_blocks.add();
+  tallies.mc_samples.add(count);
 }
 
 }  // namespace detail
@@ -95,6 +99,7 @@ VerificationResult monte_carlo_verify(
   const std::size_t num_specs = evaluator.num_specs();
   if (theta_wc.size() != num_specs)
     throw std::invalid_argument("monte_carlo_verify: theta_wc size mismatch");
+  const obs::Span span(obs::registry().phases.verification);
 
   const CornerGrouping grouping = group_corners(theta_wc);
 

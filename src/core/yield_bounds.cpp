@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/baseline.hpp"
 #include "stats/normal.hpp"
@@ -10,7 +11,14 @@ namespace mayo::core {
 
 YieldBounds analytic_yield_bounds(const std::vector<SpecLinearization>& models,
                                   const linalg::DesignVec& d) {
+  // An empty model list would fall through the fold below to {1, 1, 1} --
+  // a silent claim of perfect yield for a problem with no specs, which no
+  // caller ever means (linearization always emits one model per spec).
+  if (models.empty())
+    throw std::invalid_argument(
+        "analytic_yield_bounds: no linearized spec models");
   YieldBounds bounds;
+  bounds.per_spec.reserve(models.size());
   double miss_sum = 0.0;
   double product = 1.0;
   double weakest = 1.0;

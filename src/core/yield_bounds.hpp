@@ -27,7 +27,10 @@ struct YieldBounds {
 };
 
 /// Bounds from the linearized models at design d (uses the linearized
-/// beta of core/baseline.hpp for every model, mirrors included).
+/// beta of core/baseline.hpp for every model, mirrors included).  Throws
+/// std::invalid_argument when `models` is empty: a spec-less problem has
+/// no meaningful yield, and the fold's natural answer ({1, 1, 1}) would
+/// silently report it as perfect.
 YieldBounds analytic_yield_bounds(const std::vector<SpecLinearization>& models,
                                   const linalg::DesignVec& d);
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "obs/obs.hpp"
 
 namespace mayo::sim {
 
@@ -35,6 +36,7 @@ void AcSession::stamp(const Netlist& netlist, const Vector& operating_point,
   for (const auto& device : netlist) device->stamp_ac(stamp);
   // Tiny shunt keeps floating small-signal nodes well-posed.
   for (std::size_t k = 0; k + 1 < num_nodes_; ++k) g_(k, k) += 1e-12;
+  obs::registry().counters.ac_stamps.add();
 }
 
 const VectorC& AcSession::solve(double frequency_hz) {
@@ -48,6 +50,7 @@ const VectorC& AcSession::solve(double frequency_hz) {
   lu_.refactor();
   solution_.resize(n_);
   lu_.solve_into(rhs_.data(), solution_.data());
+  obs::registry().counters.ac_probes.add();
   return solution_;
 }
 

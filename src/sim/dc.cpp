@@ -6,6 +6,7 @@
 
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace mayo::sim {
 
@@ -104,10 +105,11 @@ class SourceScaler {
   std::vector<std::pair<circuit::CurrentSource*, double>> isources_;
 };
 
-}  // namespace
-
-DcResult solve_dc(Netlist& netlist, const Conditions& conditions,
-                  const DcOptions& options, const Vector* initial) {
+/// The three-attempt continuation ladder (plain Newton, gmin stepping,
+/// source stepping).  Separated from solve_dc so the obs tallies cover
+/// every exit path exactly once.
+DcResult solve_dc_impl(Netlist& netlist, const Conditions& conditions,
+                       const DcOptions& options, const Vector* initial) {
   DcResult result;
   result.solution = (initial != nullptr && initial->size() == netlist.system_size())
                         ? *initial
@@ -165,6 +167,19 @@ DcResult solve_dc(Netlist& netlist, const Conditions& conditions,
   }
 
   result.converged = false;
+  return result;
+}
+
+}  // namespace
+
+DcResult solve_dc(Netlist& netlist, const Conditions& conditions,
+                  const DcOptions& options, const Vector* initial) {
+  DcResult result = solve_dc_impl(netlist, conditions, options, initial);
+  obs::Counters& tallies = obs::registry().counters;
+  tallies.dc_solves.add();
+  tallies.dc_newton_iterations.add(
+      static_cast<std::uint64_t>(result.newton_iterations));
+  if (!result.converged) tallies.dc_nonconverged.add();
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace mayo::sim {
 
@@ -91,11 +92,17 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
   if (!(options.dt > 0.0) || !(options.t_stop > 0.0))
     throw std::invalid_argument("solve_transient: dt and t_stop must be positive");
 
+  obs::Counters& tallies = obs::registry().counters;
+  tallies.tran_solves.add();
+
   TranResult result;
   result.time.push_back(0.0);
   result.solutions.push_back(initial);
 
   Vector x_prev = initial;
+  // A seed trajectory that fails to converge a step is dropped for the
+  // rest of the run (see below); until then every sized step may seed.
+  bool seed_ok = true;
   Vector x_prev2;  // two steps back; empty until two equal steps accepted
   // One Jacobian/LU workspace serves every Newton step of this run.
   NewtonScratch scratch;
@@ -119,7 +126,7 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
     // enters the integration formula itself, so it affects the iteration
     // count and the last-bit Newton endpoint, never the method.
     const bool seeded =
-        options.seed_trajectory != nullptr &&
+        seed_ok && options.seed_trajectory != nullptr &&
         static_cast<std::size_t>(k) < options.seed_trajectory->size() &&
         (*options.seed_trajectory)[static_cast<std::size_t>(k)].size() ==
             netlist.system_size() &&
@@ -134,9 +141,24 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
       for (std::size_t i = 0; i < x.size(); ++i)
         x[i] += seed_now[i] - seed_prev[i];
     }
-    if (!newton_step(netlist, conditions, options.newton, x_prev, h, t, x,
-                     result.newton_iterations, scratch,
-                     use_bdf2 ? &x_prev2 : nullptr)) {
+    bool step_ok = newton_step(netlist, conditions, options.newton, x_prev, h,
+                               t, x, result.newton_iterations, scratch,
+                               use_bdf2 ? &x_prev2 : nullptr);
+    if (!step_ok && seeded) {
+      // The seed increment threw Newton off course.  A seed that bad once
+      // stays bad (the trajectories have already diverged), so dropping it
+      // for the rest of the run beats burning max_iterations per step and
+      // then distorting the time grid with half-step retries.  The retry
+      // starts from the previous point alone, which makes the remainder of
+      // the run bitwise identical to a never-seeded run.
+      seed_ok = false;
+      tallies.tran_seed_resets.add();
+      x = x_prev;
+      step_ok = newton_step(netlist, conditions, options.newton, x_prev, h, t,
+                            x, result.newton_iterations, scratch,
+                            use_bdf2 ? &x_prev2 : nullptr);
+    }
+    if (!step_ok) {
       // Retry once with half steps to get through sharp source edges.
       Vector x_half = x_prev;  // hot-ok: rare non-convergence retry path
       const double t_mid = result.time.back() + 0.5 * h;
@@ -150,11 +172,15 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
                                     scratch);
       if (!second_half) {
         result.converged = false;
+        tallies.tran_nonconverged.add();
+        tallies.tran_newton_iterations.add(
+            static_cast<std::uint64_t>(result.newton_iterations));
         return result;
       }
     }
     result.time.push_back(t);
     result.solutions.push_back(x);
+    tallies.tran_steps.add();
     // Accepted samples are spaced by h regardless of internal retries;
     // only a full-dt spacing qualifies as BDF2 history.
     if (std::abs(h - options.dt) < 1e-15)
@@ -164,6 +190,8 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
     x_prev = std::move(x);
   }
   result.converged = true;
+  tallies.tran_newton_iterations.add(
+      static_cast<std::uint64_t>(result.newton_iterations));
   return result;
 }
 

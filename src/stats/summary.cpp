@@ -1,6 +1,7 @@
 #include "stats/summary.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/check.hpp"
@@ -41,7 +42,12 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double RunningStats::variance() const {
-  if (count_ < 2) return 0.0;
+  // The unbiased estimator m2 / (n - 1) is undefined below two samples.
+  // Returning 0 here (the old behaviour) silently disguised a degenerate
+  // accumulator as a zero-spread population -- e.g. a one-sample verifier
+  // reported sigma = 0 as if it had measured perfect repeatability.  NaN
+  // makes the missing information explicit and propagates to stddev().
+  if (count_ < 2) return std::numeric_limits<double>::quiet_NaN();
   return m2_ / static_cast<double>(count_ - 1);
 }
 

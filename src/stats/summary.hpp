@@ -21,9 +21,10 @@ class RunningStats {
   std::size_t count() const { return count_; }
   /// Sample mean; 0 if empty.
   double mean() const { return mean_; }
-  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  /// Unbiased sample variance; NaN for fewer than 2 samples (the
+  /// estimator is undefined there, and 0 would fake a measured spread).
   double variance() const;
-  /// Square root of variance().
+  /// Square root of variance(); NaN for fewer than 2 samples.
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }

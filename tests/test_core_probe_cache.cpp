@@ -1,7 +1,8 @@
-// ProbeCache contract: keys are raw IEEE-754 bit patterns (so +0.0 and
-// -0.0 are distinct probes), hash collisions are resolved by exact key
-// comparison (regression-tested with a degenerate hash), and a bounded
-// cache evicts in deterministic FIFO order.
+// ProbeCache contract: keys are raw IEEE-754 bit patterns with -0.0
+// canonicalized to +0.0 (numerically equal zeros are one probe point),
+// hash collisions are resolved by exact key comparison (regression-tested
+// with a degenerate hash), and a bounded cache evicts in deterministic
+// FIFO order.
 #include "core/probe_cache.hpp"
 
 #include <gtest/gtest.h>
@@ -36,14 +37,26 @@ TEST(ProbeCache, FindsExactKeyAndMissesOthers) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
-TEST(ProbeCache, SignedZerosAreDistinctKeys) {
-  // Raw bit-pattern keys: +0.0 == -0.0 numerically but not bitwise.
+TEST(ProbeCache, SignedZerosShareOneKey) {
+  // Regression: raw bit-pattern keys used to treat +0.0 and -0.0 as two
+  // probes, so a -0.0 coordinate (e.g. the product of a negated exact
+  // zero) re-simulated a point the cache already held.  The zeros compare
+  // equal and every model evaluates identically at them: one key.
+  EXPECT_EQ(ProbeCache::word_of(-0.0), ProbeCache::word_of(0.0));
+  EXPECT_EQ(ProbeCache::word_of(0.0), 0u);
   ProbeCache cache;
   cache.insert(key_of(Vector{0.0}), Vector{1.0});
-  EXPECT_EQ(cache.find(key_of(Vector{-0.0})), nullptr);
-  cache.insert(key_of(Vector{-0.0}), Vector{2.0});
-  EXPECT_EQ((*cache.find(key_of(Vector{0.0})))[0], 1.0);
-  EXPECT_EQ((*cache.find(key_of(Vector{-0.0})))[0], 2.0);
+  const Vector* hit = cache.find(key_of(Vector{-0.0}));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 1.0);
+  // Mixed-sign zeros anywhere in a multi-word key hit too.
+  cache.insert(key_of(Vector{-0.0, 3.0}), Vector{2.0});
+  ASSERT_NE(cache.find(key_of(Vector{0.0, 3.0})), nullptr);
+  EXPECT_EQ((*cache.find(key_of(Vector{0.0, 3.0})))[0], 2.0);
+  // Nonzero values keep their exact bit patterns (no wider collapsing):
+  // the smallest subnormal is still distinct from zero.
+  EXPECT_NE(ProbeCache::word_of(5e-324), ProbeCache::word_of(0.0));
+  EXPECT_EQ(cache.find(key_of(Vector{5e-324})), nullptr);
 }
 
 TEST(ProbeCache, AppendBitsConcatenates) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "core/yield_model.hpp"
 #include "stats/normal.hpp"
@@ -25,6 +26,13 @@ SpecLinearization make_model(std::size_t spec, double m0, Vector g_s) {
   lin.d_f = DesignVec{0.0};
   lin.theta_wc = linalg::OperatingVec{0.0};
   return lin;
+}
+
+TEST(YieldBounds, EmptyModelListRejected) {
+  // Before the fix the empty fold fell through to {lower=1, independent=1,
+  // upper=1}: a silent claim of perfect yield for a problem with no specs.
+  EXPECT_THROW(analytic_yield_bounds({}, DesignVec{0.0}),
+               std::invalid_argument);
 }
 
 TEST(YieldBounds, SingleSpecAllBoundsCoincide) {

@@ -99,6 +99,87 @@ TEST(Transient, RcDischargeConservesMonotonicity) {
   for (std::size_t k = 1; k < v.size(); ++k) EXPECT_LE(v[k], v[k - 1] + 1e-12);
 }
 
+TEST(Transient, GoodSeedTrajectoryLeavesSolutionUnchanged) {
+  // A delta-seeded warm start from the run's own trajectory must not
+  // change a single bit: the seed only moves the Newton starting point.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  auto& vin = nl.add<VoltageSource>("Vin", in, kGround, 0.0);
+  nl.add<Resistor>("R1", in, out, 1e3);
+  nl.add<Capacitor>("C1", out, kGround, 1e-9);
+  const DcResult op = solve_dc(nl, Conditions{});
+  ASSERT_TRUE(op.converged);
+  vin.set_waveform([](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  TranOptions options;
+  options.t_stop = 1e-6;
+  options.dt = 10e-9;
+  const TranResult reference =
+      solve_transient(nl, op.solution, Conditions{}, options);
+  ASSERT_TRUE(reference.converged);
+
+  options.seed_trajectory = &reference.solutions;
+  const TranResult seeded =
+      solve_transient(nl, op.solution, Conditions{}, options);
+  ASSERT_TRUE(seeded.converged);
+  ASSERT_EQ(seeded.solutions.size(), reference.solutions.size());
+  for (std::size_t k = 0; k < reference.solutions.size(); ++k)
+    for (std::size_t i = 0; i < reference.solutions[k].size(); ++i)
+      EXPECT_EQ(seeded.solutions[k][i], reference.solutions[k][i]);
+}
+
+TEST(Transient, BadSeedTrajectoryIsDroppedAfterFirstFailure) {
+  // Regression: a seed trajectory whose increments throw Newton far off
+  // course used to be re-applied at *every* step -- each one burned
+  // max_iterations and fell into the half-step retry, so the "warm
+  // started" run integrated a different (half-stepped) trajectory than
+  // the unseeded run, or died outright.  A seed that bad once stays bad:
+  // the fix drops it at the first seeded non-convergence and re-runs the
+  // step cold, which makes the whole run bitwise identical to a
+  // never-seeded one.
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  auto& vin = nl.add<VoltageSource>("Vin", in, kGround, 0.0);
+  nl.add<Resistor>("R1", in, out, 1e3);
+  nl.add<Capacitor>("C1", out, kGround, 1e-9);
+  const DcResult op = solve_dc(nl, Conditions{});
+  ASSERT_TRUE(op.converged);
+  vin.set_waveform([](double t) { return t > 0.0 ? 1.0 : 0.0; });
+
+  TranOptions options;
+  options.t_stop = 1e-6;
+  options.dt = 10e-9;
+  // Few Newton iterations: the damping clamp (max_step_v per iteration)
+  // then cannot walk back a grossly wrong start within one step.
+  options.newton.max_iterations = 8;
+  const TranResult reference =
+      solve_transient(nl, op.solution, Conditions{}, options);
+  ASSERT_TRUE(reference.converged);
+
+  // Poisonous seed: +100 V increment per step on every unknown.
+  std::vector<Vector> bad_seed(reference.solutions.size());
+  for (std::size_t k = 0; k < bad_seed.size(); ++k) {
+    bad_seed[k] = Vector(nl.system_size());
+    bad_seed[k].fill(100.0 * static_cast<double>(k));
+  }
+  options.seed_trajectory = &bad_seed;
+  const TranResult seeded =
+      solve_transient(nl, op.solution, Conditions{}, options);
+
+  // The run recovers and reproduces the unseeded trajectory exactly.
+  ASSERT_TRUE(seeded.converged);
+  ASSERT_EQ(seeded.solutions.size(), reference.solutions.size());
+  for (std::size_t k = 0; k < reference.solutions.size(); ++k)
+    for (std::size_t i = 0; i < reference.solutions[k].size(); ++i)
+      EXPECT_EQ(seeded.solutions[k][i], reference.solutions[k][i])
+          << "step " << k << " unknown " << i;
+  // Exactly one seeded attempt was wasted (it burned max_iterations)
+  // before the seed was dropped; every later step ran cold.
+  EXPECT_EQ(seeded.newton_iterations,
+            reference.newton_iterations + options.newton.max_iterations);
+}
+
 TEST(SlopeHelpers, MaxSlope) {
   const std::vector<double> t = {0.0, 1.0, 2.0, 3.0};
   const std::vector<double> v = {0.0, 2.0, 3.0, 2.5};

@@ -13,16 +13,28 @@ TEST(RunningStats, Empty) {
   RunningStats acc;
   EXPECT_EQ(acc.count(), 0u);
   EXPECT_EQ(acc.mean(), 0.0);
-  EXPECT_EQ(acc.variance(), 0.0);
+  // The unbiased variance estimator is undefined below two samples; the
+  // degenerate accumulator must say so (NaN), not claim a zero spread.
+  EXPECT_TRUE(std::isnan(acc.variance()));
+  EXPECT_TRUE(std::isnan(acc.stddev()));
 }
 
 TEST(RunningStats, SingleValue) {
   RunningStats acc;
   acc.add(3.0);
   EXPECT_EQ(acc.mean(), 3.0);
-  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(acc.variance()));
+  EXPECT_TRUE(std::isnan(acc.stddev()));
   EXPECT_EQ(acc.min(), 3.0);
   EXPECT_EQ(acc.max(), 3.0);
+}
+
+TEST(RunningStats, TwoSamplesDefineTheEstimator) {
+  RunningStats acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), std::sqrt(2.0));
 }
 
 TEST(RunningStats, KnownValues) {

@@ -4,8 +4,9 @@
 #
 #   0. lint + lint self-test + compile-fail harness  (seconds, fail fast)
 #   1. Release + -Werror
-#   2. Debug + AddressSanitizer + UndefinedBehaviorSanitizer
-#   3. Debug + ThreadSanitizer
+#   2. Release + -Werror with MAYO_OBS=OFF (instrumentation compiled out)
+#   3. Debug + AddressSanitizer + UndefinedBehaviorSanitizer
+#   4. Debug + ThreadSanitizer
 #
 # Each configuration builds into its own build-ci-<name>/ tree (ignored by
 # git), runs the full ctest suite (which includes the project lint), and
@@ -21,11 +22,13 @@ export TSAN_OPTIONS="halt_on_error=1"
 
 run_config() {
   local name="$1" build_type="$2" sanitize="$3"
+  shift 3  # remaining args are extra cmake flags (e.g. -DMAYO_OBS=OFF)
   echo "=== [$name] configure (${build_type}, sanitize='${sanitize}') ==="
   cmake -B "build-ci-${name}" -S . \
     -DCMAKE_BUILD_TYPE="${build_type}" \
     -DMAYO_WERROR=ON \
-    -DMAYO_SANITIZE="${sanitize}"
+    -DMAYO_SANITIZE="${sanitize}" \
+    "$@"
   echo "=== [$name] build ==="
   cmake --build "build-ci-${name}" -j"${JOBS}"
   echo "=== [$name] test ==="
@@ -46,6 +49,10 @@ run_config release-werror Release ""
 # even when a full ctest pass above was filtered or cached.
 echo "=== [release-werror] microbenchmark smoke ==="
 ctest --test-dir build-ci-release-werror -R '^bench_' --output-on-failure
+
+# The obs counters and spans must compile out completely: same tests,
+# instrumentation shells only (test_obs pins the no-op behaviour).
+run_config obs-off Release "" -DMAYO_OBS=OFF
 
 run_config asan-ubsan Debug "address,undefined"
 run_config tsan Debug "thread"

@@ -21,19 +21,24 @@ one-line diff below):
                     time(...), system_clock / high_resolution_clock.
                     Monte-Carlo yield numbers must be bit-reproducible;
                     steady_clock is allowed (elapsed-time reporting only).
-  io-discipline     library code must not write to stdout/stderr: no
-                    <iostream> include, no std::cout/cerr/clog, no
-                    printf-family calls.  Reporting belongs to
-                    src/core/report.cpp (string/ostream builders) and to
-                    the bench/example/tool binaries.
+  io-discipline     library code must not write to stdout/stderr or open
+                    files: no <iostream>/<fstream>/<cstdio> includes, no
+                    std::cout/cerr/clog, no printf-family calls.
+                    Reporting belongs to the IO_ALLOWLIST sinks --
+                    src/core/report.cpp (string/ostream builders) and
+                    src/core/run_report.cpp (the structured obs
+                    RunReport JSON) -- and to the bench/example/tool
+                    binaries.
   include-hygiene   project includes are quoted and module-qualified
                     ("linalg/vector.hpp"), resolve to an existing file,
                     and never use "../" escapes; system includes use <>.
   layering          src/ modules only include headers of modules below
-                    them: linalg < {stats, circuit} < {spice, sim} <
-                    core < circuits.  The one sanctioned exception is
-                    core/check.hpp (dependency-free contract macros,
-                    usable from every layer).
+                    them: obs < linalg < {stats, circuit} < {spice, sim}
+                    < core < circuits.  obs (observation-only counters
+                    and spans, no project includes) sits at the bottom
+                    and is usable from every layer.  The one sanctioned
+                    exception is core/check.hpp (dependency-free
+                    contract macros, usable from every layer).
   hot-path-alloc    the batched evaluation hot path (HOT_FILES below,
                     including the simulator kernels under src/sim/) must
                     not construct linalg::Vector, Matrixd, Matrixc or
@@ -69,20 +74,24 @@ SOURCE_DIRS = ("src", "tests", "bench", "tools", "examples")
 CPP_EXT = {".cpp", ".hpp"}
 
 # Module layering inside src/: module -> modules it may include from.
-# core/check.hpp is allowed everywhere (see module docstring).
+# obs (observation-only instrumentation) is the bottom layer, usable from
+# everywhere; core/check.hpp is allowed everywhere (see module docstring).
 LAYERS = {
-    "linalg": {"linalg"},
-    "stats": {"stats", "linalg"},
-    "circuit": {"circuit", "linalg"},
-    "spice": {"spice", "circuit", "linalg"},
-    "sim": {"sim", "circuit", "linalg"},
-    "core": {"core", "stats", "linalg"},
-    "circuits": {"circuits", "core", "sim", "spice", "circuit", "stats", "linalg"},
+    "obs": {"obs"},
+    "linalg": {"linalg", "obs"},
+    "stats": {"stats", "linalg", "obs"},
+    "circuit": {"circuit", "linalg", "obs"},
+    "spice": {"spice", "circuit", "linalg", "obs"},
+    "sim": {"sim", "circuit", "linalg", "obs"},
+    "core": {"core", "stats", "linalg", "obs"},
+    "circuits": {"circuits", "core", "sim", "spice", "circuit", "stats",
+                 "linalg", "obs"},
 }
 CHECK_HEADER = "core/check.hpp"
 
-# Files in src/ allowed to perform console I/O.
-IO_ALLOWLIST = {"src/core/report.cpp"}
+# Files in src/ allowed to perform I/O (console or file): the text-report
+# builders and the structured RunReport JSON sink.
+IO_ALLOWLIST = {"src/core/report.cpp", "src/core/run_report.cpp"}
 
 # Files forming the batched evaluation hot path: no per-iteration
 # Vector/Matrixd construction (see hot-path-alloc in the module docstring).
@@ -133,6 +142,8 @@ DETERMINISM_PATTERNS = [
 
 IO_PATTERNS = [
     (re.compile(r"#\s*include\s*<iostream>"), "#include <iostream>"),
+    (re.compile(r"#\s*include\s*<fstream>"), "#include <fstream>"),
+    (re.compile(r"#\s*include\s*<cstdio>"), "#include <cstdio>"),
     (re.compile(r"std::(cout|cerr|clog)\b"), "std::cout/cerr/clog"),
     (re.compile(r"(?<![\w.])f?printf\s*\("), "printf family"),
     (re.compile(r"(?<![\w.])f?puts\s*\("), "puts family"),
@@ -573,7 +584,8 @@ class Linter:
                                     "is forbidden in library code")
                 if rel not in IO_ALLOWLIST:
                     self.check_patterns(sf, IO_PATTERNS, "io-discipline",
-                                        "is forbidden outside report.cpp")
+                                        "is forbidden outside the report "
+                                        "sinks")
                 if rel in HOT_FILES:
                     self.check_hot_alloc(sf)
         self.check_include_graph(sources)

@@ -164,6 +164,26 @@ class LintRepoTest(unittest.TestCase):
         self.write("tools/report.cpp", 'int f() { printf("x"); return 0; }\n')
         self.assertEqual(run_lint(self.root), [])
 
+    def test_io_flags_fstream_in_library_code(self):
+        self.write("src/core/bad.cpp",
+                   "#include <fstream>\nint f() { return 0; }\n")
+        self.assertIn(("io-discipline", "src/core/bad.cpp"),
+                      rules_in(run_lint(self.root)))
+
+    def test_io_flags_cstdio_in_library_code(self):
+        self.write("src/sim/bad.cpp",
+                   "#include <cstdio>\nint f() { return 0; }\n")
+        self.assertIn(("io-discipline", "src/sim/bad.cpp"),
+                      rules_in(run_lint(self.root)))
+
+    def test_io_allowed_in_run_report_sink(self):
+        # src/core/run_report.cpp is the sanctioned RunReport JSON sink:
+        # file output and snprintf formatting live there by design.
+        self.write("src/core/run_report.cpp",
+                   "#include <cstdio>\n#include <fstream>\n"
+                   "int f() { return 0; }\n")
+        self.assertEqual(run_lint(self.root), [])
+
     # -- include-hygiene / layering ---------------------------------------
 
     def test_unresolvable_include(self):
@@ -182,6 +202,26 @@ class LintRepoTest(unittest.TestCase):
         self.write("src/linalg/ok.cpp",
                    '// #include "core/top.hpp"\nint f() { return 0; }\n')
         self.assertEqual(run_lint(self.root), [])
+
+    def test_obs_usable_from_every_layer(self):
+        # obs is the bottom layer: even linalg may include it.
+        self.write("src/obs/obs.hpp",
+                   "#pragma once\nnamespace m { void obs_count(); }\n")
+        self.write("src/linalg/user.cpp",
+                   '#include "obs/obs.hpp"\n'
+                   "void g() { m::obs_count(); }\n")
+        self.write("src/circuits/user.cpp",
+                   '#include "obs/obs.hpp"\n'
+                   "void h() { m::obs_count(); }\n")
+        self.assertEqual(run_lint(self.root), [])
+
+    def test_obs_must_not_include_upward(self):
+        self.write_clean_header()
+        self.write("src/obs/bad.hpp",
+                   '#pragma once\n#include "linalg/clean.hpp"\n'
+                   "namespace m { inline int u() { return clean_fn(); } }\n")
+        self.assertIn(("layering", "src/obs/bad.hpp"),
+                      rules_in(run_lint(self.root)))
 
     # -- hot-path-alloc ----------------------------------------------------
 
