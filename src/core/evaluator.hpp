@@ -178,6 +178,10 @@ class Evaluator {
   void charge_verification(std::size_t evaluations) {
     counts_.verification += evaluations;
   }
+  /// Same for the optimization budget (parallel worst-case searches).
+  void charge_optimization(std::size_t evaluations) {
+    counts_.optimization += evaluations;
+  }
   /// Number of memoized evaluation results currently held.
   std::size_t cache_size() const { return cache_.size(); }
   /// Drops all memoized results (use between experiments).

@@ -69,31 +69,45 @@ LinearizedModels build_linearizations(Evaluator& evaluator,
     }
 
     const obs::Span assembly_span(obs::registry().phases.linearization);
-    SpecLinearization model;
-    model.spec = i;
-    model.theta_wc = theta_wc;
-    model.s_wc = wc.s_wc;
-    model.d_f = d_f;
-    model.margin_wc = wc.margin_at_wc;
-    model.grad_s = wc.gradient;
-    model.grad_d = evaluator.margin_gradient_d(i, d_f, wc.s_wc, theta_wc,
-                                               options.design_step_fraction);
-    model.beta = wc.beta;
-    out.models.push_back(model);
-
-    if (options.enable_mirror && !options.linearize_at_nominal && wc.mirrored) {
-      // Mirrored model (eq. 21-22): expansion at -s_wc with negated
-      // statistical gradient; margin there was measured during detection.
-      SpecLinearization mirror = model;
-      mirror.is_mirror = true;
-      mirror.s_wc = -wc.s_wc;
-      mirror.margin_wc = wc.margin_at_mirror;
-      mirror.grad_s = -wc.gradient;
-      out.models.push_back(std::move(mirror));
-    }
+    detail::append_spec_models(
+        i, theta_wc, d_f, wc,
+        evaluator.margin_gradient_d(i, d_f, wc.s_wc, theta_wc,
+                                    options.design_step_fraction),
+        options.enable_mirror && !options.linearize_at_nominal, out);
     out.worst_cases.push_back(std::move(wc));
   }
   return out;
 }
+
+namespace detail {
+
+void append_spec_models(std::size_t spec, const OperatingVec& theta_wc,
+                        const DesignVec& d_f, const WorstCasePoint& wc,
+                        DesignVec grad_d, bool enable_mirror,
+                        LinearizedModels& out) {
+  SpecLinearization model;
+  model.spec = spec;
+  model.theta_wc = theta_wc;
+  model.s_wc = wc.s_wc;
+  model.d_f = d_f;
+  model.margin_wc = wc.margin_at_wc;
+  model.grad_s = wc.gradient;
+  model.grad_d = std::move(grad_d);
+  model.beta = wc.beta;
+  out.models.push_back(model);
+
+  if (enable_mirror && wc.mirrored) {
+    // Mirrored model (eq. 21-22): expansion at -s_wc with negated
+    // statistical gradient; margin there was measured during detection.
+    SpecLinearization mirror = model;
+    mirror.is_mirror = true;
+    mirror.s_wc = -wc.s_wc;
+    mirror.margin_wc = wc.margin_at_mirror;
+    mirror.grad_s = -wc.gradient;
+    out.models.push_back(std::move(mirror));
+  }
+}
+
+}  // namespace detail
 
 }  // namespace mayo::core

@@ -65,4 +65,18 @@ LinearizedModels build_linearizations(Evaluator& evaluator,
                                       const linalg::DesignVec& d_f,
                                       const LinearizationOptions& options = {});
 
+namespace detail {
+
+/// Appends the primary model for one spec -- and, when `enable_mirror` and
+/// the worst-case search detected a quadratic performance, the mirrored
+/// model (eq. 21-22) -- to `out.models`.  Shared by the serial loop in
+/// build_linearizations and the parallel fan-out in core/parallel, so the
+/// two paths assemble bitwise-identical models from identical inputs.
+void append_spec_models(std::size_t spec, const linalg::OperatingVec& theta_wc,
+                        const linalg::DesignVec& d_f, const WorstCasePoint& wc,
+                        linalg::DesignVec grad_d, bool enable_mirror,
+                        LinearizedModels& out);
+
+}  // namespace detail
+
 }  // namespace mayo::core

@@ -1,5 +1,6 @@
 #include "core/optimizer.hpp"
 
+#include "core/parallel.hpp"
 #include "core/yield_model.hpp"
 
 #include <chrono>
@@ -73,9 +74,12 @@ YieldOptimizationResult optimize_yield(Evaluator& evaluator,
                                  evaluator.num_statistical(),
                                  options.sample_seed);
 
+  const ParallelLinearizationOptions parallel_linearization{
+      options.linearization, options.linearization_threads};
+
   // Initial linearization doubles as the "Initial" trace row.
   LinearizedModels linearized =
-      build_linearizations(evaluator, d_f, options.linearization);
+      parallel_build_linearizations(evaluator, d_f, parallel_linearization);
   {
     IterationRecord initial =
         make_record(evaluator, d_f, linearized, samples, 0);
@@ -119,8 +123,8 @@ YieldOptimizationResult optimize_yield(Evaluator& evaluator,
 
       // Step 5: re-linearize at the candidate and apply the monotone
       // safeguard.
-      LinearizedModels candidate_models =
-          build_linearizations(evaluator, d_new, options.linearization);
+      LinearizedModels candidate_models = parallel_build_linearizations(
+          evaluator, d_new, parallel_linearization);
       IterationRecord record = make_record(evaluator, d_new, candidate_models,
                                            samples, iteration);
       if (options.monotone_safeguard &&

@@ -72,7 +72,7 @@ VerificationResult parallel_monte_carlo_verify(
   workers.reserve(threads);
 
   for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t]() {
+    workers.emplace_back([&, t]() {  // parallel-entry
       try {
         // Thread-local copy of the problem with a cloned model.
         YieldProblem local = problem;
@@ -133,6 +133,95 @@ VerificationResult parallel_monte_carlo_verify(
     result.performance_stddev[i] = merged[i].stddev();
   }
   return result;
+}
+
+namespace {
+
+/// One spec's share of the linearization fan-out: the worst-case distance
+/// search result plus the design gradient at that worst-case point.
+struct SpecTask {
+  WorstCasePoint wc;
+  linalg::DesignVec grad_d;
+};
+
+}  // namespace
+
+LinearizedModels parallel_build_linearizations(
+    Evaluator& evaluator, const DesignVec& d_f,
+    const ParallelLinearizationOptions& options) {
+  const YieldProblem& problem = evaluator.problem();
+  const std::size_t num_specs = evaluator.num_specs();
+
+  unsigned threads = options.threads;
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(num_specs, 1)));
+
+  // Serial fallbacks: one worker, a model without clone(), or the
+  // nominal ablation (whose shared finite-difference batch is already a
+  // single evaluation block -- nothing to fan out).
+  if (threads <= 1 || options.linearization.linearize_at_nominal ||
+      problem.model->clone() == nullptr)
+    return build_linearizations(evaluator, d_f, options.linearization);
+
+  LinearizedModels out;
+  std::vector<SpecTask> tasks(num_specs);
+  std::size_t worker_evaluations = 0;
+  {
+    // The operating-corner sweep and the per-spec distance searches both
+    // account to worst_case_search, exactly like the serial path.
+    const obs::Span span(obs::registry().phases.worst_case_search);
+    out.operating =
+        find_worst_case_operating(evaluator, d_f, options.linearization.operating);
+
+    // Spec i goes to worker i % threads: the assignment is a pure
+    // function of the spec index, so re-runs with the same thread count
+    // exercise identical per-worker evaluation sequences.  Workers write
+    // only tasks[i] for their own specs (disjoint memory locations).
+    std::vector<std::size_t> worker_evals(threads, 0);
+    std::vector<std::exception_ptr> worker_errors(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t]() {  // parallel-entry
+        try {
+          // Thread-local copy of the problem with a cloned model.
+          YieldProblem local = problem;
+          local.model =
+              std::shared_ptr<PerformanceModel>(problem.model->clone());
+          Evaluator local_evaluator(local);
+          for (std::size_t i = t; i < num_specs; i += threads) {
+            SpecTask& task = tasks[i];
+            task.wc = find_worst_case_point(local_evaluator, i, d_f,
+                                            out.operating.theta_wc[i],
+                                            options.linearization.wc);
+            task.grad_d = local_evaluator.margin_gradient_d(
+                i, d_f, task.wc.s_wc, out.operating.theta_wc[i],
+                options.linearization.design_step_fraction);
+          }
+          worker_evals[t] = local_evaluator.counts().optimization;
+        } catch (...) {
+          worker_errors[t] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const std::exception_ptr& error : worker_errors)
+      if (error) std::rethrow_exception(error);
+    for (const std::size_t evals : worker_evals) worker_evaluations += evals;
+  }
+  // Every worker result is already computed; assembling the models is
+  // pure bookkeeping and accounts to the linearization phase.
+  const obs::Span span(obs::registry().phases.linearization);
+  for (std::size_t i = 0; i < num_specs; ++i) {
+    detail::append_spec_models(i, out.operating.theta_wc[i], d_f,
+                               tasks[i].wc, std::move(tasks[i].grad_d),
+                               options.linearization.enable_mirror, out);
+    out.worst_cases.push_back(std::move(tasks[i].wc));
+  }
+  evaluator.charge_optimization(worker_evaluations);
+  return out;
 }
 
 }  // namespace mayo::core

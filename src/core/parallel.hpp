@@ -17,6 +17,7 @@
 // order of the reported moments differs.
 #pragma once
 
+#include "core/linearization.hpp"
 #include "core/verification.hpp"
 
 namespace mayo::core {
@@ -35,5 +36,28 @@ VerificationResult parallel_monte_carlo_verify(
     Evaluator& evaluator, const linalg::DesignVec& d,
     const std::vector<linalg::OperatingVec>& theta_wc,
     const ParallelVerificationOptions& options = {});
+
+struct ParallelLinearizationOptions {
+  LinearizationOptions linearization;
+  /// Worker count; 0 = std::thread::hardware_concurrency(), 1 = serial.
+  unsigned threads = 1;
+};
+
+/// Parallel version of build_linearizations: the per-spec worst-case
+/// distance searches and design gradients -- the dominant cost of one
+/// optimizer iteration -- fan out over a pool of workers, each with its
+/// own cloned model and evaluator.  Spec i is assigned to worker
+/// i % threads, results are merged in ascending spec order, and model
+/// evaluations are pure functions of (d, s, theta) (see evaluator.hpp),
+/// so every returned model, worst-case point and operating corner is
+/// bitwise identical to the serial build_linearizations.  Falls back to
+/// the serial path when threads <= 1, the model is not clonable, or the
+/// nominal-ablation mode is on (its shared finite-difference batch is
+/// already one evaluation block; splitting it buys nothing).
+/// Worker evaluation counts are charged to `evaluator`'s optimization
+/// budget.
+LinearizedModels parallel_build_linearizations(
+    Evaluator& evaluator, const linalg::DesignVec& d_f,
+    const ParallelLinearizationOptions& options = {});
 
 }  // namespace mayo::core

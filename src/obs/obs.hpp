@@ -273,7 +273,9 @@ class Registry {
 
 /// The process-wide registry every instrumented call site increments.
 inline Registry& registry() noexcept {
-  static Registry instance;
+  // The registry is the sanctioned shared-state sink: every member is a
+  // relaxed std::atomic, so concurrent increments are safe by design.
+  static Registry instance;  // shared-ok: all members are relaxed atomics
   return instance;
 }
 

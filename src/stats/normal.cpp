@@ -7,7 +7,9 @@
 namespace mayo::stats {
 
 double normal_pdf(double x) {
-  static const double inv_sqrt_2pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  // 1 / sqrt(2 * pi), shortest round-trip literal: identical bits to the
+  // runtime expression, but no hidden magic-static guard on a hot path.
+  constexpr double inv_sqrt_2pi = 0.3989422804014327;
   return inv_sqrt_2pi * std::exp(-0.5 * x * x);
 }
 
@@ -19,16 +21,16 @@ namespace {
 // Peter Acklam's rational approximation for the normal quantile, refined by
 // one step of Halley's method to ~1e-12 relative accuracy.
 double acklam(double p) {
-  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                              -2.759285104469687e+02, 1.383577518672690e+02,
                              -3.066479806614716e+01, 2.506628277459239e+00};
-  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
                              -1.556989798598866e+02, 6.680131188771972e+01,
                              -1.328068155288572e+01};
-  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
                              -2.400758277161838e+00, -2.549732539343734e+00,
                              4.374664141464968e+00,  2.938163982698783e+00};
-  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
                              2.445134137142996e+00, 3.754408661907416e+00};
   constexpr double p_low = 0.02425;
   double x;

@@ -1,0 +1,156 @@
+// Determinism contract of the parallel linearization fan-out: for every
+// thread count, parallel_build_linearizations returns models, worst-case
+// points and operating corners that are BITWISE identical to the serial
+// build_linearizations.  Model evaluations are pure functions of
+// (d, s, theta) (see evaluator.hpp), so per-worker cold caches change how
+// often points are re-simulated but never the values -- only the
+// evaluation *counters* may differ between the two paths.
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+using linalg::DesignVec;
+
+LinearizedModels run_serial() {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  return build_linearizations(ev, DesignVec(problem.design.nominal));
+}
+
+LinearizedModels run_parallel(unsigned threads,
+                              bool linearize_at_nominal = false) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  ParallelLinearizationOptions opts;
+  opts.threads = threads;
+  opts.linearization.linearize_at_nominal = linearize_at_nominal;
+  return parallel_build_linearizations(
+      ev, DesignVec(problem.design.nominal), opts);
+}
+
+void expect_identical(const LinearizedModels& serial,
+                      const LinearizedModels& parallel) {
+  ASSERT_EQ(parallel.models.size(), serial.models.size());
+  for (std::size_t m = 0; m < serial.models.size(); ++m) {
+    SCOPED_TRACE(m);
+    const SpecLinearization& a = serial.models[m];
+    const SpecLinearization& b = parallel.models[m];
+    EXPECT_EQ(b.spec, a.spec);
+    EXPECT_EQ(b.is_mirror, a.is_mirror);
+    EXPECT_EQ(b.theta_wc, a.theta_wc);
+    EXPECT_EQ(b.s_wc, a.s_wc);
+    EXPECT_EQ(b.d_f, a.d_f);
+    EXPECT_EQ(b.margin_wc, a.margin_wc);
+    EXPECT_EQ(b.grad_s, a.grad_s);
+    EXPECT_EQ(b.grad_d, a.grad_d);
+    EXPECT_EQ(b.beta, a.beta);
+  }
+  ASSERT_EQ(parallel.worst_cases.size(), serial.worst_cases.size());
+  for (std::size_t i = 0; i < serial.worst_cases.size(); ++i) {
+    SCOPED_TRACE(i);
+    const WorstCasePoint& a = serial.worst_cases[i];
+    const WorstCasePoint& b = parallel.worst_cases[i];
+    EXPECT_EQ(b.spec, a.spec);
+    EXPECT_EQ(b.s_wc, a.s_wc);
+    EXPECT_EQ(b.beta, a.beta);
+    EXPECT_EQ(b.margin_nominal, a.margin_nominal);
+    EXPECT_EQ(b.margin_at_wc, a.margin_at_wc);
+    EXPECT_EQ(b.gradient, a.gradient);
+    EXPECT_EQ(b.converged, a.converged);
+    EXPECT_EQ(b.mirrored, a.mirrored);
+    EXPECT_EQ(b.margin_at_mirror, a.margin_at_mirror);
+    EXPECT_EQ(b.iterations, a.iterations);
+  }
+  ASSERT_EQ(parallel.operating.theta_wc.size(),
+            serial.operating.theta_wc.size());
+  for (std::size_t i = 0; i < serial.operating.theta_wc.size(); ++i)
+    EXPECT_EQ(parallel.operating.theta_wc[i],
+              serial.operating.theta_wc[i]);
+}
+
+TEST(ParallelLinearization, ThreadCountSweep) {
+  const LinearizedModels serial = run_serial();
+  // The synthetic problem has a quadratic mirror spec, so the sweep also
+  // proves mirror detection survives the fan-out.
+  ASSERT_GT(serial.models.size(), serial.worst_cases.size());
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    expect_identical(serial, run_parallel(threads));
+  }
+}
+
+TEST(ParallelLinearization, MoreThreadsThanSpecs) {
+  expect_identical(run_serial(), run_parallel(64));
+}
+
+TEST(ParallelLinearization, NominalAblationFallsBackToSerial) {
+  // The ablation's shared finite-difference batch is one evaluation
+  // block; the parallel entry must route it to the serial path untouched.
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  LinearizationOptions serial_opts;
+  serial_opts.linearize_at_nominal = true;
+  const LinearizedModels serial =
+      build_linearizations(ev, DesignVec(problem.design.nominal), serial_opts);
+  expect_identical(serial, run_parallel(8, /*linearize_at_nominal=*/true));
+}
+
+TEST(ParallelLinearization, WorkerEvaluationsChargedToOptimizer) {
+  auto problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator ev(problem);
+  ParallelLinearizationOptions opts;
+  opts.threads = 2;
+  (void)parallel_build_linearizations(
+      ev, DesignVec(problem.design.nominal), opts);
+  // The fan-out must charge every worker evaluation to the optimization
+  // budget; the serial path's count is a lower bound (workers start with
+  // cold caches, so they may re-simulate points the shared cache reused).
+  auto serial_problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator serial_ev(serial_problem);
+  (void)build_linearizations(serial_ev,
+                             DesignVec(serial_problem.design.nominal));
+  EXPECT_GE(ev.counts().optimization, serial_ev.counts().optimization);
+  EXPECT_EQ(ev.counts().verification, 0u);
+}
+
+TEST(ParallelLinearization, OptimizerRouteMatchesSerial) {
+  // The full Fig. 6 loop with parallel linearizations reproduces the
+  // serial trace bit for bit (same designs, same yields).
+  YieldOptimizerOptions base;
+  base.max_iterations = 2;
+  base.linear_samples = 400;
+  base.verification.num_samples = 50;
+
+  auto serial_problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator serial_ev(serial_problem);
+  const YieldOptimizationResult serial = optimize_yield(serial_ev, base);
+
+  YieldOptimizerOptions parallel_opts = base;
+  parallel_opts.linearization_threads = 4;
+  auto parallel_problem = testing::make_synthetic_problem(2.0, 1.0);
+  Evaluator parallel_ev(parallel_problem);
+  const YieldOptimizationResult parallel =
+      optimize_yield(parallel_ev, parallel_opts);
+
+  ASSERT_EQ(parallel.trace.size(), serial.trace.size());
+  for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(parallel.trace[i].d, serial.trace[i].d);
+    EXPECT_EQ(parallel.trace[i].linear_yield, serial.trace[i].linear_yield);
+    EXPECT_EQ(parallel.trace[i].verified_yield,
+              serial.trace[i].verified_yield);
+  }
+  EXPECT_EQ(parallel.final_d, serial.final_d);
+}
+
+}  // namespace
+}  // namespace mayo::core

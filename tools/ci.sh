@@ -2,7 +2,8 @@
 # Local fallback for .github/workflows/ci.yml: the fast static gate
 # first, then the same three hardening configurations sequentially.
 #
-#   0. lint + lint self-test + compile-fail harness  (seconds, fail fast)
+#   0. lint + analyze (call-graph concurrency certification) + their
+#      self-tests + compile-fail harness  (seconds, fail fast)
 #   1. Release + -Werror
 #   2. Release + -Werror with MAYO_OBS=OFF (instrumentation compiled out)
 #   3. Debug + AddressSanitizer + UndefinedBehaviorSanitizer
@@ -39,6 +40,10 @@ echo "=== [static] project lint ==="
 python3 tools/lint.py
 echo "=== [static] lint self-test ==="
 python3 tools/test_lint.py
+echo "=== [static] concurrency-purity certification ==="
+python3 tools/analyze.py --json analyze-callgraph.json
+echo "=== [static] analyze self-test ==="
+python3 tools/test_analyze.py
 echo "=== [static] compile-fail harness (tagged spaces) ==="
 cmake --fresh -S tests/compile_fail -B build-ci-compile-fail >/dev/null
 
@@ -59,8 +64,10 @@ run_config tsan Debug "thread"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== clang-tidy ==="
-  git ls-files 'src/**/*.cpp' 'tests/*.cpp' 'tools/*.cpp' \
-    'bench/*.cpp' 'examples/*.cpp' \
+  # Recursive globs so tests/ and bench/ subdirectories are covered too;
+  # tests/compile_fail is excluded -- those files fail to compile by design.
+  git ls-files 'src/**/*.cpp' 'tests/**/*.cpp' 'tools/**/*.cpp' \
+    'bench/**/*.cpp' 'examples/**/*.cpp' ':!tests/compile_fail/**' \
     | xargs clang-tidy -p build-ci-release-werror --warnings-as-errors='*'
 else
   echo "clang-tidy not installed; skipping static analysis pass"

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Shared character-level C++ tokenizer for the repo's static checkers.
+
+tools/lint.py (mechanical invariants) and tools/analyze.py (call-graph
+concurrency certification) both need the same lexical ground truth: which
+bytes of a file are real code, which are comments, and which are string
+or character literals.  This module owns that scanner so the two tools
+can never drift apart on what counts as code.
+
+The scanner handles line and block comments, string / char literals with
+escapes, raw strings R"delim(...)delim" (with encoding prefixes), and
+digit separators (1'000'000 is one number, not a char literal).
+Unterminated constructs extend to end of file rather than raising: static
+checkers must keep going on malformed input.
+
+SourceFile wraps one tokenized file with the views every rule needs:
+  .code             comments and literal contents blanked, positions kept
+  .code_lines       the blanked text split into physical lines
+  .comments_by_line physical line -> comment text present on that line
+  .include_lines    (lineno, "x.hpp" | <x>) pairs of genuine includes
+  .suppressed()     True when a genuine comment carries a marker
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+CODE = "code"
+LINE_COMMENT = "line_comment"
+BLOCK_COMMENT = "block_comment"
+STRING = "string"
+CHAR = "char"
+RAW_STRING = "raw_string"
+
+COMMENT_KINDS = {LINE_COMMENT, BLOCK_COMMENT}
+LITERAL_KINDS = {STRING, CHAR, RAW_STRING}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(<[^>]+>|"[^"]+")')
+
+
+@dataclass
+class Token:
+    kind: str
+    start: int  # offset into the file text
+    end: int    # one past the last character
+
+
+def tokenize(text: str) -> list[Token]:
+    """Splits C++ source into code / comment / literal tokens."""
+    tokens: list[Token] = []
+    n = len(text)
+    i = 0
+    code_start = 0
+
+    def flush_code(upto: int) -> None:
+        if upto > code_start:
+            tokens.append(Token(CODE, code_start, upto))
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            flush_code(i)
+            j = text.find("\n", i)
+            j = n if j < 0 else j  # the newline stays code
+            tokens.append(Token(LINE_COMMENT, i, j))
+            i = code_start = j
+        elif c == "/" and nxt == "*":
+            flush_code(i)
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            tokens.append(Token(BLOCK_COMMENT, i, j))
+            i = code_start = j
+        elif c == '"':
+            # Raw string?  Scan back over the encoding prefix for R.
+            k = i - 1
+            while k >= 0 and text[k] in "uU8L":
+                k -= 1
+            is_raw = (k >= 0 and text[k] == "R"
+                      and (k == 0 or not (text[k - 1].isalnum()
+                                          or text[k - 1] == "_")))
+            if is_raw:
+                flush_code(k)
+                delim_end = text.find("(", i + 1)
+                if delim_end < 0:
+                    tokens.append(Token(RAW_STRING, k, n))
+                    i = code_start = n
+                    continue
+                closer = ")" + text[i + 1:delim_end] + '"'
+                j = text.find(closer, delim_end + 1)
+                j = n if j < 0 else j + len(closer)
+                tokens.append(Token(RAW_STRING, k, j))
+                i = code_start = j
+            else:
+                flush_code(i)
+                j = i + 1
+                while j < n and text[j] != '"':
+                    if text[j] == "\\":
+                        j += 1
+                    if text[j] == "\n":
+                        break  # unterminated on this line; stop the literal
+                    j += 1
+                j = min(j + 1, n)
+                tokens.append(Token(STRING, i, j))
+                i = code_start = j
+        elif c == "'":
+            prev = text[i - 1] if i > 0 else ""
+            if prev.isalnum() or prev == "_":
+                # Digit separator (1'000'000) or suffix context: plain code.
+                i += 1
+            else:
+                flush_code(i)
+                j = i + 1
+                while j < n and text[j] != "'":
+                    if text[j] == "\\":
+                        j += 1
+                    if text[j] == "\n":
+                        break
+                    j += 1
+                j = min(j + 1, n)
+                tokens.append(Token(CHAR, i, j))
+                i = code_start = j
+        else:
+            i += 1
+    flush_code(n)
+    return tokens
+
+
+def blank(text: str) -> str:
+    """Replaces every non-newline character with a space."""
+    return re.sub(r"[^\n]", " ", text)
+
+
+class SourceFile:
+    """One tokenized file and the per-rule views into it."""
+
+    def __init__(self, path: Path, text: str):
+        self.path = path
+        self.text = text
+        self.tokens = tokenize(text)
+        # code: comments and literal *contents* blanked, positions kept.
+        # Include directives keep their quoted path (tracked below)
+        # because #include "..." is lexically a string.
+        parts: list[str] = []
+        for tok in self.tokens:
+            chunk = text[tok.start:tok.end]
+            parts.append(chunk if tok.kind == CODE else blank(chunk))
+        self.code = "".join(parts)
+        # comments_by_line: physical line -> comment text present there.
+        self.comments_by_line: dict[int, str] = {}
+        for tok in self.tokens:
+            if tok.kind not in COMMENT_KINDS:
+                continue
+            line = text.count("\n", 0, tok.start) + 1
+            for piece in text[tok.start:tok.end].split("\n"):
+                self.comments_by_line[line] = (
+                    self.comments_by_line.get(line, "") + piece)
+                line += 1
+        self.code_lines = self.code.splitlines()
+        self.include_lines: list[tuple[int, str]] = []  # (lineno, "x"|<x>)
+        for lineno, line in enumerate(self.text.splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if m and not self.in_comment(lineno, m.start(1)):
+                self.include_lines.append((lineno, m.group(1)))
+
+    def in_comment(self, lineno: int, col: int) -> bool:
+        """True if (lineno, col) falls inside a comment token."""
+        offset = sum(len(l) + 1 for l in self.text.split("\n")[:lineno - 1])
+        offset += col
+        for tok in self.tokens:
+            if tok.start <= offset < tok.end:
+                return tok.kind in COMMENT_KINDS
+        return False
+
+    def suppressed(self, lineno: int, marker: str) -> bool:
+        """True if a genuine comment on this line carries the marker."""
+        return marker in self.comments_by_line.get(lineno, "")
+
+    def line_of(self, offset: int) -> int:
+        """Physical 1-based line of a character offset."""
+        return self.text.count("\n", 0, offset) + 1

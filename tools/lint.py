@@ -21,6 +21,10 @@ one-line diff below):
                     time(...), system_clock / high_resolution_clock.
                     Monte-Carlo yield numbers must be bit-reproducible;
                     steady_clock is allowed (elapsed-time reporting only).
+                    thread_local is banned too: per-worker state must be
+                    an explicit worker-owned object (cloned model +
+                    evaluator), never ambient TLS that the serial==parallel
+                    bitwise guarantee cannot see.
   io-discipline     library code must not write to stdout/stderr or open
                     files: no <iostream>/<fstream>/<cstdio> includes, no
                     std::cout/cerr/clog, no printf-family calls.
@@ -67,8 +71,16 @@ from __future__ import annotations
 import argparse
 import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+# The character-level C++ scanner is shared with tools/analyze.py (the
+# concurrency-purity analyzer); re-exported here so existing importers
+# (tools/test_lint.py) keep working unchanged.
+from cpp_tokens import (  # noqa: E402,F401
+    BLOCK_COMMENT, CHAR, CODE, COMMENT_KINDS, LINE_COMMENT, LITERAL_KINDS,
+    RAW_STRING, STRING, SourceFile, Token, tokenize)
 
 SOURCE_DIRS = ("src", "tests", "bench", "tools", "examples")
 CPP_EXT = {".cpp", ".hpp"}
@@ -138,6 +150,10 @@ DETERMINISM_PATTERNS = [
     (re.compile(r"(?<![\w.:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time()"),
     (re.compile(r"std::chrono::system_clock"), "system_clock"),
     (re.compile(r"std::chrono::high_resolution_clock"), "high_resolution_clock"),
+    # Ambient TLS hides per-worker state from the serial==parallel bitwise
+    # suites and from tools/analyze.py's shared-state census: worker state
+    # must be an explicit worker-owned object.
+    (re.compile(r"\bthread_local\b"), "thread_local"),
 ]
 
 IO_PATTERNS = [
@@ -148,170 +164,6 @@ IO_PATTERNS = [
     (re.compile(r"(?<![\w.])f?printf\s*\("), "printf family"),
     (re.compile(r"(?<![\w.])f?puts\s*\("), "puts family"),
 ]
-
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(<[^>]+>|"[^"]+")')
-
-
-# ---------------------------------------------------------------------------
-# Tokenizer: a character-level scanner for the lexical shape of C++.
-# ---------------------------------------------------------------------------
-
-CODE = "code"
-LINE_COMMENT = "line_comment"
-BLOCK_COMMENT = "block_comment"
-STRING = "string"
-CHAR = "char"
-RAW_STRING = "raw_string"
-
-COMMENT_KINDS = {LINE_COMMENT, BLOCK_COMMENT}
-LITERAL_KINDS = {STRING, CHAR, RAW_STRING}
-
-
-@dataclass
-class Token:
-    kind: str
-    start: int  # offset into the file text
-    end: int    # one past the last character
-
-
-def tokenize(text: str) -> list[Token]:
-    """Splits C++ source into code / comment / literal tokens.
-
-    Handles line and block comments, string and char literals with
-    escapes, raw strings R"delim(...)delim" (with encoding prefixes),
-    and digit separators (1'000'000 is one number, not a char literal).
-    Unterminated constructs extend to end of file rather than raising:
-    lint must keep going on malformed input.
-    """
-    tokens: list[Token] = []
-    n = len(text)
-    i = 0
-    code_start = 0
-
-    def flush_code(upto: int) -> None:
-        if upto > code_start:
-            tokens.append(Token(CODE, code_start, upto))
-
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            flush_code(i)
-            j = text.find("\n", i)
-            j = n if j < 0 else j  # the newline stays code
-            tokens.append(Token(LINE_COMMENT, i, j))
-            i = code_start = j
-        elif c == "/" and nxt == "*":
-            flush_code(i)
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            tokens.append(Token(BLOCK_COMMENT, i, j))
-            i = code_start = j
-        elif c == '"':
-            # Raw string?  Scan back over the encoding prefix for R.
-            k = i - 1
-            while k >= 0 and text[k] in "uU8L":
-                k -= 1
-            is_raw = (k >= 0 and text[k] == "R"
-                      and (k == 0 or not (text[k - 1].isalnum()
-                                          or text[k - 1] == "_")))
-            if is_raw:
-                flush_code(k)
-                delim_end = text.find("(", i + 1)
-                if delim_end < 0:
-                    tokens.append(Token(RAW_STRING, k, n))
-                    i = code_start = n
-                    continue
-                closer = ")" + text[i + 1:delim_end] + '"'
-                j = text.find(closer, delim_end + 1)
-                j = n if j < 0 else j + len(closer)
-                tokens.append(Token(RAW_STRING, k, j))
-                i = code_start = j
-            else:
-                flush_code(i)
-                j = i + 1
-                while j < n and text[j] != '"':
-                    if text[j] == "\\":
-                        j += 1
-                    if text[j] == "\n":
-                        break  # unterminated on this line; stop the literal
-                    j += 1
-                j = min(j + 1, n)
-                tokens.append(Token(STRING, i, j))
-                i = code_start = j
-        elif c == "'":
-            prev = text[i - 1] if i > 0 else ""
-            if prev.isalnum() or prev == "_":
-                # Digit separator (1'000'000) or suffix context: plain code.
-                i += 1
-            else:
-                flush_code(i)
-                j = i + 1
-                while j < n and text[j] != "'":
-                    if text[j] == "\\":
-                        j += 1
-                    if text[j] == "\n":
-                        break
-                    j += 1
-                j = min(j + 1, n)
-                tokens.append(Token(CHAR, i, j))
-                i = code_start = j
-        else:
-            i += 1
-    flush_code(n)
-    return tokens
-
-
-def _blank(text: str) -> str:
-    """Replaces every non-newline character with a space."""
-    return re.sub(r"[^\n]", " ", text)
-
-
-class SourceFile:
-    """One tokenized file and the per-rule views into it."""
-
-    def __init__(self, path: Path, text: str):
-        self.path = path
-        self.text = text
-        self.tokens = tokenize(text)
-        # code: comments and literal *contents* blanked, positions kept.
-        # Include directives keep their quoted path (re-inserted below)
-        # because #include "..." is lexically a string.
-        parts: list[str] = []
-        for tok in self.tokens:
-            chunk = text[tok.start:tok.end]
-            parts.append(chunk if tok.kind == CODE else _blank(chunk))
-        self.code = "".join(parts)
-        # comments_by_line: physical line -> comment text present there.
-        self.comments_by_line: dict[int, str] = {}
-        for tok in self.tokens:
-            if tok.kind not in COMMENT_KINDS:
-                continue
-            line = text.count("\n", 0, tok.start) + 1
-            for piece in text[tok.start:tok.end].split("\n"):
-                self.comments_by_line[line] = (
-                    self.comments_by_line.get(line, "") + piece)
-                line += 1
-        self.code_lines = self.code.splitlines()
-        self.include_lines: list[tuple[int, str]] = []  # (lineno, "x"|<x>)
-        for lineno, line in enumerate(self.text.splitlines(), 1):
-            m = INCLUDE_RE.match(line)
-            if m and not self.in_comment(lineno, m.start(1)):
-                self.include_lines.append((lineno, m.group(1)))
-
-    def in_comment(self, lineno: int, col: int) -> bool:
-        """True if (lineno, col) falls inside a comment token."""
-        offset = sum(len(l) + 1 for l in self.text.split("\n")[:lineno - 1])
-        offset += col
-        for tok in self.tokens:
-            if tok.start <= offset < tok.end:
-                return tok.kind in COMMENT_KINDS
-        return False
-
-    def suppressed(self, lineno: int, marker: str) -> bool:
-        """True if a genuine comment on this line carries the marker."""
-        return marker in self.comments_by_line.get(lineno, "")
-
 
 # ---------------------------------------------------------------------------
 # Declared-name extraction for the unused-include heuristic.

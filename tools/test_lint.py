@@ -140,6 +140,26 @@ class LintRepoTest(unittest.TestCase):
         self.assertIn(("determinism", "src/stats/bad.cpp"),
                       rules_in(run_lint(self.root)))
 
+    def test_determinism_flags_thread_local(self):
+        # Ambient TLS would hide per-worker state from the serial==parallel
+        # suites and from the analyze.py shared-state census.
+        self.write("src/core/bad.cpp",
+                   "int counter() { thread_local int n = 0; return ++n; }\n")
+        self.assertIn(("determinism", "src/core/bad.cpp"),
+                      rules_in(run_lint(self.root)))
+
+    def test_determinism_thread_local_allowed_outside_src(self):
+        self.write_clean_header()
+        self.write("bench/scratch.cpp",
+                   "int counter() { thread_local int n = 0; return ++n; }\n")
+        self.assertEqual(run_lint(self.root), [])
+
+    def test_determinism_thread_local_in_comment_ignored(self):
+        self.write("src/core/ok.cpp",
+                   "// thread_local is banned in library code\n"
+                   "int f() { return 0; }\n")
+        self.assertEqual(run_lint(self.root), [])
+
     def test_determinism_ignores_comment_and_string(self):
         self.write("src/stats/ok.cpp",
                    '// std::random_device is banned\n'
