@@ -1,0 +1,101 @@
+// Sparse-vs-dense solver boundary benchmarks (BENCH_sparse_mna.json).
+//
+// Three shapes, all through the public engine APIs so both backends run
+// the exact code the models run:
+//   * BM_LadderAcProbe/n/backend -- one frequency probe on a stamped
+//     sim::AcSession over an n-section RC ladder: per-probe assemble of
+//     G + j omega C plus refactor and solve.  Dense refactors the full
+//     complex matrix (O(n^3)); sparse refactors the fixed banded pattern
+//     (O(nnz)).  backend 0 = forced dense, 1 = forced sparse.
+//   * BM_MeshDcNewton/rows/backend -- cold Newton DC solve of a
+//     rows x rows diode-connected MOS mesh (5-point-stencil fill, the
+//     shape the Markowitz ordering is for).  Includes stamping, the
+//     symbolic analysis (sparse, first factor only) and every per-
+//     iteration refactor/solve.
+//   * BM_OpampProbeLoop/backend -- the opamp_yield-shaped loop: repeated
+//     FoldedCascode::evaluate at fresh statistical samples, i.e. the
+//     DC + AC + transient probe mix the yield estimator issues.  At
+//     opamp scale (n ~ 25) dense is the fast path; this bench pins that
+//     forcing sparse stays correct and quantifies why kAuto keeps
+//     small systems dense.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "circuits/folded_cascode.hpp"
+#include "linalg/system_matrix.hpp"
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+#include "sim/solver.hpp"
+#include "spice/synthetic.hpp"
+#include "stats/sampler.hpp"
+
+namespace {
+
+using namespace mayo;
+
+linalg::SolverOptions forced(std::int64_t backend) {
+  linalg::SolverOptions options;
+  options.backend = backend != 0 ? linalg::SolverBackend::kSparse
+                                 : linalg::SolverBackend::kDense;
+  return options;
+}
+
+void BM_LadderAcProbe(benchmark::State& state) {
+  const std::size_t sections = static_cast<std::size_t>(state.range(0));
+  circuit::Netlist ladder = spice::make_rc_ladder(sections);
+  const linalg::Vector op(ladder.system_size());
+  sim::AcSession session;
+  session.set_solver(forced(state.range(1)));
+  session.stamp(ladder, op, circuit::Conditions{});
+  // Walk a log grid so every probe refactors a genuinely new system.
+  double f = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.solve(f));
+    f = f < 1e9 ? f * 1.7 : 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LadderAcProbe)
+    ->ArgsProduct({{30, 62, 126, 254, 510}, {0, 1}});
+
+void BM_MeshDcNewton(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  circuit::Netlist mesh = spice::make_mos_mesh(rows, rows);
+  sim::DcOptions dc;
+  dc.solver = forced(state.range(1));
+  sim::LinearSystem workspace;  // symbolic analysis amortizes across solves
+  dc.workspace = &workspace;
+  for (auto _ : state) {
+    sim::DcResult result = sim::solve_dc(mesh, circuit::Conditions{}, dc);
+    if (!result.converged) state.SkipWithError("DC did not converge");
+    benchmark::DoNotOptimize(result.solution.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshDcNewton)->ArgsProduct({{5, 10, 16, 22}, {0, 1}});
+
+void BM_OpampProbeLoop(benchmark::State& state) {
+  circuits::FoldedCascode::Options options;
+  options.solver = forced(state.range(0));
+  core::YieldProblem problem = circuits::FoldedCascode::make_problem(options);
+  auto* model = dynamic_cast<circuits::FoldedCascode*>(problem.model.get());
+  const linalg::DesignVec d(circuits::FoldedCascode::initial_design());
+  const linalg::OperatingVec theta(problem.operating.nominal);
+  const stats::SampleSet samples(64, circuits::FoldedCascodeStats::kCount, 7);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    // mV-scale Vth shifts / 0.1% gain scales: mismatch-sized perturbations.
+    linalg::StatPhysVec s(circuits::FoldedCascodeStats::kCount);
+    for (std::size_t k = 0; k < s.size(); ++k)
+      s[k] = 1e-3 * samples.sample(row)[k];
+    benchmark::DoNotOptimize(model->evaluate(d, s, theta));
+    row = (row + 1) % 64;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpampProbeLoop)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,7 +2,8 @@
 //
 // The simulator owns the system matrices; devices contribute ("stamp")
 // their currents, conductances and admittances through these small view
-// classes.  Conventions:
+// classes into a backend-neutral linalg::SystemMatrix (dense workspace or
+// sparse CSR -- the engines pick, devices never know).  Conventions:
 //
 //   * Unknown vector x = [node voltages v_1..v_{n-1}, branch currents].
 //     Node 0 is ground and is eliminated; stamps addressed at ground are
@@ -19,6 +20,7 @@
 #include <cstddef>
 
 #include "linalg/matrix.hpp"
+#include "linalg/system_matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::circuit {
@@ -35,11 +37,11 @@ struct Conditions {
 /// View for stamping the nonlinear DC system (residual + Jacobian).
 class DcStamp {
  public:
-  DcStamp(const linalg::Vector& x, linalg::Matrixd& jacobian,
+  DcStamp(const linalg::Vector& x, linalg::SystemMatrix& system,
           linalg::Vector& residual, std::size_t num_nodes,
           const Conditions& conditions)
       : x_(x),
-        jacobian_(jacobian),
+        system_(system),
         residual_(residual),
         num_nodes_(num_nodes),
         conditions_(conditions) {}
@@ -64,7 +66,7 @@ class DcStamp {
   }
   /// Adds dF_row/dx_col to the Jacobian; either index may be -1 (ground).
   void add_jacobian(int row, int col, double value) {
-    if (row >= 0 && col >= 0) jacobian_(row, col) += value;
+    if (row >= 0 && col >= 0) system_.add(row, col, value);
   }
   /// Two-terminal conductance stamp between nodes a and b.
   void add_conductance(NodeId a, NodeId b, double g) {
@@ -81,7 +83,7 @@ class DcStamp {
 
  private:
   const linalg::Vector& x_;
-  linalg::Matrixd& jacobian_;
+  linalg::SystemMatrix& system_;
   linalg::Vector& residual_;
   std::size_t num_nodes_;
   const Conditions& conditions_;
@@ -95,12 +97,11 @@ class DcStamp {
 /// frequency probe (see sim::AcSession).
 class AcStamp {
  public:
-  AcStamp(const linalg::Vector& op, linalg::Matrixd& conductance,
-          linalg::Matrixd& capacitance, linalg::VectorC& rhs,
-          std::size_t num_nodes, const Conditions& conditions)
+  AcStamp(const linalg::Vector& op, linalg::SystemMatrix& system,
+          linalg::VectorC& rhs, std::size_t num_nodes,
+          const Conditions& conditions)
       : op_(op),
-        g_(conductance),
-        c_(capacitance),
+        system_(system),
         rhs_(rhs),
         num_nodes_(num_nodes),
         conditions_(conditions) {}
@@ -113,12 +114,12 @@ class AcStamp {
 
   /// Adds a frequency-independent (real) entry to G.
   void add(int row, int col, double value) {
-    if (row >= 0 && col >= 0) g_(row, col) += value;
+    if (row >= 0 && col >= 0) system_.add(row, col, value);
   }
   /// Adds an entry to C: contributes j * omega * value at frequency omega.
   /// The inductor's branch term -j omega L stamps value = -L here.
   void add_jomega(int row, int col, double value) {
-    if (row >= 0 && col >= 0) c_(row, col) += value;
+    if (row >= 0 && col >= 0) system_.add_jomega(row, col, value);
   }
   /// Two-terminal conductance stamp.
   void add_admittance(NodeId a, NodeId b, double g) {
@@ -147,8 +148,7 @@ class AcStamp {
 
  private:
   const linalg::Vector& op_;
-  linalg::Matrixd& g_;
-  linalg::Matrixd& c_;
+  linalg::SystemMatrix& system_;
   linalg::VectorC& rhs_;
   std::size_t num_nodes_;
   const Conditions& conditions_;
@@ -164,12 +164,12 @@ class AcStamp {
 /// exist (the first step always runs backward Euler).
 class TranStamp : public DcStamp {
  public:
-  TranStamp(const linalg::Vector& x, linalg::Matrixd& jacobian,
+  TranStamp(const linalg::Vector& x, linalg::SystemMatrix& system,
             linalg::Vector& residual, std::size_t num_nodes,
             const Conditions& conditions, const linalg::Vector& x_prev,
             double step, double time,
             const linalg::Vector* x_prev2 = nullptr)
-      : DcStamp(x, jacobian, residual, num_nodes, conditions),
+      : DcStamp(x, system, residual, num_nodes, conditions),
         x_prev_(x_prev),
         x_prev2_(x_prev2),
         num_nodes_tran_(num_nodes),

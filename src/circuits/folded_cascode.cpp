@@ -215,7 +215,9 @@ FoldedCascode::FoldedCascode() : FoldedCascode(Options()) {}
 FoldedCascode::FoldedCascode(Options options)
     : options_(std::move(options)),
       ac_bench_(build_bench(options_, /*unity=*/false)),
-      sr_bench_(build_bench(options_, /*unity=*/true)) {}
+      sr_bench_(build_bench(options_, /*unity=*/true)) {
+  ac_session_.set_solver(options_.solver);
+}
 
 FoldedCascode::~FoldedCascode() = default;
 
@@ -306,7 +308,10 @@ void FoldedCascode::ensure_ac_section(DesignContext& ctx, const Vector& d,
   const Conditions conditions{theta[0]};
   // Cold solve: no warm start, so the context stays a pure function of
   // (d, theta) regardless of what was evaluated before.
-  const sim::DcResult op = sim::solve_dc(ac.netlist, conditions, {});
+  sim::DcOptions dc;
+  dc.solver = options_.solver;
+  dc.workspace = &newton_ac_;
+  const sim::DcResult op = sim::solve_dc(ac.netlist, conditions, dc);
   ctx.ac_converged = op.converged;
   if (op.converged) ctx.op_ac = op.solution;
 }
@@ -342,7 +347,10 @@ void FoldedCascode::ensure_sr_section(DesignContext& ctx, const Vector& d,
   const double vcm = 0.5 * theta[1];
   sr.vinp->set_dc_value(vcm);
   const Conditions conditions{theta[0]};
-  const sim::DcResult op = sim::solve_dc(sr.netlist, conditions, {});
+  sim::DcOptions dc;
+  dc.solver = options_.solver;
+  dc.workspace = &newton_sr_;
+  const sim::DcResult op = sim::solve_dc(sr.netlist, conditions, dc);
   ctx.sr_converged = op.converged;
   if (!op.converged) return;
   ctx.op_sr = op.solution;
@@ -355,6 +363,8 @@ void FoldedCascode::ensure_sr_section(DesignContext& ctx, const Vector& d,
   sim::TranOptions tran;
   tran.t_stop = options_.sr_t_stop;
   tran.dt = options_.sr_dt;
+  tran.newton.solver = options_.solver;
+  tran.newton.workspace = &newton_sr_;
   const sim::TranResult tr =
       sim::solve_transient(sr.netlist, op.solution, conditions, tran);
   sr.vinp->clear_waveform();
@@ -374,8 +384,11 @@ FoldedCascode::Measurements FoldedCascode::measure_with_context(
   // --- open-loop AC bench: A0, ft, CMRR, power -------------------------
   Bench& ac = *ac_bench_;
   apply(ac, d, s, theta);
+  sim::DcOptions ac_dc;
+  ac_dc.solver = options_.solver;
+  ac_dc.workspace = &newton_ac_;
   sim::DcResult op = sim::solve_dc(
-      ac.netlist, conditions, {}, ctx.ac_converged ? &ctx.op_ac : nullptr);
+      ac.netlist, conditions, ac_dc, ctx.ac_converged ? &ctx.op_ac : nullptr);
   if (!op.converged) return out;  // valid stays false
 
   out.power_mw =
@@ -405,8 +418,11 @@ FoldedCascode::Measurements FoldedCascode::measure_with_context(
   apply(sr, d, s, theta);
   const double vcm = 0.5 * theta[1];
   sr.vinp->set_dc_value(vcm);
+  sim::DcOptions sr_dc;
+  sr_dc.solver = options_.solver;
+  sr_dc.workspace = &newton_sr_;
   sim::DcResult sr_op = sim::solve_dc(
-      sr.netlist, conditions, {}, ctx.sr_converged ? &ctx.op_sr : nullptr);
+      sr.netlist, conditions, sr_dc, ctx.sr_converged ? &ctx.op_sr : nullptr);
   if (!sr_op.converged) return out;
 
   const double step = options_.sr_step;
@@ -416,6 +432,8 @@ FoldedCascode::Measurements FoldedCascode::measure_with_context(
   sim::TranOptions tran;
   tran.t_stop = options_.sr_t_stop;
   tran.dt = options_.sr_dt;
+  tran.newton.solver = options_.solver;
+  tran.newton.workspace = &newton_sr_;
   tran.seed_trajectory = ctx.traj_valid ? &ctx.sr_traj : nullptr;
   const sim::TranResult tr =
       sim::solve_transient(sr.netlist, sr_op.solution, conditions, tran);

@@ -30,7 +30,9 @@
 
 #include "circuits/process.hpp"
 #include "core/problem.hpp"
+#include "linalg/system_matrix.hpp"
 #include "sim/ac.hpp"
+#include "sim/solver.hpp"
 
 namespace mayo::circuits {
 
@@ -73,6 +75,10 @@ class FoldedCascode final : public core::PerformanceModel {
     double sr_step = 0.5;       ///< input step of the slew bench [V]
     double sr_t_stop = 120e-9;  ///< transient duration [s]
     double sr_dt = 0.5e-9;      ///< transient step [s]
+    /// Linear-solver backend selection for every bench solve (kAuto keeps
+    /// this opamp-scale netlist on the dense fast path; tests force
+    /// kSparse to pin dense/sparse equivalence).
+    linalg::SolverOptions solver;
   };
 
   FoldedCascode();  ///< default options
@@ -164,6 +170,12 @@ class FoldedCascode final : public core::PerformanceModel {
   /// Reusable small-signal workspace.  Every use fully re-stamps it, so it
   /// carries cost (buffers, factors) but never results between calls.
   sim::AcSession ac_session_;
+  /// Newton linear-system workspaces, one per bench (the benches differ
+  /// in size; sharing one would thrash the sparse pattern and symbolic
+  /// analysis on every alternation).  Like the session, they carry only
+  /// cost between calls; clone() gives each parallel worker fresh ones.
+  sim::LinearSystem newton_ac_;
+  sim::LinearSystem newton_sr_;
 };
 
 }  // namespace mayo::circuits

@@ -140,7 +140,9 @@ Miller::Miller() : Miller(Options()) {}
 Miller::Miller(Options options)
     : options_(std::move(options)),
       ac_bench_(build_bench(options_, /*unity=*/false)),
-      sr_bench_(build_bench(options_, /*unity=*/true)) {}
+      sr_bench_(build_bench(options_, /*unity=*/true)) {
+  ac_session_.set_solver(options_.solver);
+}
 
 Miller::~Miller() = default;
 
@@ -208,7 +210,10 @@ void Miller::ensure_ac_section(DesignContext& ctx, const Vector& d,
   const Vector s0(Stats::kCount);
   apply(ac, d, s0, theta);
   const Conditions conditions{theta[0]};
-  const sim::DcResult op = sim::solve_dc(ac.netlist, conditions, {});
+  sim::DcOptions dc;
+  dc.solver = options_.solver;
+  dc.workspace = &newton_ac_;
+  const sim::DcResult op = sim::solve_dc(ac.netlist, conditions, dc);
   ctx.ac_converged = op.converged;
   if (op.converged) ctx.op_ac = op.solution;
 }
@@ -244,7 +249,10 @@ void Miller::ensure_sr_section(DesignContext& ctx, const Vector& d,
   const double vcm = 0.5 * theta[1];
   sr.vinp->set_dc_value(vcm);
   const Conditions conditions{theta[0]};
-  const sim::DcResult op = sim::solve_dc(sr.netlist, conditions, {});
+  sim::DcOptions dc;
+  dc.solver = options_.solver;
+  dc.workspace = &newton_sr_;
+  const sim::DcResult op = sim::solve_dc(sr.netlist, conditions, dc);
   ctx.sr_converged = op.converged;
   if (!op.converged) return;
   ctx.op_sr = op.solution;
@@ -255,6 +263,8 @@ void Miller::ensure_sr_section(DesignContext& ctx, const Vector& d,
   sim::TranOptions tran;
   tran.t_stop = options_.sr_t_stop;
   tran.dt = options_.sr_dt;
+  tran.newton.solver = options_.solver;
+  tran.newton.workspace = &newton_sr_;
   const sim::TranResult tr =
       sim::solve_transient(sr.netlist, op.solution, conditions, tran);
   sr.vinp->clear_waveform();
@@ -273,8 +283,11 @@ Miller::Measurements Miller::measure_with_context(DesignContext& ctx,
 
   Bench& ac = *ac_bench_;
   apply(ac, d, s, theta);
+  sim::DcOptions ac_dc;
+  ac_dc.solver = options_.solver;
+  ac_dc.workspace = &newton_ac_;
   sim::DcResult op = sim::solve_dc(
-      ac.netlist, conditions, {}, ctx.ac_converged ? &ctx.op_ac : nullptr);
+      ac.netlist, conditions, ac_dc, ctx.ac_converged ? &ctx.op_ac : nullptr);
   if (!op.converged) return out;
 
   out.power_mw =
@@ -295,8 +308,11 @@ Miller::Measurements Miller::measure_with_context(DesignContext& ctx,
   apply(sr, d, s, theta);
   const double vcm = 0.5 * theta[1];
   sr.vinp->set_dc_value(vcm);
+  sim::DcOptions sr_dc;
+  sr_dc.solver = options_.solver;
+  sr_dc.workspace = &newton_sr_;
   sim::DcResult sr_op = sim::solve_dc(
-      sr.netlist, conditions, {}, ctx.sr_converged ? &ctx.op_sr : nullptr);
+      sr.netlist, conditions, sr_dc, ctx.sr_converged ? &ctx.op_sr : nullptr);
   if (!sr_op.converged) return out;
 
   const double step = options_.sr_step;
@@ -306,6 +322,8 @@ Miller::Measurements Miller::measure_with_context(DesignContext& ctx,
   sim::TranOptions tran;
   tran.t_stop = options_.sr_t_stop;
   tran.dt = options_.sr_dt;
+  tran.newton.solver = options_.solver;
+  tran.newton.workspace = &newton_sr_;
   tran.seed_trajectory = ctx.traj_valid ? &ctx.sr_traj : nullptr;
   const sim::TranResult tr =
       sim::solve_transient(sr.netlist, sr_op.solution, conditions, tran);

@@ -22,7 +22,9 @@
 
 #include "circuits/process.hpp"
 #include "core/problem.hpp"
+#include "linalg/system_matrix.hpp"
 #include "sim/ac.hpp"
+#include "sim/solver.hpp"
 
 namespace mayo::circuits {
 
@@ -63,6 +65,10 @@ class Miller final : public core::PerformanceModel {
     double sr_step = 0.5;       ///< input step of the slew bench [V]
     double sr_t_stop = 1.2e-6;  ///< transient duration [s]
     double sr_dt = 4e-9;        ///< transient step [s]
+    /// Linear-solver backend selection for every bench solve (kAuto keeps
+    /// this opamp-scale netlist on the dense fast path; tests force
+    /// kSparse to pin dense/sparse equivalence).
+    linalg::SolverOptions solver;
   };
 
   Miller();  ///< default options
@@ -137,6 +143,12 @@ class Miller final : public core::PerformanceModel {
   /// Reusable small-signal workspace.  Every use fully re-stamps it, so it
   /// carries cost (buffers, factors) but never results between calls.
   sim::AcSession ac_session_;
+  /// Newton linear-system workspaces, one per bench (the benches differ
+  /// in size; sharing one would thrash the sparse pattern and symbolic
+  /// analysis on every alternation).  Like the session, they carry only
+  /// cost between calls; clone() gives each parallel worker fresh ones.
+  sim::LinearSystem newton_ac_;
+  sim::LinearSystem newton_sr_;
 };
 
 }  // namespace mayo::circuits

@@ -1,0 +1,198 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+
+namespace mayo::linalg {
+
+CsrPattern::CsrPattern(std::size_t n,
+                       std::vector<std::pair<int, int>> entries)
+    : n_(n) {
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  row_ptr_.assign(n_ + 1, 0);
+  col_idx_.reserve(entries.size());
+  for (const auto& [row, col] : entries) {
+    MAYO_ASSERT(row >= 0 && static_cast<std::size_t>(row) < n_,
+                "CsrPattern: row out of range");
+    MAYO_ASSERT(col >= 0 && static_cast<std::size_t>(col) < n_,
+                "CsrPattern: col out of range");
+    ++row_ptr_[static_cast<std::size_t>(row) + 1];
+    col_idx_.push_back(col);
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+int CsrPattern::slot(int row, int col) const {
+  const auto begin = col_idx_.begin() + row_ptr_[row];
+  const auto end = col_idx_.begin() + row_ptr_[row + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return -1;
+  return static_cast<int>(it - col_idx_.begin());
+}
+
+namespace {
+
+/// One active (column, magnitude) entry of a row during the analysis
+/// elimination.  Rows stay sorted by column for O(log) membership tests.
+struct Entry {
+  int col;
+  double mag;
+};
+
+bool entry_less(const Entry& e, int col) { return e.col < col; }
+
+}  // namespace
+
+void SymbolicLu::analyze(const CsrPattern& pattern, const double* magnitudes,
+                         double pivot_threshold) {
+  const std::size_t n = pattern.size();
+  MAYO_ASSERT(n > 0, "SymbolicLu::analyze: empty pattern");
+  MAYO_ASSERT(pivot_threshold > 0.0 && pivot_threshold <= 1.0,
+              "SymbolicLu::analyze: pivot_threshold must be in (0, 1]");
+#if MAYO_CHECKS_ENABLED
+  for (std::size_t k = 0; k < pattern.nnz(); ++k) {
+    MAYO_CHECK_FINITE(magnitudes[k], "SymbolicLu::analyze magnitude");
+    MAYO_ASSERT(magnitudes[k] >= 0.0,
+                "SymbolicLu::analyze: magnitudes must be nonnegative");
+  }
+#endif
+
+  // Working copy of the pattern with magnitudes.  The elimination below
+  // mirrors what every later numeric refactorization will do, except
+  // that updates are *additive* on nonnegative magnitudes: nothing ever
+  // cancels, so the recorded structure is a superset of any numeric
+  // elimination on this pattern (structure closure).  Zero-magnitude
+  // slots still propagate fill -- structure, not luck, decides.
+  std::vector<std::vector<Entry>> rows(n);
+  std::vector<int> col_count(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const int begin = pattern.row_ptr()[r];
+    const int end = pattern.row_ptr()[r + 1];
+    rows[r].reserve(static_cast<std::size_t>(end - begin));
+    for (int k = begin; k < end; ++k) {
+      rows[r].push_back({pattern.col_idx()[k], magnitudes[k]});
+      ++col_count[pattern.col_idx()[k]];
+    }
+  }
+
+  n_ = 0;  // not analyzed until the elimination completes (throws leave
+           // the object safely re-analyzable)
+  perm_row_.assign(n, 0);
+  col_of_pos_.assign(n, 0);
+  std::vector<int> pos_of_col(n, -1);
+  std::vector<char> row_done(n, 0);
+  std::vector<char> col_done(n, 0);
+  std::vector<std::vector<int>> l_of_row(n);  // per original row, steps
+  std::vector<std::vector<int>> u_cols(n);    // per step, active columns
+
+  for (std::size_t step = 0; step < n; ++step) {
+    // Threshold-Markowitz pivot: among entries with magnitude at least
+    // pivot_threshold times their row maximum, minimize the Markowitz
+    // cost (row_nnz-1)*(col_nnz-1); ties break on (row, col).  All
+    // comparisons are exact, the scan order is fixed, and the candidate
+    // set depends only on the magnitudes -- deterministic by design.
+    long best_cost = -1;
+    int best_row = -1;
+    int best_col = -1;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (row_done[r]) continue;
+      double row_max = 0.0;
+      for (const Entry& e : rows[r]) row_max = std::max(row_max, e.mag);
+      if (row_max == 0.0) continue;
+      const long row_cost = static_cast<long>(rows[r].size()) - 1;
+      for (const Entry& e : rows[r]) {
+        if (e.mag <= 0.0 || e.mag < pivot_threshold * row_max) continue;
+        const long cost = row_cost * (col_count[e.col] - 1);
+        if (best_cost < 0 || cost < best_cost ||
+            (cost == best_cost &&
+             (static_cast<int>(r) < best_row ||
+              (static_cast<int>(r) == best_row && e.col < best_col)))) {
+          best_cost = cost;
+          best_row = static_cast<int>(r);
+          best_col = e.col;
+        }
+      }
+    }
+    if (best_row < 0) throw SingularMatrixError(step);
+
+    const std::size_t piv_row = static_cast<std::size_t>(best_row);
+    const int piv_col = best_col;
+    perm_row_[step] = best_row;
+    col_of_pos_[step] = piv_col;
+    pos_of_col[piv_col] = static_cast<int>(step);
+    row_done[piv_row] = 1;
+    col_done[piv_col] = 1;
+
+    // The pivot row leaves the active submatrix and becomes a U row.
+    u_cols[step].reserve(rows[piv_row].size());
+    for (const Entry& e : rows[piv_row]) {
+      u_cols[step].push_back(e.col);
+      --col_count[e.col];
+    }
+    const auto piv_it =
+        std::lower_bound(rows[piv_row].begin(), rows[piv_row].end(), piv_col,
+                         entry_less);
+    const double piv_mag = piv_it->mag;
+
+    // Eliminate the pivot column from every remaining active row that
+    // carries it (structurally -- magnitude zero still counts), adding
+    // the pivot row's fill.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (row_done[r]) continue;
+      const auto hit =
+          std::lower_bound(rows[r].begin(), rows[r].end(), piv_col,
+                           entry_less);
+      if (hit == rows[r].end() || hit->col != piv_col) continue;
+      const double factor = hit->mag / piv_mag;
+      rows[r].erase(hit);
+      --col_count[piv_col];
+      l_of_row[r].push_back(static_cast<int>(step));
+      for (const Entry& e : rows[piv_row]) {
+        if (e.col == piv_col) continue;
+        const auto at = std::lower_bound(rows[r].begin(), rows[r].end(),
+                                         e.col, entry_less);
+        if (at != rows[r].end() && at->col == e.col) {
+          at->mag += factor * e.mag;
+        } else {
+          rows[r].insert(at, {e.col, factor * e.mag});
+          ++col_count[e.col];
+        }
+      }
+    }
+  }
+
+  n_ = n;
+
+  // Flatten into the fixed CSR-like arrays SparseLu consumes.  Every
+  // column received exactly one position (n steps, n distinct columns).
+  a_ptr_.assign(n + 1, 0);
+  a_slot_.clear();
+  a_pos_.clear();
+  l_ptr_.assign(n + 1, 0);
+  l_pos_.clear();
+  u_ptr_.assign(n + 1, 0);
+  u_pos_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int r = perm_row_[i];
+    for (int k = pattern.row_ptr()[r]; k < pattern.row_ptr()[r + 1]; ++k) {
+      a_slot_.push_back(k);
+      a_pos_.push_back(pos_of_col[pattern.col_idx()[k]]);
+    }
+    a_ptr_[i + 1] = static_cast<int>(a_slot_.size());
+
+    for (const int s : l_of_row[r]) l_pos_.push_back(s);
+    l_ptr_[i + 1] = static_cast<int>(l_pos_.size());
+
+    const std::size_t u_begin = u_pos_.size();
+    for (const int c : u_cols[i]) u_pos_.push_back(pos_of_col[c]);
+    std::sort(u_pos_.begin() + static_cast<std::ptrdiff_t>(u_begin),
+              u_pos_.end());
+    MAYO_ASSERT(u_pos_[u_begin] == static_cast<int>(i),
+                "SymbolicLu: U row must start with its diagonal");
+    u_ptr_[i + 1] = static_cast<int>(u_pos_.size());
+  }
+
+  obs::registry().counters.sparse_symbolic.add();
+}
+
+}  // namespace mayo::linalg

@@ -1,0 +1,259 @@
+// mayo/linalg -- sparse LU with symbolic-once factorization for MNA.
+//
+// The simulation hot loop factors thousands of systems with the *same*
+// sparsity pattern (one per Newton iteration, one per AC frequency probe)
+// and only the numeric values change.  Dense `Lu` pays O(n^3) every time;
+// this module splits the work the way production SPICE engines do:
+//
+//   CsrPattern   -- the immutable n x n sparsity pattern (CSR, sorted,
+//                   deduplicated), built once per topology.
+//   SymbolicLu   -- analysis computed ONCE per pattern: a deterministic
+//                   threshold-Markowitz pivot order (full row+column
+//                   permutation -- MNA voltage-source branch rows have
+//                   structurally zero diagonals, so diagonal pivoting is
+//                   not an option) and the complete L/U fill structure.
+//                   The analysis runs the elimination on nonnegative
+//                   magnitudes with *additive* updates, so the recorded
+//                   structure is closed under any numeric values a later
+//                   refactorization may carry on the same pattern.
+//   SparseLu<T>  -- the numeric side (real and complex): a fixed-pattern
+//                   up-looking refactorization and triangular solves that
+//                   are allocation-free after `bind()` and bitwise
+//                   deterministic (fixed elimination order, no data
+//                   races, no reductions whose order could vary).
+//
+// Mirrors the dense `Lu::workspace()/refactor()/solve_into()` contract:
+// exact-zero pivots throw SingularMatrixError with the failing
+// elimination step, repeated refactorizations are bitwise-identical to a
+// fresh bind + refactor, and `solve_into` never allocates.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/check.hpp"
+#include "linalg/lu.hpp"
+#include "obs/obs.hpp"
+
+namespace mayo::linalg {
+
+/// Immutable n x n sparsity pattern in compressed-sparse-row form.
+/// Entries are sorted by (row, col) and deduplicated at construction.
+class CsrPattern {
+ public:
+  CsrPattern() = default;
+
+  /// Builds the pattern from (row, col) pairs; duplicates collapse.
+  CsrPattern(std::size_t n, std::vector<std::pair<int, int>> entries);
+
+  std::size_t size() const { return n_; }
+  std::size_t nnz() const { return col_idx_.size(); }
+
+  /// CSR slot of (row, col), or -1 when the position is not in the
+  /// pattern.  Binary search within the row: O(log row_nnz).
+  int slot(int row, int col) const;
+
+  /// Row r occupies slots [row_ptr()[r], row_ptr()[r+1]).
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+
+  friend bool operator==(const CsrPattern&, const CsrPattern&) = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<int> row_ptr_;  // n_ + 1 offsets
+  std::vector<int> col_idx_;  // nnz column indices, ascending per row
+};
+
+/// Symbolic LU analysis of one CsrPattern: pivot order + fill structure,
+/// computed once per topology and shared by every SparseLu refactor.
+///
+/// Pivots are chosen by threshold Markowitz on caller-supplied
+/// nonnegative magnitudes (one per pattern slot; use representative
+/// first-factorization values, e.g. |G| or |G| + |C|): among candidates
+/// whose magnitude is at least `pivot_threshold` times their row maximum,
+/// the lowest Markowitz cost (r_nnz-1)*(c_nnz-1) wins, ties broken by
+/// (row, col) -- fully deterministic, no floating-point ordering beyond
+/// the magnitudes themselves.  Fill is propagated structurally (a
+/// zero-magnitude slot still creates fill), which is what makes the
+/// structure valid for every later operating point on the same pattern.
+class SymbolicLu {
+ public:
+  SymbolicLu() = default;
+
+  /// Analyzes `pattern` with one nonnegative finite magnitude per slot.
+  /// Throws SingularMatrixError(step) when no admissible pivot exists
+  /// (structural or magnitude-zero singularity).
+  void analyze(const CsrPattern& pattern, const double* magnitudes,
+               double pivot_threshold = 0.1);
+
+  void analyze(const CsrPattern& pattern,
+               const std::vector<double>& magnitudes,
+               double pivot_threshold = 0.1) {
+    MAYO_CHECK_DIM(magnitudes.size(), pattern.nnz(),
+                   "SymbolicLu::analyze magnitudes");
+    analyze(pattern, magnitudes.data(), pivot_threshold);
+  }
+
+  bool analyzed() const { return n_ > 0; }
+  std::size_t size() const { return n_; }
+
+  /// Original row eliminated at each step (elimination order -> row).
+  const std::vector<int>& row_perm() const { return perm_row_; }
+  /// Original column of each elimination position (position -> col).
+  const std::vector<int>& col_of_pos() const { return col_of_pos_; }
+
+  /// Factor fill: total L + U entries (U includes the n diagonals).
+  std::size_t lu_nnz() const { return l_pos_.size() + u_pos_.size(); }
+
+  // -- internal structure consumed by SparseLu (stable accessors so the
+  //    determinism tests can compare two analyses entry for entry) --
+  const std::vector<int>& a_ptr() const { return a_ptr_; }
+  const std::vector<int>& a_slot() const { return a_slot_; }
+  const std::vector<int>& a_pos() const { return a_pos_; }
+  const std::vector<int>& l_ptr() const { return l_ptr_; }
+  const std::vector<int>& l_pos() const { return l_pos_; }
+  const std::vector<int>& u_ptr() const { return u_ptr_; }
+  const std::vector<int>& u_pos() const { return u_pos_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<int> perm_row_;    // step -> original row
+  std::vector<int> col_of_pos_;  // position -> original column
+  // Input gather: for elimination row i, slots a_slot_[k] of the pattern
+  // value array land at permuted positions a_pos_[k],
+  // k in [a_ptr_[i], a_ptr_[i+1]).
+  std::vector<int> a_ptr_, a_slot_, a_pos_;
+  // L structure: per elimination row, update positions j < i, ascending.
+  std::vector<int> l_ptr_, l_pos_;
+  // U structure: per elimination row, active positions >= i, ascending --
+  // the diagonal (position i) is always first.
+  std::vector<int> u_ptr_, u_pos_;
+};
+
+/// Numeric side of the split factorization (T = double or
+/// std::complex<double>).  `bind()` sizes every buffer (the only
+/// allocating step); `refactor()`/`solve_into()` are allocation-free and
+/// run a fixed elimination order, so repeated refactorizations are
+/// bitwise-identical to a fresh factorization.  Not thread-safe per
+/// instance (the scatter workspace is shared); use one SparseLu per
+/// worker, like the dense Lu workspaces.
+template <typename T>
+class SparseLu {
+ public:
+  SparseLu() = default;
+
+  /// Binds to a symbolic analysis, which must outlive this object and
+  /// remain unchanged while bound.  Allocates the numeric buffers.
+  void bind(const SymbolicLu& symbolic) {
+    MAYO_ASSERT(symbolic.analyzed(), "SparseLu::bind: symbolic not analyzed");
+    symbolic_ = &symbolic;
+    lval_.assign(symbolic.l_pos().size(), T{});
+    uval_.assign(symbolic.u_pos().size(), T{});
+    work_.assign(symbolic.size(), T{});
+  }
+
+  bool bound() const { return symbolic_ != nullptr; }
+  std::size_t size() const { return symbolic_ ? symbolic_->size() : 0; }
+
+  /// Numeric refactorization from pattern values `a` (one entry per slot
+  /// of the analyzed pattern).  Up-looking over elimination rows through
+  /// a dense scatter workspace; throws SingularMatrixError on an exactly
+  /// zero pivot and may be called again with better values afterwards.
+  void refactor(const T* a) {
+    MAYO_ASSERT(bound(), "SparseLu::refactor: bind() first");
+    const SymbolicLu& s = *symbolic_;
+    const std::size_t n = s.size();
+    const int* a_ptr = s.a_ptr().data();
+    const int* a_slot = s.a_slot().data();
+    const int* a_pos = s.a_pos().data();
+    const int* l_ptr = s.l_ptr().data();
+    const int* l_pos = s.l_pos().data();
+    const int* u_ptr = s.u_ptr().data();
+    const int* u_pos = s.u_pos().data();
+    T* __restrict__ w = work_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Scatter: zero exactly this row's structure, then gather A.
+      for (int k = l_ptr[i]; k < l_ptr[i + 1]; ++k) w[l_pos[k]] = T{};
+      for (int k = u_ptr[i]; k < u_ptr[i + 1]; ++k) w[u_pos[k]] = T{};
+      for (int k = a_ptr[i]; k < a_ptr[i + 1]; ++k) w[a_pos[k]] = a[a_slot[k]];
+      // Eliminate against the already-finished rows, ascending -- the
+      // same order every call, so results are bitwise reproducible.
+      for (int k = l_ptr[i]; k < l_ptr[i + 1]; ++k) {
+        const int j = l_pos[k];
+        const T factor = w[j] / uval_[u_ptr[j]];
+        lval_[k] = factor;
+        if (factor == T{}) continue;
+        for (int m = u_ptr[j] + 1; m < u_ptr[j + 1]; ++m)
+          w[u_pos[m]] -= factor * uval_[m];
+      }
+      // Gather U; the diagonal slot is first by construction.
+      const T pivot = w[u_pos[u_ptr[i]]];
+      if (pivot == T{}) throw SingularMatrixError(i);
+      for (int k = u_ptr[i]; k < u_ptr[i + 1]; ++k) uval_[k] = w[u_pos[k]];
+    }
+    obs::registry().counters.sparse_refactor.add();
+  }
+
+  void refactor(const std::vector<T>& a,
+                [[maybe_unused]] std::size_t pattern_nnz) {
+    MAYO_CHECK_DIM(a.size(), pattern_nnz, "SparseLu::refactor values");
+    refactor(a.data());
+  }
+
+  /// Allocation-free solve of A x = b; both buffers hold size() entries
+  /// and must not alias (the permuted solution is built in the internal
+  /// workspace, then scattered into `x`).
+  void solve_into(const T* b, T* x) {
+    MAYO_ASSERT(bound(), "SparseLu::solve_into: bind() first");
+    const SymbolicLu& s = *symbolic_;
+    const std::size_t n = s.size();
+    const int* perm_row = s.row_perm().data();
+    const int* col_of_pos = s.col_of_pos().data();
+    const int* l_ptr = s.l_ptr().data();
+    const int* l_pos = s.l_pos().data();
+    const int* u_ptr = s.u_ptr().data();
+    const int* u_pos = s.u_pos().data();
+    T* __restrict__ y = work_.data();
+    // Permute b and forward-substitute L (unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm_row[i]];
+      for (int k = l_ptr[i]; k < l_ptr[i + 1]; ++k)
+        acc -= lval_[k] * y[l_pos[k]];
+      y[i] = acc;
+    }
+    // Back-substitute U (diagonal first in each row).
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = y[ii];
+      const int diag = u_ptr[ii];
+      for (int k = diag + 1; k < u_ptr[ii + 1]; ++k)
+        acc -= uval_[k] * y[u_pos[k]];
+      y[ii] = acc / uval_[diag];
+    }
+    // Undo the column permutation.
+    for (std::size_t p = 0; p < n; ++p) x[col_of_pos[p]] = y[p];
+    obs::registry().counters.sparse_solve.add();
+  }
+
+  /// Convenience allocating solve (tests and cold paths).
+  std::vector<T> solve(const std::vector<T>& b) {
+    MAYO_CHECK_DIM(b.size(), size(), "SparseLu::solve rhs");
+    std::vector<T> x(size());
+    solve_into(b.data(), x.data());
+    return x;
+  }
+
+ private:
+  const SymbolicLu* symbolic_ = nullptr;
+  std::vector<T> lval_;  // L entries, unit diagonal implicit
+  std::vector<T> uval_;  // U entries, diagonal first per row
+  std::vector<T> work_;  // dense scatter workspace, size n
+};
+
+using SparseLud = SparseLu<double>;
+using SparseLuc = SparseLu<std::complex<double>>;
+
+}  // namespace mayo::linalg

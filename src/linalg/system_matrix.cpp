@@ -1,0 +1,89 @@
+#include "linalg/system_matrix.hpp"
+
+#include <algorithm>
+
+namespace mayo::linalg {
+
+void SystemMatrix::begin_sparse(std::size_t n, bool with_jomega) {
+  MAYO_ASSERT(n > 0, "SystemMatrix::begin_sparse: empty system");
+  mode_ = Mode::kSparse;
+  dense_real_ = nullptr;
+  dense_jomega_ = nullptr;
+  with_jomega_ = with_jomega;
+  overflow_.clear();
+  if (n_ == n && pattern_.size() == n && pattern_.nnz() > 0) {
+    // Steady state: same topology size, keep the pattern and zero the
+    // values so the stamp pass accumulates fresh.
+    std::fill(values_.begin(), values_.end(), 0.0);
+    std::fill(jomega_values_.begin(), jomega_values_.end(), 0.0);
+    discovering_ = false;
+  } else {
+    pattern_ = CsrPattern();
+    values_.clear();
+    jomega_values_.clear();
+    discovering_ = true;
+  }
+  n_ = n;
+}
+
+void SystemMatrix::add_sparse(int row, int col, double value,
+                              double jomega_value) {
+  if (!discovering_) {
+    const int slot = pattern_.slot(row, col);
+    if (slot >= 0) {
+      values_[static_cast<std::size_t>(slot)] += value;
+      if (with_jomega_)
+        jomega_values_[static_cast<std::size_t>(slot)] += jomega_value;
+      return;
+    }
+  }
+  // Discovery, or a stamp outside the known pattern (topology change):
+  // collect and fold in deterministically at end_stamp().
+  overflow_.push_back({row, col, value, jomega_value});
+}
+
+void SystemMatrix::rebuild_pattern() {
+  // Union of the existing pattern and every overflow position.  Rebuilt
+  // from sorted (row, col) pairs, so the result depends only on the set
+  // of stamped positions -- not on stamp order.
+  std::vector<std::pair<int, int>> entries;
+  entries.reserve(pattern_.nnz() + overflow_.size());
+  for (std::size_t r = 0; r < pattern_.size(); ++r)
+    for (int k = pattern_.row_ptr()[r]; k < pattern_.row_ptr()[r + 1]; ++k)
+      entries.emplace_back(static_cast<int>(r), pattern_.col_idx()[k]);
+  for (const Triplet& t : overflow_) entries.emplace_back(t.row, t.col);
+
+  CsrPattern next(n_, std::move(entries));
+  std::vector<double> values(next.nnz(), 0.0);
+  std::vector<double> jomega(with_jomega_ ? next.nnz() : 0, 0.0);
+  // Carry the already-accumulated slot values across, then fold in the
+  // overflow adds.
+  for (std::size_t r = 0; r < pattern_.size(); ++r) {
+    for (int k = pattern_.row_ptr()[r]; k < pattern_.row_ptr()[r + 1]; ++k) {
+      const int slot = next.slot(static_cast<int>(r), pattern_.col_idx()[k]);
+      values[static_cast<std::size_t>(slot)] +=
+          values_[static_cast<std::size_t>(k)];
+      if (with_jomega_)
+        jomega[static_cast<std::size_t>(slot)] +=
+            jomega_values_[static_cast<std::size_t>(k)];
+    }
+  }
+  for (const Triplet& t : overflow_) {
+    const int slot = next.slot(t.row, t.col);
+    values[static_cast<std::size_t>(slot)] += t.value;
+    if (with_jomega_) jomega[static_cast<std::size_t>(slot)] += t.jomega_value;
+  }
+  pattern_ = std::move(next);
+  values_ = std::move(values);
+  jomega_values_ = std::move(jomega);
+  overflow_.clear();
+  discovering_ = false;
+  ++epoch_;
+}
+
+void SystemMatrix::end_stamp() {
+  if (mode_ != Mode::kSparse) return;
+  if (discovering_ || !overflow_.empty()) rebuild_pattern();
+}
+
+}  // namespace mayo::linalg

@@ -178,6 +178,10 @@ struct Counters {
   Counter mc_samples;  ///< MC verification samples accumulated
   Counter mc_blocks;   ///< MC verification sample blocks evaluated
 
+  Counter sparse_symbolic;  ///< sparse symbolic analyses (once per topology)
+  Counter sparse_refactor;  ///< sparse numeric refactorizations
+  Counter sparse_solve;     ///< sparse triangular solves
+
   void reset() noexcept {
     probe_cache.reset();
     constraint_cache.reset();
@@ -194,6 +198,9 @@ struct Counters {
     tran_seed_resets.reset();
     mc_samples.reset();
     mc_blocks.reset();
+    sparse_symbolic.reset();
+    sparse_refactor.reset();
+    sparse_solve.reset();
   }
 };
 
@@ -257,6 +264,9 @@ class Registry {
     fn("tran.seed_resets", c.tran_seed_resets.value());
     fn("mc.samples", c.mc_samples.value());
     fn("mc.blocks", c.mc_blocks.value());
+    fn("sparse.symbolic", c.sparse_symbolic.value());
+    fn("sparse.refactor", c.sparse_refactor.value());
+    fn("sparse.solve", c.sparse_solve.value());
   }
 
   /// Enumerates every phase timer in fixed (schema) order.

@@ -14,9 +14,13 @@
 #include <complex>
 #include <vector>
 
+#include <cstdint>
+
 #include "circuit/netlist.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/system_matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::sim {
@@ -45,6 +49,12 @@ class AcSession {
              const linalg::Vector& operating_point,
              const circuit::Conditions& conditions);
 
+  /// Selects the linear-solver backend; takes effect at the next stamp().
+  void set_solver(const linalg::SolverOptions& options) { solver_ = options; }
+  const linalg::SolverOptions& solver() const { return solver_; }
+  /// True when the stamped system runs on the sparse backend.
+  bool sparse_active() const { return sparse_active_; }
+
   bool stamped() const { return n_ > 0; }
   std::size_t size() const { return n_; }
 
@@ -61,11 +71,23 @@ class AcSession {
  private:
   std::size_t n_ = 0;
   std::size_t num_nodes_ = 0;
-  linalg::Matrixd g_;        ///< real (frequency-independent) part
-  linalg::Matrixd c_;        ///< j-omega-scaled part
-  linalg::VectorC rhs_;      ///< complex excitation
-  linalg::Luc lu_;           ///< reusable complex factor workspace
+  linalg::SolverOptions solver_;
+  bool sparse_active_ = false;
+  linalg::SystemMatrix system_;  ///< stamping target, both backends
+  linalg::VectorC rhs_;          ///< complex excitation
   linalg::VectorC solution_;
+  // dense backend: split G / C matrices bound into system_, assembled
+  // into the complex LU workspace per probe
+  linalg::Matrixd g_;  ///< real (frequency-independent) part
+  linalg::Matrixd c_;  ///< j-omega-scaled part
+  linalg::Luc lu_;     ///< reusable complex factor workspace
+  // sparse backend: one symbolic analysis per pattern epoch, complex
+  // values assembled elementwise over the shared pattern per probe
+  linalg::SymbolicLu symbolic_;
+  linalg::SparseLuc zlu_;
+  linalg::VectorC az_;              ///< per-probe G + j omega C over nnz
+  std::vector<double> magnitudes_;  ///< symbolic input, |g| + |c| per slot
+  std::uint64_t analyzed_epoch_ = 0;
 };
 
 /// Solves the AC system at a single frequency [Hz] with a fresh session.

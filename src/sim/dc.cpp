@@ -5,24 +5,22 @@
 #include <vector>
 
 #include "linalg/lu.hpp"
-#include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
+#include "sim/solver.hpp"
 
 namespace mayo::sim {
 
 using circuit::Conditions;
 using circuit::DcStamp;
 using circuit::Netlist;
-using linalg::Matrixd;
 using linalg::Vector;
 
 namespace {
 
 /// Reusable buffers for the Newton iterations of one solve_dc call: the
-/// Jacobian is stamped straight into the LU workspace and factored in
-/// place, so an iteration allocates nothing after the first.
+/// Jacobian is stamped straight into the linear-system workspace and
+/// factored in place, so an iteration allocates nothing after the first.
 struct NewtonScratch {
-  linalg::Lud lu;
   Vector residual;
   Vector step;
 };
@@ -31,7 +29,8 @@ struct NewtonScratch {
 /// convergence; `x` holds the final iterate either way.
 bool newton(Netlist& netlist, const Conditions& conditions,
             const DcOptions& options, double gmin, Vector& x,
-            int& iteration_counter, NewtonScratch& scratch) {
+            int& iteration_counter, LinearSystem& system,
+            NewtonScratch& scratch) {
   const std::size_t n = netlist.system_size();
   const std::size_t num_nodes = netlist.num_nodes();
   scratch.residual.resize(n);
@@ -41,23 +40,23 @@ bool newton(Netlist& netlist, const Conditions& conditions,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++iteration_counter;
-    Matrixd& jacobian = scratch.lu.workspace(n);
+    linalg::SystemMatrix& jacobian = system.begin(n, options.solver);
     residual.fill(0.0);
     DcStamp stamp(x, jacobian, residual, num_nodes, conditions);
     for (const auto& device : netlist) device->stamp_dc(stamp);
     // Shunt gmin from every node to ground keeps the system nonsingular
     // even when channels are cut off.
     for (std::size_t k = 0; k + 1 < num_nodes; ++k) {
-      jacobian(k, k) += gmin;
+      jacobian.add(static_cast<int>(k), static_cast<int>(k), gmin);
       residual[k] += gmin * x[k];
     }
 
     try {
-      scratch.lu.refactor();
+      system.factor();
     } catch (const linalg::SingularMatrixError&) {
       return false;
     }
-    scratch.lu.solve_into(residual.data(), step.data());
+    system.solve_into(residual.data(), step.data());
 
     // Damping: clamp the node-voltage part of the update.
     double scale = 1.0;
@@ -114,12 +113,17 @@ DcResult solve_dc_impl(Netlist& netlist, const Conditions& conditions,
   result.solution = (initial != nullptr && initial->size() == netlist.system_size())
                         ? *initial
                         : Vector(netlist.system_size());
-  // One Jacobian/LU workspace serves every Newton attempt of this solve.
+  // One linear-system workspace serves every Newton attempt of this solve
+  // (the caller-owned one when provided, so its symbolic analysis and
+  // factor buffers stay warm across solves).
+  LinearSystem local_system;
+  LinearSystem& system =
+      options.workspace != nullptr ? *options.workspace : local_system;
   NewtonScratch scratch;
 
   // Attempt 1: plain Newton from the seed.
   if (newton(netlist, conditions, options, options.gmin_floor, result.solution,
-             result.newton_iterations, scratch)) {
+             result.newton_iterations, system, scratch)) {
     result.converged = true;
     return result;
   }
@@ -131,13 +135,13 @@ DcResult solve_dc_impl(Netlist& netlist, const Conditions& conditions,
     for (double gmin = 1e-2; gmin >= options.gmin_floor / 2.0; gmin *= 0.01) {
       ++result.continuation_steps;
       if (!newton(netlist, conditions, options, std::max(gmin, options.gmin_floor),
-                  x, result.newton_iterations, scratch)) {
+                  x, result.newton_iterations, system, scratch)) {
         ok = false;
         break;
       }
     }
     if (ok && newton(netlist, conditions, options, options.gmin_floor, x,
-                     result.newton_iterations, scratch)) {
+                     result.newton_iterations, system, scratch)) {
       result.solution = x;
       result.converged = true;
       return result;
@@ -153,7 +157,7 @@ DcResult solve_dc_impl(Netlist& netlist, const Conditions& conditions,
       ++result.continuation_steps;
       scaler.apply(factor);
       if (!newton(netlist, conditions, options, options.gmin_floor, x,
-                  result.newton_iterations, scratch)) {
+                  result.newton_iterations, system, scratch)) {
         ok = false;
         break;
       }

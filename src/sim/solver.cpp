@@ -1,0 +1,45 @@
+#include "sim/solver.hpp"
+
+#include <cmath>
+
+namespace mayo::sim {
+
+linalg::SystemMatrix& LinearSystem::begin(
+    std::size_t n, const linalg::SolverOptions& options) {
+  sparse_active_ = linalg::use_sparse(options, n);
+  if (sparse_active_)
+    system_.begin_sparse(n, /*with_jomega=*/false);
+  else
+    system_.bind_dense(dense_.workspace(n));
+  return system_;
+}
+
+void LinearSystem::factor() {
+  if (!sparse_active_) {
+    dense_.refactor();
+    return;
+  }
+  system_.end_stamp();
+  if (analyzed_epoch_ != system_.pattern_epoch() || !symbolic_.analyzed()) {
+    // First factorization of this topology: run the symbolic analysis on
+    // the current values' magnitudes and keep it for every later
+    // refactor (sparse.symbolic stays flat while sparse.refactor grows).
+    const std::vector<double>& values = system_.values();
+    magnitudes_.resize(values.size());
+    for (std::size_t k = 0; k < values.size(); ++k)
+      magnitudes_[k] = std::abs(values[k]);
+    symbolic_.analyze(system_.pattern(), magnitudes_.data());
+    sparse_.bind(symbolic_);
+    analyzed_epoch_ = system_.pattern_epoch();
+  }
+  sparse_.refactor(system_.values().data());
+}
+
+void LinearSystem::solve_into(const double* b, double* x) {
+  if (sparse_active_)
+    sparse_.solve_into(b, x);
+  else
+    dense_.solve_into(b, x);
+}
+
+}  // namespace mayo::sim

@@ -1,0 +1,62 @@
+// mayo/sim -- the unified real linear-system boundary of the Newton
+// engines (DC and transient).
+//
+// One LinearSystem owns everything a stamp -> factor -> solve cycle
+// needs, in either backend:
+//
+//   dense  -- the SystemMatrix binds the dense LU workspace and factor()
+//             is exactly the pre-boundary `Lud::refactor()`: identical
+//             arithmetic, identical pivoting, bit-for-bit results.
+//   sparse -- the SystemMatrix owns a CSR pattern; the symbolic analysis
+//             is computed once per pattern epoch (first factorization of
+//             a topology) and every later Newton iteration, probe, or
+//             sample is a fixed-pattern numeric refactor + solve.
+//
+// Engines accept a caller-owned LinearSystem through their options
+// (DcOptions::workspace, reached by transient via TranOptions::newton),
+// which is how the circuit models keep the symbolic analysis warm across
+// every probe of a (design, conditions) context.  A LinearSystem is not
+// thread-safe; parallel workers use their own (the models' clone() gives
+// each worker fresh workspaces, certified by tools/analyze.py).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/system_matrix.hpp"
+
+namespace mayo::sim {
+
+class LinearSystem {
+ public:
+  /// Starts a stamp pass for an n x n system and returns the zeroed
+  /// stamping target.  The backend is chosen here (linalg::use_sparse).
+  linalg::SystemMatrix& begin(std::size_t n,
+                              const linalg::SolverOptions& options);
+
+  /// Finalizes the stamp and factors.  Throws linalg::SingularMatrixError
+  /// (both backends) when the system is singular; the caller may stamp
+  /// and factor again (gmin/source stepping rely on this).
+  void factor();
+
+  /// Allocation-free solve of the factored system; `b` and `x` hold
+  /// size() entries and must not alias.
+  void solve_into(const double* b, double* x);
+
+  std::size_t size() const { return system_.size(); }
+  /// True when the current system runs on the sparse backend.
+  bool sparse_active() const { return sparse_active_; }
+
+ private:
+  linalg::SystemMatrix system_;
+  linalg::Lud dense_;
+  linalg::SymbolicLu symbolic_;
+  linalg::SparseLud sparse_;
+  std::vector<double> magnitudes_;  // symbolic-analysis input (cold path)
+  std::uint64_t analyzed_epoch_ = 0;
+  bool sparse_active_ = false;
+};
+
+}  // namespace mayo::sim

@@ -5,15 +5,14 @@
 #include <stdexcept>
 
 #include "linalg/lu.hpp"
-#include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
+#include "sim/solver.hpp"
 
 namespace mayo::sim {
 
 using circuit::Conditions;
 using circuit::Netlist;
 using circuit::TranStamp;
-using linalg::Matrixd;
 using linalg::Vector;
 
 std::vector<double> TranResult::node_voltage(circuit::NodeId node) const {
@@ -26,10 +25,9 @@ std::vector<double> TranResult::node_voltage(circuit::NodeId node) const {
 
 namespace {
 /// Reusable buffers for every Newton step of one solve_transient call: the
-/// Jacobian is stamped straight into the LU workspace and factored in
-/// place, so a time step allocates nothing after the first.
+/// Jacobian is stamped straight into the linear-system workspace and
+/// factored in place, so a time step allocates nothing after the first.
 struct NewtonScratch {
-  linalg::Lud lu;
   Vector residual;
   Vector step;
 };
@@ -40,7 +38,8 @@ struct NewtonScratch {
 bool newton_step(Netlist& netlist, const Conditions& conditions,
                  const DcOptions& options, const Vector& x_prev, double h,
                  double t, Vector& x, int& iteration_counter,
-                 NewtonScratch& scratch, const Vector* x_prev2 = nullptr) {
+                 LinearSystem& system, NewtonScratch& scratch,
+                 const Vector* x_prev2 = nullptr) {
   const std::size_t n = netlist.system_size();
   const std::size_t num_nodes = netlist.num_nodes();
   scratch.residual.resize(n);
@@ -49,22 +48,23 @@ bool newton_step(Netlist& netlist, const Conditions& conditions,
   Vector& step = scratch.step;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++iteration_counter;
-    Matrixd& jacobian = scratch.lu.workspace(n);
+    linalg::SystemMatrix& jacobian = system.begin(n, options.solver);
     residual.fill(0.0);
     TranStamp stamp(x, jacobian, residual, num_nodes, conditions, x_prev, h, t,
                     x_prev2);
     for (const auto& device : netlist) device->stamp_tran(stamp);
     for (std::size_t k = 0; k + 1 < num_nodes; ++k) {
-      jacobian(k, k) += options.gmin_floor;
+      jacobian.add(static_cast<int>(k), static_cast<int>(k),
+                   options.gmin_floor);
       residual[k] += options.gmin_floor * x[k];
     }
 
     try {
-      scratch.lu.refactor();
+      system.factor();
     } catch (const linalg::SingularMatrixError&) {
       return false;
     }
-    scratch.lu.solve_into(residual.data(), step.data());
+    system.solve_into(residual.data(), step.data());
 
     double scale = 1.0;
     for (std::size_t k = 0; k + 1 < num_nodes; ++k) {
@@ -104,7 +104,12 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
   // rest of the run (see below); until then every sized step may seed.
   bool seed_ok = true;
   Vector x_prev2;  // two steps back; empty until two equal steps accepted
-  // One Jacobian/LU workspace serves every Newton step of this run.
+  // One linear-system workspace serves every Newton step of this run (the
+  // caller-owned one when TranOptions::newton provides it).
+  LinearSystem local_system;
+  LinearSystem& system = options.newton.workspace != nullptr
+                             ? *options.newton.workspace
+                             : local_system;
   NewtonScratch scratch;
   const int steps = static_cast<int>(std::ceil(options.t_stop / options.dt));
   result.time.reserve(static_cast<std::size_t>(steps) + 1);
@@ -142,7 +147,7 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
         x[i] += seed_now[i] - seed_prev[i];
     }
     bool step_ok = newton_step(netlist, conditions, options.newton, x_prev, h,
-                               t, x, result.newton_iterations, scratch,
+                               t, x, result.newton_iterations, system, scratch,
                                use_bdf2 ? &x_prev2 : nullptr);
     if (!step_ok && seeded) {
       // The seed increment threw Newton off course.  A seed that bad once
@@ -155,7 +160,7 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
       tallies.tran_seed_resets.add();
       x = x_prev;
       step_ok = newton_step(netlist, conditions, options.newton, x_prev, h, t,
-                            x, result.newton_iterations, scratch,
+                            x, result.newton_iterations, system, scratch,
                             use_bdf2 ? &x_prev2 : nullptr);
     }
     if (!step_ok) {
@@ -164,12 +169,13 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
       const double t_mid = result.time.back() + 0.5 * h;
       const bool first_half = newton_step(netlist, conditions, options.newton,
                                           x_prev, 0.5 * h, t_mid, x_half,
-                                          result.newton_iterations, scratch);
+                                          result.newton_iterations, system,
+                                          scratch);
       x = x_half;
       const bool second_half =
           first_half && newton_step(netlist, conditions, options.newton, x_half,
                                     0.5 * h, t, x, result.newton_iterations,
-                                    scratch);
+                                    system, scratch);
       if (!second_half) {
         result.converged = false;
         tallies.tran_nonconverged.add();

@@ -1,0 +1,72 @@
+#include "spice/synthetic.hpp"
+
+#include <string>
+#include <vector>
+
+#include "circuit/devices.hpp"
+
+namespace mayo::spice {
+
+using circuit::Netlist;
+using circuit::NodeId;
+
+Netlist make_rc_ladder(std::size_t sections, double resistance,
+                       double capacitance) {
+  Netlist netlist;
+  const NodeId in = netlist.add_node("in");
+  auto& vin = netlist.add<circuit::VoltageSource>("Vin", in, circuit::kGround,
+                                                  1.0);
+  vin.set_ac_value({1.0, 0.0});
+  NodeId prev = in;
+  for (std::size_t k = 0; k < sections; ++k) {
+    const NodeId node = netlist.add_node("n" + std::to_string(k + 1));
+    netlist.add<circuit::Resistor>("R" + std::to_string(k + 1), prev, node,
+                                   resistance);
+    netlist.add<circuit::Capacitor>("C" + std::to_string(k + 1), node,
+                                    circuit::kGround, capacitance);
+    prev = node;
+  }
+  return netlist;
+}
+
+Netlist make_mos_mesh(std::size_t rows, std::size_t cols, double resistance,
+                      double capacitance) {
+  Netlist netlist;
+  const circuit::MosProcess process;
+  const circuit::MosGeometry geometry{20e-6, 1e-6};
+  const NodeId in = netlist.add_node("in");
+  netlist.add<circuit::VoltageSource>("Vin", in, circuit::kGround, 3.0);
+
+  // Grid nodes n<r>_<c>, row-major.
+  std::vector<NodeId> grid(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      grid[r * cols + c] = netlist.add_node(
+          "n" + std::to_string(r) + "_" + std::to_string(c));
+
+  // Corner drive through a series resistor (keeps the source branch from
+  // pinning the corner node).
+  netlist.add<circuit::Resistor>("Rin", in, grid[0], resistance);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const NodeId node = grid[r * cols + c];
+      const std::string tag = std::to_string(r) + "_" + std::to_string(c);
+      if (c + 1 < cols)
+        netlist.add<circuit::Resistor>("Rh" + tag, node, grid[r * cols + c + 1],
+                                       resistance);
+      if (r + 1 < rows)
+        netlist.add<circuit::Resistor>("Rv" + tag, node,
+                                       grid[(r + 1) * cols + c], resistance);
+      // Diode-connected NMOS to ground: the nonlinearity Newton chews on.
+      netlist.add<circuit::Mosfet>("M" + tag, circuit::MosType::kNmos, node,
+                                   node, circuit::kGround, circuit::kGround,
+                                   process, geometry);
+      netlist.add<circuit::Capacitor>("Cm" + tag, node, circuit::kGround,
+                                      capacitance);
+    }
+  }
+  return netlist;
+}
+
+}  // namespace mayo::spice

@@ -1,0 +1,37 @@
+// mayo/spice -- parameterized scaling netlists for the sparse-vs-dense
+// solver work (tests and benches share these, n = 10..1000+).
+//
+// Two families, chosen to exercise the two engine shapes:
+//
+//   RC ladder -- linear, banded: an AC-driven chain of series resistors
+//                with a capacitor to ground at every section.  The
+//                canonical stamp-once/probe-many AC workload; system
+//                size = sections + 2 (input node + one source branch).
+//   MOS mesh  -- nonlinear, 2-D: a rows x cols resistor grid with a
+//                diode-connected NMOS and a capacitor to ground at every
+//                node, corner-driven through a series resistor.  Newton
+//                needs several iterations, every node couples to its
+//                grid neighbors, and the fill pattern is the classic
+//                5-point stencil -- the shape fill-reducing ordering is
+//                for.  System size = rows * cols + 1 (+ source branch).
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/netlist.hpp"
+
+namespace mayo::spice {
+
+/// RC ladder with `sections` R-C stages driven by a DC 1 V / AC 1 V
+/// source.  system_size() == sections + 2.
+circuit::Netlist make_rc_ladder(std::size_t sections,
+                                double resistance = 1e3,
+                                double capacitance = 1e-9);
+
+/// rows x cols diode-connected NMOS mesh, corner-driven at 3 V.
+/// system_size() == rows * cols + 2.
+circuit::Netlist make_mos_mesh(std::size_t rows, std::size_t cols,
+                               double resistance = 10e3,
+                               double capacitance = 1e-12);
+
+}  // namespace mayo::spice

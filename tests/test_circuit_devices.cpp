@@ -4,6 +4,7 @@
 
 #include "circuit/netlist.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/system_matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace mayo::circuit {
@@ -20,15 +21,18 @@ struct StampFixture {
         nodes(num_nodes),
         x(n),
         jacobian(n, n),
-        residual(n) {}
+        residual(n) {
+    system.bind_dense(jacobian);
+  }
 
-  DcStamp dc() { return DcStamp(x, jacobian, residual, nodes, conditions); }
+  DcStamp dc() { return DcStamp(x, system, residual, nodes, conditions); }
 
   std::size_t n;
   std::size_t nodes;
   Conditions conditions{};
   Vector x;
   Matrixd jacobian;
+  linalg::SystemMatrix system;
   Vector residual;
 };
 
@@ -69,7 +73,9 @@ TEST(Resistor, AcStampIsConductance) {
   VectorC rhs(1);
   Vector op(1);
   Conditions cond;
-  AcStamp stamp(op, g, c, rhs, 2, cond);
+  linalg::SystemMatrix system;
+  system.bind_dense(g, &c);
+  AcStamp stamp(op, system, rhs, 2, cond);
   Resistor r("R", 1, kGround, 50.0);
   r.stamp_ac(stamp);
   EXPECT_NEAR(g(0, 0), 0.02, 1e-15);
@@ -92,7 +98,9 @@ TEST(Capacitor, AcAdmittance) {
   VectorC rhs(1);
   Vector op(1);
   Conditions cond;
-  AcStamp stamp(op, g, c, rhs, 2, cond);
+  linalg::SystemMatrix system;
+  system.bind_dense(g, &c);
+  AcStamp stamp(op, system, rhs, 2, cond);
   Capacitor cap("C1", 1, kGround, 1e-9);
   cap.stamp_ac(stamp);
   EXPECT_EQ(g(0, 0), 0.0);
@@ -109,7 +117,9 @@ TEST(Capacitor, TransientCompanion) {
   Matrixd jac(1, 1);
   Vector res(1);
   Conditions cond;
-  TranStamp stamp(x, jac, res, nodes, cond, x_prev, 1e-6, 1e-6);
+  linalg::SystemMatrix system;
+  system.bind_dense(jac);
+  TranStamp stamp(x, system, res, nodes, cond, x_prev, 1e-6, 1e-6);
   Capacitor c("C1", 1, kGround, 1e-9);
   c.stamp_tran(stamp);
   EXPECT_NEAR(res[0], 1e-9 / 1e-6 * 1.0, 1e-15);
@@ -143,7 +153,9 @@ TEST(VoltageSource, WaveformUsedInTransient) {
   Matrixd jac(2, 2);
   Vector res(2);
   Conditions cond;
-  TranStamp stamp(x, jac, res, 2, cond, x_prev, 1e-9, 5e-9);
+  linalg::SystemMatrix system;
+  system.bind_dense(jac);
+  TranStamp stamp(x, system, res, 2, cond, x_prev, 1e-9, 5e-9);
   VoltageSource v("V1", 1, kGround, 1.0);
   v.set_first_branch(0);
   v.set_waveform([](double t) { return t > 1e-9 ? 3.0 : 1.0; });
@@ -152,7 +164,7 @@ TEST(VoltageSource, WaveformUsedInTransient) {
   EXPECT_NEAR(res[1], -3.0, 1e-15);
   v.clear_waveform();
   res.fill(0.0);
-  TranStamp stamp2(x, jac, res, 2, cond, x_prev, 1e-9, 5e-9);
+  TranStamp stamp2(x, system, res, 2, cond, x_prev, 1e-9, 5e-9);
   v.stamp_tran(stamp2);
   EXPECT_NEAR(res[1], -1.0, 1e-15);
 }
@@ -199,7 +211,9 @@ TEST(Mosfet, DcStampKclConsistency) {
   Matrixd jac(nl.system_size(), nl.system_size());
   Vector res(nl.system_size());
   Conditions cond;
-  DcStamp stamp(x, jac, res, nl.num_nodes(), cond);
+  linalg::SystemMatrix system;
+  system.bind_dense(jac);
+  DcStamp stamp(x, system, res, nl.num_nodes(), cond);
   m.stamp_dc(stamp);
   EXPECT_NEAR(res[d - 1], -res[s - 1], 1e-18);
   EXPECT_GT(res[d - 1], 0.0);  // NMOS conducting

@@ -83,11 +83,11 @@ TEST(RunReportSnapshot, CarriesTheFullRegistrySchema) {
   EXPECT_EQ(report.label, "schema probe");
   EXPECT_EQ(report.obs_enabled, obs::kEnabled);
   ASSERT_EQ(report.phases.size(), 6u);
-  ASSERT_EQ(report.counters.size(), 21u);
+  ASSERT_EQ(report.counters.size(), 24u);
   EXPECT_EQ(report.phases.front().name, "feasibility");
   EXPECT_EQ(report.phases.back().name, "verification");
   EXPECT_EQ(report.counters.front().name, "probe_cache.hits");
-  EXPECT_EQ(report.counters.back().name, "mc.blocks");
+  EXPECT_EQ(report.counters.back().name, "sparse.solve");
 
   // Every schema key serializes regardless of build mode.
   const std::string json = to_json(report);

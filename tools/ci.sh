@@ -50,8 +50,9 @@ cmake --fresh -S tests/compile_fail -B build-ci-compile-fail >/dev/null
 run_config release-werror Release ""
 
 # Explicit microbenchmark smoke on the optimized build: the bench_* ctest
-# entries (batch evaluation, AC session probes) must run and exit cleanly
-# even when a full ctest pass above was filtered or cached.
+# entries (batch evaluation, AC session probes, sparse-vs-dense solver
+# boundary) must run and exit cleanly even when a full ctest pass above
+# was filtered or cached.
 echo "=== [release-werror] microbenchmark smoke ==="
 ctest --test-dir build-ci-release-werror -R '^bench_' --output-on-failure
 

@@ -47,7 +47,15 @@ one-line diff below):
                     including the simulator kernels under src/sim/) must
                     not construct linalg::Vector, Matrixd, Matrixc or
                     VectorC inside a loop -- workspaces are allocated
-                    once and reused.  Deliberate exceptions (grow-only buffers,
+                    once and reused.  The sparse solver backend
+                    (HOT_REGION_FILES) gets a function-scoped variant:
+                    inside SparseLu::refactor / solve_into bodies -- the
+                    per-probe / per-Newton-iteration paths -- no
+                    allocating call at all (push_back, resize, reserve,
+                    operator new, vector construction, ...); the
+                    symbolic setup (CsrPattern, SymbolicLu::analyze,
+                    bind) runs once per topology and may allocate
+                    freely.  Deliberate exceptions (grow-only buffers,
                     handing ownership to a cache) carry a
                     "// hot-ok: <reason>" comment on the same line.
   space-discipline  .raw() -- the only way out of the tagged vector-space
@@ -119,6 +127,22 @@ HOT_FILES = {
     "src/sim/measure.cpp",
     "src/sim/transient.cpp",
 }
+
+# Function-scoped hot regions: the numeric refactor/solve paths of the
+# sparse backend run once per Newton iteration / AC probe and must stay
+# allocation-free after bind(); the symbolic setup in the same files runs
+# once per topology and may allocate.  file -> function names whose
+# bodies are policed.
+HOT_REGION_FILES = {
+    "src/linalg/sparse.hpp": ("refactor", "solve_into"),
+    "src/linalg/sparse.cpp": ("refactor", "solve_into"),
+}
+
+# Any allocating call inside a hot-region function body: container
+# growth, explicit new, or a fresh std::vector.
+HOT_REGION_ALLOC_RE = re.compile(
+    r"\b(?:push_back|emplace_back|resize|reserve|assign|insert)\s*\("
+    r"|\bnew\b|\bstd::vector\s*<")
 
 # The sanctioned .raw() sites of the tagged-space layer: the wrapper
 # itself plus the named crossings of paper eq. (11)/(14) -- the
@@ -310,6 +334,47 @@ class Linter:
             if pending_loop and line.rstrip().endswith(";"):
                 pending_loop = False  # single-statement loop body ended
 
+    def check_hot_region(self, sf: SourceFile, funcs) -> None:
+        """Flags any allocating call inside the named function bodies.
+
+        A *definition* is a line where one of the names is followed by
+        `(` while no region is open; it arms a pending state that the
+        body-opening `{` confirms and a `;` cancels -- so declarations
+        (`void solve_into(...);`) and calls (`solve_into(b, x);`) never
+        open a region.  Brace depth then delimits the body.
+        Suppression: "// hot-ok:" on the offending line.
+        """
+        def_re = re.compile(r"\b(?:" + "|".join(funcs) + r")\s*\(")
+        depth = 0
+        region_depth = None  # brace depth of the open hot function body
+        pending = False      # saw a signature, body brace not yet seen
+        for lineno, line in enumerate(sf.code_lines, 1):
+            scan = line
+            if region_depth is None and not pending:
+                m = def_re.search(line)
+                if m:
+                    pending = True
+                    scan = line[m.end():]
+            if (region_depth is not None
+                    and HOT_REGION_ALLOC_RE.search(line)
+                    and not sf.suppressed(lineno, "hot-ok:")):
+                self.report(sf.path, lineno, "hot-path-alloc",
+                            "allocation inside a numeric refactor/solve "
+                            "body (move it to the symbolic setup, or "
+                            "annotate with // hot-ok: <reason>)")
+            for ch in scan:
+                if ch == "{":
+                    depth += 1
+                    if pending:
+                        region_depth = depth
+                        pending = False
+                elif ch == "}":
+                    if region_depth == depth:
+                        region_depth = None
+                    depth -= 1
+                elif ch == ";" and pending:
+                    pending = False  # declaration or call, not a body
+
     def check_space_discipline(self, sf: SourceFile) -> None:
         rel = sf.path.relative_to(self.root).as_posix()
         if rel in SPACE_CROSSING_FILES:
@@ -440,6 +505,8 @@ class Linter:
                                         "sinks")
                 if rel in HOT_FILES:
                     self.check_hot_alloc(sf)
+                if rel in HOT_REGION_FILES:
+                    self.check_hot_region(sf, HOT_REGION_FILES[rel])
         self.check_include_graph(sources)
         for rel, line, rule, message in sorted(self.violations):
             print(f"{rel}:{line}: [{rule}] {message}")
