@@ -1,0 +1,89 @@
+// netlist_audit -- static-analysis front end for SPICE decks.
+//
+// Parses a deck, runs the full audit (connectivity, structural rank,
+// plausibility, model cards) and prints every finding with its stable
+// AUD code; optionally writes the byte-deterministic `mayo.audit/1`
+// JSON artifact for CI archival.
+//
+//   netlist_audit <deck.sp> [--json out.json]
+//
+// Exit status: 0 when the deck is clean (warnings allowed), 1 when the
+// audit finds errors, 2 on usage or I/O failure.  CI runs this over
+// every example deck (expecting 0) and over tests/audit_corpus/
+// (expecting 1 on the broken decks).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "audit/deck.hpp"
+
+using namespace mayo;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string deck_path;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "netlist_audit: --json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (deck_path.empty()) {
+      deck_path = arg;
+    } else {
+      std::fprintf(stderr, "netlist_audit: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (deck_path.empty()) {
+    std::fprintf(stderr, "usage: netlist_audit <deck.sp> [--json out.json]\n");
+    return 2;
+  }
+
+  std::string deck;
+  if (!read_file(deck_path, deck)) {
+    std::fprintf(stderr, "netlist_audit: cannot read '%s'\n",
+                 deck_path.c_str());
+    return 2;
+  }
+
+  const audit::DeckAudit result = audit::audit_deck(deck);
+  const audit::AuditReport& report = result.report;
+
+  std::printf("%s: %s\n", deck_path.c_str(), report.summary().c_str());
+  for (const audit::Diagnostic& d : report.diagnostics()) {
+    std::printf("  [%s] %s", d.code.c_str(), audit::severity_name(d.severity));
+    if (!d.subject.empty())
+      std::printf(" (%s '%s')", d.subject_kind.c_str(), d.subject.c_str());
+    std::printf(": %s\n", d.message.c_str());
+    if (!d.hint.empty()) std::printf("      hint: %s\n", d.hint.c_str());
+  }
+
+  if (!json_path.empty()) {
+    try {
+      audit::write_json_file(report, json_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "netlist_audit: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  return report.has_errors() ? 1 : 0;
+}

@@ -1,0 +1,45 @@
+#include "audit/audit.hpp"
+
+#include "obs/obs.hpp"
+
+namespace mayo::audit {
+
+AuditReport audit_netlist(const circuit::Netlist& netlist,
+                          const NetlistAuditOptions& options) {
+  AuditReport report;
+  if (options.connectivity) {
+    ConnectivityOptions connectivity;
+    connectivity.capacitors_conduct = options.capacitors_conduct;
+    audit_connectivity(netlist, report, connectivity);
+  }
+  if (options.structural) audit_structural(netlist, report);
+  if (options.plausibility) audit_plausibility(netlist, report);
+  obs::registry().counters.audit_runs.add();
+  obs::registry().counters.audit_findings.add(report.size());
+  return report;
+}
+
+bool enforce_active(Enforce enforce) {
+  if (enforce == Enforce::kOn) return true;
+  if (enforce == Enforce::kOff) return false;
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+void enforce_boundary(const circuit::Netlist& netlist, Enforce enforce,
+                      bool capacitors_conduct) {
+  if (!enforce_active(enforce)) return;
+  NetlistAuditOptions options;
+  options.structural = false;  // the cheap families only on hot boundaries
+  options.capacitors_conduct = capacitors_conduct;
+  const AuditReport report = audit_netlist(netlist, options);
+  if (report.has_errors()) {
+    obs::registry().counters.audit_rejects.add();
+    throw AuditError(report);
+  }
+}
+
+}  // namespace mayo::audit

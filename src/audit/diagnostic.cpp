@@ -1,0 +1,61 @@
+#include "audit/diagnostic.hpp"
+
+namespace mayo::audit {
+namespace {
+
+std::string audit_error_message(const AuditReport& report) {
+  std::string message = "netlist audit failed: ";
+  message += report.summary();
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity != Severity::kError) continue;
+    message += "; first error: [";
+    message += d.code;
+    message += "] ";
+    message += d.message;
+    break;
+  }
+  return message;
+}
+
+}  // namespace
+
+const char* severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::size_t AuditReport::error_count() const {
+  std::size_t count = 0;
+  for (const Diagnostic& d : diagnostics_)
+    if (d.severity == Severity::kError) ++count;
+  return count;
+}
+
+std::size_t AuditReport::warning_count() const {
+  return diagnostics_.size() - error_count();
+}
+
+bool AuditReport::has_code(std::string_view code) const {
+  for (const Diagnostic& d : diagnostics_)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::string AuditReport::summary() const {
+  const std::size_t errors = error_count();
+  const std::size_t warnings = warning_count();
+  std::string text = std::to_string(errors);
+  text += errors == 1 ? " error, " : " errors, ";
+  text += std::to_string(warnings);
+  text += warnings == 1 ? " warning" : " warnings";
+  return text;
+}
+
+AuditError::AuditError(AuditReport report)
+    : std::runtime_error(audit_error_message(report)),
+      report_(std::move(report)) {}
+
+void require_clean(const AuditReport& report) {
+  if (report.has_errors()) throw AuditError(report);
+}
+
+}  // namespace mayo::audit

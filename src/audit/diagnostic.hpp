@@ -1,0 +1,89 @@
+// mayo/audit -- structured diagnostics for netlist/problem static analysis.
+//
+// The audit pass is the compiler front-end for netlists: instead of UB or
+// a mid-run SingularMatrixError, untrusted input fails *before* any solve
+// with a deterministic list of Diagnostics.  Each diagnostic carries a
+// stable machine-readable code (AUD-NNN, see DESIGN.md section 12 for the
+// full table), a severity, the offending subject (node / device / model /
+// spec name), a human message and a fix hint.  Reports serialize to the
+// byte-deterministic `mayo.audit/1` JSON artifact (report.cpp).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mayo::audit {
+
+/// Finding severity.  Errors make a report "rejecting" (require_clean
+/// throws); warnings are advisory and never block a solve.
+enum class Severity { kWarning, kError };
+
+/// Stable name for JSON and messages ("warning" / "error").
+const char* severity_name(Severity severity);
+
+/// One audit finding.  All fields are plain strings so reports survive
+/// the netlist they were produced from.
+struct Diagnostic {
+  std::string code;          ///< stable rule id, e.g. "AUD-012"
+  Severity severity = Severity::kError;
+  std::string message;       ///< what is wrong, with names and values
+  std::string subject_kind;  ///< "node", "device", "model", "spec", ...
+  std::string subject;       ///< offending entity name (may be empty)
+  std::string hint;          ///< how to fix it (may be empty)
+};
+
+/// Ordered collection of findings from one audit run.  Order is the rule
+/// execution order, which is deterministic (netlist insertion order), so
+/// two runs over the same input produce byte-identical artifacts.
+class AuditReport {
+ public:
+  void add(Diagnostic diagnostic) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::size_t size() const { return diagnostics_.size(); }
+  bool empty() const { return diagnostics_.empty(); }
+
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  bool has_errors() const { return error_count() > 0; }
+  /// True when any finding carries this code (corpus tests key on codes).
+  bool has_code(std::string_view code) const;
+
+  /// "2 errors, 1 warning" -- for log lines and exception messages.
+  std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Thrown by require_clean() / the sim-boundary enforcement when an audit
+/// finds errors; carries the full report for the caller to surface.
+class AuditError : public std::runtime_error {
+ public:
+  explicit AuditError(AuditReport report);
+  const AuditReport& report() const { return report_; }
+
+ private:
+  AuditReport report_;
+};
+
+/// Throws AuditError when `report` contains at least one error.
+void require_clean(const AuditReport& report);
+
+/// Compact deterministic value rendering for diagnostic messages
+/// ("1e+15", "nan", "-2.5e-07"); %g formatting, locale-independent.
+std::string format_quantity(double value);
+
+/// Serializes a report as the `mayo.audit/1` JSON document (trailing
+/// newline included); byte-deterministic for a given report.
+std::string to_json(const AuditReport& report);
+
+/// Writes to_json() to `path`; throws std::runtime_error on I/O failure.
+void write_json_file(const AuditReport& report, const std::string& path);
+
+}  // namespace mayo::audit

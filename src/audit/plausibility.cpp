@@ -1,0 +1,203 @@
+#include "audit/plausibility.hpp"
+
+#include <cmath>
+#include <complex>
+#include <string>
+
+namespace mayo::audit {
+namespace {
+
+using circuit::Capacitor;
+using circuit::CurrentSource;
+using circuit::Device;
+using circuit::Diode;
+using circuit::Inductor;
+using circuit::Mosfet;
+using circuit::MosProcess;
+using circuit::Netlist;
+using circuit::Resistor;
+using circuit::Vcvs;
+using circuit::VoltageSource;
+
+bool finite(double v) { return std::isfinite(v); }
+bool finite(std::complex<double> v) {
+  return std::isfinite(v.real()) && std::isfinite(v.imag());
+}
+
+/// Short alias: messages render every numeric value the same way.
+std::string quantity(double v) { return format_quantity(v); }
+
+void add_value_error(AuditReport& report, const Device& device,
+                     const char* what, double value) {
+  report.add({
+      "AUD-020",
+      Severity::kError,
+      "device '" + device.name() + "' has " + what + " = " + quantity(value) +
+          "; the value must be finite and positive",
+      "device",
+      device.name(),
+      "fix the element value (check unit suffixes in the deck)",
+  });
+}
+
+void add_range_warning(AuditReport& report, const Device& device,
+                       const char* what, double value, double lo, double hi,
+                       const char* unit) {
+  report.add({
+      "AUD-021",
+      Severity::kWarning,
+      "device '" + device.name() + "' has " + what + " = " + quantity(value) +
+          " " + unit + ", outside the plausible range [" + quantity(lo) +
+          ", " + quantity(hi) + "] " + unit,
+      "device",
+      device.name(),
+      "extreme values make the MNA system badly conditioned; check for a "
+      "unit-suffix typo",
+  });
+}
+
+void check_passive(AuditReport& report, const Device& device, const char* what,
+                   double value, double lo, double hi, const char* unit) {
+  if (!finite(value) || value <= 0.0) {
+    add_value_error(report, device, what, value);
+    return;
+  }
+  if (value < lo || value > hi)
+    add_range_warning(report, device, what, value, lo, hi, unit);
+}
+
+void check_source_value(AuditReport& report, const Device& device,
+                        const char* what, bool is_finite) {
+  if (is_finite) return;
+  report.add({
+      "AUD-024",
+      Severity::kError,
+      "device '" + device.name() + "' has a non-finite " + what,
+      "device",
+      device.name(),
+      "NaN/Inf source values pass every range guard and poison the "
+      "solve; fix the deck value",
+  });
+}
+
+void check_process(AuditReport& report, const std::string& subject_kind,
+                   const std::string& subject, const MosProcess& p) {
+  const struct {
+    const char* name;
+    double value;
+    bool must_be_positive;
+  } params[] = {
+      {"vth0", p.vth0, false},   {"kp", p.kp, true},
+      {"lambda_l", p.lambda_l, false}, {"gamma", p.gamma, false},
+      {"phi", p.phi, true},      {"tox", p.tox, true},
+      {"tnom", p.tnom, true},
+  };
+  for (const auto& param : params) {
+    const bool bad = !finite(param.value) ||
+                     (param.must_be_positive && param.value <= 0.0);
+    if (!bad) continue;
+    report.add({
+        "AUD-030",
+        Severity::kError,
+        subject_kind + " '" + subject + "' has model parameter " +
+            param.name + " = " + quantity(param.value) +
+            (param.must_be_positive ? "; it must be finite and positive"
+                                    : "; it must be finite"),
+        subject_kind,
+        subject,
+        "fix the .model card parameter",
+    });
+  }
+}
+
+void check_device(AuditReport& report, const Device& device) {
+  if (const auto* r = dynamic_cast<const Resistor*>(&device)) {
+    check_passive(report, device, "resistance", r->resistance(), 1e-3, 1e12,
+                  "ohm");
+  } else if (const auto* c = dynamic_cast<const Capacitor*>(&device)) {
+    check_passive(report, device, "capacitance", c->capacitance(), 1e-18,
+                  10.0, "F");
+  } else if (const auto* l = dynamic_cast<const Inductor*>(&device)) {
+    check_passive(report, device, "inductance", l->inductance(), 1e-12, 1e3,
+                  "H");
+  } else if (const auto* v = dynamic_cast<const VoltageSource*>(&device)) {
+    check_source_value(report, device, "DC value", finite(v->dc_value()));
+    check_source_value(report, device, "AC value", finite(v->ac_value()));
+  } else if (const auto* i = dynamic_cast<const CurrentSource*>(&device)) {
+    check_source_value(report, device, "DC value", finite(i->dc_value()));
+    check_source_value(report, device, "AC value", finite(i->ac_value()));
+  } else if (const auto* vc = dynamic_cast<const Vcvs*>(&device)) {
+    if (!finite(vc->gain())) {
+      report.add({
+          "AUD-025",
+          Severity::kError,
+          "device '" + device.name() + "' has a non-finite gain",
+          "device",
+          device.name(),
+          "fix the controlled-source gain",
+      });
+    }
+  } else if (const auto* d = dynamic_cast<const Diode*>(&device)) {
+    const double is = d->saturation_current();
+    if (!finite(is) || is <= 0.0) {
+      add_value_error(report, device, "saturation current", is);
+    } else if (is < 1e-20 || is > 1e-6) {
+      report.add({
+          "AUD-026",
+          Severity::kWarning,
+          "device '" + device.name() + "' has saturation current " +
+              quantity(is) + " A, outside the plausible range [1e-20, "
+              "1e-06] A",
+          "device",
+          device.name(),
+          "implausible IS values push the exponential model into its "
+          "linearized overflow tail; check the model card",
+      });
+    }
+  } else if (const auto* m = dynamic_cast<const Mosfet*>(&device)) {
+    const double w = m->geometry().w;
+    const double l = m->geometry().l;
+    if (!finite(w) || !finite(l) || w <= 0.0 || l <= 0.0) {
+      report.add({
+          "AUD-022",
+          Severity::kError,
+          "device '" + device.name() + "' has W = " + quantity(w) +
+              " m, L = " + quantity(l) +
+              " m; both must be finite and positive",
+          "device",
+          device.name(),
+          "fix the instance geometry",
+      });
+    } else {
+      const double aspect = w / l;
+      if (w < 1e-9 || l < 1e-9 || aspect < 0.01 || aspect > 1e4) {
+        report.add({
+            "AUD-023",
+            Severity::kWarning,
+            "device '" + device.name() + "' has implausible geometry W = " +
+                quantity(w) + " m, L = " + quantity(l) + " m (W/L = " +
+                quantity(aspect) + ")",
+            "device",
+            device.name(),
+            "sub-nanometer dimensions or extreme aspect ratios are "
+            "outside the level-1 model's validity; check unit suffixes",
+        });
+      }
+    }
+    check_process(report, "device", device.name(), m->process());
+  }
+}
+
+}  // namespace
+
+void audit_plausibility(const Netlist& netlist, AuditReport& report) {
+  for (const auto& device : netlist) check_device(report, *device);
+}
+
+void audit_models(const std::map<std::string, MosProcess>& models,
+                  AuditReport& report) {
+  for (const auto& [name, process] : models)
+    check_process(report, "model", name, process);
+}
+
+}  // namespace mayo::audit

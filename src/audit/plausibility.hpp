@@ -1,0 +1,28 @@
+// mayo/audit -- plausibility rules: parameter values a real circuit could
+// carry.  Device constructors already reject the hard nonsense they can
+// see (non-positive R/C/L, zero-width MOS); these rules catch what slips
+// past construction -- NaN/Inf values (every `x <= 0` guard is false for
+// NaN), physically absurd magnitudes (a 1e15-ohm "resistor" is a typo,
+// not a resistor), and bad model cards -- and report them as diagnostics
+// instead of letting them poison a factorization or a Newton loop.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "audit/diagnostic.hpp"
+#include "circuit/mos_model.hpp"
+#include "circuit/netlist.hpp"
+
+namespace mayo::audit {
+
+/// Runs the device-level plausibility rule family over every device in
+/// the netlist (insertion order), appending findings to `report`.
+void audit_plausibility(const circuit::Netlist& netlist, AuditReport& report);
+
+/// Audits a named model-card collection (the parser's `.model` output);
+/// also applied per-instance by audit_plausibility via Mosfet::process().
+void audit_models(const std::map<std::string, circuit::MosProcess>& models,
+                  AuditReport& report);
+
+}  // namespace mayo::audit

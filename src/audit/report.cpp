@@ -1,0 +1,108 @@
+// mayo/audit -- byte-deterministic `mayo.audit/1` JSON serialization.
+//
+// Same discipline as core/run_report.cpp (`mayo.run_report/1`): fixed key
+// order, two-space indent, explicit escaping, trailing newline.  Given
+// the same report the output is byte-identical across runs and platforms,
+// so CI can golden-pin artifacts.
+#include <cstdio>
+#include <fstream>
+
+#include "audit/diagnostic.hpp"
+
+namespace mayo::audit {
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+std::string format_quantity(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+std::string to_json(const AuditReport& report) {
+  std::string out;
+  out += "{\n  \"schema\": \"mayo.audit/1\",\n  \"summary\": {\n";
+  out += "    \"total\": ";
+  append_u64(out, report.size());
+  out += ",\n    \"errors\": ";
+  append_u64(out, report.error_count());
+  out += ",\n    \"warnings\": ";
+  append_u64(out, report.warning_count());
+  out += "\n  },\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\n      \"code\": ";
+    append_escaped(out, d.code);
+    out += ",\n      \"severity\": \"";
+    out += severity_name(d.severity);
+    out += "\",\n      \"subject_kind\": ";
+    append_escaped(out, d.subject_kind);
+    out += ",\n      \"subject\": ";
+    append_escaped(out, d.subject);
+    out += ",\n      \"message\": ";
+    append_escaped(out, d.message);
+    out += ",\n      \"hint\": ";
+    append_escaped(out, d.hint);
+    out += "\n    }";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void write_json_file(const AuditReport& report, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::string message = "audit: cannot open for writing: ";
+    message += path;
+    throw std::runtime_error(message);
+  }
+  const std::string json = to_json(report);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!file) {
+    std::string message = "audit: write failed: ";
+    message += path;
+    throw std::runtime_error(message);
+  }
+}
+
+}  // namespace mayo::audit

@@ -1,0 +1,41 @@
+#include "circuit/mna_names.hpp"
+
+namespace mayo::circuit {
+namespace {
+
+/// Device owning branch variable `b`, or nullptr when no device claims it.
+const Device* device_of_branch(const Netlist& netlist, int b) {
+  for (const auto& device : netlist) {
+    const int first = device->first_branch();
+    const int count = device->branch_count();
+    if (count > 0 && b >= first && b < first + count) return device.get();
+  }
+  return nullptr;
+}
+
+std::string describe(const Netlist& netlist, std::size_t index,
+                     const char* node_form, const char* branch_form) {
+  const std::size_t node_unknowns = netlist.num_nodes() - 1;
+  if (index < node_unknowns) {
+    const NodeId node = static_cast<NodeId>(index + 1);
+    return std::string(node_form) + " '" + netlist.node_name(node) + "'";
+  }
+  const std::size_t b = index - node_unknowns;
+  if (b < netlist.num_branches()) {
+    if (const Device* device = device_of_branch(netlist, static_cast<int>(b)))
+      return std::string(branch_form) + " of device '" + device->name() + "'";
+  }
+  return "unknown " + std::to_string(index);
+}
+
+}  // namespace
+
+std::string mna_unknown_name(const Netlist& netlist, std::size_t index) {
+  return describe(netlist, index, "node", "branch current");
+}
+
+std::string mna_equation_name(const Netlist& netlist, std::size_t index) {
+  return describe(netlist, index, "KCL at node", "branch equation");
+}
+
+}  // namespace mayo::circuit

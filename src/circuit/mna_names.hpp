@@ -1,0 +1,29 @@
+// mayo/circuit -- human names for MNA rows and columns.
+//
+// The MNA unknown vector is [v_1..v_{n-1}, branch currents] with ground
+// (node 0) eliminated; a solver that fails at "index 7" is useless to a
+// user who wrote a netlist with named nodes.  These helpers invert the
+// layout: given a netlist and a flat MNA index they produce the node or
+// device name the index belongs to.  Consumed by the audit subsystem's
+// structural-rank rules and by sim::LinearSystem when it enriches
+// SingularMatrixError messages.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace mayo::circuit {
+
+/// Name of MNA *unknown* (column) `index`: "node 'out'" for a node
+/// voltage, "branch current of device 'V1'" for a branch variable.
+/// Out-of-range indices yield "unknown N" rather than throwing (the
+/// callers are error paths).
+std::string mna_unknown_name(const Netlist& netlist, std::size_t index);
+
+/// Name of MNA *equation* (row) `index`: "KCL at node 'out'" or
+/// "branch equation of device 'V1'".
+std::string mna_equation_name(const Netlist& netlist, std::size_t index);
+
+}  // namespace mayo::circuit

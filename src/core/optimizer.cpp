@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include "core/parallel.hpp"
+#include "core/problem_audit.hpp"
 #include "core/yield_model.hpp"
 
 #include <chrono>
@@ -54,6 +55,8 @@ void attach_verification(Evaluator& evaluator, IterationRecord& record,
 
 YieldOptimizationResult optimize_yield(Evaluator& evaluator,
                                        const YieldOptimizerOptions& options) {
+  enforce_problem_boundary(evaluator.problem(), options.audit);
+
   const auto start_time = std::chrono::steady_clock::now();
   YieldOptimizationResult result;
 

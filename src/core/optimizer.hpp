@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "core/coordinate_search.hpp"
 #include "core/evaluator.hpp"
 #include "core/feasibility.hpp"
@@ -28,6 +29,10 @@ namespace mayo::core {
 
 struct YieldOptimizerOptions {
   int max_iterations = 3;
+  /// Problem-definition audit at entry (see core/problem_audit.hpp):
+  /// always in Debug builds, opt-in (kOn) in Release.  Errors throw
+  /// audit::AuditError before any evaluation is spent.
+  audit::Enforce audit = audit::Enforce::kDefault;
   std::size_t linear_samples = 10000;  ///< N of eq. (17)
   std::uint64_t sample_seed = 42;
   /// Functional-constraint guidance (Table-3 ablation turns this off).

@@ -1,0 +1,253 @@
+#include "core/problem_audit.hpp"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace mayo::core {
+namespace {
+
+using audit::AuditReport;
+using audit::Diagnostic;
+using audit::Severity;
+
+bool finite(double v) { return std::isfinite(v); }
+
+void audit_specs(const YieldProblem& problem, AuditReport& report) {
+  std::set<std::string> seen;
+  for (const Specification& spec : problem.specs) {
+    if (spec.name.empty()) {
+      report.add({
+          "AUD-040",
+          Severity::kError,
+          "a specification has an empty name",
+          "spec",
+          "",
+          "give every specification a unique, non-empty name",
+      });
+    } else if (!seen.insert(spec.name).second) {
+      report.add({
+          "AUD-040",
+          Severity::kError,
+          "duplicate specification name '" + spec.name + "'",
+          "spec",
+          spec.name,
+          "specification names key the per-spec linearizations and "
+          "reports; make them unique",
+      });
+    }
+    if (!finite(spec.bound)) {
+      report.add({
+          "AUD-041",
+          Severity::kError,
+          "specification '" + spec.name + "' has a non-finite bound",
+          "spec",
+          spec.name,
+          "fix the specification bound",
+      });
+    }
+    if (!finite(spec.scale) || spec.scale <= 0.0) {
+      report.add({
+          "AUD-041",
+          Severity::kError,
+          "specification '" + spec.name + "' has scale " +
+              audit::format_quantity(spec.scale) +
+              "; the worst-case search convergence scale must be finite "
+              "and positive",
+          "spec",
+          spec.name,
+          "set scale to the typical magnitude of meaningful performance "
+          "differences",
+      });
+    }
+  }
+}
+
+/// True when the space is internally consistent (sizes + bounds usable).
+bool audit_space(const ParameterSpace& space, const char* which,
+                 AuditReport& report) {
+  const std::size_t n = space.names.size();
+  if (space.lower.size() != n || space.upper.size() != n ||
+      space.nominal.size() != n) {
+    report.add({
+        "AUD-042",
+        Severity::kError,
+        std::string(which) + " space is inconsistent: " +
+            std::to_string(n) + " names, " +
+            std::to_string(space.lower.size()) + " lower bounds, " +
+            std::to_string(space.upper.size()) + " upper bounds, " +
+            std::to_string(space.nominal.size()) + " nominal entries",
+        "parameter",
+        which,
+        "names, lower, upper and nominal must all have the same length",
+    });
+    return false;
+  }
+  bool usable = true;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& name = space.names[i];
+    if (!seen.insert(name).second) {
+      report.add({
+          "AUD-042",
+          Severity::kError,
+          std::string(which) + " space has duplicate parameter name '" +
+              name + "'",
+          "parameter",
+          name,
+          "parameter names must be unique within a space",
+      });
+    }
+    if (!finite(space.lower[i]) || !finite(space.upper[i]) ||
+        space.lower[i] > space.upper[i]) {
+      usable = false;
+      report.add({
+          "AUD-042",
+          Severity::kError,
+          std::string(which) + " parameter '" + name +
+              "' has inverted or non-finite bounds [" +
+              audit::format_quantity(space.lower[i]) + ", " +
+              audit::format_quantity(space.upper[i]) + "]",
+          "parameter",
+          name,
+          "bounds must be finite with lower <= upper",
+      });
+    } else if (!finite(space.nominal[i]) || space.nominal[i] < space.lower[i] ||
+               space.nominal[i] > space.upper[i]) {
+      report.add({
+          "AUD-043",
+          Severity::kWarning,
+          std::string(which) + " parameter '" + name + "' has nominal " +
+              audit::format_quantity(space.nominal[i]) +
+              " outside its box [" + audit::format_quantity(space.lower[i]) +
+              ", " + audit::format_quantity(space.upper[i]) + "]",
+          "parameter",
+          name,
+          "the optimizer clamps into the box; start from an interior "
+          "point to avoid a degenerate first step",
+      });
+    }
+  }
+  return usable;
+}
+
+void audit_model(const YieldProblem& problem, AuditReport& report) {
+  if (problem.specs.empty()) {
+    report.add({
+        "AUD-044",
+        Severity::kError,
+        "the problem has no specifications; yield is undefined",
+        "spec",
+        "",
+        "add at least one specification",
+    });
+  }
+  if (!problem.model) {
+    report.add({
+        "AUD-044",
+        Severity::kError,
+        "the problem has no performance model",
+        "model",
+        "",
+        "attach a PerformanceModel before optimizing",
+    });
+    return;
+  }
+  if (problem.model->num_performances() != problem.specs.size()) {
+    report.add({
+        "AUD-044",
+        Severity::kError,
+        "the model returns " +
+            std::to_string(problem.model->num_performances()) +
+            " performances but the problem has " +
+            std::to_string(problem.specs.size()) + " specifications",
+        "model",
+        "",
+        "specifications must match the model's performance vector "
+        "entry for entry",
+    });
+  }
+}
+
+void audit_statistical(const YieldProblem& problem, bool design_usable,
+                       AuditReport& report) {
+  if (!design_usable || problem.statistical.dimension() == 0) return;
+  const linalg::DesignVec d(problem.design.nominal);
+  // Per-parameter evaluation rather than CovarianceModel::sigmas():
+  // that call throws at the *first* bad sigma, which would reduce a
+  // multi-parameter failure to one unnamed finding.
+  for (std::size_t i = 0; i < problem.statistical.dimension(); ++i) {
+    const stats::StatParam& param = problem.statistical.param(i);
+    double sigma = 0.0;
+    try {
+      sigma = param.sigma(d);
+    } catch (const std::exception& e) {
+      report.add({
+          "AUD-045",
+          Severity::kError,
+          "evaluating sigma of statistical parameter '" + param.name +
+              "' at the nominal design failed: " + e.what(),
+          "parameter",
+          param.name,
+          "sigma callbacks must be defined over the whole design box",
+      });
+      continue;
+    }
+    if (finite(sigma) && sigma > 0.0) continue;
+    report.add({
+        "AUD-045",
+        Severity::kError,
+        "statistical parameter '" + param.name + "' has sigma " +
+            audit::format_quantity(sigma) +
+            " at the nominal design; it must be finite and positive",
+        "parameter",
+        param.name,
+        "a zero or negative sigma makes the covariance factor singular",
+    });
+  }
+  if (problem.statistical.has_correlation()) {
+    try {
+      (void)problem.statistical.factor(d);
+    } catch (const std::exception& e) {
+      report.add({
+          "AUD-045",
+          Severity::kError,
+          std::string("the statistical correlation matrix is not positive "
+                      "definite: ") +
+              e.what(),
+          "parameter",
+          "",
+          "correlation entries must keep R positive definite "
+          "(|rho| < 1 and consistent couplings)",
+      });
+    }
+  }
+}
+
+}  // namespace
+
+audit::AuditReport audit_problem(const YieldProblem& problem) {
+  AuditReport report;
+  audit_specs(problem, report);
+  const bool design_usable = audit_space(problem.design, "design", report);
+  (void)audit_space(problem.operating, "operating", report);
+  audit_model(problem, report);
+  audit_statistical(problem, design_usable, report);
+  obs::registry().counters.audit_runs.add();
+  obs::registry().counters.audit_findings.add(report.size());
+  return report;
+}
+
+void enforce_problem_boundary(const YieldProblem& problem,
+                              audit::Enforce enforce) {
+  if (!audit::enforce_active(enforce)) return;
+  const audit::AuditReport report = audit_problem(problem);
+  if (report.has_errors()) {
+    obs::registry().counters.audit_rejects.add();
+    throw audit::AuditError(report);
+  }
+}
+
+}  // namespace mayo::core

@@ -1,0 +1,30 @@
+// mayo/core -- problem-level static analysis (the audit subsystem's
+// YieldProblem rule family).
+//
+// Lives in core, not src/audit, because the audit layer sits below core
+// and cannot see YieldProblem; it reuses the audit Diagnostic / report /
+// enforcement vocabulary so one artifact format covers both netlist and
+// problem findings.  Rule codes AUD-040..AUD-045, table in DESIGN.md
+// section 12.
+#pragma once
+
+#include "audit/audit.hpp"
+#include "core/problem.hpp"
+
+namespace mayo::core {
+
+/// Audits a problem definition: specs (duplicate names, non-finite
+/// bounds, bad scales), design/operating spaces (size mismatches,
+/// inverted bounds, nominal outside the box), the model wiring
+/// (null model, empty specs, performance-count mismatch), and the
+/// statistical model (non-positive or non-finite sigmas, a correlation
+/// matrix whose factorization fails).
+audit::AuditReport audit_problem(const YieldProblem& problem);
+
+/// Optimizer-boundary gate: when `enforce` is active (Debug default,
+/// opt-in in Release), runs audit_problem and throws audit::AuditError
+/// when the report contains errors.
+void enforce_problem_boundary(const YieldProblem& problem,
+                              audit::Enforce enforce);
+
+}  // namespace mayo::core

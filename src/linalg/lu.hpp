@@ -31,6 +31,10 @@ class SingularMatrixError : public std::runtime_error {
       : std::runtime_error("singular matrix: zero pivot at index " +
                            std::to_string(pivot_index)),
         pivot_index_(pivot_index) {}
+  /// Enriched form: same pivot index, caller-composed message (the solver
+  /// boundary uses this to name the offending netlist node or branch).
+  SingularMatrixError(std::size_t pivot_index, const std::string& message)
+      : std::runtime_error(message), pivot_index_(pivot_index) {}
   std::size_t pivot_index() const { return pivot_index_; }
 
  private:

@@ -182,6 +182,10 @@ struct Counters {
   Counter sparse_refactor;  ///< sparse numeric refactorizations
   Counter sparse_solve;     ///< sparse triangular solves
 
+  Counter audit_runs;      ///< audit_netlist invocations
+  Counter audit_findings;  ///< diagnostics produced across all runs
+  Counter audit_rejects;   ///< boundary enforcements that threw AuditError
+
   void reset() noexcept {
     probe_cache.reset();
     constraint_cache.reset();
@@ -201,6 +205,9 @@ struct Counters {
     sparse_symbolic.reset();
     sparse_refactor.reset();
     sparse_solve.reset();
+    audit_runs.reset();
+    audit_findings.reset();
+    audit_rejects.reset();
   }
 };
 
@@ -267,6 +274,9 @@ class Registry {
     fn("sparse.symbolic", c.sparse_symbolic.value());
     fn("sparse.refactor", c.sparse_refactor.value());
     fn("sparse.solve", c.sparse_solve.value());
+    fn("audit.runs", c.audit_runs.value());
+    fn("audit.findings", c.audit_findings.value());
+    fn("audit.rejects", c.audit_rejects.value());
   }
 
   /// Enumerates every phase timer in fixed (schema) order.

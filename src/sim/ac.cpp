@@ -3,7 +3,9 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <string>
 
+#include "circuit/mna_names.hpp"
 #include "linalg/kernels.hpp"
 #include "obs/obs.hpp"
 
@@ -18,10 +20,32 @@ using linalg::Matrixd;
 using linalg::Vector;
 using linalg::VectorC;
 
+void AcSession::rethrow_singular(const linalg::SingularMatrixError& error,
+                                 bool symbolic_failure) const {
+  if (netlist_ == nullptr || netlist_->system_size() != n_) throw error;
+  const std::size_t step = error.pivot_index();
+  std::string message(error.what());
+  if (symbolic_failure) {
+    message += " (structurally singular AC system; run the netlist audit "
+               "for the offending nodes)";
+  } else if (sparse_active_) {
+    const auto row = static_cast<std::size_t>(symbolic_.row_perm()[step]);
+    const auto col = static_cast<std::size_t>(symbolic_.col_of_pos()[step]);
+    message += " (equation: " + circuit::mna_equation_name(*netlist_, row) +
+               "; unknown: " + circuit::mna_unknown_name(*netlist_, col) + ")";
+  } else {
+    message +=
+        " (unknown: " + circuit::mna_unknown_name(*netlist_, step) + ")";
+  }
+  throw linalg::SingularMatrixError(step, message);
+}
+
 void AcSession::stamp(const Netlist& netlist, const Vector& operating_point,
                       const Conditions& conditions) {
   if (operating_point.size() != netlist.system_size())
     throw std::invalid_argument("AcSession::stamp: operating point size mismatch");
+  audit::enforce_boundary(netlist, audit_, /*capacitors_conduct=*/true);
+  netlist_ = &netlist;
   n_ = netlist.system_size();
   num_nodes_ = netlist.num_nodes();
   sparse_active_ = linalg::use_sparse(solver_, n_);
@@ -54,7 +78,11 @@ void AcSession::stamp(const Netlist& netlist, const Vector& operating_point,
     magnitudes_.resize(g.size());
     for (std::size_t k = 0; k < g.size(); ++k)
       magnitudes_[k] = std::abs(g[k]) + std::abs(c[k]);
-    symbolic_.analyze(system_.pattern(), magnitudes_.data());
+    try {
+      symbolic_.analyze(system_.pattern(), magnitudes_.data());
+    } catch (const linalg::SingularMatrixError& e) {
+      rethrow_singular(e, /*symbolic_failure=*/true);
+    }
     zlu_.bind(symbolic_);
     az_.assign(g.size(), std::complex<double>{});
     analyzed_epoch_ = system_.pattern_epoch();
@@ -74,14 +102,22 @@ const VectorC& AcSession::solve(double frequency_hz) {
     const std::vector<double>& c = system_.jomega_values();
     for (std::size_t k = 0; k < g.size(); ++k)
       az_[k] = {g[k], omega * c[k]};
-    zlu_.refactor(az_.data());
+    try {
+      zlu_.refactor(az_.data());
+    } catch (const linalg::SingularMatrixError& e) {
+      rethrow_singular(e, /*symbolic_failure=*/false);
+    }
     zlu_.solve_into(rhs_.data(), solution_.data());
   } else {
     // Assemble overwrites every entry, so skip the workspace zeroing.
     Matrixc& a = lu_.workspace(n_, /*zero=*/false);
     linalg::assemble_complex_into(g_.data(), c_.data(), omega, a.data(),
                                   n_ * n_);
-    lu_.refactor();
+    try {
+      lu_.refactor();
+    } catch (const linalg::SingularMatrixError& e) {
+      rethrow_singular(e, /*symbolic_failure=*/false);
+    }
     lu_.solve_into(rhs_.data(), solution_.data());
   }
   obs::registry().counters.ac_probes.add();

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "audit/audit.hpp"
 #include "circuit/netlist.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
@@ -52,6 +53,10 @@ class AcSession {
   /// Selects the linear-solver backend; takes effect at the next stamp().
   void set_solver(const linalg::SolverOptions& options) { solver_ = options; }
   const linalg::SolverOptions& solver() const { return solver_; }
+  /// Pre-stamp netlist audit (Debug default, opt-in in Release); takes
+  /// effect at the next stamp().  Capacitors count as conduction edges --
+  /// they stamp admittances in the small-signal system.
+  void set_audit(audit::Enforce enforce) { audit_ = enforce; }
   /// True when the stamped system runs on the sparse backend.
   bool sparse_active() const { return sparse_active_; }
 
@@ -69,9 +74,18 @@ class AcSession {
   std::complex<double> node_voltage(double frequency_hz, circuit::NodeId node);
 
  private:
+  /// Rethrows a zero-pivot error with MNA index -> node/branch names.
+  [[noreturn]] void rethrow_singular(const linalg::SingularMatrixError& error,
+                                     bool symbolic_failure) const;
+
   std::size_t n_ = 0;
   std::size_t num_nodes_ = 0;
   linalg::SolverOptions solver_;
+  audit::Enforce audit_ = audit::Enforce::kDefault;
+  /// Diagnostic context for singular-system messages; set by stamp() and
+  /// read only on error paths.  The caller's netlist must outlive the
+  /// session's solves (already implied by the stamp-once usage pattern).
+  const circuit::Netlist* netlist_ = nullptr;
   bool sparse_active_ = false;
   linalg::SystemMatrix system_;  ///< stamping target, both backends
   linalg::VectorC rhs_;          ///< complex excitation

@@ -33,6 +33,7 @@ bool newton(Netlist& netlist, const Conditions& conditions,
             NewtonScratch& scratch) {
   const std::size_t n = netlist.system_size();
   const std::size_t num_nodes = netlist.num_nodes();
+  system.set_diagnostic_netlist(&netlist);
   scratch.residual.resize(n);
   scratch.step.resize(n);
   Vector& residual = scratch.residual;
@@ -178,6 +179,8 @@ DcResult solve_dc_impl(Netlist& netlist, const Conditions& conditions,
 
 DcResult solve_dc(Netlist& netlist, const Conditions& conditions,
                   const DcOptions& options, const Vector* initial) {
+  audit::enforce_boundary(netlist, options.audit,
+                          /*capacitors_conduct=*/false);
   DcResult result = solve_dc_impl(netlist, conditions, options, initial);
   obs::Counters& tallies = obs::registry().counters;
   tallies.dc_solves.add();

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "audit/audit.hpp"
 #include "circuit/netlist.hpp"
 #include "linalg/system_matrix.hpp"
 #include "linalg/vector.hpp"
@@ -30,6 +31,10 @@ struct DcOptions {
   bool allow_source_stepping = true;
   /// Backend selection (dense small-n fast path vs sparse symbolic-once).
   linalg::SolverOptions solver;
+  /// Pre-solve netlist audit (connectivity + plausibility, no structural
+  /// pass): always in Debug builds, opt-in (kOn) in Release.  Errors
+  /// throw audit::AuditError before the first Newton iteration.
+  audit::Enforce audit = audit::Enforce::kDefault;
   /// Optional caller-owned solver workspace reused across solve_dc calls:
   /// keeps the factored structures (and in sparse mode the symbolic
   /// analysis) warm across Newton attempts, probes and samples.  May be

@@ -1,6 +1,9 @@
 #include "sim/solver.hpp"
 
 #include <cmath>
+#include <string>
+
+#include "circuit/mna_names.hpp"
 
 namespace mayo::sim {
 
@@ -14,9 +17,38 @@ linalg::SystemMatrix& LinearSystem::begin(
   return system_;
 }
 
+void LinearSystem::rethrow_singular(const linalg::SingularMatrixError& error,
+                                    bool symbolic_failure) {
+  if (netlist_ == nullptr || netlist_->system_size() != system_.size())
+    throw error;
+  const std::size_t step = error.pivot_index();
+  std::string message(error.what());
+  if (symbolic_failure) {
+    // The analysis ran out of admissible pivots; the step is in permuted
+    // space with no single original row/col to blame.
+    message += " (structurally singular MNA system; run the netlist audit "
+               "for the offending nodes)";
+  } else if (sparse_active_) {
+    const auto row = static_cast<std::size_t>(symbolic_.row_perm()[step]);
+    const auto col = static_cast<std::size_t>(symbolic_.col_of_pos()[step]);
+    message += " (equation: " + circuit::mna_equation_name(*netlist_, row) +
+               "; unknown: " + circuit::mna_unknown_name(*netlist_, col) + ")";
+  } else {
+    // Dense partial pivoting fails when column `step` has no nonzero left
+    // below the diagonal, so the step names the original unknown.
+    message +=
+        " (unknown: " + circuit::mna_unknown_name(*netlist_, step) + ")";
+  }
+  throw linalg::SingularMatrixError(step, message);
+}
+
 void LinearSystem::factor() {
   if (!sparse_active_) {
-    dense_.refactor();
+    try {
+      dense_.refactor();
+    } catch (const linalg::SingularMatrixError& e) {
+      rethrow_singular(e, /*symbolic_failure=*/false);
+    }
     return;
   }
   system_.end_stamp();
@@ -28,11 +60,19 @@ void LinearSystem::factor() {
     magnitudes_.resize(values.size());
     for (std::size_t k = 0; k < values.size(); ++k)
       magnitudes_[k] = std::abs(values[k]);
-    symbolic_.analyze(system_.pattern(), magnitudes_.data());
+    try {
+      symbolic_.analyze(system_.pattern(), magnitudes_.data());
+    } catch (const linalg::SingularMatrixError& e) {
+      rethrow_singular(e, /*symbolic_failure=*/true);
+    }
     sparse_.bind(symbolic_);
     analyzed_epoch_ = system_.pattern_epoch();
   }
-  sparse_.refactor(system_.values().data());
+  try {
+    sparse_.refactor(system_.values().data());
+  } catch (const linalg::SingularMatrixError& e) {
+    rethrow_singular(e, /*symbolic_failure=*/false);
+  }
 }
 
 void LinearSystem::solve_into(const double* b, double* x) {

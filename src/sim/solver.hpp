@@ -27,6 +27,10 @@
 #include "linalg/sparse.hpp"
 #include "linalg/system_matrix.hpp"
 
+namespace mayo::circuit {
+class Netlist;
+}
+
 namespace mayo::sim {
 
 class LinearSystem {
@@ -36,9 +40,20 @@ class LinearSystem {
   linalg::SystemMatrix& begin(std::size_t n,
                               const linalg::SolverOptions& options);
 
+  /// Optional error-message context: when set, a SingularMatrixError from
+  /// factor() is rethrown with the MNA index mapped back to the netlist
+  /// node / branch name (circuit/mna_names.hpp).  Purely diagnostic --
+  /// never read on the success path.  The netlist must outlive the next
+  /// factor(); pass nullptr to detach.
+  void set_diagnostic_netlist(const circuit::Netlist* netlist) {
+    netlist_ = netlist;
+  }
+
   /// Finalizes the stamp and factors.  Throws linalg::SingularMatrixError
   /// (both backends) when the system is singular; the caller may stamp
-  /// and factor again (gmin/source stepping rely on this).
+  /// and factor again (gmin/source stepping rely on this).  With a
+  /// diagnostic netlist attached the error message names the offending
+  /// equation / unknown instead of a bare elimination index.
   void factor();
 
   /// Allocation-free solve of the factored system; `b` and `x` hold
@@ -50,6 +65,11 @@ class LinearSystem {
   bool sparse_active() const { return sparse_active_; }
 
  private:
+  /// Rethrows `error` with node/branch names when context is available.
+  [[noreturn]] void rethrow_singular(const linalg::SingularMatrixError& error,
+                                     bool symbolic_failure);
+
+  const circuit::Netlist* netlist_ = nullptr;
   linalg::SystemMatrix system_;
   linalg::Lud dense_;
   linalg::SymbolicLu symbolic_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "audit/audit.hpp"
 #include "linalg/lu.hpp"
 #include "obs/obs.hpp"
 #include "sim/solver.hpp"
@@ -42,6 +43,7 @@ bool newton_step(Netlist& netlist, const Conditions& conditions,
                  const Vector* x_prev2 = nullptr) {
   const std::size_t n = netlist.system_size();
   const std::size_t num_nodes = netlist.num_nodes();
+  system.set_diagnostic_netlist(&netlist);
   scratch.residual.resize(n);
   scratch.step.resize(n);
   Vector& residual = scratch.residual;
@@ -91,6 +93,10 @@ TranResult solve_transient(Netlist& netlist, const Vector& initial,
     throw std::invalid_argument("solve_transient: initial state size mismatch");
   if (!(options.dt > 0.0) || !(options.t_stop > 0.0))
     throw std::invalid_argument("solve_transient: dt and t_stop must be positive");
+  // Capacitors stamp companion conductances every step, so they count as
+  // conduction edges for the transient boundary audit.
+  audit::enforce_boundary(netlist, options.newton.audit,
+                          /*capacitors_conduct=*/true);
 
   obs::Counters& tallies = obs::registry().counters;
   tallies.tran_solves.add();

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 namespace mayo::spice {
@@ -140,7 +141,15 @@ class DeckBuilder {
       if (head == ".end") break;
       if (head[0] == '.')
         throw ParseError(line, "unsupported directive '" + tokens[0] + "'");
-      parse_device(tokens, line);
+      try {
+        parse_device(tokens, line);
+      } catch (const std::invalid_argument& e) {
+        // Device constructors and the netlist validate their inputs
+        // (positive element values, unique names); surface those as deck
+        // errors carrying the offending line instead of a bare
+        // invalid_argument with no location.
+        throw ParseError(line, e.what());
+      }
     }
     return std::move(result_);
   }

@@ -1,5 +1,6 @@
 #include "spice/synthetic.hpp"
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,26 @@ namespace mayo::spice {
 using circuit::Netlist;
 using circuit::NodeId;
 
+namespace {
+
+// GCC 12's -Wrestrict misfires on `const char* + std::string&&`
+// concatenations (PR 105651); build names with += instead.
+std::string cat(const char* prefix, std::size_t k) {
+  std::string out(prefix);
+  out += std::to_string(k);
+  return out;
+}
+
+std::string grid_name(std::size_t r, std::size_t c) {
+  std::string out("n");
+  out += std::to_string(r);
+  out += '_';
+  out += std::to_string(c);
+  return out;
+}
+
+}  // namespace
+
 Netlist make_rc_ladder(std::size_t sections, double resistance,
                        double capacitance) {
   Netlist netlist;
@@ -19,11 +40,10 @@ Netlist make_rc_ladder(std::size_t sections, double resistance,
   vin.set_ac_value({1.0, 0.0});
   NodeId prev = in;
   for (std::size_t k = 0; k < sections; ++k) {
-    const NodeId node = netlist.add_node("n" + std::to_string(k + 1));
-    netlist.add<circuit::Resistor>("R" + std::to_string(k + 1), prev, node,
-                                   resistance);
-    netlist.add<circuit::Capacitor>("C" + std::to_string(k + 1), node,
-                                    circuit::kGround, capacitance);
+    const NodeId node = netlist.add_node(cat("n", k + 1));
+    netlist.add<circuit::Resistor>(cat("R", k + 1), prev, node, resistance);
+    netlist.add<circuit::Capacitor>(cat("C", k + 1), node, circuit::kGround,
+                                    capacitance);
     prev = node;
   }
   return netlist;
@@ -31,6 +51,9 @@ Netlist make_rc_ladder(std::size_t sections, double resistance,
 
 Netlist make_mos_mesh(std::size_t rows, std::size_t cols, double resistance,
                       double capacitance) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument(
+        "make_mos_mesh: rows and cols must be positive");
   Netlist netlist;
   const circuit::MosProcess process;
   const circuit::MosGeometry geometry{20e-6, 1e-6};
@@ -41,8 +64,7 @@ Netlist make_mos_mesh(std::size_t rows, std::size_t cols, double resistance,
   std::vector<NodeId> grid(rows * cols);
   for (std::size_t r = 0; r < rows; ++r)
     for (std::size_t c = 0; c < cols; ++c)
-      grid[r * cols + c] = netlist.add_node(
-          "n" + std::to_string(r) + "_" + std::to_string(c));
+      grid[r * cols + c] = netlist.add_node(grid_name(r, c));
 
   // Corner drive through a series resistor (keeps the source branch from
   // pinning the corner node).

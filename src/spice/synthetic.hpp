@@ -23,13 +23,15 @@
 namespace mayo::spice {
 
 /// RC ladder with `sections` R-C stages driven by a DC 1 V / AC 1 V
-/// source.  system_size() == sections + 2.
+/// source.  system_size() == sections + 2.  `sections == 0` is legal and
+/// degenerates to the bare source (the input node pinned at 1 V).
 circuit::Netlist make_rc_ladder(std::size_t sections,
                                 double resistance = 1e3,
                                 double capacitance = 1e-9);
 
 /// rows x cols diode-connected NMOS mesh, corner-driven at 3 V.
-/// system_size() == rows * cols + 2.
+/// system_size() == rows * cols + 2.  Throws std::invalid_argument when
+/// rows or cols is zero (a corner drive needs at least one grid node).
 circuit::Netlist make_mos_mesh(std::size_t rows, std::size_t cols,
                                double resistance = 10e3,
                                double capacitance = 1e-12);

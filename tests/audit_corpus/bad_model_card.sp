@@ -1,0 +1,8 @@
+* expect: AUD-030
+* verdict: error
+* A negative oxide thickness on the model card: the device-level and
+* model-card plausibility rules both flag it.
+.model bad nmos vth0=0.7 kp=100u tox=-15n
+Vd d 0 1
+M1 d d 0 0 bad w=10u l=1u
+.end

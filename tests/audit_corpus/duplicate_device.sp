@@ -1,0 +1,7 @@
+* expect: AUD-050
+* verdict: error
+* Two devices with the same name: the netlist rejects the second add.
+V1 a 0 1
+R1 a 0 1k
+R1 a 0 2k
+.end

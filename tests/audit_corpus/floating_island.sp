@@ -1,0 +1,8 @@
+* expect: AUD-005
+* verdict: error
+* A two-node resistor pair with no connection to the driven circuit.
+V1 in 0 1
+R1 in 0 1
+R2 a b 1
+R3 b a 1
+.end

@@ -1,0 +1,9 @@
+* expect: clean
+* verdict: clean
+V1 top 0 10
+R1 top a 100
+R2 top b 100
+R3 a 0 100
+R4 b 0 100
+R5 a b 100
+.end

@@ -1,0 +1,9 @@
+* expect: clean
+* verdict: clean
+.model nch nmos vth0=0.7 kp=100u lambda_l=0.05u gamma=0.45 phi=0.7
+Vdd vdd 0 5
+Vin in 0 1.2 ac=1
+RD vdd out 10k
+M1 out in 0 0 nch w=20u l=1u
+CL out 0 1p
+.end

@@ -1,0 +1,7 @@
+* expect: clean
+* verdict: clean
+V1 in 0 5 ac=1
+R1 in out 1k
+R2 out 0 3k
+C1 out 0 1n
+.end

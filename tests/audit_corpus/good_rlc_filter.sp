@@ -1,0 +1,8 @@
+* expect: clean
+* verdict: clean
+V1 in 0 1 ac=1
+R1 in mid 50
+L1 mid out 1m
+C1 out 0 1u
+R2 out 0 1k
+.end

@@ -1,0 +1,8 @@
+* expect: AUD-021
+* verdict: warn
+* A petaohm resistor is legal but almost certainly a unit-suffix typo;
+* the audit warns without blocking the solve.
+V1 a 0 1
+R1 a 0 1e15
+R2 a 0 1k
+.end

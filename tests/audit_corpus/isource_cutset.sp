@@ -1,0 +1,7 @@
+* expect: AUD-001 AUD-004 AUD-010 AUD-011
+* verdict: error
+* A current source forcing charge onto a capacitor-only node: KCL at the
+* node cannot balance at DC.
+I1 0 a 1m
+C1 a 0 1u
+.end

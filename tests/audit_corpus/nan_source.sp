@@ -1,0 +1,7 @@
+* expect: AUD-024
+* verdict: error
+* A NaN source value parses fine and passes every <=0 range guard; only
+* the explicit finiteness audit catches it before it poisons a solve.
+V1 a 0 nan
+R1 a 0 1k
+.end

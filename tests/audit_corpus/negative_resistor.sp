@@ -1,0 +1,7 @@
+* expect: AUD-050
+* verdict: error
+* The Resistor constructor rejects non-positive values; the parser turns
+* that into a located deck error, which the audit reports as AUD-050.
+V1 a 0 1
+R1 a 0 -5
+.end

@@ -1,0 +1,9 @@
+* expect: AUD-001 AUD-010 AUD-011
+* verdict: error
+* Node mid is reachable only through capacitors: open at DC, so its KCL
+* row and voltage column are structurally empty.
+V1 in 0 1
+R1 in 0 1
+C1 in mid 1
+C2 mid 0 1
+.end

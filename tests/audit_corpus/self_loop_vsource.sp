@@ -1,0 +1,8 @@
+* expect: AUD-006
+* verdict: error
+* A voltage source from a node to itself: its branch equation is
+* identically zero (structurally present entries that cancel exactly).
+V1 a a 1
+Vd a 0 1
+R1 a 0 1
+.end

@@ -1,0 +1,7 @@
+* expect: AUD-050
+* verdict: error
+* Subcircuit instances are not supported; the parser reports the line.
+V1 a 0 1
+R1 a 0 1k
+X1 a 0 opamp
+.end

@@ -1,0 +1,8 @@
+* expect: AUD-003 AUD-010 AUD-011
+* verdict: error
+* Two ideal voltage sources in parallel: KVL is overdetermined and the
+* MNA matrix is structurally rank-deficient.
+V1 a 0 1
+V2 a 0 1
+R1 a 0 1
+.end

@@ -1,0 +1,12 @@
+* expect: AUD-003
+* verdict: error
+* A ring of three ideal sources: structurally full rank (the matching
+* exists) but the branch rows are linearly dependent, so only the
+* connectivity rule sees it.
+V1 a b 1
+V2 b c 1
+V3 c a 1
+R1 a 0 1
+R2 b 0 1
+R3 c 0 1
+.end

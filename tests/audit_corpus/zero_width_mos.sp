@@ -1,0 +1,7 @@
+* expect: AUD-050
+* verdict: error
+* w=0 is rejected by the Mosfet constructor at parse time.
+.model nch nmos vth0=0.7 kp=100u
+Vd d 0 1
+M1 d d 0 0 nch w=0 l=1u
+.end

@@ -1,0 +1,128 @@
+#include "audit/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mayo::audit {
+namespace {
+
+// Aggregate construction throughout: GCC 12's -Wrestrict misfires on
+// std::string::operator=(const char*) inlined with short literals
+// (PR 105651), so member-wise assignment from literals is off limits.
+Diagnostic make(std::string code, Severity severity, std::string message) {
+  return Diagnostic{std::move(code), severity, std::move(message), "", "", ""};
+}
+
+TEST(AuditReport, CountsAndLookup) {
+  AuditReport report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(report.has_errors());
+
+  report.add(make("AUD-001", Severity::kError, "no dc path"));
+  report.add(make("AUD-002", Severity::kWarning, "dangling"));
+  report.add(make("AUD-002", Severity::kWarning, "dangling too"));
+
+  EXPECT_EQ(report.size(), 3u);
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 2u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_code("AUD-001"));
+  EXPECT_TRUE(report.has_code("AUD-002"));
+  EXPECT_FALSE(report.has_code("AUD-003"));
+}
+
+TEST(AuditReport, SummaryPluralization) {
+  AuditReport report;
+  EXPECT_EQ(report.summary(), "0 errors, 0 warnings");
+  report.add(make("AUD-001", Severity::kError, "x"));
+  report.add(make("AUD-002", Severity::kWarning, "y"));
+  EXPECT_EQ(report.summary(), "1 error, 1 warning");
+  report.add(make("AUD-001", Severity::kError, "z"));
+  EXPECT_EQ(report.summary(), "2 errors, 1 warning");
+}
+
+TEST(AuditReport, SeverityNames) {
+  EXPECT_STREQ(severity_name(Severity::kError), "error");
+  EXPECT_STREQ(severity_name(Severity::kWarning), "warning");
+}
+
+TEST(AuditReport, RequireCleanThrowsWithFirstError) {
+  AuditReport report;
+  report.add(make("AUD-002", Severity::kWarning, "just a warning"));
+  EXPECT_NO_THROW(require_clean(report));
+
+  report.add(make("AUD-005", Severity::kError, "island detected"));
+  try {
+    require_clean(report);
+    FAIL() << "expected AuditError";
+  } catch (const AuditError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 error, 1 warning"), std::string::npos) << what;
+    EXPECT_NE(what.find("[AUD-005] island detected"), std::string::npos)
+        << what;
+    EXPECT_EQ(e.report().size(), 2u);
+  }
+}
+
+TEST(AuditReport, FormatQuantity) {
+  EXPECT_EQ(format_quantity(1e15), "1e+15");
+  EXPECT_EQ(format_quantity(0.001), "0.001");
+  EXPECT_EQ(format_quantity(-2.5e-07), "-2.5e-07");
+}
+
+TEST(AuditJson, EmptyReportGolden) {
+  const AuditReport report;
+  EXPECT_EQ(to_json(report),
+            "{\n"
+            "  \"schema\": \"mayo.audit/1\",\n"
+            "  \"summary\": {\n"
+            "    \"total\": 0,\n"
+            "    \"errors\": 0,\n"
+            "    \"warnings\": 0\n"
+            "  },\n"
+            "  \"diagnostics\": []\n"
+            "}\n");
+}
+
+TEST(AuditJson, DiagnosticsGoldenWithEscaping) {
+  AuditReport report;
+  report.add(Diagnostic{"AUD-005", Severity::kError, "node \"x\"\nfloats",
+                        "node", "x", "tie it\tdown"});
+  report.add(make("AUD-002", Severity::kWarning, "dangling"));
+
+  EXPECT_EQ(to_json(report),
+            "{\n"
+            "  \"schema\": \"mayo.audit/1\",\n"
+            "  \"summary\": {\n"
+            "    \"total\": 2,\n"
+            "    \"errors\": 1,\n"
+            "    \"warnings\": 1\n"
+            "  },\n"
+            "  \"diagnostics\": [\n"
+            "    {\n"
+            "      \"code\": \"AUD-005\",\n"
+            "      \"severity\": \"error\",\n"
+            "      \"subject_kind\": \"node\",\n"
+            "      \"subject\": \"x\",\n"
+            "      \"message\": \"node \\\"x\\\"\\nfloats\",\n"
+            "      \"hint\": \"tie it\\tdown\"\n"
+            "    },\n"
+            "    {\n"
+            "      \"code\": \"AUD-002\",\n"
+            "      \"severity\": \"warning\",\n"
+            "      \"subject_kind\": \"\",\n"
+            "      \"subject\": \"\",\n"
+            "      \"message\": \"dangling\",\n"
+            "      \"hint\": \"\"\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(AuditJson, ByteDeterministic) {
+  AuditReport report;
+  report.add(make("AUD-001", Severity::kError, "no dc path"));
+  EXPECT_EQ(to_json(report), to_json(report));
+}
+
+}  // namespace
+}  // namespace mayo::audit

@@ -1,0 +1,131 @@
+#include "audit/plausibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "circuit/devices.hpp"
+
+namespace mayo::audit {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::NodeId;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+AuditReport run(const Netlist& netlist) {
+  AuditReport report;
+  audit_plausibility(netlist, report);
+  return report;
+}
+
+TEST(AuditPlausibility, ReasonableDividerIsClean) {
+  Netlist netlist;
+  const NodeId in = netlist.add_node("in");
+  const NodeId mid = netlist.add_node("mid");
+  netlist.add<circuit::VoltageSource>("V1", in, kGround, 10.0);
+  netlist.add<circuit::Resistor>("R1", in, mid, 1e3);
+  netlist.add<circuit::Capacitor>("C1", mid, kGround, 1e-9);
+  netlist.add<circuit::Inductor>("L1", mid, kGround, 1e-3);
+  EXPECT_TRUE(run(netlist).empty());
+}
+
+TEST(AuditPlausibility, ExtremePassivesWarnAud021) {
+  Netlist netlist;
+  const NodeId a = netlist.add_node("a");
+  netlist.add<circuit::Resistor>("Rhuge", a, kGround, 1e15);
+  netlist.add<circuit::Capacitor>("Ctiny", a, kGround, 1e-21);
+  netlist.add<circuit::Inductor>("Lhuge", a, kGround, 1e6);
+
+  const AuditReport report = run(netlist);
+  EXPECT_EQ(report.error_count(), 0u);
+  ASSERT_EQ(report.warning_count(), 3u);
+  for (const Diagnostic& d : report.diagnostics())
+    EXPECT_EQ(d.code, "AUD-021");
+  EXPECT_EQ(report.diagnostics()[0].subject, "Rhuge");
+  EXPECT_NE(report.diagnostics()[0].message.find("1e+15"), std::string::npos);
+}
+
+TEST(AuditPlausibility, NonFiniteSourceValuesAreAud024) {
+  Netlist netlist;
+  const NodeId a = netlist.add_node("a");
+  netlist.add<circuit::VoltageSource>("Vnan", a, kGround, kNan);
+  netlist.add<circuit::CurrentSource>("Inan", a, kGround, kNan);
+  auto& vac = netlist.add<circuit::VoltageSource>("Vac", a, kGround, 1.0);
+  vac.set_ac_value({kNan, 0.0});
+
+  const AuditReport report = run(netlist);
+  EXPECT_EQ(report.error_count(), 3u);
+  for (const Diagnostic& d : report.diagnostics())
+    EXPECT_EQ(d.code, "AUD-024");
+}
+
+TEST(AuditPlausibility, NonFiniteVcvsGainIsAud025) {
+  Netlist netlist;
+  const NodeId a = netlist.add_node("a");
+  const NodeId b = netlist.add_node("b");
+  netlist.add<circuit::Vcvs>("E1", a, kGround, b, kGround,
+                             std::numeric_limits<double>::infinity());
+  const AuditReport report = run(netlist);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.diagnostics().front().code, "AUD-025");
+}
+
+TEST(AuditPlausibility, ImplausibleDiodeSaturationWarnsAud026) {
+  Netlist netlist;
+  const NodeId a = netlist.add_node("a");
+  netlist.add<circuit::Diode>("D1", a, kGround, /*saturation_current=*/1e-3);
+  const AuditReport report = run(netlist);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.diagnostics().front().code, "AUD-026");
+  EXPECT_EQ(report.diagnostics().front().severity, Severity::kWarning);
+}
+
+TEST(AuditPlausibility, ExtremeMosGeometryWarnsAud023) {
+  Netlist netlist;
+  const NodeId d = netlist.add_node("d");
+  netlist.add<circuit::Mosfet>("M1", circuit::MosType::kNmos, d, d, kGround,
+                               kGround, circuit::MosProcess{},
+                               circuit::MosGeometry{1e-2, 1e-7});  // W/L = 1e5
+  const AuditReport report = run(netlist);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.diagnostics().front().code, "AUD-023");
+  EXPECT_EQ(report.diagnostics().front().severity, Severity::kWarning);
+}
+
+TEST(AuditPlausibility, BrokenProcessOnDeviceIsAud030) {
+  circuit::MosProcess process;
+  process.kp = kNan;
+  Netlist netlist;
+  const NodeId d = netlist.add_node("d");
+  netlist.add<circuit::Mosfet>("M1", circuit::MosType::kNmos, d, d, kGround,
+                               kGround, process,
+                               circuit::MosGeometry{20e-6, 1e-6});
+  const AuditReport report = run(netlist);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.diagnostics().front().code, "AUD-030");
+  EXPECT_EQ(report.diagnostics().front().subject_kind, "device");
+  EXPECT_EQ(report.diagnostics().front().subject, "M1");
+}
+
+TEST(AuditPlausibility, ModelCardsAreCheckedByName) {
+  circuit::MosProcess good;
+  circuit::MosProcess bad;
+  bad.tox = -1e-9;
+  std::map<std::string, circuit::MosProcess> models{{"good", good},
+                                                    {"bad", bad}};
+  AuditReport report;
+  audit_models(models, report);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.diagnostics().front().code, "AUD-030");
+  EXPECT_EQ(report.diagnostics().front().subject_kind, "model");
+  EXPECT_EQ(report.diagnostics().front().subject, "bad");
+  EXPECT_NE(report.diagnostics().front().message.find("tox"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mayo::audit

@@ -1,0 +1,121 @@
+#include "core/problem_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "synthetic_problem.hpp"
+
+namespace mayo::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ProblemAudit, SyntheticProblemIsClean) {
+  const auto problem = testing::make_synthetic_problem();
+  EXPECT_TRUE(audit_problem(problem).empty());
+}
+
+TEST(ProblemAudit, DuplicateAndEmptySpecNamesAreAud040) {
+  auto problem = testing::make_synthetic_problem();
+  problem.specs[1].name = problem.specs[0].name;
+  EXPECT_TRUE(audit_problem(problem).has_code("AUD-040"));
+
+  auto unnamed = testing::make_synthetic_problem();
+  unnamed.specs[0].name.clear();
+  EXPECT_TRUE(audit_problem(unnamed).has_code("AUD-040"));
+}
+
+TEST(ProblemAudit, BadBoundOrScaleIsAud041) {
+  auto problem = testing::make_synthetic_problem();
+  problem.specs[0].bound = kNan;
+  problem.specs[1].scale = 0.0;
+  const auto report = audit_problem(problem);
+  EXPECT_TRUE(report.has_code("AUD-041"));
+  EXPECT_EQ(report.error_count(), 2u);
+}
+
+TEST(ProblemAudit, InconsistentSpaceIsAud042) {
+  auto problem = testing::make_synthetic_problem();
+  problem.design.upper = linalg::Vector{5.0};  // wrong length
+  EXPECT_TRUE(audit_problem(problem).has_code("AUD-042"));
+
+  auto inverted = testing::make_synthetic_problem();
+  inverted.operating.lower[0] = 2.0;  // above upper = 1
+  EXPECT_TRUE(audit_problem(inverted).has_code("AUD-042"));
+
+  auto duplicate = testing::make_synthetic_problem();
+  duplicate.design.names[1] = duplicate.design.names[0];
+  EXPECT_TRUE(audit_problem(duplicate).has_code("AUD-042"));
+}
+
+TEST(ProblemAudit, NominalOutsideBoxWarnsAud043) {
+  auto problem = testing::make_synthetic_problem();
+  problem.design.nominal[0] = 7.0;  // box is [-5, 5]
+  const auto report = audit_problem(problem);
+  EXPECT_TRUE(report.has_code("AUD-043"));
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(ProblemAudit, MissingModelPiecesAreAud044) {
+  auto no_model = testing::make_synthetic_problem();
+  no_model.model = nullptr;
+  EXPECT_TRUE(audit_problem(no_model).has_code("AUD-044"));
+
+  auto no_specs = testing::make_synthetic_problem();
+  no_specs.specs.clear();
+  EXPECT_TRUE(audit_problem(no_specs).has_code("AUD-044"));
+
+  auto wrong_count = testing::make_synthetic_problem();
+  wrong_count.specs.push_back({"extra", SpecKind::kLowerBound, 0.0, "u", 1.0});
+  EXPECT_TRUE(audit_problem(wrong_count).has_code("AUD-044"));
+}
+
+TEST(ProblemAudit, BadSigmasAreAud045) {
+  auto problem = testing::make_synthetic_problem();
+  stats::StatParam flat;
+  flat.name = "flat";
+  flat.sigma = [](const linalg::DesignVec&) { return 0.0; };
+  problem.statistical.add(flat);
+  const auto report = audit_problem(problem);
+  ASSERT_TRUE(report.has_code("AUD-045"));
+  bool named = false;
+  for (const auto& d : report.diagnostics())
+    if (d.subject == "flat") named = true;
+  EXPECT_TRUE(named);
+
+  auto throwing = testing::make_synthetic_problem();
+  stats::StatParam bomb;
+  bomb.name = "bomb";
+  bomb.sigma = [](const linalg::DesignVec&) -> double {
+    throw std::runtime_error("sigma undefined here");
+  };
+  throwing.statistical.add(bomb);
+  EXPECT_TRUE(audit_problem(throwing).has_code("AUD-045"));
+}
+
+TEST(ProblemAudit, NonPositiveDefiniteCorrelationIsAud045) {
+  auto problem = testing::make_synthetic_problem();
+  // Pairwise rho = -0.9 among three parameters cannot be embedded in a
+  // positive definite correlation matrix.
+  problem.statistical.set_correlation(0, 1, -0.9);
+  problem.statistical.set_correlation(0, 2, -0.9);
+  problem.statistical.set_correlation(1, 2, -0.9);
+  EXPECT_TRUE(audit_problem(problem).has_code("AUD-045"));
+}
+
+TEST(ProblemAudit, EnforcementThrowsOnErrorsOnlyWhenActive) {
+  auto problem = testing::make_synthetic_problem();
+  problem.model = nullptr;
+  EXPECT_NO_THROW(
+      enforce_problem_boundary(problem, audit::Enforce::kOff));
+  EXPECT_THROW(enforce_problem_boundary(problem, audit::Enforce::kOn),
+               audit::AuditError);
+
+  const auto clean = testing::make_synthetic_problem();
+  EXPECT_NO_THROW(enforce_problem_boundary(clean, audit::Enforce::kOn));
+}
+
+}  // namespace
+}  // namespace mayo::core

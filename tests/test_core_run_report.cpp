@@ -83,11 +83,11 @@ TEST(RunReportSnapshot, CarriesTheFullRegistrySchema) {
   EXPECT_EQ(report.label, "schema probe");
   EXPECT_EQ(report.obs_enabled, obs::kEnabled);
   ASSERT_EQ(report.phases.size(), 6u);
-  ASSERT_EQ(report.counters.size(), 24u);
+  ASSERT_EQ(report.counters.size(), 27u);
   EXPECT_EQ(report.phases.front().name, "feasibility");
   EXPECT_EQ(report.phases.back().name, "verification");
   EXPECT_EQ(report.counters.front().name, "probe_cache.hits");
-  EXPECT_EQ(report.counters.back().name, "sparse.solve");
+  EXPECT_EQ(report.counters.back().name, "audit.rejects");
 
   // Every schema key serializes regardless of build mode.
   const std::string json = to_json(report);
@@ -96,7 +96,8 @@ TEST(RunReportSnapshot, CarriesTheFullRegistrySchema) {
         "\"linearization\"", "\"worst_case_search\"", "\"coordinate_search\"",
         "\"line_search\"", "\"verification\"", "\"probe_cache.hits\"",
         "\"dc.newton_iterations\"", "\"tran.seed_resets\"", "\"mc.samples\"",
-        "\"evaluations\"", "\"optimizer\": null"})
+        "\"audit.runs\"", "\"audit.rejects\"", "\"evaluations\"",
+        "\"optimizer\": null"})
     EXPECT_NE(json.find(key), std::string::npos) << key;
 }
 

@@ -28,11 +28,11 @@ TEST(ObsRegistry, EnumeratesTheFixedCounterSchema) {
   std::vector<std::string> names;
   registry().each_counter(
       [&](const char* name, std::uint64_t) { names.emplace_back(name); });
-  EXPECT_EQ(names.size(), 24u);
+  EXPECT_EQ(names.size(), 27u);
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
             names.size());
   EXPECT_EQ(names.front(), "probe_cache.hits");
-  EXPECT_EQ(names.back(), "sparse.solve");
+  EXPECT_EQ(names.back(), "audit.rejects");
 
   std::vector<std::string> phase_names;
   registry().each_phase([&](const char* name, const PhaseTimer&) {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the netlist_audit CLI over every deck in tests/audit_corpus/ and
+# checks the process exit code against the deck's "* verdict:" header:
+# clean and warn decks must exit 0, error decks must exit 1.  The
+# mayo.audit/1 JSON report for each deck is written into the output
+# directory (CI uploads it as an artifact).
+#
+# Usage: tools/audit_sweep.sh <build-dir> [output-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:?usage: tools/audit_sweep.sh <build-dir> [output-dir]}"
+OUT_DIR="${2:-audit-reports}"
+CLI="${BUILD_DIR}/examples/netlist_audit"
+
+[[ -x "${CLI}" ]] || { echo "audit_sweep: ${CLI} not built" >&2; exit 2; }
+mkdir -p "${OUT_DIR}"
+
+failures=0
+checked=0
+for deck in tests/audit_corpus/*.sp; do
+  name="$(basename "${deck}" .sp)"
+  verdict="$(sed -n 's/^\* verdict: //p' "${deck}" | head -n1)"
+  case "${verdict}" in
+    clean|warn) want=0 ;;
+    error)      want=1 ;;
+    *) echo "audit_sweep: ${deck}: missing '* verdict:' header" >&2
+       exit 2 ;;
+  esac
+  got=0
+  "${CLI}" "${deck}" --json "${OUT_DIR}/${name}.json" >/dev/null || got=$?
+  if [[ "${got}" -ne "${want}" ]]; then
+    echo "audit_sweep: FAIL ${deck}: verdict '${verdict}' expects exit" \
+         "${want}, got ${got}" >&2
+    "${CLI}" "${deck}" >&2 || true
+    failures=$((failures + 1))
+  fi
+  checked=$((checked + 1))
+done
+
+echo "audit_sweep: ${checked} decks checked, ${failures} failure(s)," \
+     "reports in ${OUT_DIR}/"
+[[ "${failures}" -eq 0 ]]

@@ -49,6 +49,12 @@ cmake --fresh -S tests/compile_fail -B build-ci-compile-fail >/dev/null
 
 run_config release-werror Release ""
 
+# The netlist_audit CLI must agree with every corpus deck's verdict
+# header (error decks exit 1, clean/warn decks exit 0); JSON reports land
+# in audit-reports/ like the CI artifact.
+echo "=== [release-werror] netlist audit sweep ==="
+tools/audit_sweep.sh build-ci-release-werror audit-reports
+
 # Explicit microbenchmark smoke on the optimized build: the bench_* ctest
 # entries (batch evaluation, AC session probes, sparse-vs-dense solver
 # boundary) must run and exit cleanly even when a full ctest pass above

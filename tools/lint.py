@@ -29,20 +29,25 @@ one-line diff below):
                     files: no <iostream>/<fstream>/<cstdio> includes, no
                     std::cout/cerr/clog, no printf-family calls.
                     Reporting belongs to the IO_ALLOWLIST sinks --
-                    src/core/report.cpp (string/ostream builders) and
+                    src/core/report.cpp (string/ostream builders),
                     src/core/run_report.cpp (the structured obs
-                    RunReport JSON) -- and to the bench/example/tool
-                    binaries.
+                    RunReport JSON) and src/audit/report.cpp (the
+                    mayo.audit/1 artifact writer) -- and to the
+                    bench/example/tool binaries.
   include-hygiene   project includes are quoted and module-qualified
                     ("linalg/vector.hpp"), resolve to an existing file,
                     and never use "../" escapes; system includes use <>.
   layering          src/ modules only include headers of modules below
-                    them: obs < linalg < {stats, circuit} < {spice, sim}
-                    < core < circuits.  obs (observation-only counters
-                    and spans, no project includes) sits at the bottom
-                    and is usable from every layer.  The one sanctioned
-                    exception is core/check.hpp (dependency-free
-                    contract macros, usable from every layer).
+                    them: obs < linalg < {stats, circuit} < spice <
+                    audit < {sim, core} < circuits.  obs
+                    (observation-only counters and spans, no project
+                    includes) sits at the bottom and is usable from
+                    every layer; audit sits above the circuit/deck
+                    representations it inspects and below the engines
+                    that enforce it at their boundaries.  The one
+                    sanctioned exception is core/check.hpp
+                    (dependency-free contract macros, usable from every
+                    layer).
   hot-path-alloc    the batched evaluation hot path (HOT_FILES below,
                     including the simulator kernels under src/sim/) must
                     not construct linalg::Vector, Matrixd, Matrixc or
@@ -102,16 +107,18 @@ LAYERS = {
     "stats": {"stats", "linalg", "obs"},
     "circuit": {"circuit", "linalg", "obs"},
     "spice": {"spice", "circuit", "linalg", "obs"},
-    "sim": {"sim", "circuit", "linalg", "obs"},
-    "core": {"core", "stats", "linalg", "obs"},
-    "circuits": {"circuits", "core", "sim", "spice", "circuit", "stats",
-                 "linalg", "obs"},
+    "audit": {"audit", "spice", "circuit", "linalg", "obs"},
+    "sim": {"sim", "audit", "circuit", "linalg", "obs"},
+    "core": {"core", "audit", "stats", "linalg", "obs"},
+    "circuits": {"circuits", "core", "sim", "spice", "audit", "circuit",
+                 "stats", "linalg", "obs"},
 }
 CHECK_HEADER = "core/check.hpp"
 
 # Files in src/ allowed to perform I/O (console or file): the text-report
-# builders and the structured RunReport JSON sink.
-IO_ALLOWLIST = {"src/core/report.cpp", "src/core/run_report.cpp"}
+# builders and the structured RunReport / audit JSON sinks.
+IO_ALLOWLIST = {"src/core/report.cpp", "src/core/run_report.cpp",
+                "src/audit/report.cpp"}
 
 # Files forming the batched evaluation hot path: no per-iteration
 # Vector/Matrixd construction (see hot-path-alloc in the module docstring).

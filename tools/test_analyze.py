@@ -99,6 +99,14 @@ class AnalyzeRepoTest(unittest.TestCase):
         self.assertEqual(kinds, {("kA", "const"), ("kB", "constexpr"),
                                  ("g_hits", "atomic")})
 
+    def test_census_covers_the_audit_module(self):
+        # The static-analysis subsystem is library code like any other:
+        # a mutable global in src/audit/ fails the census.
+        self.write("src/audit/bad.cpp",
+                   "namespace m {\nint g_findings = 0;\n}\n")
+        self.assertIn(("static-state-census", "src/audit/bad.cpp"),
+                      rules_in(run_analyze(self.root)))
+
     def test_census_shared_ok_suppresses(self):
         self.write("src/core/ok.cpp",
                    "namespace m {\n"

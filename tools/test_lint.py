@@ -204,6 +204,19 @@ class LintRepoTest(unittest.TestCase):
                    "int f() { return 0; }\n")
         self.assertEqual(run_lint(self.root), [])
 
+    def test_io_allowed_in_audit_report_sink(self):
+        # src/audit/report.cpp is the sanctioned mayo.audit/1 JSON sink.
+        self.write("src/audit/report.cpp",
+                   "#include <cstdio>\n#include <fstream>\n"
+                   "int f() { return 0; }\n")
+        self.assertEqual(run_lint(self.root), [])
+
+    def test_io_still_policed_elsewhere_in_audit(self):
+        self.write("src/audit/connectivity.cpp",
+                   "#include <cstdio>\nint f() { return 0; }\n")
+        self.assertIn(("io-discipline", "src/audit/connectivity.cpp"),
+                      rules_in(run_lint(self.root)))
+
     # -- include-hygiene / layering ---------------------------------------
 
     def test_unresolvable_include(self):
@@ -234,6 +247,35 @@ class LintRepoTest(unittest.TestCase):
                    '#include "obs/obs.hpp"\n'
                    "void h() { m::obs_count(); }\n")
         self.assertEqual(run_lint(self.root), [])
+
+    def test_audit_layer_sits_between_sim_and_spice(self):
+        # audit may reach down into spice/circuit; sim and core may reach
+        # down into audit.
+        self.write("src/spice/parser.hpp",
+                   "#pragma once\nnamespace m { void parse_fn(); }\n")
+        self.write("src/audit/deck.cpp",
+                   '#include "spice/parser.hpp"\n'
+                   "void a() { m::parse_fn(); }\n")
+        self.write("src/audit/audit.hpp",
+                   "#pragma once\nnamespace m { void audit_fn(); }\n")
+        self.write("src/sim/dc.cpp",
+                   '#include "audit/audit.hpp"\n'
+                   "void s() { m::audit_fn(); }\n")
+        self.write("src/core/problem_audit.cpp",
+                   '#include "audit/audit.hpp"\n'
+                   "void c() { m::audit_fn(); }\n")
+        self.assertEqual(run_lint(self.root), [])
+
+    def test_audit_must_not_include_sim(self):
+        # The audit runs *before* simulation; depending on the solver layer
+        # would invert the boundary it guards.
+        self.write("src/sim/dc.hpp",
+                   "#pragma once\nnamespace m { void solve_fn(); }\n")
+        self.write("src/audit/bad.cpp",
+                   '#include "sim/dc.hpp"\n'
+                   "void a() { m::solve_fn(); }\n")
+        self.assertIn(("layering", "src/audit/bad.cpp"),
+                      rules_in(run_lint(self.root)))
 
     def test_obs_must_not_include_upward(self):
         self.write_clean_header()
