@@ -32,6 +32,13 @@ int main() {
   // Fan the per-spec worst-case searches out over all cores; results are
   // bitwise identical to the serial path (see parallel_build_linearizations).
   options.linearization_threads = 0;
+  // Variance-reduced final verification: one adaptive mean-shift IS pass
+  // at the final design, reusing the worst-case points the last
+  // linearization already paid for (see DESIGN.md section 13).
+  options.run_is_verification = true;
+  options.is_verification.initial_samples = 64;
+  options.is_verification.round_samples = 64;
+  options.is_verification.max_rounds = 4;
   const auto result = core::optimize_yield(evaluator, options);
 
   const auto names = circuits::FoldedCascode::performance_names();
@@ -69,6 +76,21 @@ int main() {
   for (std::size_t i = 4; i < stat_names.size(); i += 2)
     std::printf("    %-9s %6.2f mV -> %6.2f mV\n", stat_names[i].c_str(),
                 1e3 * sig0[i], 1e3 * sig1[i]);
+
+  if (result.is_verification_run) {
+    const auto& is = result.is_verification;
+    std::printf("\nimportance-sampled final verification: yield %.2f%% "
+                "(95%% CI [%.2f%%, %.2f%%], %zu evaluations, %zu adaptive "
+                "rounds)\n",
+                100.0 * is.yield, 100.0 * is.confidence.lower,
+                100.0 * is.confidence.upper, is.evaluations, is.rounds);
+    for (const auto& spec : is.per_spec)
+      std::printf("    %-6s fail %.3g  [%.3g, %.3g]  samples %4zu  "
+                  "beta-shift %5.2f%s\n",
+                  names[spec.spec].c_str(), spec.fail_probability, spec.lower,
+                  spec.upper, spec.samples, spec.shift_norm,
+                  spec.self_normalized ? "  (self-normalized)" : "");
+  }
 
   std::printf("\neffort: %zu optimization evaluations, %zu verification, "
               "%.1f s wall clock\n",

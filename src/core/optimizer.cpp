@@ -149,6 +149,22 @@ YieldOptimizationResult optimize_yield(Evaluator& evaluator,
     if (!accepted) break;
   }
 
+  // Optional importance-sampled final verification: reuse the worst-case
+  // points the last linearization already paid for as the mean shifts.
+  if (options.run_is_verification && !result.linearizations.empty()) {
+    const LinearizedModels& last = result.linearizations.back();
+    if (!last.worst_cases.empty()) {
+      std::vector<linalg::StatUnitVec> s_wc;
+      s_wc.reserve(last.worst_cases.size());
+      for (const WorstCasePoint& wc : last.worst_cases)
+        s_wc.push_back(wc.s_wc);
+      result.is_verification = importance_sample_verify(
+          evaluator, d_f, last.operating.theta_wc, s_wc,
+          options.is_verification);
+      result.is_verification_run = true;
+    }
+  }
+
   result.final_d = d_f;
   result.counts = evaluator.counts();
   result.wall_seconds =

@@ -21,6 +21,7 @@
 #include "core/coordinate_search.hpp"
 #include "core/evaluator.hpp"
 #include "core/feasibility.hpp"
+#include "core/is_verification.hpp"
 #include "core/line_search.hpp"
 #include "core/linearization.hpp"
 #include "core/verification.hpp"
@@ -55,6 +56,12 @@ struct YieldOptimizerOptions {
   /// Simulation-based MC verification between iterations (paper's Y~ rows).
   bool run_verification = true;
   VerificationOptions verification;
+  /// Variance-reduced final verification: one importance-sampled pass at
+  /// the final design, shifted to the last linearization's worst-case
+  /// points (core/is_verification.hpp).  Off by default; the plain-MC
+  /// path above is untouched either way.
+  bool run_is_verification = false;
+  IsVerificationOptions is_verification;
 };
 
 /// Per-spec state recorded in every trace row (one paper-table column).
@@ -84,6 +91,10 @@ struct YieldOptimizationResult {
   /// index matches `trace`.  Mismatch analysis reuses these at no extra
   /// simulation cost (paper Sec. 3.2).
   std::vector<LinearizedModels> linearizations;
+  /// Importance-sampled final verification (options.run_is_verification);
+  /// valid only when is_verification_run is true.
+  bool is_verification_run = false;
+  IsVerificationResult is_verification;
   EvaluationCounts counts;   ///< evaluation counters at the end of the run
   double wall_seconds = 0.0;
 };

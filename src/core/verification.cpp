@@ -99,6 +99,10 @@ VerificationResult monte_carlo_verify(
   const std::size_t num_specs = evaluator.num_specs();
   if (theta_wc.size() != num_specs)
     throw std::invalid_argument("monte_carlo_verify: theta_wc size mismatch");
+  if (options.num_samples == 0)
+    throw std::invalid_argument(
+        "monte_carlo_verify: num_samples must be positive (a zero-sample "
+        "run has no yield estimate and would divide by zero)");
   const obs::Span span(obs::registry().phases.verification);
 
   const CornerGrouping grouping = group_corners(theta_wc);

@@ -178,6 +178,11 @@ struct Counters {
   Counter mc_samples;  ///< MC verification samples accumulated
   Counter mc_blocks;   ///< MC verification sample blocks evaluated
 
+  Counter mc_is_samples;        ///< IS verification samples accumulated
+  Counter mc_is_blocks;         ///< IS verification sample blocks evaluated
+  Counter mc_is_rounds;         ///< adaptive IS allocation rounds completed
+  Counter mc_is_ess_fallbacks;  ///< per-spec estimates forced self-normalized
+
   Counter sparse_symbolic;  ///< sparse symbolic analyses (once per topology)
   Counter sparse_refactor;  ///< sparse numeric refactorizations
   Counter sparse_solve;     ///< sparse triangular solves
@@ -202,6 +207,10 @@ struct Counters {
     tran_seed_resets.reset();
     mc_samples.reset();
     mc_blocks.reset();
+    mc_is_samples.reset();
+    mc_is_blocks.reset();
+    mc_is_rounds.reset();
+    mc_is_ess_fallbacks.reset();
     sparse_symbolic.reset();
     sparse_refactor.reset();
     sparse_solve.reset();
@@ -221,6 +230,7 @@ struct Phases {
   PhaseTimer coordinate_search;  ///< yield maximization on linear models
   PhaseTimer line_search;        ///< feasibility line search (eq. 23)
   PhaseTimer verification;       ///< simulation Monte-Carlo verify (eq. 6-7)
+  PhaseTimer is_verification;    ///< importance-sampled verify (mean shift)
 
   void reset() noexcept {
     feasibility.reset();
@@ -229,6 +239,7 @@ struct Phases {
     coordinate_search.reset();
     line_search.reset();
     verification.reset();
+    is_verification.reset();
   }
 };
 
@@ -271,6 +282,10 @@ class Registry {
     fn("tran.seed_resets", c.tran_seed_resets.value());
     fn("mc.samples", c.mc_samples.value());
     fn("mc.blocks", c.mc_blocks.value());
+    fn("mc.is.samples", c.mc_is_samples.value());
+    fn("mc.is.blocks", c.mc_is_blocks.value());
+    fn("mc.is.rounds", c.mc_is_rounds.value());
+    fn("mc.is.ess_fallbacks", c.mc_is_ess_fallbacks.value());
     fn("sparse.symbolic", c.sparse_symbolic.value());
     fn("sparse.refactor", c.sparse_refactor.value());
     fn("sparse.solve", c.sparse_solve.value());
@@ -288,6 +303,7 @@ class Registry {
     fn("coordinate_search", phases.coordinate_search);
     fn("line_search", phases.line_search);
     fn("verification", phases.verification);
+    fn("is_verification", phases.is_verification);
   }
 };
 

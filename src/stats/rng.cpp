@@ -59,6 +59,17 @@ double Rng::normal() {
 
 double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
 
+std::uint64_t substream_seed(std::uint64_t base, std::uint64_t a,
+                             std::uint64_t b) {
+  // One splitmix64 round per word: the full avalanche of each round
+  // decorrelates neighbouring (a, b) pairs, so substream (spec, round)
+  // and (spec, round + 1) share no low-bit structure.
+  std::uint64_t x = base;
+  x = splitmix64(x) ^ (a + 0x9E3779B97F4A7C15ull);
+  x = splitmix64(x) ^ (b + 0xBF58476D1CE4E5B9ull);
+  return splitmix64(x);
+}
+
 std::uint64_t Rng::below(std::uint64_t n) {
   if (n == 0) throw std::invalid_argument("Rng::below: n must be positive");
   // Rejection sampling to remove modulo bias.

@@ -42,4 +42,14 @@ class Rng {
   bool has_cached_normal_ = false;
 };
 
+/// Deterministic sub-stream seed derivation: hashes (base, a, b) through
+/// splitmix64 rounds so that every (a, b) pair -- e.g. (spec, round) of
+/// the adaptive importance-sampling verifier -- gets a statistically
+/// independent sample stream.  Pure function of its arguments: the same
+/// triple yields the same seed on every platform, thread count and call
+/// order, which is what makes adaptive sampling schedules bitwise
+/// reproducible.
+std::uint64_t substream_seed(std::uint64_t base, std::uint64_t a,
+                             std::uint64_t b);
+
 }  // namespace mayo::stats

@@ -20,6 +20,15 @@ SampleSet::SampleSet(std::size_t count, std::size_t dim, std::uint64_t seed)
   }
 }
 
+SampleSet::SampleSet(std::size_t count, std::uint64_t seed,
+                     const linalg::StatUnitVec& shift)
+    : SampleSet(count, shift.size(), seed) {
+  for (std::size_t j = 0; j < count; ++j) {
+    double* row = samples_.row(j);
+    for (std::size_t i = 0; i < shift.size(); ++i) row[i] += shift[i];
+  }
+}
+
 linalg::StatUnitVec SampleSet::sample_vector(std::size_t j) const {
   linalg::StatUnitVec v(dim());
   const double* row = sample(j);

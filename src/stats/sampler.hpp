@@ -20,13 +20,23 @@ namespace mayo::stats {
 
 /// An immutable block of N standard-normal sample vectors of dimension n.
 /// Space discipline: this is one of the two places that may MINT StatUnit
-/// values (the other being Evaluator::nominal_s_hat) -- samples are
-/// standard normal by construction, which is exactly what the StatUnit
-/// tag asserts.
+/// values (the other being Evaluator::nominal_s_hat) -- the StatUnit tag
+/// asserts the unit-sigma uncorrelated *coordinate frame* of eq. (11),
+/// which holds for the plain N(0, I) draws and equally for the
+/// mean-shifted proposal draws of the importance-sampling verifier (the
+/// likelihood ratios of stats::ShiftedSampler correct the distribution;
+/// the coordinates never leave the frame).
 class SampleSet {
  public:
   /// Draws `count` samples of dimension `dim` from N(0, I) with the given seed.
   SampleSet(std::size_t count, std::size_t dim, std::uint64_t seed);
+
+  /// Draws `count` samples of dimension shift.size() from N(shift, I):
+  /// the same N(0, I) stream as the unshifted constructor with the same
+  /// seed, translated row-wise by `shift` (the importance-sampling
+  /// proposal of stats::ShiftedSampler).
+  SampleSet(std::size_t count, std::uint64_t seed,
+            const linalg::StatUnitVec& shift);
 
   std::size_t count() const { return samples_.rows(); }
   std::size_t dim() const { return samples_.cols(); }

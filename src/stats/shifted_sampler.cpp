@@ -1,0 +1,22 @@
+#include "stats/shifted_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mayo::stats {
+
+ShiftedSampler::ShiftedSampler(std::size_t count, const linalg::StatUnitVec& mu,
+                               std::uint64_t seed)
+    : mu_(mu), samples_(count, seed, mu), log_weights_(count) {
+  // (SampleSet's shifted constructor already rejects count == 0 and an
+  // empty mu via its count/dim contract.)
+  const double half_mu2 = 0.5 * dot(mu_, mu_);
+  for (std::size_t j = 0; j < count; ++j)
+    log_weights_[j] = half_mu2 - samples_.dot(j, mu_);
+}
+
+double ShiftedSampler::weight(std::size_t j) const {
+  return std::exp(log_weights_[j]);
+}
+
+}  // namespace mayo::stats

@@ -80,4 +80,23 @@ YieldInterval yield_confidence(std::size_t successes, std::size_t trials, double
   return {p, std::max(0.0, center - half), std::min(1.0, center + half)};
 }
 
+YieldInterval weighted_yield_confidence(double p_hat, double n_eff, double z) {
+  if (!(n_eff > 0.0))
+    throw std::invalid_argument(
+        "weighted_yield_confidence: n_eff must be positive");
+  if (!(p_hat >= 0.0) || !(p_hat <= 1.0))
+    throw std::invalid_argument(
+        "weighted_yield_confidence: p_hat outside [0, 1]");
+  // Same operations as yield_confidence so that integer inputs
+  // (p_hat = s/n, n_eff = n) reproduce it bit for bit.
+  const double n = n_eff;
+  const double p = p_hat;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {p, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
 }  // namespace mayo::stats

@@ -54,4 +54,14 @@ struct YieldInterval {
 YieldInterval yield_confidence(std::size_t successes, std::size_t trials,
                                double z = 1.96);
 
+/// Wilson-analogue interval for a *weighted* (importance-sampled)
+/// binomial proportion: the integer trial count is replaced by a real
+/// effective sample size n_eff = (sum w)^2 / sum w^2 -- the count a
+/// plain-MC estimator with the same weighted variance would have -- and
+/// the proportion is given directly.  For n_eff = trials and
+/// p_hat = successes / trials this reduces operation-for-operation to
+/// yield_confidence.  p_hat must lie in [0, 1]; n_eff must be positive.
+YieldInterval weighted_yield_confidence(double p_hat, double n_eff,
+                                        double z = 1.96);
+
 }  // namespace mayo::stats

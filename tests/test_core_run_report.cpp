@@ -82,10 +82,10 @@ TEST(RunReportSnapshot, CarriesTheFullRegistrySchema) {
   const RunReport report = snapshot_run_report("schema probe");
   EXPECT_EQ(report.label, "schema probe");
   EXPECT_EQ(report.obs_enabled, obs::kEnabled);
-  ASSERT_EQ(report.phases.size(), 6u);
-  ASSERT_EQ(report.counters.size(), 27u);
+  ASSERT_EQ(report.phases.size(), 7u);
+  ASSERT_EQ(report.counters.size(), 31u);
   EXPECT_EQ(report.phases.front().name, "feasibility");
-  EXPECT_EQ(report.phases.back().name, "verification");
+  EXPECT_EQ(report.phases.back().name, "is_verification");
   EXPECT_EQ(report.counters.front().name, "probe_cache.hits");
   EXPECT_EQ(report.counters.back().name, "audit.rejects");
 
@@ -94,10 +94,11 @@ TEST(RunReportSnapshot, CarriesTheFullRegistrySchema) {
   for (const char* key :
        {"\"schema\": \"mayo.run_report/1\"", "\"feasibility\"",
         "\"linearization\"", "\"worst_case_search\"", "\"coordinate_search\"",
-        "\"line_search\"", "\"verification\"", "\"probe_cache.hits\"",
-        "\"dc.newton_iterations\"", "\"tran.seed_resets\"", "\"mc.samples\"",
-        "\"audit.runs\"", "\"audit.rejects\"", "\"evaluations\"",
-        "\"optimizer\": null"})
+        "\"line_search\"", "\"verification\"", "\"is_verification\"",
+        "\"probe_cache.hits\"", "\"dc.newton_iterations\"",
+        "\"tran.seed_resets\"", "\"mc.samples\"", "\"mc.is.samples\"",
+        "\"mc.is.ess_fallbacks\"", "\"audit.runs\"", "\"audit.rejects\"",
+        "\"evaluations\"", "\"optimizer\": null"})
     EXPECT_NE(json.find(key), std::string::npos) << key;
 }
 
@@ -108,6 +109,12 @@ TEST(RunReportIntegration, OptimizeRunPopulatesPhasesAndCounters) {
   options.max_iterations = 2;
   options.linear_samples = 1000;
   options.verification.num_samples = 200;
+  // Enable the IS final verification so its phase registers calls too
+  // (the phase-coverage loop below requires every schema phase entered).
+  options.run_is_verification = true;
+  options.is_verification.initial_samples = 32;
+  options.is_verification.max_rounds = 1;
+  options.is_verification.round_samples = 16;
   const YieldOptimizationResult result = optimize_yield(ev, options);
 
   RunReport report = snapshot_run_report("synthetic optimize");
@@ -115,6 +122,8 @@ TEST(RunReportIntegration, OptimizeRunPopulatesPhasesAndCounters) {
 
   EXPECT_TRUE(report.optimizer.present);
   EXPECT_TRUE(report.optimizer.feasible_start_found);
+  EXPECT_TRUE(result.is_verification_run);
+  EXPECT_EQ(result.is_verification.per_spec.size(), ev.num_specs());
   EXPECT_EQ(report.evaluations.optimization, result.counts.optimization);
   EXPECT_EQ(report.optimizer.iterations,
             static_cast<int>(result.trace.size()) - 1);

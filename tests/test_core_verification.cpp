@@ -97,6 +97,57 @@ TEST(Verification, ThetaSizeMismatchThrows) {
       std::invalid_argument);
 }
 
+TEST(Verification, ZeroSamplesThrows) {
+  auto problem = testing::make_synthetic_problem();
+  Evaluator ev(problem);
+  VerificationOptions options;
+  options.num_samples = 0;
+  EXPECT_THROW(
+      monte_carlo_verify(ev, DesignVec(problem.design.nominal),
+                         {OperatingVec{1.0}, OperatingVec{1.0}}, options),
+      std::invalid_argument);
+}
+
+TEST(GroupCorners, EmptyInput) {
+  const CornerGrouping grouping = group_corners({});
+  EXPECT_TRUE(grouping.distinct.empty());
+  EXPECT_TRUE(grouping.group_of_spec.empty());
+}
+
+TEST(GroupCorners, AllIdenticalCornersCollapseToOneGroup) {
+  const std::vector<OperatingVec> theta_wc = {
+      OperatingVec{1.0, -1.0}, OperatingVec{1.0, -1.0}, OperatingVec{1.0, -1.0}};
+  const CornerGrouping grouping = group_corners(theta_wc);
+  ASSERT_EQ(grouping.distinct.size(), 1u);
+  EXPECT_EQ(grouping.distinct[0], theta_wc[0]);
+  ASSERT_EQ(grouping.group_of_spec.size(), 3u);
+  for (std::size_t g : grouping.group_of_spec) EXPECT_EQ(g, 0u);
+}
+
+TEST(GroupCorners, AllDistinctCornersKeepTheirOwnGroups) {
+  const std::vector<OperatingVec> theta_wc = {
+      OperatingVec{1.0}, OperatingVec{-1.0}, OperatingVec{0.0}};
+  const CornerGrouping grouping = group_corners(theta_wc);
+  ASSERT_EQ(grouping.distinct.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(grouping.group_of_spec[i], i);
+    EXPECT_EQ(grouping.distinct[i], theta_wc[i]);
+  }
+}
+
+TEST(GroupCorners, DedupPreservesFirstSeenOrder) {
+  const std::vector<OperatingVec> theta_wc = {
+      OperatingVec{1.0}, OperatingVec{-1.0}, OperatingVec{1.0},
+      OperatingVec{0.0}, OperatingVec{-1.0}};
+  const CornerGrouping grouping = group_corners(theta_wc);
+  ASSERT_EQ(grouping.distinct.size(), 3u);
+  EXPECT_EQ(grouping.distinct[0], theta_wc[0]);  // 1.0 first seen
+  EXPECT_EQ(grouping.distinct[1], theta_wc[1]);  // -1.0 second
+  EXPECT_EQ(grouping.distinct[2], theta_wc[3]);  // 0.0 third
+  const std::vector<std::size_t> expected = {0, 1, 0, 2, 1};
+  EXPECT_EQ(grouping.group_of_spec, expected);
+}
+
 TEST(Verification, CountsChargedToVerificationBudget) {
   auto problem = testing::make_synthetic_problem();
   Evaluator ev(problem);

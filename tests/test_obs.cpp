@@ -28,7 +28,7 @@ TEST(ObsRegistry, EnumeratesTheFixedCounterSchema) {
   std::vector<std::string> names;
   registry().each_counter(
       [&](const char* name, std::uint64_t) { names.emplace_back(name); });
-  EXPECT_EQ(names.size(), 27u);
+  EXPECT_EQ(names.size(), 31u);
   EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
             names.size());
   EXPECT_EQ(names.front(), "probe_cache.hits");
@@ -40,7 +40,8 @@ TEST(ObsRegistry, EnumeratesTheFixedCounterSchema) {
   });
   const std::vector<std::string> expected = {
       "feasibility",       "linearization", "worst_case_search",
-      "coordinate_search", "line_search",   "verification"};
+      "coordinate_search", "line_search",   "verification",
+      "is_verification"};
   EXPECT_EQ(phase_names, expected);
 }
 

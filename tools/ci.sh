@@ -57,10 +57,17 @@ tools/audit_sweep.sh build-ci-release-werror audit-reports
 
 # Explicit microbenchmark smoke on the optimized build: the bench_* ctest
 # entries (batch evaluation, AC session probes, sparse-vs-dense solver
-# boundary) must run and exit cleanly even when a full ctest pass above
-# was filtered or cached.
+# boundary, IS-verifier comparison) must run and exit cleanly even when a
+# full ctest pass above was filtered or cached.
 echo "=== [release-werror] microbenchmark smoke ==="
 ctest --test-dir build-ci-release-werror -R '^bench_' --output-on-failure
+
+# MC-vs-IS verification comparison artifact (smoke budgets; the
+# checked-in BENCH_is_verify.json carries the full-run numbers).
+echo "=== [release-werror] IS-verification comparison artifact ==="
+mkdir -p bench-reports
+build-ci-release-werror/bench/bm_is_verify --smoke \
+  --json bench-reports/BENCH_is_verify.json
 
 # The obs counters and spans must compile out completely: same tests,
 # instrumentation shells only (test_obs pins the no-op behaviour).

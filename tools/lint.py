@@ -125,6 +125,7 @@ IO_ALLOWLIST = {"src/core/report.cpp", "src/core/run_report.cpp",
 HOT_FILES = {
     "src/core/evaluator.cpp",
     "src/core/verification.cpp",
+    "src/core/is_verification.cpp",
     "src/core/parallel.cpp",
     "src/core/yield_model.cpp",
     # Simulator kernels under the per-sample loop: every Newton iteration

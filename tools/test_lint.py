@@ -308,6 +308,30 @@ class LintRepoTest(unittest.TestCase):
                    "}\n")
         self.assertEqual(run_lint(self.root), [])
 
+    def test_hot_alloc_covers_is_verification(self):
+        # The importance-sampling verifier joined HOT_FILES: its block
+        # loop runs once per sample batch and must reuse its buffers.
+        self.write("src/core/is_verification.cpp",
+                   "void f() {\n"
+                   "  for (int b = 0; b < 3; ++b) {\n"
+                   "    linalg::Matrixd values(32, 4);\n"
+                   "  }\n"
+                   "}\n")
+        self.assertIn(("hot-path-alloc", "src/core/is_verification.cpp"),
+                      rules_in(run_lint(self.root)))
+
+    def test_hot_alloc_is_verification_grow_only_escape(self):
+        # The sanctioned pattern: grow-only reallocation under an explicit
+        # hot-ok marker (mirrors detail::IsBlockEvaluator::run_block).
+        self.write("src/core/is_verification.cpp",
+                   "void f() {\n"
+                   "  for (int b = 0; b < 3; ++b) {\n"
+                   "    values_ = linalg::Matrixd(32, 4);"
+                   "  // hot-ok: grow-only, reused\n"
+                   "  }\n"
+                   "}\n")
+        self.assertEqual(run_lint(self.root), [])
+
     def test_hot_alloc_not_suppressed_by_other_block_comment_line(self):
         # The marker lives on a *different* line of a block comment: the
         # old regex stripper used to let this suppress; the tokenizer
